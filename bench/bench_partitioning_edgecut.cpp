@@ -1,0 +1,81 @@
+// Regenerates the Section IV-A.8 graph-partitioning study.
+//
+// The paper runs METIS on Reddit at 64 processes and observes:
+//   - total edge cut:   3,258,385 vs 11,761,151 random  (72% reduction)
+//   - max per-process:    131,286 vs    185,823 random  (29% reduction)
+// i.e. a locality partitioner helps the *total* far more than the *max*,
+// and the bulk-synchronous runtime is dictated by the max. We reproduce
+// the phenomenon with the greedy BFS partitioner (METIS stand-in, see
+// DESIGN.md) on a scale-free graph.
+#include <cstdio>
+
+#include "src/graph/partition.hpp"
+#include "src/sparse/generate.hpp"
+#include "src/util/cli.hpp"
+
+using namespace cagnet;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const Index n = args.get_int("vertices", 30000);
+  const int parts = static_cast<int>(args.get_int("parts", 64));
+  const Index communities = args.get_int("communities", 256);
+
+  std::printf("=== Section IV-A.8: partitioning quality vs the max-metric "
+              "===\n\n");
+  // Reddit-like structure: strong communities (what METIS exploits for its
+  // 72%% total-cut reduction) plus graph-wide hubs (why the busiest process
+  // only improves 29%%). A pure R-MAT graph has no communities and METIS
+  // would gain little — the paper itself notes scale-free graphs partition
+  // poorly (end of IV-A.8).
+  Rng rng(7);
+  Coo coo = planted_partition(
+      n, communities, args.get_double("intra-degree", 18),
+      args.get_double("inter-degree", 2), rng,
+      args.get_double("hub-fraction", 0.00025),
+      args.get_double("hub-degree", 15000));
+  coo.symmetrize();
+  const Csr a = Csr::from_coo(coo);
+  std::printf("community graph: %lld vertices, %lld edges, %lld planted "
+              "communities + hubs, P = %d\n\n",
+              static_cast<long long>(a.rows()),
+              static_cast<long long>(a.nnz()),
+              static_cast<long long>(communities), parts);
+
+  Rng prng(8);
+  const Partition random = random_partition(a.rows(), parts, prng);
+  const Partition greedy = greedy_bfs_partition(a, parts);
+  const EdgeCutStats s_random = edge_cut(a, random);
+  const EdgeCutStats s_greedy = edge_cut(a, greedy);
+
+  const auto pct = [](Index better, Index worse) {
+    return 100.0 * (1.0 - static_cast<double>(better) /
+                              static_cast<double>(worse));
+  };
+
+  std::printf("%-22s %14s %14s %12s\n", "metric", "random", "greedy(BFS)",
+              "reduction");
+  std::printf("------------------------------------------------------------------\n");
+  std::printf("%-22s %14lld %14lld %11.1f%%\n", "total cut edges",
+              static_cast<long long>(s_random.total_cut_edges),
+              static_cast<long long>(s_greedy.total_cut_edges),
+              pct(s_greedy.total_cut_edges, s_random.total_cut_edges));
+  std::printf("%-22s %14lld %14lld %11.1f%%\n", "max cut edges/proc",
+              static_cast<long long>(s_random.max_cut_edges_per_part),
+              static_cast<long long>(s_greedy.max_cut_edges_per_part),
+              pct(s_greedy.max_cut_edges_per_part,
+                  s_random.max_cut_edges_per_part));
+  std::printf("%-22s %14lld %14lld %11.1f%%\n", "max remote rows/proc",
+              static_cast<long long>(s_random.max_remote_rows_per_part),
+              static_cast<long long>(s_greedy.max_remote_rows_per_part),
+              pct(s_greedy.max_remote_rows_per_part,
+                  s_random.max_remote_rows_per_part));
+  std::printf("\npaper (METIS on Reddit, P=64): total 11,761,151 -> 3,258,385"
+              " (72%%)\n                              max      185,823 ->  "
+              " 131,286 (29%%)\n");
+  std::printf("\nThe expected shape: total-cut reduction far exceeds the\n"
+              "max-per-process reduction on skewed graphs, and the runtime\n"
+              "of a bulk-synchronous epoch follows the max (Section "
+              "IV-A.8).\n");
+  return 0;
+}

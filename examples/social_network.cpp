@@ -1,0 +1,102 @@
+// Social-network node classification with an algorithm shoot-out.
+//
+//   ./social_network [--scale-denominator 128] [--epochs 2]
+//
+// Uses a Reddit-like graph (very dense: average degree ~493 >> f) and runs
+// the same training under all four algorithm families at matching process
+// counts, reporting metered per-rank communication and modeled Summit
+// epoch times — the "algorithmic recipes" view of the paper's Section I.
+#include <cstdio>
+#include <memory>
+
+#include "src/core/dist15d.hpp"
+#include "src/core/dist1d.hpp"
+#include "src/core/dist2d.hpp"
+#include "src/core/dist3d.hpp"
+#include "src/graph/datasets.hpp"
+#include "src/util/cli.hpp"
+
+using namespace cagnet;
+
+namespace {
+
+struct Row {
+  const char* name;
+  int procs;
+  double dense_words;
+  double sparse_words;
+  double modeled_ms;
+  double loss;
+};
+
+template <typename MakeTrainer>
+Row run_one(const char* name, const DistProblem& problem,
+            const GnnConfig& config, int procs, int epochs,
+            MakeTrainer make_trainer) {
+  const MachineModel summit = MachineModel::summit();
+  Row row{name, procs, 0, 0, 0, 0};
+  run_world(procs, [&](Comm& world) {
+    auto trainer = make_trainer(world);
+    EpochResult r{};
+    for (int e = 0; e < epochs; ++e) r = trainer->train_epoch();
+    const EpochStats s =
+        EpochStats::reduce_max(trainer->last_epoch_stats(), world);
+    if (world.rank() == 0) {
+      row.dense_words = s.comm.words(CommCategory::kDense);
+      row.sparse_words = s.comm.words(CommCategory::kSparse) +
+                         s.comm.words(CommCategory::kTranspose);
+      row.modeled_ms = 1e3 * s.modeled_seconds(summit);
+      row.loss = r.loss;
+    }
+  });
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const long denom = args.get_int("scale-denominator", 128);
+  const int epochs = static_cast<int>(args.get_int("epochs", 2));
+
+  SyntheticOptions opt;
+  opt.scale = 1.0 / static_cast<double>(denom);
+  opt.max_features = args.get_int("max-features", 64);
+  std::printf("generating reddit analog at 1/%ld scale (f capped at %lld)\n",
+              denom, static_cast<long long>(opt.max_features));
+  const Graph graph = make_dataset("reddit", opt);
+  std::printf("  %lld vertices, %lld nonzeros\n\n",
+              static_cast<long long>(graph.num_vertices()),
+              static_cast<long long>(graph.num_edges()));
+
+  GnnConfig config = GnnConfig::three_layer(graph.feature_dim(),
+                                            graph.num_classes);
+  const DistProblem problem = DistProblem::prepare(graph);
+
+  std::vector<Row> rows;
+  rows.push_back(run_one("1D   ", problem, config, 16, epochs, [&](Comm& w) {
+    return std::make_unique<Dist1D>(problem, config, w);
+  }));
+  rows.push_back(run_one("1.5D ", problem, config, 16, epochs, [&](Comm& w) {
+    return std::make_unique<Dist15D>(problem, config, w, 4);
+  }));
+  rows.push_back(run_one("2D   ", problem, config, 16, epochs, [&](Comm& w) {
+    return std::make_unique<Dist2D>(problem, config, w);
+  }));
+  rows.push_back(run_one("3D   ", problem, config, 27, epochs, [&](Comm& w) {
+    return std::make_unique<Dist3D>(problem, config, w);
+  }));
+
+  std::printf("%-6s %5s %14s %14s %12s %10s\n", "algo", "P", "dense words",
+              "sparse words", "modeled ms", "loss");
+  for (const Row& r : rows) {
+    std::printf("%-6s %5d %14.3e %14.3e %12.3f %10.4f\n", r.name, r.procs,
+                r.dense_words, r.sparse_words, r.modeled_ms, r.loss);
+  }
+  std::printf("\nAll losses agree: the algorithms are exact reformulations\n"
+              "of the same full-batch GCN training (paper Section V-A).\n"
+              "At these small P the 1D family still wins on latency; the 2D\n"
+              "and 3D advantages appear at sqrt(P) >= 5 (see\n"
+              "bench_costmodel_scaling).\n");
+  return 0;
+}

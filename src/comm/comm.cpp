@@ -1,0 +1,127 @@
+#include "src/comm/comm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace cagnet {
+
+double ceil_log2(int p) {
+  CAGNET_CHECK(p >= 1, "ceil_log2 of non-positive value");
+  double bits = 0;
+  int v = 1;
+  while (v < p) {
+    v <<= 1;
+    bits += 1;
+  }
+  return bits;
+}
+
+void Comm::barrier() { phase(); }
+
+void Comm::phase() const {
+  state_->gate.arrive_and_wait();
+  if (state_->aborted.load(std::memory_order_relaxed)) {
+    throw Error("communicator aborted: a peer rank failed");
+  }
+}
+
+void Comm::sync_sizes(std::size_t n, const char* what) const {
+  auto& st = *state_;
+  st.slot_len[static_cast<std::size_t>(rank_)] = n;
+  phase();
+  for (int r = 0; r < st.size; ++r) {
+    CAGNET_CHECK(st.slot_len[static_cast<std::size_t>(r)] == n,
+                 std::string(what) + ": ranks disagree on element count");
+  }
+  phase();
+}
+
+namespace {
+
+/// Transient rendezvous used by Comm::split.
+struct SplitContext {
+  std::mutex mutex;
+  std::map<int, std::vector<std::pair<int, int>>> groups;  // color -> (key, rank)
+  std::map<int, std::shared_ptr<detail::CommState>> states;
+};
+
+}  // namespace
+
+Comm Comm::split(int color, int key) const {
+  CAGNET_CHECK(valid(), "split on an invalid communicator");
+  auto& st = *state_;
+
+  if (rank_ == 0) st.split_ctx = new SplitContext();
+  phase();
+  auto* ctx = static_cast<SplitContext*>(st.split_ctx);
+  {
+    std::lock_guard<std::mutex> lock(ctx->mutex);
+    ctx->groups[color].push_back({key, rank_});
+  }
+  phase();
+
+  // Membership is frozen now; reads below need no lock.
+  std::vector<std::pair<int, int>> group = ctx->groups.at(color);
+  std::sort(group.begin(), group.end());
+  const auto it = std::find(group.begin(), group.end(),
+                            std::make_pair(key, rank_));
+  const int new_rank = static_cast<int>(it - group.begin());
+
+  if (new_rank == 0) {
+    auto new_state =
+        std::make_shared<detail::CommState>(static_cast<int>(group.size()));
+    std::lock_guard<std::mutex> lock(ctx->mutex);
+    ctx->states[color] = new_state;
+  }
+  phase();
+
+  std::shared_ptr<detail::CommState> new_state;
+  {
+    std::lock_guard<std::mutex> lock(ctx->mutex);
+    new_state = ctx->states.at(color);
+  }
+  phase();
+  if (rank_ == 0) {
+    delete ctx;
+    st.split_ctx = nullptr;
+  }
+  return Comm(std::move(new_state), new_rank, meter_);
+}
+
+void run_world(int p, const std::function<void(Comm&)>& fn,
+               std::vector<CostMeter>* meters_out) {
+  CAGNET_CHECK(p >= 1, "world size must be at least 1");
+  auto state = std::make_shared<detail::CommState>(p);
+  std::vector<CostMeter> meters(static_cast<std::size_t>(p));
+
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(state, r, &meters[static_cast<std::size_t>(r)]);
+      try {
+        fn(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Release peers parked at the barrier, permanently removing this
+        // rank so current and future phases complete; they observe the
+        // aborted flag and unwind.
+        state->aborted.store(true);
+        state->gate.arrive_and_drop();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  if (meters_out) *meters_out = std::move(meters);
+}
+
+}  // namespace cagnet

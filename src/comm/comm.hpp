@@ -1,0 +1,346 @@
+// Simulated message-passing runtime.
+//
+// This is the repo's stand-in for torch.distributed/NCCL on Summit (see
+// DESIGN.md, "Substitutions"). A *world* of P ranks runs as P threads in one
+// process. A Comm exposes MPI-flavoured collectives whose semantics match
+// the operations the paper's algorithms are written in terms of: broadcast,
+// all-reduce, reduce-scatter, all-gather(v), and pairwise exchange. Data is
+// genuinely moved between rank-private buffers (so algorithm correctness is
+// real), and every operation charges its textbook alpha-beta cost to the
+// rank's CostMeter (so communication volumes are real too).
+//
+// Contract (same as MPI): a collective must be invoked by every member of
+// the communicator, in the same program order. All spans must stay alive
+// until the call returns.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/comm/costmeter.hpp"
+#include "src/util/error.hpp"
+#include "src/util/types.hpp"
+
+namespace cagnet {
+
+/// ceil(log2(p)) with ceil_log2(1) == 0: the latency factor of a
+/// tree-structured collective.
+double ceil_log2(int p);
+
+namespace detail {
+
+/// Shared state of one communicator: a phase barrier plus per-rank
+/// publication slots. All slot accesses are separated by barrier phases,
+/// which provide the necessary happens-before edges.
+struct CommState {
+  explicit CommState(int n)
+      : size(n), gate(n), slot_ptr(static_cast<std::size_t>(n), nullptr),
+        slot_len(static_cast<std::size_t>(n), 0),
+        slot_dest(static_cast<std::size_t>(n), -1) {}
+
+  const int size;
+  std::barrier<> gate;
+  std::vector<const void*> slot_ptr;
+  std::vector<std::size_t> slot_len;  // element counts, payload-defined units
+  std::vector<int> slot_dest;         // route() destination per rank
+  std::vector<unsigned char> scratch; // reduction workspace (rank 0 resizes)
+  std::mutex mutex;
+  void* split_ctx = nullptr;          // transient, owned by split()
+  std::atomic<bool> aborted{false};
+};
+
+}  // namespace detail
+
+/// Concatenation of per-rank variable-length contributions, with offsets.
+template <typename T>
+struct Gathered {
+  std::vector<T> data;
+  std::vector<std::size_t> offsets;  ///< size+1 entries; rank r owns
+                                     ///< [offsets[r], offsets[r+1])
+  std::span<const T> chunk(int r) const {
+    return {data.data() + offsets[static_cast<std::size_t>(r)],
+            offsets[static_cast<std::size_t>(r) + 1] -
+                offsets[static_cast<std::size_t>(r)]};
+  }
+};
+
+class Comm {
+ public:
+  Comm() = default;  ///< invalid; assign from run_world / split
+
+  int rank() const { return rank_; }
+  int size() const { return state_ ? state_->size : 0; }
+  bool valid() const { return state_ != nullptr; }
+
+  /// The calling rank's cost meter (shared across split communicators).
+  CostMeter& meter() const { return *meter_; }
+
+  /// Synchronize all members.
+  void barrier();
+
+  /// Collective split into disjoint sub-communicators by color; ranks are
+  /// ordered by (key, parent rank) within each color. Every member of this
+  /// communicator must call.
+  Comm split(int color, int key) const;
+
+  // ---- Collectives. `cat` selects the CostMeter category. ----
+
+  /// In-place broadcast from `root` to all members.
+  template <typename T>
+  void broadcast(std::span<T> data, int root, CommCategory cat) {
+    check_member(root);
+    sync_sizes(data.size(), "broadcast");
+    state_->slot_ptr[static_cast<std::size_t>(rank_)] = data.data();
+    phase();
+    if (rank_ != root) {
+      std::memcpy(data.data(),
+                  state_->slot_ptr[static_cast<std::size_t>(root)],
+                  data.size() * sizeof(T));
+    }
+    phase();
+    if (size() > 1) charge(cat, ceil_log2(size()), data.size() * sizeof(T));
+  }
+
+  /// In-place elementwise sum over all members; every rank ends with the
+  /// total. Cost: Rabenseifner (reduce-scatter + all-gather).
+  template <typename T>
+  void allreduce_sum(std::span<T> data, CommCategory cat) {
+    reduce_impl(data, cat, /*is_max=*/false);
+  }
+
+  /// In-place elementwise max over all members.
+  template <typename T>
+  void allreduce_max(std::span<T> data, CommCategory cat) {
+    reduce_impl(data, cat, /*is_max=*/true);
+  }
+
+  /// Reduce-scatter with sum: `contrib` (same length on every rank) is the
+  /// full-length vector of partial sums; rank r receives the reduced slice
+  /// [chunk_offset(r), chunk_offset(r)+out.size()) into `out`, where chunk
+  /// boundaries are the concatenation of every rank's out.size().
+  template <typename T>
+  void reduce_scatter_sum(std::span<const T> contrib, std::span<T> out,
+                          CommCategory cat) {
+    const int p = size();
+    state_->slot_ptr[static_cast<std::size_t>(rank_)] = contrib.data();
+    state_->slot_len[static_cast<std::size_t>(rank_)] = out.size();
+    phase();
+    std::size_t offset = 0;
+    std::size_t total = 0;
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) offset = total;
+      total += state_->slot_len[static_cast<std::size_t>(r)];
+    }
+    CAGNET_CHECK(contrib.size() == total,
+                 "reduce_scatter: contribution length != sum of outputs");
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      T acc{};
+      for (int r = 0; r < p; ++r) {
+        acc += static_cast<const T*>(
+            state_->slot_ptr[static_cast<std::size_t>(r)])[offset + i];
+      }
+      out[i] = acc;
+    }
+    phase();
+    charge(cat, ceil_log2(p),
+           total * sizeof(T) * (p - 1) / std::max(p, 1));
+  }
+
+  /// All-gather of equal-size chunks: every rank contributes `mine`, and
+  /// receives the rank-ordered concatenation.
+  template <typename T>
+  std::vector<T> allgather(std::span<const T> mine, CommCategory cat) {
+    sync_sizes(mine.size(), "allgather");
+    return allgatherv(mine, cat).data;
+  }
+
+  /// All-gather of variable-size chunks.
+  template <typename T>
+  Gathered<T> allgatherv(std::span<const T> mine, CommCategory cat) {
+    const int p = size();
+    state_->slot_ptr[static_cast<std::size_t>(rank_)] = mine.data();
+    state_->slot_len[static_cast<std::size_t>(rank_)] = mine.size();
+    phase();
+    Gathered<T> result;
+    result.offsets.resize(static_cast<std::size_t>(p) + 1, 0);
+    for (int r = 0; r < p; ++r) {
+      result.offsets[static_cast<std::size_t>(r) + 1] =
+          result.offsets[static_cast<std::size_t>(r)] +
+          state_->slot_len[static_cast<std::size_t>(r)];
+    }
+    result.data.resize(result.offsets.back());
+    for (int r = 0; r < p; ++r) {
+      const auto len = state_->slot_len[static_cast<std::size_t>(r)];
+      if (len == 0) continue;
+      std::memcpy(result.data.data() + result.offsets[static_cast<std::size_t>(r)],
+                  state_->slot_ptr[static_cast<std::size_t>(r)],
+                  len * sizeof(T));
+    }
+    phase();
+    charge(cat, ceil_log2(p),
+           (result.data.size() - mine.size()) * sizeof(T));
+    return result;
+  }
+
+  /// Pairwise exchange: send `send` to `peer` and receive its message.
+  /// Both sides must name each other; peer == rank() is a local copy.
+  template <typename T>
+  std::vector<T> exchange(std::span<const T> send, int peer,
+                          CommCategory cat) {
+    check_member(peer);
+    state_->slot_ptr[static_cast<std::size_t>(rank_)] = send.data();
+    state_->slot_len[static_cast<std::size_t>(rank_)] = send.size();
+    phase();
+    const auto len = state_->slot_len[static_cast<std::size_t>(peer)];
+    std::vector<T> recv(len);
+    if (len > 0) {
+      std::memcpy(recv.data(),
+                  state_->slot_ptr[static_cast<std::size_t>(peer)],
+                  len * sizeof(T));
+    }
+    phase();
+    if (peer != rank_) charge(cat, 1.0, len * sizeof(T));
+    return recv;
+  }
+
+  /// Permutation all-to-all: every rank sends one message to `dest`; the
+  /// destinations across ranks must form a permutation (each rank receives
+  /// exactly one message). This is the redistribution primitive of the 3D
+  /// distributed transpose. dest == rank() is a local copy.
+  template <typename T>
+  std::vector<T> route(std::span<const T> send, int dest, CommCategory cat) {
+    check_member(dest);
+    state_->slot_ptr[static_cast<std::size_t>(rank_)] = send.data();
+    state_->slot_len[static_cast<std::size_t>(rank_)] = send.size();
+    state_->slot_dest[static_cast<std::size_t>(rank_)] = dest;
+    phase();
+    int src = -1;
+    for (int r = 0; r < size(); ++r) {
+      if (state_->slot_dest[static_cast<std::size_t>(r)] == rank_) {
+        src = r;
+        break;
+      }
+    }
+    CAGNET_CHECK(src >= 0, "route: destinations do not form a permutation");
+    const auto len = state_->slot_len[static_cast<std::size_t>(src)];
+    std::vector<T> recv(len);
+    if (len > 0) {
+      std::memcpy(recv.data(),
+                  state_->slot_ptr[static_cast<std::size_t>(src)],
+                  len * sizeof(T));
+    }
+    phase();
+    if (src != rank_) charge(cat, 1.0, len * sizeof(T));
+    return recv;
+  }
+
+  /// Gather to root (rank-ordered concatenation at root; empty elsewhere).
+  template <typename T>
+  Gathered<T> gather(std::span<const T> mine, int root, CommCategory cat) {
+    check_member(root);
+    const int p = size();
+    state_->slot_ptr[static_cast<std::size_t>(rank_)] = mine.data();
+    state_->slot_len[static_cast<std::size_t>(rank_)] = mine.size();
+    phase();
+    Gathered<T> result;
+    if (rank_ == root) {
+      result.offsets.resize(static_cast<std::size_t>(p) + 1, 0);
+      for (int r = 0; r < p; ++r) {
+        result.offsets[static_cast<std::size_t>(r) + 1] =
+            result.offsets[static_cast<std::size_t>(r)] +
+            state_->slot_len[static_cast<std::size_t>(r)];
+      }
+      result.data.resize(result.offsets.back());
+      for (int r = 0; r < p; ++r) {
+        const auto len = state_->slot_len[static_cast<std::size_t>(r)];
+        if (len == 0) continue;
+        std::memcpy(
+            result.data.data() + result.offsets[static_cast<std::size_t>(r)],
+            state_->slot_ptr[static_cast<std::size_t>(r)], len * sizeof(T));
+      }
+    }
+    phase();
+    charge(cat, ceil_log2(p),
+           rank_ == root ? (result.data.size() - mine.size()) * sizeof(T)
+                         : mine.size() * sizeof(T));
+    return result;
+  }
+
+ private:
+  friend void run_world(int, const std::function<void(Comm&)>&,
+                        std::vector<CostMeter>*);
+
+  Comm(std::shared_ptr<detail::CommState> state, int rank, CostMeter* meter)
+      : state_(std::move(state)), rank_(rank), meter_(meter) {}
+
+  void check_member(int r) const {
+    CAGNET_CHECK(r >= 0 && r < size(), "rank out of range");
+  }
+
+  /// One barrier phase with abort propagation. Const because it only
+  /// touches the shared state, never this rank's identity.
+  void phase() const;
+
+  /// Debug-style guard: all ranks must pass matching sizes to size-uniform
+  /// collectives (cheap, and catches the classic SUMMA off-by-one).
+  void sync_sizes(std::size_t n, const char* what) const;
+
+  void charge(CommCategory cat, double latency_units, std::size_t bytes) {
+    meter_->add(cat, latency_units,
+                static_cast<double>(bytes) / sizeof(Real));
+  }
+
+  template <typename T>
+  void reduce_impl(std::span<T> data, CommCategory cat, bool is_max) {
+    const int p = size();
+    state_->slot_ptr[static_cast<std::size_t>(rank_)] = data.data();
+    phase();
+    if (rank_ == 0) state_->scratch.resize(data.size() * sizeof(T));
+    phase();
+    T* scratch = reinterpret_cast<T*>(state_->scratch.data());
+    // Rank r reduces its chunk across all publishers (reduce-scatter step).
+    const std::size_t lo = data.size() * static_cast<std::size_t>(rank_) /
+                           static_cast<std::size_t>(p);
+    const std::size_t hi = data.size() *
+                           (static_cast<std::size_t>(rank_) + 1) /
+                           static_cast<std::size_t>(p);
+    for (std::size_t i = lo; i < hi; ++i) {
+      T acc = static_cast<const T*>(state_->slot_ptr[0])[i];
+      for (int r = 1; r < p; ++r) {
+        const T v =
+            static_cast<const T*>(state_->slot_ptr[static_cast<std::size_t>(r)])[i];
+        if (is_max) {
+          if (v > acc) acc = v;
+        } else {
+          acc += v;
+        }
+      }
+      scratch[i] = acc;
+    }
+    phase();
+    // All-gather step: everyone copies the full reduced vector.
+    std::memcpy(data.data(), scratch, data.size() * sizeof(T));
+    phase();
+    charge(cat, 2.0 * ceil_log2(p),
+           2 * data.size() * sizeof(T) * (p - 1) / std::max(p, 1));
+  }
+
+  std::shared_ptr<detail::CommState> state_;
+  int rank_ = 0;
+  CostMeter* meter_ = nullptr;
+};
+
+/// Launch a world of `p` ranks, each running `fn(comm)` on its own thread.
+/// Rethrows the first rank exception after joining all threads. If
+/// `meters_out` is non-null it receives each rank's final CostMeter.
+void run_world(int p, const std::function<void(Comm&)>& fn,
+               std::vector<CostMeter>* meters_out = nullptr);
+
+}  // namespace cagnet

@@ -1,0 +1,101 @@
+#include "src/comm/costmeter.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cagnet {
+
+const char* comm_category_name(CommCategory c) {
+  switch (c) {
+    case CommCategory::kDense:
+      return "dense";
+    case CommCategory::kSparse:
+      return "sparse";
+    case CommCategory::kTranspose:
+      return "trpose";
+    case CommCategory::kControl:
+      return "control";
+    case CommCategory::kCount:
+      break;
+  }
+  return "?";
+}
+
+void CostMeter::add(CommCategory cat, double latency_units, double words) {
+  latency_[static_cast<std::size_t>(cat)] += latency_units;
+  words_[static_cast<std::size_t>(cat)] += words;
+}
+
+double CostMeter::latency_units(CommCategory cat) const {
+  return latency_[static_cast<std::size_t>(cat)];
+}
+
+double CostMeter::words(CommCategory cat) const {
+  return words_[static_cast<std::size_t>(cat)];
+}
+
+double CostMeter::total_latency_units() const {
+  double total = 0;
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    if (static_cast<CommCategory>(i) == CommCategory::kControl) continue;
+    total += latency_[i];
+  }
+  return total;
+}
+
+double CostMeter::total_words() const {
+  double total = 0;
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    if (static_cast<CommCategory>(i) == CommCategory::kControl) continue;
+    total += words_[i];
+  }
+  return total;
+}
+
+double CostMeter::modeled_seconds(const MachineModel& m,
+                                  CommCategory cat) const {
+  if (cat == CommCategory::kControl) return 0.0;
+  const auto i = static_cast<std::size_t>(cat);
+  return m.alpha * latency_[i] + m.beta * words_[i];
+}
+
+double CostMeter::modeled_seconds(const MachineModel& m) const {
+  double total = 0;
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    total += modeled_seconds(m, static_cast<CommCategory>(i));
+  }
+  return total;
+}
+
+void CostMeter::merge_max(const CostMeter& other) {
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    latency_[i] = std::max(latency_[i], other.latency_[i]);
+    words_[i] = std::max(words_[i], other.words_[i]);
+  }
+}
+
+void CostMeter::merge_sum(const CostMeter& other) {
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    latency_[i] += other.latency_[i];
+    words_[i] += other.words_[i];
+  }
+}
+
+void CostMeter::subtract(const CostMeter& other) {
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    latency_[i] -= other.latency_[i];
+    words_[i] -= other.words_[i];
+  }
+}
+
+std::string CostMeter::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    if (i != 0) os << " ";
+    os << comm_category_name(static_cast<CommCategory>(i)) << "={lat="
+       << latency_[i] << ", words=" << words_[i] << "}";
+  }
+  return os.str();
+}
+
+}  // namespace cagnet

@@ -1,0 +1,68 @@
+// Per-rank alpha-beta communication accounting.
+//
+// Every collective in the simulated runtime charges its textbook cost
+// (Chan et al. / Thakur et al., the same sources the paper cites) to the
+// calling rank's meter, split by traffic category so Fig. 3's scomm/dcomm/
+// trpose decomposition can be regenerated.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "src/comm/machine.hpp"
+
+namespace cagnet {
+
+/// What kind of payload a communication operation carried.
+enum class CommCategory : std::size_t {
+  kDense = 0,   ///< activations, gradients, intermediate dense products
+  kSparse,      ///< adjacency submatrices (SUMMA broadcasts of A)
+  kTranspose,   ///< distributed transpose traffic
+  kControl,     ///< harness/bookkeeping traffic, excluded from modeled time
+  kCount
+};
+
+const char* comm_category_name(CommCategory c);
+
+class CostMeter {
+ public:
+  static constexpr std::size_t kNumCategories =
+      static_cast<std::size_t>(CommCategory::kCount);
+
+  /// Charge `latency_units` alpha-terms (e.g. lg P for a broadcast) and
+  /// `words` 8-byte words of bandwidth to a category.
+  void add(CommCategory cat, double latency_units, double words);
+
+  double latency_units(CommCategory cat) const;
+  double words(CommCategory cat) const;
+
+  /// Totals excluding kControl.
+  double total_latency_units() const;
+  double total_words() const;
+
+  /// alpha * latency + beta * words for one category (kControl -> 0).
+  double modeled_seconds(const MachineModel& m, CommCategory cat) const;
+  /// Sum of modeled seconds over all metered categories.
+  double modeled_seconds(const MachineModel& m) const;
+
+  void clear() { *this = CostMeter{}; }
+
+  /// Component-wise max: bulk-synchronous epochs are paced by the rank with
+  /// the most communication.
+  void merge_max(const CostMeter& other);
+  /// Component-wise sum: aggregate traffic across ranks.
+  void merge_sum(const CostMeter& other);
+
+  /// Component-wise subtraction, used to take per-epoch deltas of the
+  /// cumulative per-rank meter.
+  void subtract(const CostMeter& other);
+
+  std::string to_string() const;
+
+ private:
+  std::array<double, kNumCategories> latency_ = {};
+  std::array<double, kNumCategories> words_ = {};
+};
+
+}  // namespace cagnet

@@ -1,0 +1,71 @@
+// Process-grid topologies for the 1D / 2D / 3D algorithm families.
+#pragma once
+
+#include <utility>
+
+#include "src/comm/comm.hpp"
+
+namespace cagnet {
+
+/// Even-as-possible block range: element range [lo, hi) owned by `idx` of
+/// `parts` over a dimension of extent n. Matches the paper's block
+/// decomposition (process i owns rows in/P .. (i+1)n/P - 1).
+inline std::pair<Index, Index> block_range(Index n, int parts, int idx) {
+  return {n * idx / parts, n * (idx + 1) / parts};
+}
+
+/// Pr x Pc mesh. Rank (i, j) is world rank i*Pc + j; `row` spans the ranks
+/// sharing i (for row broadcasts), `col` spans the ranks sharing j.
+struct Grid2D {
+  Comm world;
+  Comm row;
+  Comm col;
+  int pr = 0;
+  int pc = 0;
+  int i = 0;
+  int j = 0;
+
+  static Grid2D create(const Comm& world, int pr, int pc);
+
+  /// Square grid of dimension sqrt(P); world size must be a perfect square.
+  static Grid2D create_square(const Comm& world);
+};
+
+/// q x q x q mesh (P = q^3). Rank (i, j, k) is world rank k*q*q + i*q + j.
+/// `layer` is the 2D grid sharing k; `row`/`col` are within-layer lines;
+/// `fiber` spans the q ranks sharing (i, j) across layers (the reduction
+/// dimension of Split-3D-SpMM).
+struct Grid3D {
+  Comm world;
+  Comm layer;
+  Comm row;
+  Comm col;
+  Comm fiber;
+  int q = 0;
+  int i = 0;
+  int j = 0;
+  int k = 0;
+
+  static Grid3D create(const Comm& world, int q);
+
+  /// Cube grid; world size must be a perfect cube.
+  static Grid3D create_cube(const Comm& world);
+};
+
+/// Fine block range of the 3D distribution: coarse block `coarse` of n over
+/// q parts, subdivided again into q fine slabs, of which `sub` is returned.
+/// A^T's 3D blocks are (coarse rows x fine cols); H's are (fine rows x
+/// feature cols) — Section IV-D's n/P^(1/3) x n/P^(2/3) shapes.
+inline std::pair<Index, Index> fine_range(Index n, int q, int coarse,
+                                          int sub) {
+  const auto [clo, chi] = block_range(n, q, coarse);
+  const auto [flo, fhi] = block_range(chi - clo, q, sub);
+  return {clo + flo, clo + fhi};
+}
+
+/// Largest integer r with r*r == p, or 0 if p is not a perfect square.
+int exact_sqrt(int p);
+/// Largest integer r with r*r*r == p, or 0 if p is not a perfect cube.
+int exact_cbrt(int p);
+
+}  // namespace cagnet

@@ -1,0 +1,33 @@
+#include "src/comm/machine.hpp"
+
+#include <algorithm>
+
+namespace cagnet {
+
+double MachineModel::spmm_gflops(double avg_degree, double dense_width) const {
+  const double degree_eff = avg_degree / (avg_degree + spmm_degree_half);
+  const double width_eff = dense_width / (dense_width + spmm_width_half);
+  return spmm_base_gflops * degree_eff * width_eff;
+}
+
+void WorkMeter::add_spmm(const MachineModel& m, double nnz, double width,
+                         double avg_degree) {
+  const double flops = 2.0 * nnz * width;
+  const double rate = std::max(m.spmm_gflops(avg_degree, width), 1e-3);
+  spmm_flops_ += flops;
+  spmm_seconds_ += flops / (rate * 1e9);
+}
+
+void WorkMeter::add_gemm(const MachineModel& m, double flops) {
+  gemm_flops_ += flops;
+  gemm_seconds_ += flops / (m.gemm_gflops * 1e9);
+}
+
+void WorkMeter::merge_max(const WorkMeter& other) {
+  spmm_seconds_ = std::max(spmm_seconds_, other.spmm_seconds_);
+  gemm_seconds_ = std::max(gemm_seconds_, other.gemm_seconds_);
+  spmm_flops_ = std::max(spmm_flops_, other.spmm_flops_);
+  gemm_flops_ = std::max(gemm_flops_, other.gemm_flops_);
+}
+
+}  // namespace cagnet

@@ -1,0 +1,80 @@
+// 1.5D block-row algorithm with c-fold dense replication (Section IV-B).
+//
+// The paper discusses this family qualitatively (Koanantakool-style 1.5D
+// SpMM) and argues that its extra memory is hard to justify for GNNs where
+// d = O(f); it gives no formulas or implementation. We implement it so the
+// communication/memory trade-off can be measured (DESIGN.md experiment E9).
+//
+// Layout: P = G * c ranks as G "groups" x c "teams" (team index t = rank %
+// c, group g = rank / c). Vertex rows are split into G coarse blocks R_g.
+//   H^l, G^l: block R_g, *replicated* across the c team members of group g
+//             (the c-fold dense memory cost).
+//   A^T:      rank (g, t) owns A^T[R_g, R_j] for all j ≡ t (mod c) — the
+//             block row's columns are striped across the team, so A itself
+//             is not replicated.
+// Forward: slice t (the G ranks sharing t) runs Algorithm-1-style broadcast
+// stages over only its stripe's j's — a 1/c reduction of broadcast volume —
+// followed by a team all-reduce of the partial T. Backward: the outer
+// product reduces within the slice (reduce-scatter onto the j ≡ t ranks)
+// and finishes with a team broadcast.
+#pragma once
+
+#include <map>
+
+#include <optional>
+
+#include "src/core/dist_common.hpp"
+#include "src/gnn/optimizer.hpp"
+
+namespace cagnet {
+
+class Dist15D final : public DistTrainer {
+ public:
+  /// Collective constructor; replication must divide the world size.
+  Dist15D(const DistProblem& problem, GnnConfig config, Comm world,
+          int replication, MachineModel machine = MachineModel::summit());
+
+  EpochResult train_epoch() override;
+  const EpochStats& last_epoch_stats() const override { return stats_; }
+  Matrix gather_output() override;
+  const std::vector<Matrix>& weights() const override { return weights_; }
+
+  int replication() const { return c_; }
+  int groups() const { return groups_; }
+
+ private:
+  const Matrix& forward();
+  void backward();
+  void step();
+
+  const DistProblem& problem_;
+  GnnConfig config_;
+  Comm world_;
+  Comm team_;   ///< the c replicas of this group's dense blocks
+  Comm slice_;  ///< the G ranks sharing this team index t
+  MachineModel machine_;
+
+  int c_ = 1;       ///< replication factor
+  int groups_ = 1;  ///< G = P / c
+  int t_ = 0;       ///< team index (column stripe)
+  int g_ = 0;       ///< group index (vertex block)
+
+  Index n_ = 0;
+  Index row_lo_ = 0, row_hi_ = 0;  ///< R_g
+
+  /// at_stripe_[j] for j ≡ t (mod c): A^T[R_g, R_j].
+  std::map<int, Csr> at_stripe_;
+  /// a_stripe_[j] = A[R_j, R_g] (transposes of the above), the backward
+  /// outer-product operands.
+  std::map<int, Csr> a_stripe_;
+
+  std::optional<Optimizer> optimizer_;
+  std::vector<Matrix> weights_;
+  std::vector<Matrix> gradients_;
+  std::vector<Matrix> h_;
+  std::vector<Matrix> z_;
+
+  EpochStats stats_;
+};
+
+}  // namespace cagnet

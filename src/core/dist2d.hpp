@@ -1,0 +1,89 @@
+// The paper's block 2D (SUMMA-based) algorithm: Section IV-C, Algorithm 2.
+// This is the variant CAGNET implements and evaluates (Figs. 2-3).
+//
+// Data distribution (Table IV): A, H^l, G^l block-2D on a sqrt(P) x sqrt(P)
+// grid; W replicated. Per layer:
+//
+//   forward  T = A^T H     : SUMMA SpMM — stage k broadcasts A^T_ik along
+//                            process row i (sparse) and H_kj along process
+//                            column j (dense).
+//            Z = T W       : "partial SUMMA" — T_im broadcast along the
+//                            process row; W is replicated so only T moves.
+//            sigma         : ReLU is elementwise (free); the output-layer
+//                            log_softmax needs full rows, hence a row-wise
+//                            all-gather (Section IV-C.2).
+//   backward U = A G^l     : SUMMA SpMM on the transposed adjacency. A is
+//                            obtained from A^T by a distributed transpose
+//                            (pairwise exchange (i,j) <-> (j,i) + local
+//                            transpose) — the paper's "trpose" phase.
+//            G^(l-1)       : U (W^l)^T ⊙ relu'(Z^(l-1)); U is re-used from
+//                            the row-wise all-gather performed for Y.
+//            Y^l           : (H^(l-1))^T (A G^l) via row all-gather of U,
+//                            local GEMM, column-wise reduction, and final
+//                            all-gather to keep Y replicated (IV-C.4).
+#pragma once
+
+#include <optional>
+
+#include "src/core/dist_common.hpp"
+#include "src/gnn/optimizer.hpp"
+
+namespace cagnet {
+
+class Dist2D final : public DistTrainer {
+ public:
+  /// Collective constructor; world size must be a perfect square.
+  Dist2D(const DistProblem& problem, GnnConfig config, Comm world,
+         MachineModel machine = MachineModel::summit());
+
+  EpochResult train_epoch() override;
+  const EpochStats& last_epoch_stats() const override { return stats_; }
+  Matrix gather_output() override;
+  const std::vector<Matrix>& weights() const override { return weights_; }
+
+  /// Grid coordinates and local ranges (for tests).
+  int grid_dim() const { return grid_.pr; }
+  Index row_lo() const { return row_lo_; }
+  Index row_hi() const { return row_hi_; }
+
+ private:
+  const Matrix& forward();
+  void backward();
+  void step();
+
+  /// Column range of layer-l features owned by this process column.
+  std::pair<Index, Index> feat_range(Index l) const;
+
+  /// SUMMA T = S * D where S is this rank's sparse block family (row
+  /// broadcasts of `my_sparse`) and D the dense blocks (column broadcasts
+  /// of `my_dense`); accumulates into a fresh (local_rows x dense_cols)
+  /// matrix. Used by both A^T H (forward) and A G (backward).
+  Matrix summa_spmm(const Csr& my_sparse, const Matrix& my_dense);
+
+  /// Row-wise all-gather of a local block into full rows
+  /// (local_rows x full_cols); `full_cols` is the sum of widths over the
+  /// process row. Charges kDense.
+  Matrix allgather_rows(const Matrix& local, Index full_cols);
+
+  const DistProblem& problem_;
+  GnnConfig config_;
+  Grid2D grid_;
+  MachineModel machine_;
+
+  Index n_ = 0;
+  Index row_lo_ = 0, row_hi_ = 0;  ///< vertex rows of process row i
+  Index col_lo_ = 0, col_hi_ = 0;  ///< vertex cols of process column j
+
+  Csr at_block_;  ///< A^T(rows_i, cols_j)
+
+  std::optional<Optimizer> optimizer_;
+  std::vector<Matrix> weights_;
+  std::vector<Matrix> gradients_;
+  std::vector<Matrix> h_;  ///< local 2D blocks of H^l
+  std::vector<Matrix> z_;  ///< local 2D blocks of Z^l
+  Matrix output_rows_;     ///< full rows of H^L (from the softmax all-gather)
+
+  EpochStats stats_;
+};
+
+}  // namespace cagnet

@@ -1,0 +1,329 @@
+#include "src/core/dist3d.hpp"
+
+#include <cmath>
+
+#include "src/dense/gemm.hpp"
+#include "src/dense/ops.hpp"
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+Dist3D::Dist3D(const DistProblem& problem, GnnConfig config, Comm world,
+               MachineModel machine)
+    : problem_(problem), config_(std::move(config)),
+      grid_(Grid3D::create_cube(world)), machine_(machine) {
+  const Graph& g = *problem_.graph;
+  CAGNET_CHECK(config_.dims.front() == g.feature_dim(),
+               "input dim must match graph features");
+  n_ = g.num_vertices();
+  const int q = grid_.q;
+
+  std::tie(coarse_lo_, coarse_hi_) = block_range(n_, q, grid_.i);
+  std::tie(fine_lo_, fine_hi_) = fine_range(n_, q, grid_.i, grid_.k);
+
+  const auto [ac0, ac1] = fine_range(n_, q, grid_.j, grid_.k);
+  at_block_ = problem_.at.block(coarse_lo_, coarse_hi_, ac0, ac1);
+
+  jplane_ = grid_.world.split(/*color=*/grid_.j,
+                              /*key=*/grid_.i * q + grid_.k);
+
+  weights_ = make_weights(config_);
+  optimizer_.emplace(config_.optimizer, config_.learning_rate, weights_);
+  gradients_.resize(weights_.size());
+  const auto layers = static_cast<std::size_t>(config_.num_layers());
+  h_.resize(layers + 1);
+  z_.resize(layers + 1);
+  const auto [f0, f1] = block_range(config_.dims.front(), q, grid_.j);
+  h_[0] = g.features.block(fine_lo_, f0, fine_hi_ - fine_lo_, f1 - f0);
+}
+
+Matrix Dist3D::split3d_spmm(const Csr& my_sparse, const Matrix& my_dense) {
+  const int q = grid_.q;
+  const Index coarse_rows = coarse_hi_ - coarse_lo_;
+  const Index w = my_dense.cols();
+  // The pre-reduction partial: (n/q x f/q), the P^(1/3)-replicated
+  // intermediate of Section IV-D.1.
+  Matrix t_partial(coarse_rows, w);
+
+  for (int s = 0; s < q; ++s) {
+    Csr a_recv;
+    {
+      ScopedPhase scope(stats_.profiler, Phase::kSparseComm);
+      a_recv = dist::broadcast_csr(grid_.j == s ? &my_sparse : nullptr, s,
+                                   grid_.row, CommCategory::kSparse);
+    }
+    const auto [d_lo, d_hi] = fine_range(n_, q, s, grid_.k);
+    Matrix d_recv(d_hi - d_lo, w);
+    if (grid_.i == s) {
+      CAGNET_CHECK(my_dense.rows() == d_recv.rows(),
+                   "split3d_spmm: dense block height mismatch at root");
+      d_recv = my_dense;
+    }
+    {
+      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
+      grid_.col.broadcast(d_recv.flat(), s, CommCategory::kDense);
+    }
+    {
+      ScopedPhase scope(stats_.profiler, Phase::kSpmm);
+      a_recv.spmm(d_recv, t_partial, /*accumulate=*/true);
+      stats_.work.add_spmm(machine_, static_cast<double>(a_recv.nnz()),
+                           static_cast<double>(w),
+                           dist::block_degree(a_recv));
+    }
+  }
+
+  // Fiber reduce-scatter: sum layer partials, splitting C_i into its fine
+  // slabs F_{i,kk}; fiber rank kk keeps slab kk.
+  Matrix out(fine_hi_ - fine_lo_, w);
+  {
+    ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
+    grid_.fiber.reduce_scatter_sum(std::span<const Real>(t_partial.flat()),
+                                   out.flat(), CommCategory::kDense);
+  }
+  return out;
+}
+
+Matrix Dist3D::allgather_rows(const Matrix& local, Index full_cols) {
+  const int q = grid_.q;
+  Gathered<Real> gathered;
+  {
+    ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
+    gathered = grid_.row.allgatherv(std::span<const Real>(local.flat()),
+                                    CommCategory::kDense);
+  }
+  Matrix full(local.rows(), full_cols);
+  for (int jj = 0; jj < q; ++jj) {
+    const auto [c0, c1] = block_range(full_cols, q, jj);
+    const auto chunk = gathered.chunk(jj);
+    CAGNET_CHECK(chunk.size() == static_cast<std::size_t>(local.rows() *
+                                                          (c1 - c0)),
+                 "allgather_rows: chunk size mismatch");
+    for (Index r = 0; r < local.rows(); ++r) {
+      std::copy(chunk.begin() + r * (c1 - c0),
+                chunk.begin() + (r + 1) * (c1 - c0),
+                full.data() + r * full_cols + c0);
+    }
+  }
+  return full;
+}
+
+Csr Dist3D::transpose_3d(const Csr& my_block) {
+  const int q = grid_.q;
+  // Local transpose: M[C_i, F_{j,k}] -> M^T[F_{j,k}, C_i].
+  const Csr bt = my_block.transposed();
+
+  // Round d: send the column slab F_{i, (k+d)%q} of bt to rank
+  // (i', j', k') = (j, i, (k+d)%q). The map is a bijection for each d, and
+  // across rounds every target receives the q pieces it must stack.
+  std::vector<Csr> pieces(static_cast<std::size_t>(q));
+  for (int d = 0; d < q; ++d) {
+    const int kk = (grid_.k + d) % q;
+    const auto [g0, g1] = fine_range(n_, q, grid_.i, kk);
+    const Csr piece =
+        bt.block(0, bt.rows(), g0 - coarse_lo_, g1 - coarse_lo_);
+    const int dest = kk * q * q + grid_.j * q + grid_.i;
+    const Csr recv = dist::route_csr(piece, dest, grid_.world,
+                                     CommCategory::kTranspose);
+    // In round d we receive from (j, i, (k-d) mod q): its piece carries the
+    // row slab F_{i, k_src} of the assembled block.
+    const int k_src = ((grid_.k - d) % q + q) % q;
+    pieces[static_cast<std::size_t>(k_src)] = recv;
+  }
+  Csr assembled = Csr::vstack(pieces);
+  CAGNET_CHECK(assembled.rows() == coarse_hi_ - coarse_lo_,
+               "transpose_3d: assembled row count mismatch");
+  return assembled;
+}
+
+const Matrix& Dist3D::forward() {
+  const Index layers = config_.num_layers();
+  const int q = grid_.q;
+  const Index fine_rows = fine_hi_ - fine_lo_;
+
+  for (Index l = 1; l <= layers; ++l) {
+    const Index f_in = config_.dims[static_cast<std::size_t>(l - 1)];
+    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
+
+    // T = A^T H^(l-1): one full Split-3D-SpMM.
+    const Matrix t =
+        split3d_spmm(at_block_, h_[static_cast<std::size_t>(l - 1)]);
+
+    // Z = T W: partial Split-3D-SpMM — W is replicated, so only T moves,
+    // along within-layer process rows (contraction over the f dimension
+    // needs no fiber reduction).
+    const auto [fo0, fo1] = block_range(f_out, q, grid_.j);
+    auto& z = z_[static_cast<std::size_t>(l)];
+    z = Matrix(fine_rows, fo1 - fo0);
+    const Matrix& w = weights_[static_cast<std::size_t>(l - 1)];
+    for (int m = 0; m < q; ++m) {
+      const auto [fm0, fm1] = block_range(f_in, q, m);
+      Matrix t_recv(fine_rows, fm1 - fm0);
+      if (grid_.j == m) t_recv = t;
+      {
+        ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
+        grid_.row.broadcast(t_recv.flat(), m, CommCategory::kDense);
+      }
+      {
+        ScopedPhase scope(stats_.profiler, Phase::kMisc);
+        const Matrix w_block = w.block(fm0, fo0, fm1 - fm0, fo1 - fo0);
+        gemm(Trans::kNo, Trans::kNo, Real{1}, t_recv, w_block, Real{1}, z);
+        stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(fine_rows) *
+                                           static_cast<double>(fm1 - fm0) *
+                                           static_cast<double>(fo1 - fo0));
+      }
+    }
+
+    auto& h = h_[static_cast<std::size_t>(l)];
+    if (l == layers) {
+      // log_softmax needs whole rows: within-layer row all-gather
+      // (Section IV-D.2 — no cross-layer or cross-row communication).
+      const Matrix z_rows = allgather_rows(z, f_out);
+      ScopedPhase scope(stats_.profiler, Phase::kMisc);
+      output_rows_ = Matrix(fine_rows, f_out);
+      log_softmax_rows(z_rows, output_rows_);
+      h = output_rows_.block(0, fo0, fine_rows, fo1 - fo0);
+    } else {
+      ScopedPhase scope(stats_.profiler, Phase::kMisc);
+      h = Matrix(z.rows(), z.cols());
+      relu(z, h);
+    }
+  }
+  return h_[static_cast<std::size_t>(layers)];
+}
+
+void Dist3D::backward() {
+  const Index layers = config_.num_layers();
+  const int q = grid_.q;
+  const Index fine_rows = fine_hi_ - fine_lo_;
+  const std::vector<Index>& labels = problem_.graph->labels;
+
+  // 3D distributed transpose A^T -> A.
+  Csr a_block;
+  {
+    ScopedPhase scope(stats_.profiler, Phase::kTranspose);
+    a_block = transpose_3d(at_block_);
+  }
+
+  // G^L, local (see Dist2D::backward for the row-sum argument).
+  const auto [fL0, fL1] = block_range(config_.dims.back(), q, grid_.j);
+  Matrix g(fine_rows, fL1 - fL0);
+  {
+    ScopedPhase scope(stats_.profiler, Phase::kMisc);
+    const Matrix& ls = h_[static_cast<std::size_t>(layers)];
+    const Real scale = Real{-1} / static_cast<Real>(problem_.labeled_count);
+    for (Index r = 0; r < fine_rows; ++r) {
+      const Index label = labels[static_cast<std::size_t>(fine_lo_ + r)];
+      if (label < 0) continue;
+      for (Index c = 0; c < fL1 - fL0; ++c) {
+        g(r, c) = -std::exp(ls(r, c)) * scale;
+      }
+      if (label >= fL0 && label < fL1) g(r, label - fL0) += scale;
+    }
+  }
+
+  for (Index l = layers; l >= 1; --l) {
+    const Index f_in = config_.dims[static_cast<std::size_t>(l - 1)];
+    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
+
+    // U = A G^l: full Split-3D-SpMM on the transposed adjacency.
+    const Matrix u = split3d_spmm(a_block, g);
+
+    // Row all-gather of U, reused by Y^l and G^(l-1) (IV-D.4).
+    const Matrix u_rows = allgather_rows(u, f_out);
+
+    // Y^l = (H^(l-1))^T (A G^l): local slice product, reduction over the
+    // j-plane (all fine row blocks sharing this feature slice), then row
+    // all-gather to replicate Y.
+    const auto [fi0, fi1] = block_range(f_in, q, grid_.j);
+    Matrix y_slice(fi1 - fi0, f_out);
+    {
+      ScopedPhase scope(stats_.profiler, Phase::kMisc);
+      gemm(Trans::kYes, Trans::kNo, Real{1},
+           h_[static_cast<std::size_t>(l - 1)], u_rows, Real{0}, y_slice);
+      stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(fine_rows) *
+                                         static_cast<double>(fi1 - fi0) *
+                                         static_cast<double>(f_out));
+    }
+    {
+      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
+      jplane_.allreduce_sum(y_slice.flat(), CommCategory::kDense);
+    }
+    auto& y = gradients_[static_cast<std::size_t>(l - 1)];
+    y = Matrix(f_in, f_out);
+    {
+      Gathered<Real> slices;
+      {
+        ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
+        slices = grid_.row.allgatherv(std::span<const Real>(y_slice.flat()),
+                                      CommCategory::kDense);
+      }
+      for (int jj = 0; jj < q; ++jj) {
+        const auto [r0, r1] = block_range(f_in, q, jj);
+        const auto chunk = slices.chunk(jj);
+        CAGNET_CHECK(chunk.size() ==
+                         static_cast<std::size_t>((r1 - r0) * f_out),
+                     "Y assembly: slice size mismatch");
+        std::copy(chunk.begin(), chunk.end(), y.data() + r0 * f_out);
+      }
+    }
+
+    if (l > 1) {
+      ScopedPhase scope(stats_.profiler, Phase::kMisc);
+      const Matrix& w = weights_[static_cast<std::size_t>(l - 1)];
+      const Matrix w_rows = w.block(fi0, 0, fi1 - fi0, f_out);
+      Matrix dh(fine_rows, fi1 - fi0);
+      gemm(Trans::kNo, Trans::kYes, Real{1}, u_rows, w_rows, Real{0}, dh);
+      stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(fine_rows) *
+                                         static_cast<double>(fi1 - fi0) *
+                                         static_cast<double>(f_out));
+      Matrix next_g(fine_rows, fi1 - fi0);
+      relu_backward(dh, z_[static_cast<std::size_t>(l - 1)], next_g);
+      g = std::move(next_g);
+    }
+  }
+
+  // Transpose back to restore the forward orientation.
+  {
+    ScopedPhase scope(stats_.profiler, Phase::kTranspose);
+    const Csr restored = transpose_3d(a_block);
+    CAGNET_CHECK(restored.nnz() == at_block_.nnz(),
+                 "3D transpose round-trip changed the block");
+  }
+}
+
+void Dist3D::step() {
+  ScopedPhase scope(stats_.profiler, Phase::kMisc);
+  optimizer_->step(weights_, gradients_);
+}
+
+EpochResult Dist3D::train_epoch() {
+  const CostMeter before = grid_.world.meter();
+  stats_ = EpochStats{};
+
+  forward();
+  const Index f_out = config_.dims.back();
+  const Matrix empty(0, f_out);
+  stats_.result = dist::reduce_loss_accuracy(
+      grid_.j == 0 ? output_rows_ : empty, fine_lo_, problem_.graph->labels,
+      problem_.labeled_count, grid_.world);
+  backward();
+  step();
+
+  stats_.comm = grid_.world.meter();
+  stats_.comm.subtract(before);
+  return stats_.result;
+}
+
+Matrix Dist3D::gather_output() {
+  // j-plane ranks are keyed by (i, k), i.e. ascending fine row blocks, so
+  // gathering along it assembles all n rows in order.
+  const auto gathered = jplane_.allgatherv(
+      std::span<const Real>(output_rows_.flat()), CommCategory::kControl);
+  Matrix full(n_, config_.dims.back());
+  CAGNET_CHECK(gathered.data.size() == static_cast<std::size_t>(full.size()),
+               "gather_output: size mismatch");
+  std::copy(gathered.data.begin(), gathered.data.end(), full.data());
+  return full;
+}
+
+}  // namespace cagnet

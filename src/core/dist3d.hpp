@@ -1,0 +1,84 @@
+// The paper's block 3D algorithm: Split-3D-SpMM (Section IV-D).
+//
+// The paper analyzes this algorithm (it reduces words by another O(P^(1/6))
+// over 2D) but does not implement it, citing constants, complexity, and the
+// P^(1/3) intermediate replication. We implement it faithfully so that its
+// metered communication can be compared against the closed forms and the
+// 2D implementation (DESIGN.md experiment E5).
+//
+// Processes form a q x q x q mesh (P = q^3); each 2D plane with fixed k is
+// a "layer". Following Azad et al.'s Split-3D layout:
+//   A^T block of rank (i,j,k): rows = coarse block C_i (n/q), cols = fine
+//     slab F_{j,k} (n/q^2) — the k-th sub-slab of coarse column j.
+//   H^l block of rank (i,j,k): rows = fine slab F_{i,k}, cols = feature
+//     block j (f/q) — "shorter and fatter than the 2D distribution".
+//
+// One Split-3D-SpMM = independent 2D SUMMAs per layer (each layer owns the
+// contraction sub-slabs with its k) followed by a reduce-scatter along the
+// fiber dimension; the pre-reduction partial is the algorithm's P^(1/3)
+// memory replication. The backward pass needs A in the same family of
+// blocks, obtained by a 3D distributed transpose: a local transpose plus q
+// permutation-routed piece exchanges (i,j,k) -> (j,i,k'').
+#pragma once
+
+#include <optional>
+
+#include "src/core/dist_common.hpp"
+#include "src/gnn/optimizer.hpp"
+
+namespace cagnet {
+
+class Dist3D final : public DistTrainer {
+ public:
+  /// Collective constructor; world size must be a perfect cube.
+  Dist3D(const DistProblem& problem, GnnConfig config, Comm world,
+         MachineModel machine = MachineModel::summit());
+
+  EpochResult train_epoch() override;
+  const EpochStats& last_epoch_stats() const override { return stats_; }
+  Matrix gather_output() override;
+  const std::vector<Matrix>& weights() const override { return weights_; }
+
+  int grid_dim() const { return grid_.q; }
+
+ private:
+  const Matrix& forward();
+  void backward();
+  void step();
+
+  /// One Split-3D-SpMM: T = S * D with S this rank's sparse block (row
+  /// broadcasts), D the dense blocks (column broadcasts), then the fiber
+  /// reduce-scatter. Returns the (fine rows x dense cols) result block.
+  Matrix split3d_spmm(const Csr& my_sparse, const Matrix& my_dense);
+
+  /// Row-wise all-gather within the layer: local (fine rows x w_j) block to
+  /// full (fine rows x full_cols).
+  Matrix allgather_rows(const Matrix& local, Index full_cols);
+
+  /// 3D distributed transpose of a (coarse x fine)-blocked square matrix;
+  /// returns this rank's block of the transpose in the same blocking.
+  Csr transpose_3d(const Csr& my_block);
+
+  const DistProblem& problem_;
+  GnnConfig config_;
+  Grid3D grid_;
+  Comm jplane_;  ///< ranks sharing j, ordered by (i, k): Y reduction/gather
+  MachineModel machine_;
+
+  Index n_ = 0;
+  Index coarse_lo_ = 0, coarse_hi_ = 0;  ///< C_i
+  Index fine_lo_ = 0, fine_hi_ = 0;      ///< F_{i,k} (H rows)
+
+  Csr at_block_;  ///< A^T[C_i, F_{j,k}]
+
+  std::optional<Optimizer> optimizer_;
+  std::vector<Matrix> weights_;
+  std::vector<Matrix> gradients_;
+  std::vector<Matrix> h_;
+  std::vector<Matrix> z_;
+  Matrix output_rows_;  ///< full rows F_{i,k} of H^L
+
+  EpochStats stats_;
+};
+
+}  // namespace cagnet

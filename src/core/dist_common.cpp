@@ -1,0 +1,160 @@
+#include "src/core/dist_common.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "src/dense/ops.hpp"
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+DistProblem DistProblem::prepare(const Graph& graph) {
+  DistProblem p;
+  p.graph = &graph;
+  p.at = graph.adjacency.transposed();
+  for (Index label : graph.labels) {
+    if (label >= 0) ++p.labeled_count;
+  }
+  return p;
+}
+
+EpochStats EpochStats::reduce_max(const EpochStats& mine, Comm& comm) {
+  // Serialize the numeric payload into one vector, allreduce-max it, and
+  // unpack. Loss/accuracy are identical on all ranks already (reduced in
+  // the trainer), so max is a no-op for them.
+  constexpr std::size_t kPhases = Profiler::kNumPhases;
+  constexpr std::size_t kCats = CostMeter::kNumCategories;
+  std::vector<double> payload;
+  payload.reserve(2 + kPhases + 2 * kCats + 4);
+  payload.push_back(mine.result.loss);
+  payload.push_back(mine.result.accuracy);
+  for (std::size_t i = 0; i < kPhases; ++i) {
+    payload.push_back(mine.profiler.seconds(static_cast<Phase>(i)));
+  }
+  for (std::size_t i = 0; i < kCats; ++i) {
+    const auto cat = static_cast<CommCategory>(i);
+    payload.push_back(mine.comm.latency_units(cat));
+    payload.push_back(mine.comm.words(cat));
+  }
+  payload.push_back(mine.work.spmm_seconds());
+  payload.push_back(mine.work.gemm_seconds());
+  payload.push_back(mine.work.spmm_flops());
+  payload.push_back(mine.work.gemm_flops());
+
+  comm.allreduce_max(std::span<double>(payload), CommCategory::kControl);
+
+  EpochStats out;
+  std::size_t k = 0;
+  out.result.loss = payload[k++];
+  out.result.accuracy = payload[k++];
+  for (std::size_t i = 0; i < kPhases; ++i) {
+    out.profiler.add(static_cast<Phase>(i), payload[k++]);
+  }
+  for (std::size_t i = 0; i < kCats; ++i) {
+    const auto cat = static_cast<CommCategory>(i);
+    const double lat = payload[k++];
+    const double words = payload[k++];
+    out.comm.add(cat, lat, words);
+  }
+  out.work = WorkMeter::from_values(payload[k], payload[k + 1],
+                                    payload[k + 2], payload[k + 3]);
+  return out;
+}
+
+namespace dist {
+
+EpochResult reduce_loss_accuracy(const Matrix& local_log_probs, Index row_lo,
+                                 const std::vector<Index>& labels,
+                                 Index labeled_count, Comm& comm) {
+  double loss_sum = 0;
+  double hits = 0;
+  for (Index r = 0; r < local_log_probs.rows(); ++r) {
+    const Index label = labels[static_cast<std::size_t>(row_lo + r)];
+    if (label < 0) continue;
+    loss_sum -= local_log_probs(r, label);
+    const auto row = local_log_probs.row(r);
+    const Index pred = static_cast<Index>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+    if (pred == label) hits += 1;
+  }
+  std::array<double, 2> acc = {loss_sum, hits};
+  comm.allreduce_sum(std::span<double>(acc), CommCategory::kControl);
+  EpochResult result;
+  result.loss = labeled_count > 0 ? acc[0] / static_cast<double>(labeled_count)
+                                  : 0.0;
+  result.accuracy =
+      labeled_count > 0 ? acc[1] / static_cast<double>(labeled_count) : 0.0;
+  return result;
+}
+
+Matrix local_nll_gradient(const Matrix& local_log_probs, Index row_lo,
+                          const std::vector<Index>& labels,
+                          Index labeled_count) {
+  Matrix grad(local_log_probs.rows(), local_log_probs.cols());
+  if (labeled_count == 0) return grad;
+  const Real scale = Real{-1} / static_cast<Real>(labeled_count);
+  for (Index r = 0; r < local_log_probs.rows(); ++r) {
+    const Index label = labels[static_cast<std::size_t>(row_lo + r)];
+    if (label >= 0) grad(r, label) = scale;
+  }
+  return grad;
+}
+
+double block_degree(const Csr& block) {
+  return block.rows() > 0
+             ? static_cast<double>(block.nnz()) /
+                   static_cast<double>(block.rows())
+             : 0.0;
+}
+
+Csr broadcast_csr(const Csr* mine, int root, Comm& comm, CommCategory cat) {
+  std::array<Index, 3> header = {0, 0, 0};
+  if (comm.rank() == root) {
+    CAGNET_CHECK(mine != nullptr, "broadcast_csr: root must supply a block");
+    header = {mine->rows(), mine->cols(), mine->nnz()};
+  }
+  comm.broadcast(std::span<Index>(header), root, cat);
+  const Index rows = header[0];
+  const Index cols = header[1];
+  const Index nnz = header[2];
+
+  std::vector<Index> row_ptr(static_cast<std::size_t>(rows) + 1);
+  std::vector<Index> col_idx(static_cast<std::size_t>(nnz));
+  std::vector<Real> vals(static_cast<std::size_t>(nnz));
+  if (comm.rank() == root) {
+    std::copy(mine->row_ptr().begin(), mine->row_ptr().end(), row_ptr.begin());
+    std::copy(mine->col_idx().begin(), mine->col_idx().end(), col_idx.begin());
+    std::copy(mine->values().begin(), mine->values().end(), vals.begin());
+  }
+  comm.broadcast(std::span<Index>(row_ptr), root, cat);
+  comm.broadcast(std::span<Index>(col_idx), root, cat);
+  comm.broadcast(std::span<Real>(vals), root, cat);
+  return Csr::from_parts(rows, cols, std::move(row_ptr), std::move(col_idx),
+                         std::move(vals));
+}
+
+Csr exchange_csr(const Csr& mine, int peer, Comm& comm, CommCategory cat) {
+  const std::array<Index, 3> my_header = {mine.rows(), mine.cols(),
+                                          mine.nnz()};
+  const auto header = comm.exchange(std::span<const Index>(my_header), peer, cat);
+  auto row_ptr = comm.exchange(mine.row_ptr(), peer, cat);
+  auto col_idx = comm.exchange(mine.col_idx(), peer, cat);
+  auto vals = comm.exchange(std::span<const Real>(mine.values()), peer, cat);
+  return Csr::from_parts(header[0], header[1], std::move(row_ptr),
+                         std::move(col_idx), std::move(vals));
+}
+
+Csr route_csr(const Csr& mine, int dest, Comm& comm, CommCategory cat) {
+  const std::array<Index, 3> my_header = {mine.rows(), mine.cols(),
+                                          mine.nnz()};
+  const auto header = comm.route(std::span<const Index>(my_header), dest, cat);
+  auto row_ptr = comm.route(mine.row_ptr(), dest, cat);
+  auto col_idx = comm.route(mine.col_idx(), dest, cat);
+  auto vals = comm.route(std::span<const Real>(mine.values()), dest, cat);
+  return Csr::from_parts(header[0], header[1], std::move(row_ptr),
+                         std::move(col_idx), std::move(vals));
+}
+
+}  // namespace dist
+}  // namespace cagnet

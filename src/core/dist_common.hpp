@@ -1,0 +1,101 @@
+// Shared machinery of the distributed GNN trainers (1D / 1.5D / 2D / 3D).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/comm/comm.hpp"
+#include "src/comm/grid.hpp"
+#include "src/comm/machine.hpp"
+#include "src/gnn/model.hpp"
+#include "src/graph/graph.hpp"
+#include "src/util/profiler.hpp"
+
+namespace cagnet {
+
+/// Read-only problem state shared by all ranks of a simulated world.
+///
+/// The simulation keeps one copy of the graph in host memory; each rank
+/// extracts only its own blocks in its trainer constructor, mirroring a
+/// real distributed loader. A^T is materialized once here rather than per
+/// rank (the paper's implementation likewise prepares both orientations).
+struct DistProblem {
+  const Graph* graph = nullptr;
+  Csr at;  ///< A^T (paper keeps A and A^T distinguishable for directedness)
+  Index labeled_count = 0;
+
+  static DistProblem prepare(const Graph& graph);
+};
+
+/// Per-epoch instrumentation, mirroring what Figs. 2-3 report.
+struct EpochStats {
+  EpochResult result;
+  Profiler profiler;    ///< measured host seconds per phase (this rank)
+  CostMeter comm;       ///< metered traffic for the epoch (this rank)
+  WorkMeter work;       ///< modeled local-kernel seconds (this rank)
+
+  /// Modeled epoch seconds on the target machine: communication under
+  /// alpha-beta plus modeled local kernels.
+  double modeled_seconds(const MachineModel& m) const {
+    return comm.modeled_seconds(m) + work.total_seconds();
+  }
+
+  /// Collective: component-wise max over ranks (bulk-synchronous epochs
+  /// are paced by the slowest rank), metered as control traffic.
+  static EpochStats reduce_max(const EpochStats& mine, Comm& comm);
+};
+
+/// Interface shared by the distributed trainers. All methods are
+/// *collective*: every rank of the world must call them in lockstep.
+class DistTrainer {
+ public:
+  virtual ~DistTrainer() = default;
+
+  /// One full-batch epoch (forward, loss, backward, SGD step). The returned
+  /// loss/accuracy are global (already reduced).
+  virtual EpochResult train_epoch() = 0;
+
+  /// Stats of the most recent epoch (this rank's view).
+  virtual const EpochStats& last_epoch_stats() const = 0;
+
+  /// Assemble the full output log-probability matrix H^L on every rank
+  /// (control-category traffic; used for parity tests and inference).
+  virtual Matrix gather_output() = 0;
+
+  /// Replicated weight matrices (identical on every rank by construction).
+  virtual const std::vector<Matrix>& weights() const = 0;
+};
+
+/// Helpers shared by the trainer implementations.
+namespace dist {
+
+/// Global mean NLL loss and accuracy from a local row block of output
+/// log-probabilities. `row_lo` is the first global row of the block.
+/// Reduces (loss_sum, hits, labeled) across ranks as control traffic.
+EpochResult reduce_loss_accuracy(const Matrix& local_log_probs, Index row_lo,
+                                 const std::vector<Index>& labels,
+                                 Index labeled_count, Comm& comm);
+
+/// dL/d(H^L) for the local row block under global-mean NLL.
+Matrix local_nll_gradient(const Matrix& local_log_probs, Index row_lo,
+                          const std::vector<Index>& labels,
+                          Index labeled_count);
+
+/// Average degree of a CSR block (nnz / rows), guarding empty blocks.
+double block_degree(const Csr& block);
+
+/// Broadcast a CSR block from `root` within `comm`. Non-roots pass their
+/// (ignored) local block or nullptr. Traffic (indices + values) is charged
+/// to `cat`; this is the SUMMA sparse-broadcast primitive.
+Csr broadcast_csr(const Csr* mine, int root, Comm& comm, CommCategory cat);
+
+/// Pairwise CSR exchange with `peer` (the distributed-transpose primitive:
+/// rank (i,j) swaps blocks with rank (j,i) and locally transposes).
+Csr exchange_csr(const Csr& mine, int peer, Comm& comm, CommCategory cat);
+
+/// Permutation-route a CSR block to `dest` (see Comm::route).
+Csr route_csr(const Csr& mine, int dest, Comm& comm, CommCategory cat);
+
+}  // namespace dist
+
+}  // namespace cagnet

@@ -1,0 +1,76 @@
+#include "src/dense/gemm.hpp"
+
+namespace cagnet {
+namespace {
+
+// Tile edge for the k-blocking; sized so a B tile row set stays in L1/L2.
+constexpr Index kTile = 64;
+
+Index op_rows(Trans t, const Matrix& m) {
+  return t == Trans::kNo ? m.rows() : m.cols();
+}
+Index op_cols(Trans t, const Matrix& m) {
+  return t == Trans::kNo ? m.cols() : m.rows();
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, Real alpha, const Matrix& a,
+          const Matrix& b, Real beta, Matrix& c) {
+  const Index m = op_rows(trans_a, a);
+  const Index k = op_cols(trans_a, a);
+  const Index k2 = op_rows(trans_b, b);
+  const Index n = op_cols(trans_b, b);
+  CAGNET_CHECK(k == k2, "gemm inner-dimension mismatch: " + a.shape_string() +
+                            " x " + b.shape_string());
+  CAGNET_CHECK(c.rows() == m && c.cols() == n,
+               "gemm output shape mismatch: got " + c.shape_string());
+
+  if (beta == Real{0}) {
+    c.set_zero();
+  } else if (beta != Real{1}) {
+    for (Real& v : c.flat()) v *= beta;
+  }
+  if (alpha == Real{0} || m == 0 || n == 0 || k == 0) return;
+
+  const auto a_at = [&](Index i, Index p) {
+    return trans_a == Trans::kNo ? a(i, p) : a(p, i);
+  };
+
+  // i-k-j with k tiling. When B is not transposed the innermost loop is a
+  // contiguous axpy over B's row p and C's row i; when B is transposed we
+  // fall back to a dot-product form that still streams B's row j.
+  if (trans_b == Trans::kNo) {
+    for (Index i = 0; i < m; ++i) {
+      Real* crow = c.data() + i * n;
+      for (Index p0 = 0; p0 < k; p0 += kTile) {
+        const Index p1 = std::min(p0 + kTile, k);
+        for (Index p = p0; p < p1; ++p) {
+          const Real av = alpha * a_at(i, p);
+          if (av == Real{0}) continue;
+          const Real* brow = b.data() + p * n;
+          for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  } else {
+    for (Index i = 0; i < m; ++i) {
+      Real* crow = c.data() + i * n;
+      for (Index j = 0; j < n; ++j) {
+        // B stored (n x k); its row j is the j-th column of op(B).
+        const Real* brow = b.data() + j * k;
+        Real acc = 0;
+        for (Index p = 0; p < k; ++p) acc += a_at(i, p) * brow[p];
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b, Trans trans_a, Trans trans_b) {
+  Matrix c(op_rows(trans_a, a), op_cols(trans_b, b));
+  gemm(trans_a, trans_b, Real{1}, a, b, Real{0}, c);
+  return c;
+}
+
+}  // namespace cagnet

@@ -1,0 +1,22 @@
+// Local dense matrix multiplication (the paper's GEMM, reported under "misc").
+#pragma once
+
+#include "src/dense/matrix.hpp"
+
+namespace cagnet {
+
+/// Whether an operand enters the product transposed.
+enum class Trans { kNo, kYes };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+///
+/// op(A) is (m x k), op(B) is (k x n), C must be (m x n). Cache-blocked
+/// i-k-j ordering so the innermost loop streams rows of B and C.
+void gemm(Trans trans_a, Trans trans_b, Real alpha, const Matrix& a,
+          const Matrix& b, Real beta, Matrix& c);
+
+/// Convenience allocating form: returns op(A) * op(B).
+Matrix matmul(const Matrix& a, const Matrix& b, Trans trans_a = Trans::kNo,
+              Trans trans_b = Trans::kNo);
+
+}  // namespace cagnet

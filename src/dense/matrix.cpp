@@ -1,0 +1,79 @@
+#include "src/dense/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cagnet {
+
+void Matrix::fill_uniform(Rng& rng, Real lo, Real hi) {
+  for (auto& v : data_) v = static_cast<Real>(rng.next_double(lo, hi));
+}
+
+void Matrix::fill_glorot(Rng& rng) {
+  const Real bound = std::sqrt(Real{6} / static_cast<Real>(rows_ + cols_));
+  fill_uniform(rng, -bound, bound);
+}
+
+void Matrix::set_block(Index row0, Index col0, const Matrix& src) {
+  CAGNET_CHECK(row0 >= 0 && col0 >= 0 && row0 + src.rows() <= rows_ &&
+                   col0 + src.cols() <= cols_,
+               "set_block out of range");
+  for (Index i = 0; i < src.rows(); ++i) {
+    const auto srow = src.row(i);
+    std::copy(srow.begin(), srow.end(),
+              data_.begin() + (row0 + i) * cols_ + col0);
+  }
+}
+
+Matrix Matrix::block(Index row0, Index col0, Index rows, Index cols) const {
+  CAGNET_CHECK(row0 >= 0 && col0 >= 0 && row0 + rows <= rows_ &&
+                   col0 + cols <= cols_,
+               "block out of range");
+  Matrix out(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    const Real* src = data_.data() + (row0 + i) * cols_ + col0;
+    std::copy(src, src + cols, out.data() + i * cols);
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index j = 0; j < cols_; ++j) {
+      out(j, i) = (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+Real Matrix::frobenius_norm() const {
+  Real sum = 0;
+  for (Real v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+Real Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  CAGNET_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+               "max_abs_diff shape mismatch: " + a.shape_string() + " vs " +
+                   b.shape_string());
+  Real worst = 0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return worst;
+}
+
+bool Matrix::allclose(const Matrix& a, const Matrix& b, Real atol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return max_abs_diff(a, b) <= atol;
+}
+
+std::string Matrix::shape_string() const {
+  std::ostringstream os;
+  os << "(" << rows_ << " x " << cols_ << ")";
+  return os.str();
+}
+
+}  // namespace cagnet

@@ -1,0 +1,137 @@
+#include "src/dense/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cagnet {
+
+namespace {
+void check_same_shape(const Matrix& a, const Matrix& b, const char* what) {
+  CAGNET_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+               std::string(what) + " shape mismatch: " + a.shape_string() +
+                   " vs " + b.shape_string());
+}
+}  // namespace
+
+void relu(const Matrix& z, Matrix& out) {
+  check_same_shape(z, out, "relu");
+  const auto src = z.flat();
+  auto dst = out.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = src[i] > Real{0} ? src[i] : Real{0};
+  }
+}
+
+void relu_backward(const Matrix& g, const Matrix& z, Matrix& out) {
+  check_same_shape(g, z, "relu_backward");
+  check_same_shape(g, out, "relu_backward");
+  const auto gs = g.flat();
+  const auto zs = z.flat();
+  auto dst = out.flat();
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    dst[i] = zs[i] > Real{0} ? gs[i] : Real{0};
+  }
+}
+
+void log_softmax_rows(const Matrix& z, Matrix& out) {
+  check_same_shape(z, out, "log_softmax");
+  for (Index i = 0; i < z.rows(); ++i) {
+    const auto row = z.row(i);
+    auto dst = out.row(i);
+    const Real mx = *std::max_element(row.begin(), row.end());
+    Real sum = 0;
+    for (std::size_t j = 0; j < row.size(); ++j) sum += std::exp(row[j] - mx);
+    const Real lse = mx + std::log(sum);
+    for (std::size_t j = 0; j < row.size(); ++j) dst[j] = row[j] - lse;
+  }
+}
+
+void log_softmax_backward(const Matrix& g, const Matrix& log_probs,
+                          Matrix& out) {
+  check_same_shape(g, log_probs, "log_softmax_backward");
+  check_same_shape(g, out, "log_softmax_backward");
+  for (Index i = 0; i < g.rows(); ++i) {
+    const auto grow = g.row(i);
+    const auto lrow = log_probs.row(i);
+    auto dst = out.row(i);
+    Real gsum = 0;
+    for (Real v : grow) gsum += v;
+    for (std::size_t j = 0; j < grow.size(); ++j) {
+      dst[j] = grow[j] - std::exp(lrow[j]) * gsum;
+    }
+  }
+}
+
+Real nll_loss(const Matrix& log_probs, std::span<const Index> labels) {
+  CAGNET_CHECK(static_cast<Index>(labels.size()) == log_probs.rows(),
+               "nll_loss: one label per row required");
+  Real total = 0;
+  Index count = 0;
+  for (Index i = 0; i < log_probs.rows(); ++i) {
+    if (labels[i] < 0) continue;
+    CAGNET_CHECK(labels[i] < log_probs.cols(), "label out of range");
+    total -= log_probs(i, labels[i]);
+    ++count;
+  }
+  return count > 0 ? total / static_cast<Real>(count) : Real{0};
+}
+
+void nll_loss_backward(const Matrix& log_probs, std::span<const Index> labels,
+                       Matrix& grad) {
+  CAGNET_CHECK(static_cast<Index>(labels.size()) == log_probs.rows(),
+               "nll_loss_backward: one label per row required");
+  check_same_shape(log_probs, grad, "nll_loss_backward");
+  grad.set_zero();
+  Index count = 0;
+  for (Index i = 0; i < log_probs.rows(); ++i) {
+    if (labels[i] >= 0) ++count;
+  }
+  if (count == 0) return;
+  const Real scale = Real{-1} / static_cast<Real>(count);
+  for (Index i = 0; i < log_probs.rows(); ++i) {
+    if (labels[i] >= 0) grad(i, labels[i]) = scale;
+  }
+}
+
+void axpy(Real alpha, const Matrix& x, Matrix& y) {
+  check_same_shape(x, y, "axpy");
+  const auto xs = x.flat();
+  auto ys = y.flat();
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] += alpha * xs[i];
+}
+
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_same_shape(a, b, "hadamard");
+  check_same_shape(a, out, "hadamard");
+  const auto as = a.flat();
+  const auto bs = b.flat();
+  auto dst = out.flat();
+  for (std::size_t i = 0; i < as.size(); ++i) dst[i] = as[i] * bs[i];
+}
+
+std::vector<Index> argmax_rows(const Matrix& m) {
+  std::vector<Index> out(static_cast<std::size_t>(m.rows()));
+  for (Index i = 0; i < m.rows(); ++i) {
+    const auto row = m.row(i);
+    out[i] = static_cast<Index>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+Real accuracy(const Matrix& log_probs, std::span<const Index> labels) {
+  CAGNET_CHECK(static_cast<Index>(labels.size()) == log_probs.rows(),
+               "accuracy: one label per row required");
+  const auto preds = argmax_rows(log_probs);
+  Index hit = 0;
+  Index total = 0;
+  for (Index i = 0; i < log_probs.rows(); ++i) {
+    if (labels[i] < 0) continue;
+    ++total;
+    if (preds[i] == labels[i]) ++hit;
+  }
+  return total > 0 ? static_cast<Real>(hit) / static_cast<Real>(total)
+                   : Real{0};
+}
+
+}  // namespace cagnet

@@ -1,0 +1,49 @@
+// Elementwise / rowwise dense kernels used by GNN forward and backward:
+// activations, their derivatives, log-softmax, and negative log-likelihood.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/dense/matrix.hpp"
+
+namespace cagnet {
+
+/// out = max(z, 0), elementwise. out may alias z.
+void relu(const Matrix& z, Matrix& out);
+
+/// out = g ⊙ relu'(z): passes g where z > 0, zero elsewhere.
+void relu_backward(const Matrix& g, const Matrix& z, Matrix& out);
+
+/// Rowwise log-softmax: out[i,:] = z[i,:] - log(sum_j exp(z[i,j])).
+/// Numerically stabilized with a rowwise max shift. This is the paper's
+/// non-elementwise σ for the output layer (its row dependence is what forces
+/// the all-gather in the 2D/3D algorithms).
+void log_softmax_rows(const Matrix& z, Matrix& out);
+
+/// Gradient of log-softmax given upstream dL/dout:
+/// out[i,j] = g[i,j] - exp(ls[i,j]) * sum_k g[i,k], where ls = log_softmax(z).
+void log_softmax_backward(const Matrix& g, const Matrix& log_probs,
+                          Matrix& out);
+
+/// Mean NLL loss over labeled rows: -mean_i log_probs[i, label[i]].
+/// Rows with label < 0 are ignored (mask), matching a train-split mask.
+Real nll_loss(const Matrix& log_probs, std::span<const Index> labels);
+
+/// dL/d(log_probs) for mean-NLL: -1/m at (i, label[i]) for labeled rows.
+void nll_loss_backward(const Matrix& log_probs, std::span<const Index> labels,
+                       Matrix& grad);
+
+/// y += alpha * x, elementwise over whole matrices (same shape).
+void axpy(Real alpha, const Matrix& x, Matrix& y);
+
+/// out = a ⊙ b (Hadamard product). out may alias a or b.
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// argmax per row; used for accuracy.
+std::vector<Index> argmax_rows(const Matrix& m);
+
+/// Fraction of labeled rows where argmax(pred row) == label.
+Real accuracy(const Matrix& log_probs, std::span<const Index> labels);
+
+}  // namespace cagnet

@@ -1,0 +1,60 @@
+#include "src/gnn/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+namespace {
+constexpr char kMagic[4] = {'C', 'A', 'G', 'W'};
+}  // namespace
+
+void save_weights(const std::string& path,
+                  const std::vector<Matrix>& weights) {
+  std::ofstream out(path, std::ios::binary);
+  CAGNET_CHECK(out.good(), "cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const auto count = static_cast<std::uint64_t>(weights.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Matrix& w : weights) {
+    const std::int64_t rows = w.rows();
+    const std::int64_t cols = w.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(w.data()),
+              static_cast<std::streamsize>(sizeof(Real) * w.flat().size()));
+  }
+  CAGNET_CHECK(out.good(), "checkpoint write failure: " + path);
+}
+
+std::vector<Matrix> load_weights(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CAGNET_CHECK(in.good(), "cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  CAGNET_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               "not a cagnet checkpoint: " + path);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  CAGNET_CHECK(in.good() && count < (1u << 20), "corrupt checkpoint header");
+  std::vector<Matrix> weights;
+  weights.reserve(count);
+  for (std::uint64_t l = 0; l < count; ++l) {
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    CAGNET_CHECK(in.good() && rows >= 0 && cols >= 0,
+                 "corrupt checkpoint layer header");
+    Matrix w(rows, cols);
+    in.read(reinterpret_cast<char*>(w.data()),
+            static_cast<std::streamsize>(sizeof(Real) * w.flat().size()));
+    CAGNET_CHECK(in.good(), "truncated checkpoint payload");
+    weights.push_back(std::move(w));
+  }
+  return weights;
+}
+
+}  // namespace cagnet

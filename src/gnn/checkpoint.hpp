@@ -1,0 +1,20 @@
+// Model checkpointing: save/restore the replicated weight matrices.
+//
+// Binary format: magic "CAGW", layer count, then per-layer (rows, cols,
+// row-major doubles). Weights are replicated in every distribution scheme,
+// so one rank saving is a complete checkpoint for any trainer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/dense/matrix.hpp"
+
+namespace cagnet {
+
+void save_weights(const std::string& path,
+                  const std::vector<Matrix>& weights);
+
+std::vector<Matrix> load_weights(const std::string& path);
+
+}  // namespace cagnet

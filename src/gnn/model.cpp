@@ -1,0 +1,28 @@
+#include "src/gnn/model.hpp"
+
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+GnnConfig GnnConfig::three_layer(Index f_in, Index classes, Index hidden) {
+  GnnConfig config;
+  config.dims = {f_in, hidden, hidden, classes};
+  return config;
+}
+
+std::vector<Matrix> make_weights(const GnnConfig& config) {
+  CAGNET_CHECK(config.dims.size() >= 2,
+               "a GNN needs at least input and output dims");
+  Rng root(config.seed);
+  std::vector<Matrix> weights;
+  weights.reserve(config.dims.size() - 1);
+  for (std::size_t l = 0; l + 1 < config.dims.size(); ++l) {
+    Matrix w(config.dims[l], config.dims[l + 1]);
+    Rng layer_rng = root.split(static_cast<std::uint64_t>(l));
+    w.fill_glorot(layer_rng);
+    weights.push_back(std::move(w));
+  }
+  return weights;
+}
+
+}  // namespace cagnet

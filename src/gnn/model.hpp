@@ -1,0 +1,46 @@
+// GCN model configuration and parameter initialization.
+//
+// Layer convention (1-based, matching the paper's equations):
+//   Z^l = A^T H^(l-1) W^l,   H^l = sigma_l(Z^l),   l = 1..L
+// where sigma is ReLU on hidden layers and row-wise log_softmax on the
+// output layer (the one non-elementwise activation whose row dependence
+// drives the all-gather terms in the 2D/3D analyses).
+#pragma once
+
+#include <vector>
+
+#include "src/dense/matrix.hpp"
+#include "src/gnn/optimizer.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/types.hpp"
+
+namespace cagnet {
+
+struct GnnConfig {
+  /// dims = {f_0, f_1, ..., f_L}: f_0 input features, f_L classes.
+  /// Weight W^l has shape (f_{l-1} x f_l); there are dims.size()-1 layers.
+  std::vector<Index> dims;
+  Real learning_rate = 0.01;
+  OptimizerOptions optimizer{};  ///< update rule; state stays replicated
+  std::uint64_t seed = 7;
+
+  Index num_layers() const { return static_cast<Index>(dims.size()) - 1; }
+
+  /// The paper's architecture (Section V-A): 3-layer Kipf-Welling GCN with
+  /// 16-wide hidden layers.
+  static GnnConfig three_layer(Index f_in, Index classes, Index hidden = 16);
+};
+
+/// Glorot-initialized weights, deterministic in config.seed. Every process
+/// of a distributed trainer calls this with the same config and obtains
+/// bitwise-identical replicated weights — no broadcast needed, matching the
+/// paper's "W fully replicated" distribution.
+std::vector<Matrix> make_weights(const GnnConfig& config);
+
+/// Loss and training accuracy of one epoch.
+struct EpochResult {
+  Real loss = 0;
+  Real accuracy = 0;
+};
+
+}  // namespace cagnet

@@ -1,0 +1,79 @@
+#include "src/gnn/optimizer.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+Optimizer::Optimizer(OptimizerOptions options, Real learning_rate,
+                     const std::vector<Matrix>& weights)
+    : options_(options), learning_rate_(learning_rate) {
+  if (options_.kind != OptimizerKind::kSgd) {
+    m_.reserve(weights.size());
+    for (const Matrix& w : weights) m_.emplace_back(w.rows(), w.cols());
+  }
+  if (options_.kind == OptimizerKind::kAdam) {
+    v_.reserve(weights.size());
+    for (const Matrix& w : weights) v_.emplace_back(w.rows(), w.cols());
+  }
+}
+
+void Optimizer::step(std::vector<Matrix>& weights,
+                     const std::vector<Matrix>& gradients) {
+  CAGNET_CHECK(weights.size() == gradients.size(),
+               "optimizer: weight/gradient count mismatch");
+  ++t_;
+  switch (options_.kind) {
+    case OptimizerKind::kSgd: {
+      for (std::size_t l = 0; l < weights.size(); ++l) {
+        auto w = weights[l].flat();
+        const auto g = gradients[l].flat();
+        CAGNET_CHECK(w.size() == g.size(), "optimizer: shape mismatch");
+        for (std::size_t i = 0; i < w.size(); ++i) {
+          w[i] -= learning_rate_ * g[i];
+        }
+      }
+      return;
+    }
+    case OptimizerKind::kMomentum: {
+      for (std::size_t l = 0; l < weights.size(); ++l) {
+        auto w = weights[l].flat();
+        const auto g = gradients[l].flat();
+        auto m = m_[l].flat();
+        CAGNET_CHECK(w.size() == g.size(), "optimizer: shape mismatch");
+        for (std::size_t i = 0; i < w.size(); ++i) {
+          m[i] = options_.momentum * m[i] + g[i];
+          w[i] -= learning_rate_ * m[i];
+        }
+      }
+      return;
+    }
+    case OptimizerKind::kAdam: {
+      const Real b1 = options_.adam_beta1;
+      const Real b2 = options_.adam_beta2;
+      const Real correction1 =
+          Real{1} - std::pow(b1, static_cast<Real>(t_));
+      const Real correction2 =
+          Real{1} - std::pow(b2, static_cast<Real>(t_));
+      for (std::size_t l = 0; l < weights.size(); ++l) {
+        auto w = weights[l].flat();
+        const auto g = gradients[l].flat();
+        auto m = m_[l].flat();
+        auto v = v_[l].flat();
+        CAGNET_CHECK(w.size() == g.size(), "optimizer: shape mismatch");
+        for (std::size_t i = 0; i < w.size(); ++i) {
+          m[i] = b1 * m[i] + (Real{1} - b1) * g[i];
+          v[i] = b2 * v[i] + (Real{1} - b2) * g[i] * g[i];
+          const Real m_hat = m[i] / correction1;
+          const Real v_hat = v[i] / correction2;
+          w[i] -= learning_rate_ * m_hat /
+                  (std::sqrt(v_hat) + options_.adam_epsilon);
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace cagnet

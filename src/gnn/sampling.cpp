@@ -1,0 +1,249 @@
+#include "src/gnn/sampling.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/dense/gemm.hpp"
+#include "src/dense/ops.hpp"
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+SampledSubgraph sample_subgraph(const Graph& graph, const Csr& at,
+                                std::span<const Index> seeds,
+                                std::span<const Index> fanouts, Rng& rng) {
+  CAGNET_CHECK(at.rows() == graph.num_vertices(),
+               "sample_subgraph: A^T shape mismatch");
+  SampledSubgraph sub;
+  sub.num_seeds = static_cast<Index>(seeds.size());
+
+  std::unordered_set<Index> seen;
+  std::vector<Index> order;  // insertion order: seeds, hop 1, hop 2, ...
+  order.reserve(seeds.size() * 8);
+  for (Index s : seeds) {
+    CAGNET_CHECK(s >= 0 && s < graph.num_vertices(), "seed out of range");
+    CAGNET_CHECK(seen.insert(s).second, "duplicate seed vertex");
+    order.push_back(s);
+  }
+
+  const auto row_ptr = at.row_ptr();
+  const auto col_idx = at.col_idx();
+  std::vector<Index> frontier(order);
+  std::vector<Index> scratch;
+  for (Index fanout : fanouts) {
+    std::vector<Index> next;
+    for (Index v : frontier) {
+      const Index deg = row_ptr[v + 1] - row_ptr[v];
+      if (deg == 0) continue;
+      if (deg <= fanout) {
+        // Take the whole in-neighborhood.
+        for (Index p = row_ptr[v]; p < row_ptr[v + 1]; ++p) {
+          const Index u = col_idx[p];
+          if (seen.insert(u).second) {
+            order.push_back(u);
+            next.push_back(u);
+          }
+        }
+      } else {
+        // Floyd's sampling of `fanout` distinct positions in [0, deg).
+        scratch.clear();
+        std::unordered_set<Index> picked;
+        for (Index r = deg - fanout; r < deg; ++r) {
+          Index candidate = static_cast<Index>(
+              rng.next_below(static_cast<std::uint64_t>(r + 1)));
+          if (!picked.insert(candidate).second) {
+            picked.insert(r);
+            candidate = r;
+          }
+          scratch.push_back(candidate);
+        }
+        for (Index offset : scratch) {
+          const Index u = col_idx[row_ptr[v] + offset];
+          if (seen.insert(u).second) {
+            order.push_back(u);
+            next.push_back(u);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  // Induced submatrix of the normalized adjacency over `order`.
+  std::unordered_map<Index, Index> local_of;
+  local_of.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    local_of.emplace(order[i], static_cast<Index>(i));
+  }
+  const Csr& a = graph.adjacency;
+  const auto a_row_ptr = a.row_ptr();
+  const auto a_col_idx = a.col_idx();
+  const auto a_vals = a.values();
+  Coo coo(static_cast<Index>(order.size()), static_cast<Index>(order.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Index v = order[i];
+    for (Index p = a_row_ptr[v]; p < a_row_ptr[v + 1]; ++p) {
+      const auto it = local_of.find(a_col_idx[p]);
+      if (it != local_of.end()) {
+        coo.add(static_cast<Index>(i), it->second, a_vals[p]);
+      }
+    }
+  }
+  sub.adjacency = Csr::from_coo(coo);
+
+  sub.vertices = std::move(order);
+  sub.features = Matrix(static_cast<Index>(sub.vertices.size()),
+                        graph.feature_dim());
+  sub.labels.assign(sub.vertices.size(), Index{-1});
+  for (std::size_t i = 0; i < sub.vertices.size(); ++i) {
+    const auto row = graph.features.row(sub.vertices[i]);
+    std::copy(row.begin(), row.end(), sub.features.row(static_cast<Index>(i)).begin());
+    if (static_cast<Index>(i) < sub.num_seeds) {
+      sub.labels[i] =
+          graph.labels[static_cast<std::size_t>(sub.vertices[i])];
+    }
+  }
+  return sub;
+}
+
+MiniBatchTrainer::MiniBatchTrainer(const Graph& graph, GnnConfig config,
+                                   MiniBatchOptions options)
+    : graph_(graph), config_(std::move(config)), options_(std::move(options)),
+      at_(graph.adjacency.transposed()), weights_(make_weights(config_)),
+      optimizer_(config_.optimizer, config_.learning_rate, weights_),
+      rng_(options_.seed) {
+  CAGNET_CHECK(config_.dims.front() == graph.feature_dim(),
+               "input dim must match graph features");
+  CAGNET_CHECK(options_.batch_size > 0, "batch size must be positive");
+  for (Index v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.labels[static_cast<std::size_t>(v)] >= 0) {
+      labeled_vertices_.push_back(v);
+    }
+  }
+  CAGNET_CHECK(!labeled_vertices_.empty(),
+               "mini-batch training needs labeled vertices");
+}
+
+Index MiniBatchTrainer::batches_per_epoch() const {
+  return (static_cast<Index>(labeled_vertices_.size()) +
+          options_.batch_size - 1) /
+         options_.batch_size;
+}
+
+std::pair<Real, Index> MiniBatchTrainer::train_batch(
+    const SampledSubgraph& sub) {
+  const Index layers = config_.num_layers();
+  const Index n = sub.adjacency.rows();
+  const Csr sub_at = sub.adjacency.transposed();
+
+  // Forward (identical mathematics to SerialTrainer, on the subgraph).
+  std::vector<Matrix> h(static_cast<std::size_t>(layers) + 1);
+  std::vector<Matrix> z(static_cast<std::size_t>(layers) + 1);
+  h[0] = sub.features;
+  for (Index l = 1; l <= layers; ++l) {
+    const Matrix t = sub_at.multiply(h[static_cast<std::size_t>(l - 1)]);
+    z[static_cast<std::size_t>(l)] =
+        Matrix(n, config_.dims[static_cast<std::size_t>(l)]);
+    gemm(Trans::kNo, Trans::kNo, Real{1}, t,
+         weights_[static_cast<std::size_t>(l - 1)], Real{0},
+         z[static_cast<std::size_t>(l)]);
+    auto& hl = h[static_cast<std::size_t>(l)];
+    hl = Matrix(n, config_.dims[static_cast<std::size_t>(l)]);
+    if (l == layers) {
+      log_softmax_rows(z[static_cast<std::size_t>(l)], hl);
+    } else {
+      relu(z[static_cast<std::size_t>(l)], hl);
+    }
+  }
+  const Matrix& log_probs = h[static_cast<std::size_t>(layers)];
+  const Real loss = nll_loss(log_probs, sub.labels);
+  Index hits = 0;
+  for (Index i = 0; i < sub.num_seeds; ++i) {
+    const auto row = log_probs.row(i);
+    const Index pred = static_cast<Index>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+    if (pred == sub.labels[static_cast<std::size_t>(i)]) ++hits;
+  }
+
+  // Backward.
+  std::vector<Matrix> gradients(weights_.size());
+  Matrix g(n, config_.dims.back());
+  {
+    Matrix dh(n, config_.dims.back());
+    nll_loss_backward(log_probs, sub.labels, dh);
+    log_softmax_backward(dh, log_probs, g);
+  }
+  for (Index l = layers; l >= 1; --l) {
+    const Matrix u = sub.adjacency.multiply(g);
+    auto& y = gradients[static_cast<std::size_t>(l - 1)];
+    y = Matrix(config_.dims[static_cast<std::size_t>(l - 1)],
+               config_.dims[static_cast<std::size_t>(l)]);
+    gemm(Trans::kYes, Trans::kNo, Real{1}, h[static_cast<std::size_t>(l - 1)],
+         u, Real{0}, y);
+    if (l > 1) {
+      Matrix dh(n, config_.dims[static_cast<std::size_t>(l - 1)]);
+      gemm(Trans::kNo, Trans::kYes, Real{1}, u,
+           weights_[static_cast<std::size_t>(l - 1)], Real{0}, dh);
+      Matrix next_g(n, config_.dims[static_cast<std::size_t>(l - 1)]);
+      relu_backward(dh, z[static_cast<std::size_t>(l - 1)], next_g);
+      g = std::move(next_g);
+    }
+  }
+  optimizer_.step(weights_, gradients);
+  return {loss, hits};
+}
+
+EpochResult MiniBatchTrainer::train_epoch() {
+  // Shuffle labeled vertices, then walk them in batches.
+  std::vector<Index> perm = labeled_vertices_;
+  for (std::size_t i = perm.size() - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng_.next_below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(perm[i], perm[j]);
+  }
+
+  Real loss_sum = 0;
+  Index batches = 0;
+  Index hits = 0;
+  for (std::size_t start = 0; start < perm.size();
+       start += static_cast<std::size_t>(options_.batch_size)) {
+    const std::size_t end =
+        std::min(perm.size(),
+                 start + static_cast<std::size_t>(options_.batch_size));
+    const std::span<const Index> seeds(perm.data() + start, end - start);
+    const SampledSubgraph sub =
+        sample_subgraph(graph_, at_, seeds, options_.fanouts, rng_);
+    const auto [loss, batch_hits] = train_batch(sub);
+    loss_sum += loss;
+    hits += batch_hits;
+    ++batches;
+  }
+  EpochResult result;
+  result.loss = loss_sum / static_cast<Real>(batches);
+  result.accuracy =
+      static_cast<Real>(hits) / static_cast<Real>(labeled_vertices_.size());
+  return result;
+}
+
+Matrix MiniBatchTrainer::predict() {
+  const Index layers = config_.num_layers();
+  Matrix h = graph_.features;
+  for (Index l = 1; l <= layers; ++l) {
+    const Matrix t = at_.multiply(h);
+    Matrix z(graph_.num_vertices(),
+             config_.dims[static_cast<std::size_t>(l)]);
+    gemm(Trans::kNo, Trans::kNo, Real{1}, t,
+         weights_[static_cast<std::size_t>(l - 1)], Real{0}, z);
+    h = Matrix(z.rows(), z.cols());
+    if (l == layers) {
+      log_softmax_rows(z, h);
+    } else {
+      relu(z, h);
+    }
+  }
+  return h;
+}
+
+}  // namespace cagnet

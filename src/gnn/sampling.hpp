@@ -1,0 +1,79 @@
+// Neighborhood sampling and mini-batch GCN training.
+//
+// The paper trains full-batch and concludes: "we envision future work where
+// our distributed training algorithms are carefully combined with
+// sophisticated sampling based methods to achieve the best of both worlds"
+// (Section VII). This module implements that direction's building blocks:
+// a GraphSAGE-style k-hop uniform neighbor sampler that bounds the
+// neighborhood explosion (Section I), and a mini-batch trainer that runs
+// the same GCN mathematics on the sampled subgraphs. The subgraph operator
+// is the induced restriction of the normalized adjacency, so the full-batch
+// trainers remain the exact reference as fanouts grow.
+#pragma once
+
+#include <vector>
+
+#include "src/gnn/model.hpp"
+#include "src/gnn/optimizer.hpp"
+#include "src/graph/graph.hpp"
+
+namespace cagnet {
+
+/// A sampled k-hop training subgraph.
+struct SampledSubgraph {
+  Csr adjacency;               ///< induced block of the normalized A
+  Matrix features;             ///< H0 rows of the sampled vertices
+  std::vector<Index> labels;   ///< seed rows keep labels; others are -1
+  std::vector<Index> vertices; ///< global ids; the first num_seeds are seeds
+  Index num_seeds = 0;
+};
+
+/// Uniform k-hop neighbor sampling: starting from `seeds`, each hop h
+/// samples up to fanouts[h] distinct in-neighbors (rows of A^T) of every
+/// frontier vertex without replacement. Returns the induced subgraph over
+/// the union, seeds first, hop order preserved.
+SampledSubgraph sample_subgraph(const Graph& graph, const Csr& at,
+                                std::span<const Index> seeds,
+                                std::span<const Index> fanouts, Rng& rng);
+
+struct MiniBatchOptions {
+  Index batch_size = 64;
+  /// Per-hop fanouts, outermost hop first; length should equal the number
+  /// of GNN layers (the paper's neighborhood-explosion depth).
+  std::vector<Index> fanouts = {10, 10, 10};
+  std::uint64_t seed = 99;
+};
+
+/// Mini-batch GCN trainer over sampled subgraphs; weights and optimizer
+/// state are shared across batches exactly as in full-batch training.
+class MiniBatchTrainer {
+ public:
+  MiniBatchTrainer(const Graph& graph, GnnConfig config,
+                   MiniBatchOptions options);
+
+  /// One pass over all labeled vertices in shuffled mini-batches. Returns
+  /// the mean per-batch loss and the training accuracy over seed vertices.
+  EpochResult train_epoch();
+
+  /// Full-graph forward pass with the current weights (inference).
+  Matrix predict();
+
+  const std::vector<Matrix>& weights() const { return weights_; }
+  Index batches_per_epoch() const;
+
+ private:
+  /// Forward + backward + step on one sampled subgraph; returns loss and
+  /// the number of correct seed predictions.
+  std::pair<Real, Index> train_batch(const SampledSubgraph& sub);
+
+  const Graph& graph_;
+  GnnConfig config_;
+  MiniBatchOptions options_;
+  Csr at_;  ///< transpose of the full normalized adjacency (sampling pool)
+  std::vector<Matrix> weights_;
+  Optimizer optimizer_;
+  std::vector<Index> labeled_vertices_;
+  Rng rng_;
+};
+
+}  // namespace cagnet

@@ -1,0 +1,104 @@
+#include "src/gnn/serial_trainer.hpp"
+
+#include "src/dense/gemm.hpp"
+#include "src/dense/ops.hpp"
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+SerialTrainer::SerialTrainer(const Graph& graph, GnnConfig config)
+    : graph_(graph), config_(std::move(config)) {
+  CAGNET_CHECK(config_.dims.front() == graph.feature_dim(),
+               "input dim must match graph features");
+  CAGNET_CHECK(config_.dims.back() == graph.num_classes,
+               "output dim must match class count");
+  at_ = graph.adjacency.transposed();
+  weights_ = make_weights(config_);
+  optimizer_.emplace(config_.optimizer, config_.learning_rate, weights_);
+  gradients_.resize(weights_.size());
+
+  const auto layers = static_cast<std::size_t>(config_.num_layers());
+  h_.resize(layers + 1);
+  z_.resize(layers + 1);
+  h_[0] = graph.features;
+}
+
+const Matrix& SerialTrainer::forward() {
+  const Index layers = config_.num_layers();
+  const Index n = graph_.num_vertices();
+  for (Index l = 1; l <= layers; ++l) {
+    // T = A^T H^(l-1), then Z^l = T W^l.
+    const Matrix t = at_.multiply(h_[static_cast<std::size_t>(l - 1)]);
+    auto& z = z_[static_cast<std::size_t>(l)];
+    z = Matrix(n, config_.dims[static_cast<std::size_t>(l)]);
+    gemm(Trans::kNo, Trans::kNo, Real{1}, t,
+         weights_[static_cast<std::size_t>(l - 1)], Real{0}, z);
+
+    auto& h = h_[static_cast<std::size_t>(l)];
+    h = Matrix(z.rows(), z.cols());
+    if (l == layers) {
+      log_softmax_rows(z, h);
+    } else {
+      relu(z, h);
+    }
+  }
+  return h_[static_cast<std::size_t>(layers)];
+}
+
+void SerialTrainer::backward() {
+  const Index layers = config_.num_layers();
+  const Index n = graph_.num_vertices();
+  CAGNET_CHECK(!h_[static_cast<std::size_t>(layers)].empty(),
+               "backward requires a forward pass");
+
+  // G^L = dL/dZ^L through the log-softmax output activation.
+  Matrix g(n, config_.dims.back());
+  {
+    const Matrix& log_probs = h_[static_cast<std::size_t>(layers)];
+    Matrix dh(n, config_.dims.back());
+    nll_loss_backward(log_probs, graph_.labels, dh);
+    log_softmax_backward(dh, log_probs, g);
+  }
+
+  for (Index l = layers; l >= 1; --l) {
+    // U = A G^l: reused for both the weight gradient and the next G
+    // (the paper's "reuse the intermediate product AG^l").
+    const Matrix u = graph_.adjacency.multiply(g);
+
+    // Y^l = (H^(l-1))^T (A G^l).
+    auto& y = gradients_[static_cast<std::size_t>(l - 1)];
+    y = Matrix(config_.dims[static_cast<std::size_t>(l - 1)],
+               config_.dims[static_cast<std::size_t>(l)]);
+    gemm(Trans::kYes, Trans::kNo, Real{1},
+         h_[static_cast<std::size_t>(l - 1)], u, Real{0}, y);
+
+    if (l > 1) {
+      // G^(l-1) = (A G^l (W^l)^T) ⊙ relu'(Z^(l-1)).
+      Matrix dh(n, config_.dims[static_cast<std::size_t>(l - 1)]);
+      gemm(Trans::kNo, Trans::kYes, Real{1}, u,
+           weights_[static_cast<std::size_t>(l - 1)], Real{0}, dh);
+      Matrix next_g(n, config_.dims[static_cast<std::size_t>(l - 1)]);
+      relu_backward(dh, z_[static_cast<std::size_t>(l - 1)], next_g);
+      g = std::move(next_g);
+    }
+  }
+}
+
+void SerialTrainer::step() {
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    CAGNET_CHECK(!gradients_[l].empty(), "step requires a backward pass");
+  }
+  optimizer_->step(weights_, gradients_);
+}
+
+EpochResult SerialTrainer::train_epoch() {
+  const Matrix& log_probs = forward();
+  EpochResult result;
+  result.loss = nll_loss(log_probs, graph_.labels);
+  result.accuracy = accuracy(log_probs, graph_.labels);
+  backward();
+  step();
+  return result;
+}
+
+}  // namespace cagnet

@@ -1,0 +1,80 @@
+#include "src/graph/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sparse/generate.hpp"
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  // Table VI of the paper.
+  static const std::vector<DatasetSpec> specs = {
+      {"reddit", 232965, 114848857, 602, 41},
+      {"amazon", 9430088, 231594310, 300, 24},
+      {"protein", 8745542, 1058120062, 128, 256},
+  };
+  return specs;
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  for (const DatasetSpec& s : paper_datasets()) {
+    if (s.name == name) return s;
+  }
+  throw Error("unknown dataset: " + name +
+              " (expected reddit, amazon, or protein)");
+}
+
+Graph make_synthetic(const DatasetSpec& spec, const SyntheticOptions& options) {
+  CAGNET_CHECK(options.scale > 0 && options.scale <= 1.0,
+               "scale must be in (0, 1]");
+  const Index n = std::max<Index>(
+      64, static_cast<Index>(std::llround(
+              static_cast<double>(spec.vertices) * options.scale)));
+  // Preserve the average degree. Table VI counts both directions of each
+  // undirected edge, and gcn_normalize symmetrizes, so generate half the
+  // target as directed edges. Cap at a near-dense budget so heavily
+  // downscaled dense-ish graphs (reddit at tiny scale) remain generable.
+  const auto degree = spec.avg_degree();
+  const Index edges =
+      std::min(static_cast<Index>(0.5 * degree * static_cast<double>(n)),
+               n * (n - 1) / 2);
+
+  Rng rng(options.seed);
+  Rng topo_rng = rng.split(1);
+  Rng feat_rng = rng.split(2);
+  Rng label_rng = rng.split(3);
+  Rng perm_rng = rng.split(4);
+
+  Coo coo = rmat(n, edges, topo_rng);
+  if (options.permute) {
+    coo.permute(random_permutation(n, perm_rng));
+  }
+
+  Graph g;
+  g.name = spec.name;
+  // Undirected semantics: symmetrize, then the GCN normalization adds self
+  // loops and applies D^-1/2 (A0 + I) D^-1/2.
+  g.adjacency = gcn_normalize(std::move(coo), /*symmetrize=*/true);
+
+  const Index f = options.max_features > 0
+                      ? std::min(options.max_features, spec.features)
+                      : spec.features;
+  g.features = Matrix(n, f);
+  g.features.fill_uniform(feat_rng, Real{-1}, Real{1});
+
+  g.num_classes = spec.labels;
+  g.labels.resize(static_cast<std::size_t>(n));
+  for (auto& label : g.labels) {
+    label = static_cast<Index>(
+        label_rng.next_below(static_cast<std::uint64_t>(spec.labels)));
+  }
+  return g;
+}
+
+Graph make_dataset(const std::string& name, const SyntheticOptions& options) {
+  return make_synthetic(dataset_spec(name), options);
+}
+
+}  // namespace cagnet

@@ -1,0 +1,41 @@
+#include "src/graph/graph.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+Csr gcn_normalize(Coo adjacency, bool symmetrize) {
+  CAGNET_CHECK(adjacency.rows() == adjacency.cols(),
+               "gcn_normalize expects a square adjacency");
+  if (symmetrize) adjacency.symmetrize();
+  adjacency.add_self_loops();
+  Csr a = Csr::from_coo(adjacency);
+
+  // D is the diagonal of modified degrees: row sums of A0 + I.
+  const std::vector<Real> degrees = a.row_sums();
+  std::vector<Real> inv_sqrt(degrees.size());
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    CAGNET_CHECK(degrees[i] > 0,
+                 "degree must be positive after self loops");
+    inv_sqrt[i] = Real{1} / std::sqrt(degrees[i]);
+  }
+  a.scale_rows_cols(inv_sqrt, inv_sqrt);
+  return a;
+}
+
+std::vector<Index> random_permutation(Index n, Rng& rng) {
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), Index{0});
+  for (Index i = n - 1; i > 0; --i) {
+    const auto j =
+        static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+}  // namespace cagnet

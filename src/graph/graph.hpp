@@ -1,0 +1,37 @@
+// Graph container and GCN preprocessing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/dense/matrix.hpp"
+#include "src/sparse/csr.hpp"
+#include "src/util/rng.hpp"
+
+namespace cagnet {
+
+/// A node-classification problem instance: the normalized adjacency, input
+/// features H0, and per-vertex labels (label < 0 = not in the training set).
+struct Graph {
+  Csr adjacency;              ///< A = D^-1/2 (A0 + I) D^-1/2, n x n
+  Matrix features;            ///< H0, n x f
+  std::vector<Index> labels;  ///< size n
+  Index num_classes = 0;
+  std::string name;
+
+  Index num_vertices() const { return adjacency.rows(); }
+  Index num_edges() const { return adjacency.nnz(); }
+  Index feature_dim() const { return features.cols(); }
+};
+
+/// Kipf-Welling GCN normalization: symmetrize (optional), add self loops,
+/// then scale to D^-1/2 (A0 + I) D^-1/2, where D is the diagonal of modified
+/// vertex degrees (row sums after adding I).
+Csr gcn_normalize(Coo adjacency, bool symmetrize);
+
+/// Uniformly random permutation of [0, n): the paper's load-balancing
+/// "random vertex permutation" applied before blocking (Section I: 2D/3D
+/// algorithms address load balance through random vertex permutations).
+std::vector<Index> random_permutation(Index n, Rng& rng);
+
+}  // namespace cagnet

@@ -1,0 +1,30 @@
+// Matrix Market I/O: load real graphs into the pipeline and export
+// generated ones. Supports the `matrix coordinate` format with
+// real/integer/pattern fields and general/symmetric symmetry — the format
+// the paper's datasets (e.g. the HipMCL protein network) are distributed
+// in.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/sparse/coo.hpp"
+#include "src/sparse/csr.hpp"
+
+namespace cagnet {
+
+/// Parse a Matrix Market stream. Pattern entries get value 1; symmetric /
+/// skew-symmetric inputs are expanded to both triangles. Throws Error on
+/// malformed input.
+Coo read_matrix_market(std::istream& in);
+
+/// Read from a file path.
+Coo read_matrix_market_file(const std::string& path);
+
+/// Write in `matrix coordinate real general` format (1-based indices).
+void write_matrix_market(std::ostream& out, const Csr& matrix);
+
+/// Write to a file path.
+void write_matrix_market_file(const std::string& path, const Csr& matrix);
+
+}  // namespace cagnet

@@ -1,0 +1,56 @@
+// Vertex partitioning and the edge-cut communication metric of Section IV-A.
+//
+// The 1D algorithm's bandwidth term is edgecut_P(A) * f, where edgecut_P(A)
+// is the maximum over processes of the number of remote dense-matrix rows a
+// process must receive. The paper compares a random block distribution with
+// METIS partitions (Section IV-A.8); our locality-seeking stand-in is a
+// greedy BFS grower (see DESIGN.md, Substitutions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sparse/csr.hpp"
+#include "src/util/rng.hpp"
+
+namespace cagnet {
+
+/// Assignment of every vertex to one of `parts` processes.
+struct Partition {
+  std::vector<Index> owner;  ///< size n, values in [0, parts)
+  int parts = 0;
+
+  Index size() const { return static_cast<Index>(owner.size()); }
+};
+
+/// Contiguous block partition: vertex v belongs to part v*P/n-ish (the
+/// paper's default 1D layout after an optional random permutation).
+Partition block_partition(Index n, int parts);
+
+/// Random balanced partition: a random permutation chopped into equal
+/// blocks. This is the "random block row distribution" baseline.
+Partition random_partition(Index n, int parts, Rng& rng);
+
+/// Greedy BFS partitioner (METIS stand-in): grows parts from high-degree
+/// seeds along edges until each reaches its capacity ceil(n/parts * slack).
+Partition greedy_bfs_partition(const Csr& a, int parts, double slack = 1.03);
+
+/// Communication metrics for the 1D algorithm under a given partition.
+struct EdgeCutStats {
+  /// Edges (u, v) with owner[u] != owner[v] (the paper's "total
+  /// communication" proxy, 3,258,385 vs 11,761,151 in IV-A.8).
+  Index total_cut_edges = 0;
+  /// Max over parts q of cut edges whose source vertex lives on q (the
+  /// paper's "edges cut for the process with maximum communication").
+  Index max_cut_edges_per_part = 0;
+  /// Max over parts q of *distinct* remote vertices adjacent to q: this is
+  /// edgecut_P(A) as defined in Section IV-A, the number of dense rows the
+  /// busiest process receives.
+  Index max_remote_rows_per_part = 0;
+};
+
+EdgeCutStats edge_cut(const Csr& a, const Partition& partition);
+
+std::string to_string(const EdgeCutStats& s);
+
+}  // namespace cagnet

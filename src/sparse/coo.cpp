@@ -1,0 +1,52 @@
+#include "src/sparse/coo.hpp"
+
+#include <algorithm>
+
+namespace cagnet {
+
+void Coo::sort_and_combine() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triple& a, const Triple& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+        entries_[out - 1].col == entries_[i].col) {
+      entries_[out - 1].val += entries_[i].val;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+void Coo::symmetrize() {
+  CAGNET_CHECK(rows_ == cols_, "symmetrize requires a square matrix");
+  const std::size_t original = entries_.size();
+  entries_.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i) {
+    const Triple t = entries_[i];
+    if (t.row != t.col) entries_.push_back({t.col, t.row, t.val});
+  }
+  sort_and_combine();
+}
+
+void Coo::add_self_loops() {
+  CAGNET_CHECK(rows_ == cols_, "self loops require a square matrix");
+  entries_.reserve(entries_.size() + static_cast<std::size_t>(rows_));
+  for (Index i = 0; i < rows_; ++i) entries_.push_back({i, i, Real{1}});
+  sort_and_combine();
+}
+
+void Coo::permute(const std::vector<Index>& perm) {
+  CAGNET_CHECK(rows_ == cols_, "permute requires a square matrix");
+  CAGNET_CHECK(static_cast<Index>(perm.size()) == rows_,
+               "permutation size mismatch");
+  for (auto& t : entries_) {
+    t.row = perm[static_cast<std::size_t>(t.row)];
+    t.col = perm[static_cast<std::size_t>(t.col)];
+  }
+}
+
+}  // namespace cagnet

@@ -1,0 +1,64 @@
+// Coordinate-format sparse matrix: the construction/interchange format.
+//
+// Graph generators and the GCN normalization build COO; everything
+// performance-sensitive converts to CSR.
+#pragma once
+
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/types.hpp"
+
+namespace cagnet {
+
+/// One nonzero.
+struct Triple {
+  Index row;
+  Index col;
+  Real val;
+};
+
+/// Unordered triplet list with explicit dimensions.
+class Coo {
+ public:
+  Coo() = default;
+  Coo(Index rows, Index cols) : rows_(rows), cols_(cols) {
+    CAGNET_CHECK(rows >= 0 && cols >= 0, "negative COO dimension");
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return static_cast<Index>(entries_.size()); }
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  void add(Index row, Index col, Real val) {
+    CAGNET_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                 "COO entry out of range");
+    entries_.push_back({row, col, val});
+  }
+
+  const std::vector<Triple>& entries() const { return entries_; }
+  std::vector<Triple>& entries() { return entries_; }
+
+  /// Sort by (row, col) and sum duplicates in place.
+  void sort_and_combine();
+
+  /// Make structurally symmetric: for every (i,j,v) also insert (j,i,v),
+  /// then combine. Diagonal entries are not doubled.
+  void symmetrize();
+
+  /// Add the identity: (i,i,1) for all i. Requires square. Combine after.
+  void add_self_loops();
+
+  /// Apply a vertex relabeling: entry (i,j) -> (perm[i], perm[j]).
+  /// perm must be a permutation of [0, rows). Requires square.
+  void permute(const std::vector<Index>& perm);
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Triple> entries_;
+};
+
+}  // namespace cagnet

@@ -1,0 +1,135 @@
+#include "src/sparse/generate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+Coo erdos_renyi(Index n, double avg_degree, Rng& rng) {
+  CAGNET_CHECK(n > 0, "erdos_renyi: n must be positive");
+  CAGNET_CHECK(avg_degree >= 0, "erdos_renyi: negative degree");
+  const auto target =
+      static_cast<std::size_t>(avg_degree * static_cast<double>(n));
+  Coo coo(n, n);
+  coo.reserve(target);
+  for (std::size_t e = 0; e < target; ++e) {
+    const auto u = static_cast<Index>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<Index>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    coo.add(u, v, Real{1});
+  }
+  coo.sort_and_combine();
+  return coo;
+}
+
+Coo rmat(Index n, Index edges, Rng& rng, const RmatParams& params) {
+  CAGNET_CHECK(n > 0 && edges >= 0, "rmat: bad arguments");
+  CAGNET_CHECK(params.a > 0 && params.b >= 0 && params.c >= 0 &&
+                   params.a + params.b + params.c < 1.0 + 1e-12,
+               "rmat: probabilities must form a distribution");
+  int levels = 0;
+  Index pow2 = 1;
+  while (pow2 < n) {
+    pow2 <<= 1;
+    ++levels;
+  }
+
+  Coo coo(n, n);
+  coo.reserve(static_cast<std::size_t>(edges));
+  const double pa = params.a;
+  const double pab = params.a + params.b;
+  const double pabc = params.a + params.b + params.c;
+
+  for (Index e = 0; e < edges; ++e) {
+    Index u = 0;
+    Index v = 0;
+    // Resample the whole edge if the recursive descent lands outside [0, n):
+    // rejection keeps the within-range distribution unchanged.
+    while (true) {
+      u = 0;
+      v = 0;
+      for (int level = 0; level < levels; ++level) {
+        const double r = rng.next_double();
+        const Index bit = pow2 >> (level + 1);
+        if (r < pa) {
+          // upper-left: no bits set
+        } else if (r < pab) {
+          v |= bit;
+        } else if (r < pabc) {
+          u |= bit;
+        } else {
+          u |= bit;
+          v |= bit;
+        }
+      }
+      if (u < n && v < n) break;
+    }
+    coo.add(u, v, Real{1});
+  }
+
+  if (params.scramble_ids && n > 1) {
+    std::vector<Index> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), Index{0});
+    // Fisher-Yates with our deterministic stream.
+    for (Index i = n - 1; i > 0; --i) {
+      const auto j = static_cast<Index>(
+          rng.next_below(static_cast<std::uint64_t>(i + 1)));
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(j)]);
+    }
+    coo.permute(perm);
+  }
+  coo.sort_and_combine();
+  return coo;
+}
+
+Coo planted_partition(Index n, Index communities, double intra_degree,
+                      double inter_degree, Rng& rng, double hub_fraction,
+                      double hub_degree) {
+  CAGNET_CHECK(n > 0 && communities > 0 && communities <= n,
+               "planted_partition: bad arguments");
+  Coo coo(n, n);
+  const Index comm_size = (n + communities - 1) / communities;
+  coo.reserve(static_cast<std::size_t>(
+      (intra_degree + inter_degree) * static_cast<double>(n)));
+
+  for (Index u = 0; u < n; ++u) {
+    const Index community = u / comm_size;
+    const Index lo = community * comm_size;
+    const Index hi = std::min(lo + comm_size, n);
+    const auto intra = static_cast<Index>(intra_degree);
+    for (Index e = 0; e < intra; ++e) {
+      const Index v =
+          lo + static_cast<Index>(rng.next_below(
+                   static_cast<std::uint64_t>(hi - lo)));
+      if (v != u) coo.add(u, v, Real{1});
+    }
+    const auto inter = static_cast<Index>(inter_degree);
+    for (Index e = 0; e < inter; ++e) {
+      const Index v = static_cast<Index>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      if (v != u) coo.add(u, v, Real{1});
+    }
+  }
+
+  // Hubs: a small set of vertices with graph-wide adjacency (the skew that
+  // keeps the busiest process busy regardless of partition quality).
+  const auto hubs = static_cast<Index>(hub_fraction * static_cast<double>(n));
+  for (Index h = 0; h < hubs; ++h) {
+    const Index u = static_cast<Index>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto extra = static_cast<Index>(hub_degree);
+    for (Index e = 0; e < extra; ++e) {
+      const Index v = static_cast<Index>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      if (v != u) coo.add(u, v, Real{1});
+    }
+  }
+  coo.sort_and_combine();
+  return coo;
+}
+
+}  // namespace cagnet

@@ -1,0 +1,44 @@
+// Synthetic graph generators.
+//
+// The paper's datasets (Reddit, Amazon, the HipMCL protein network) are not
+// redistributable here; per DESIGN.md we substitute generated graphs that
+// preserve the quantities the communication analysis depends on: vertex
+// count, edge count / average degree, and (via R-MAT) scale-free degree skew.
+#pragma once
+
+#include "src/sparse/coo.hpp"
+#include "src/util/rng.hpp"
+
+namespace cagnet {
+
+/// Erdős–Rényi G(n, d/n) by ball dropping: samples ~`n*avg_degree` directed
+/// edges uniformly; duplicates merge, so the realized nnz is slightly lower.
+/// Used for the theoretical sparsity analysis of the 1D outer product
+/// (Section IV-A.3 follows Ballard et al. on exactly this model).
+Coo erdos_renyi(Index n, double avg_degree, Rng& rng);
+
+/// R-MAT parameters (Graph500 defaults give the heavy skew of social and
+/// biological networks).
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  bool scramble_ids = true;  ///< random vertex relabeling to break locality
+};
+
+/// R-MAT graph over n vertices (rounded up to a power of two internally;
+/// out-of-range endpoints are resampled) with ~edges sampled nonzeros.
+Coo rmat(Index n, Index edges, Rng& rng, const RmatParams& params = {});
+
+/// Community-structured graph with hubs: `communities` equal-size planted
+/// communities, each vertex drawing ~intra_degree edges inside its
+/// community and ~inter_degree outside, plus `hub_fraction` of vertices
+/// receiving `hub_degree` extra global edges. Models datasets like Reddit
+/// whose strong community structure is what METIS exploits in the paper's
+/// Section IV-A.8 study, while the hubs reproduce the skew that caps the
+/// max-per-process improvement.
+Coo planted_partition(Index n, Index communities, double intra_degree,
+                      double inter_degree, Rng& rng,
+                      double hub_fraction = 0.005, double hub_degree = 200);
+
+}  // namespace cagnet

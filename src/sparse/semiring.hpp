@@ -1,0 +1,84 @@
+// Semiring-generic SpMM: the expressiveness extension of Section I.
+//
+// "Our current implementations operate on the standard real field but they
+//  can be trivially extended to support arbitrary aggregate operations to
+//  increase the expressive power of GNNs ... overload scalar addition
+//  operations through their semiring interface, which is exactly the
+//  neighborhood aggregate function when applied to graphs."
+//
+// A semiring supplies (combine, reduce, identity): combine multiplies an
+// edge weight with a feature value; reduce aggregates over the incoming
+// neighborhood. PlusTimes recovers standard SpMM; MinPlus performs
+// single-source-shortest-path relaxations; MaxTimes is a max-pooling
+// neighborhood aggregator (GraphSAGE-pool flavour); OrAnd is boolean
+// reachability (BFS frontiers).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "src/dense/matrix.hpp"
+#include "src/sparse/csr.hpp"
+
+namespace cagnet {
+
+/// y[i,:] = REDUCE over nonzeros a(i,k) of COMBINE(a(i,k), x[k,:]),
+/// starting from S::identity(). Rows with no nonzeros are set to identity.
+template <typename S>
+void spmm_semiring(const Csr& a, const Matrix& x, Matrix& y) {
+  CAGNET_CHECK(x.rows() == a.cols(), "spmm_semiring: inner dim mismatch");
+  CAGNET_CHECK(y.rows() == a.rows() && y.cols() == x.cols(),
+               "spmm_semiring: bad output shape");
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.values();
+  const Index f = x.cols();
+  for (Index i = 0; i < a.rows(); ++i) {
+    auto yrow = y.row(i);
+    std::fill(yrow.begin(), yrow.end(), S::identity());
+    for (Index p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const Real v = vals[p];
+      const auto xrow = x.row(col_idx[p]);
+      for (Index j = 0; j < f; ++j) {
+        yrow[j] = S::reduce(yrow[j], S::combine(v, xrow[j]));
+      }
+    }
+  }
+}
+
+/// Standard (+, *): ordinary SpMM over the real field.
+struct PlusTimes {
+  static Real identity() { return Real{0}; }
+  static Real combine(Real edge, Real feature) { return edge * feature; }
+  static Real reduce(Real acc, Real value) { return acc + value; }
+};
+
+/// Tropical (min, +): one step relaxes all shortest-path estimates through
+/// one additional edge (Bellman-Ford sweep).
+struct MinPlus {
+  static Real identity() { return std::numeric_limits<Real>::infinity(); }
+  static Real combine(Real edge, Real feature) { return edge + feature; }
+  static Real reduce(Real acc, Real value) { return std::min(acc, value); }
+};
+
+/// (max, *): max-pooling neighborhood aggregation over weighted neighbors.
+struct MaxTimes {
+  static Real identity() {
+    return -std::numeric_limits<Real>::infinity();
+  }
+  static Real combine(Real edge, Real feature) { return edge * feature; }
+  static Real reduce(Real acc, Real value) { return std::max(acc, value); }
+};
+
+/// Boolean (or, and) on {0, 1}: one step expands a reachability frontier.
+struct OrAnd {
+  static Real identity() { return Real{0}; }
+  static Real combine(Real edge, Real feature) {
+    return (edge != Real{0} && feature != Real{0}) ? Real{1} : Real{0};
+  }
+  static Real reduce(Real acc, Real value) {
+    return (acc != Real{0} || value != Real{0}) ? Real{1} : Real{0};
+  }
+};
+
+}  // namespace cagnet

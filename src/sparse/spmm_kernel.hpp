@@ -1,0 +1,33 @@
+// Raw CSR x dense kernel, templated on the value type.
+//
+// This is the workhorse the paper offloads to cuSPARSE csrmm2; here it is a
+// portable CPU kernel whose inner loop is a contiguous axpy over the dense
+// operand's row (length f), which vectorizes. Templating lets the local-SpMM
+// bench (E6) measure both fp32 (the paper's GPU precision) and fp64.
+#pragma once
+
+#include "src/util/types.hpp"
+
+namespace cagnet {
+
+/// y[i,:] (+)= sum_k a(i,k) * x[k,:] for a CSR matrix a of shape
+/// (rows x anything), x with `f` columns, y with `f` columns.
+/// If `accumulate` is false, y rows are overwritten.
+template <typename T>
+void spmm_csr_kernel(Index rows, const Index* row_ptr, const Index* col_idx,
+                     const T* vals, const T* x, Index f, T* y,
+                     bool accumulate) {
+  for (Index i = 0; i < rows; ++i) {
+    T* yrow = y + i * f;
+    if (!accumulate) {
+      for (Index j = 0; j < f; ++j) yrow[j] = T{0};
+    }
+    for (Index p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const T v = vals[p];
+      const T* xrow = x + col_idx[p] * f;
+      for (Index j = 0; j < f; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+}
+
+}  // namespace cagnet

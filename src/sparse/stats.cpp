@@ -1,0 +1,84 @@
+#include "src/sparse/stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+DegreeStats degree_stats(const Csr& a) {
+  DegreeStats s;
+  s.rows = a.rows();
+  s.nnz = a.nnz();
+  s.avg_degree =
+      a.rows() > 0 ? static_cast<double>(a.nnz()) / static_cast<double>(a.rows())
+                   : 0.0;
+  for (Index r = 0; r < a.rows(); ++r) {
+    const Index d = a.row_degree(r);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.empty_rows;
+  }
+  return s;
+}
+
+HypersparsityReport hypersparsity_report(const Csr& a, Index grid_dim) {
+  CAGNET_CHECK(grid_dim > 0, "grid_dim must be positive");
+  CAGNET_CHECK(a.rows() == a.cols(), "hypersparsity report expects square A");
+  HypersparsityReport r;
+  r.grid_dim = grid_dim;
+  r.global_avg_degree =
+      a.rows() > 0 ? static_cast<double>(a.nnz()) / static_cast<double>(a.rows())
+                   : 0.0;
+  r.min_block_degree = std::numeric_limits<double>::infinity();
+
+  const Index n = a.rows();
+  double degree_sum = 0.0;
+  double empty_sum = 0.0;
+  for (Index bi = 0; bi < grid_dim; ++bi) {
+    const Index r0 = bi * n / grid_dim;
+    const Index r1 = (bi + 1) * n / grid_dim;
+    for (Index bj = 0; bj < grid_dim; ++bj) {
+      const Index c0 = bj * n / grid_dim;
+      const Index c1 = (bj + 1) * n / grid_dim;
+      const Csr blk = a.block(r0, r1, c0, c1);
+      const double rows = static_cast<double>(blk.rows());
+      const double deg =
+          rows > 0 ? static_cast<double>(blk.nnz()) / rows : 0.0;
+      degree_sum += deg;
+      empty_sum += rows > 0 ? static_cast<double>(blk.rows() -
+                                                  blk.nonempty_rows()) /
+                                  rows
+                            : 0.0;
+      r.min_block_degree = std::min(r.min_block_degree, deg);
+      r.max_block_degree = std::max(r.max_block_degree, deg);
+    }
+  }
+  const double blocks = static_cast<double>(grid_dim * grid_dim);
+  r.block_avg_degree = degree_sum / blocks;
+  r.avg_empty_row_fraction = empty_sum / blocks;
+  if (r.min_block_degree == std::numeric_limits<double>::infinity()) {
+    r.min_block_degree = 0.0;
+  }
+  return r;
+}
+
+std::string to_string(const DegreeStats& s) {
+  std::ostringstream os;
+  os << "rows=" << s.rows << " nnz=" << s.nnz << " avg_deg=" << s.avg_degree
+     << " max_deg=" << s.max_degree << " empty_rows=" << s.empty_rows;
+  return os.str();
+}
+
+std::string to_string(const HypersparsityReport& r) {
+  std::ostringstream os;
+  os << "grid=" << r.grid_dim << "x" << r.grid_dim
+     << " global_avg_deg=" << r.global_avg_degree
+     << " block_avg_deg=" << r.block_avg_degree << " block_deg_range=["
+     << r.min_block_degree << ", " << r.max_block_degree << "]"
+     << " avg_empty_row_frac=" << r.avg_empty_row_fraction;
+  return os.str();
+}
+
+}  // namespace cagnet

@@ -1,0 +1,40 @@
+// Degree and sparsity statistics, including the hypersparsity metrics the
+// paper uses to explain local-SpMM slowdown under 2D partitioning (§VI-a).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sparse/csr.hpp"
+
+namespace cagnet {
+
+struct DegreeStats {
+  Index rows = 0;
+  Index nnz = 0;
+  double avg_degree = 0.0;
+  Index max_degree = 0;
+  Index empty_rows = 0;
+};
+
+DegreeStats degree_stats(const Csr& a);
+
+/// Statistics of a square matrix partitioned on a grid_dim x grid_dim process
+/// grid: the paper observes that a 2D-partitioned submatrix's average degree
+/// falls by a factor of sqrt(P), driving cuSPARSE into its slow hypersparse
+/// regime.
+struct HypersparsityReport {
+  Index grid_dim = 0;
+  double global_avg_degree = 0.0;
+  double block_avg_degree = 0.0;  ///< mean over blocks of nnz_block / rows_block
+  double min_block_degree = 0.0;
+  double max_block_degree = 0.0;
+  double avg_empty_row_fraction = 0.0;  ///< mean over blocks
+};
+
+HypersparsityReport hypersparsity_report(const Csr& a, Index grid_dim);
+
+std::string to_string(const DegreeStats& s);
+std::string to_string(const HypersparsityReport& r);
+
+}  // namespace cagnet

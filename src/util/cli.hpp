@@ -1,0 +1,35 @@
+// Tiny command-line flag parser used by examples and bench harnesses.
+//
+// Supports `--name value` and `--name=value` forms plus boolean `--name`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cagnet {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  /// True if --name was passed (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long get_int(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Comma-separated integer list, e.g. --procs 4,16,64.
+  std::vector<long> get_int_list(const std::string& name,
+                                 const std::vector<long>& fallback) const;
+
+  /// Non-flag positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cagnet

@@ -1,0 +1,14 @@
+#include "src/util/error.hpp"
+
+#include <sstream>
+
+namespace cagnet::detail {
+
+void fail(const char* expr, const std::string& msg, std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << " in " << loc.function_name()
+     << ": check `" << expr << "` failed: " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace cagnet::detail

@@ -1,0 +1,32 @@
+// Lightweight runtime checking used across the library.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace cagnet {
+
+/// Thrown on any violated CAGNET_CHECK precondition.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail(const char* expr, const std::string& msg,
+                       std::source_location loc);
+}  // namespace detail
+
+}  // namespace cagnet
+
+/// Precondition check that stays on in release builds: distributed algorithms
+/// silently computing garbage on a shape mismatch is far worse than the cost
+/// of a compare-and-branch.
+#define CAGNET_CHECK(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::cagnet::detail::fail(#expr, (msg),                              \
+                             std::source_location::current());          \
+    }                                                                   \
+  } while (false)

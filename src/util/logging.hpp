@@ -1,0 +1,38 @@
+// Minimal thread-safe logging for examples and benches.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cagnet {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+/// Global threshold; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+/// Stream-style logger: LOG(kInfo) << "epoch " << e;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { detail::log_line(level_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace cagnet
+
+#define CAGNET_LOG(level) ::cagnet::LogStream(::cagnet::LogLevel::level)

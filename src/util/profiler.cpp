@@ -1,0 +1,47 @@
+#include "src/util/profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cagnet {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kMisc:
+      return "misc";
+    case Phase::kTranspose:
+      return "trpose";
+    case Phase::kDenseComm:
+      return "dcomm";
+    case Phase::kSparseComm:
+      return "scomm";
+    case Phase::kSpmm:
+      return "spmm";
+    case Phase::kCount:
+      break;
+  }
+  return "?";
+}
+
+double Profiler::total_seconds() const {
+  double total = 0.0;
+  for (double s : seconds_) total += s;
+  return total;
+}
+
+void Profiler::merge_max(const Profiler& other) {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    seconds_[i] = std::max(seconds_[i], other.seconds_[i]);
+  }
+}
+
+std::string Profiler::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    if (i != 0) os << " ";
+    os << phase_name(static_cast<Phase>(i)) << "=" << seconds_[i];
+  }
+  return os.str();
+}
+
+}  // namespace cagnet

@@ -1,0 +1,75 @@
+// Per-rank phase profiler matching the cost breakdown of the paper's Fig. 3.
+//
+// The paper reports per-epoch time split into: scomm (sparse-matrix
+// communication), dcomm (dense-matrix communication), trpose (distributed
+// transposes), spmm (local SpMM), and misc (everything else, including local
+// GEMM). Each rank owns a Profiler; the trainer merges them with a max-reduce
+// per phase because a bulk-synchronous epoch is dictated by the slowest rank.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "src/util/timer.hpp"
+
+namespace cagnet {
+
+/// Phases of one training epoch, in the paper's Fig. 3 vocabulary.
+enum class Phase : std::size_t {
+  kMisc = 0,    ///< local GEMM, activations, optimizer, bookkeeping
+  kTranspose,   ///< distributed transpose of the adjacency ("trpose")
+  kDenseComm,   ///< dense-matrix collectives ("dcomm")
+  kSparseComm,  ///< sparse-matrix collectives ("scomm")
+  kSpmm,        ///< local sparse x dense multiplies
+  kCount
+};
+
+/// Short display name matching the paper's figure legend.
+const char* phase_name(Phase p);
+
+/// Accumulates wall seconds per phase for one rank.
+class Profiler {
+ public:
+  static constexpr std::size_t kNumPhases =
+      static_cast<std::size_t>(Phase::kCount);
+
+  void add(Phase p, double seconds) {
+    seconds_[static_cast<std::size_t>(p)] += seconds;
+  }
+
+  double seconds(Phase p) const {
+    return seconds_[static_cast<std::size_t>(p)];
+  }
+
+  double total_seconds() const;
+
+  void clear() { seconds_ = {}; }
+
+  /// Per-phase max across two profilers (per-phase slowest-rank merge).
+  void merge_max(const Profiler& other);
+
+  /// One-line "phase=secs" summary.
+  std::string to_string() const;
+
+ private:
+  std::array<double, kNumPhases> seconds_ = {};
+};
+
+/// RAII scope timer: adds its lifetime to `profiler[phase]` on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(Profiler& profiler, Phase phase)
+      : profiler_(profiler), phase_(phase) {}
+  ~ScopedPhase() { profiler_.add(phase_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Profiler& profiler_;
+  Phase phase_;
+  WallTimer timer_;
+};
+
+}  // namespace cagnet

@@ -1,0 +1,20 @@
+// Fundamental scalar and index types shared by all CAGNET modules.
+#pragma once
+
+#include <cstdint>
+
+namespace cagnet {
+
+/// Floating-point type used for features, weights, and gradients.
+///
+/// The paper trains in fp32 on V100s; we default to double so that the
+/// numerical-gradient checks and serial-vs-distributed parity tests have
+/// headroom.  Kernels that care about fp32 behaviour (bench_spmm_local)
+/// are templated and instantiate both.
+using Real = double;
+
+/// Vertex / row-column index. Signed to keep arithmetic on block offsets
+/// (which can transiently go negative) well-defined.
+using Index = std::int64_t;
+
+}  // namespace cagnet

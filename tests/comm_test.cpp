@@ -1,0 +1,518 @@
+// Tests for the simulated distributed runtime: collective correctness
+// across world sizes, sub-communicator splits, process grids, alpha-beta
+// metering, and failure propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/comm/comm.hpp"
+#include "src/comm/grid.hpp"
+#include "src/comm/machine.hpp"
+
+namespace cagnet {
+namespace {
+
+class CollectivesAcrossP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesAcrossP, BroadcastDeliversRootData) {
+  const int p = GetParam();
+  run_world(p, [&](Comm& comm) {
+    const int root = comm.size() / 2;
+    std::vector<Real> data(37, static_cast<Real>(comm.rank()));
+    if (comm.rank() == root) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<Real>(i) * 0.5;
+      }
+    }
+    comm.broadcast(std::span<Real>(data), root, CommCategory::kDense);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      ASSERT_DOUBLE_EQ(data[i], static_cast<Real>(i) * 0.5);
+    }
+  });
+}
+
+TEST_P(CollectivesAcrossP, AllreduceSumsContributions) {
+  const int p = GetParam();
+  run_world(p, [&](Comm& comm) {
+    std::vector<Real> data(53);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<Real>(comm.rank() + 1) * static_cast<Real>(i);
+    }
+    comm.allreduce_sum(std::span<Real>(data), CommCategory::kDense);
+    const Real rank_sum = static_cast<Real>(p) * (p + 1) / 2;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      ASSERT_NEAR(data[i], rank_sum * static_cast<Real>(i), 1e-9);
+    }
+  });
+}
+
+TEST_P(CollectivesAcrossP, AllreduceMaxFindsMaximum) {
+  const int p = GetParam();
+  run_world(p, [&](Comm& comm) {
+    std::vector<Real> data = {static_cast<Real>(comm.rank()),
+                              static_cast<Real>(-comm.rank())};
+    comm.allreduce_max(std::span<Real>(data), CommCategory::kDense);
+    ASSERT_DOUBLE_EQ(data[0], static_cast<Real>(p - 1));
+    ASSERT_DOUBLE_EQ(data[1], 0.0);
+  });
+}
+
+TEST_P(CollectivesAcrossP, ReduceScatterSplitsReducedVector) {
+  const int p = GetParam();
+  run_world(p, [&](Comm& comm) {
+    // Every rank contributes contrib[i] = i * (rank+1); chunk c receives
+    // sum over ranks = i * p(p+1)/2 over its slice.
+    std::vector<std::size_t> chunk_sizes(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      chunk_sizes[static_cast<std::size_t>(r)] =
+          3 + static_cast<std::size_t>(r);  // uneven on purpose
+    }
+    const std::size_t total =
+        std::accumulate(chunk_sizes.begin(), chunk_sizes.end(), 0ull);
+    std::vector<Real> contrib(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      contrib[i] = static_cast<Real>(i) * static_cast<Real>(comm.rank() + 1);
+    }
+    std::vector<Real> out(chunk_sizes[static_cast<std::size_t>(comm.rank())]);
+    comm.reduce_scatter_sum(std::span<const Real>(contrib),
+                            std::span<Real>(out), CommCategory::kDense);
+    std::size_t offset = 0;
+    for (int r = 0; r < comm.rank(); ++r) {
+      offset += chunk_sizes[static_cast<std::size_t>(r)];
+    }
+    const Real rank_sum = static_cast<Real>(p) * (p + 1) / 2;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_NEAR(out[i], static_cast<Real>(offset + i) * rank_sum, 1e-9);
+    }
+  });
+}
+
+TEST_P(CollectivesAcrossP, AllgathervConcatenatesInRankOrder) {
+  const int p = GetParam();
+  run_world(p, [&](Comm& comm) {
+    // Rank r contributes r+1 copies of value r.
+    std::vector<Index> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                            static_cast<Index>(comm.rank()));
+    const auto gathered =
+        comm.allgatherv(std::span<const Index>(mine), CommCategory::kDense);
+    ASSERT_EQ(gathered.offsets.size(), static_cast<std::size_t>(p) + 1);
+    for (int r = 0; r < p; ++r) {
+      const auto chunk = gathered.chunk(r);
+      ASSERT_EQ(chunk.size(), static_cast<std::size_t>(r) + 1);
+      for (Index v : chunk) ASSERT_EQ(v, static_cast<Index>(r));
+    }
+  });
+}
+
+TEST_P(CollectivesAcrossP, GatherCollectsAtRootOnly) {
+  const int p = GetParam();
+  run_world(p, [&](Comm& comm) {
+    std::vector<Real> mine = {static_cast<Real>(comm.rank() * 10)};
+    const auto g =
+        comm.gather(std::span<const Real>(mine), 0, CommCategory::kControl);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(g.data.size(), static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        ASSERT_DOUBLE_EQ(g.data[static_cast<std::size_t>(r)],
+                         static_cast<Real>(r * 10));
+      }
+    } else {
+      ASSERT_TRUE(g.data.empty());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectivesAcrossP,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(Comm, ExchangeSwapsBuffersPairwise) {
+  run_world(4, [](Comm& comm) {
+    const int peer = comm.rank() ^ 1;  // 0<->1, 2<->3
+    std::vector<Real> send(static_cast<std::size_t>(comm.rank()) + 2,
+                           static_cast<Real>(comm.rank()));
+    const auto recv =
+        comm.exchange(std::span<const Real>(send), peer, CommCategory::kTranspose);
+    ASSERT_EQ(recv.size(), static_cast<std::size_t>(peer) + 2);
+    for (Real v : recv) ASSERT_DOUBLE_EQ(v, static_cast<Real>(peer));
+  });
+}
+
+TEST(Comm, ExchangeWithSelfCopies) {
+  run_world(2, [](Comm& comm) {
+    std::vector<Real> send = {1.0, 2.0, static_cast<Real>(comm.rank())};
+    const auto recv = comm.exchange(std::span<const Real>(send), comm.rank(),
+                                    CommCategory::kTranspose);
+    ASSERT_EQ(recv.size(), 3u);
+    ASSERT_DOUBLE_EQ(recv[2], static_cast<Real>(comm.rank()));
+  });
+}
+
+TEST(Comm, RouteDeliversAlongPermutation) {
+  run_world(5, [](Comm& comm) {
+    // Cyclic shift: rank r sends to r+1 (mod p).
+    const int dest = (comm.rank() + 1) % comm.size();
+    std::vector<Real> send(static_cast<std::size_t>(comm.rank()) + 1,
+                           static_cast<Real>(comm.rank()));
+    const auto recv =
+        comm.route(std::span<const Real>(send), dest, CommCategory::kDense);
+    const int src = (comm.rank() + comm.size() - 1) % comm.size();
+    ASSERT_EQ(recv.size(), static_cast<std::size_t>(src) + 1);
+    for (Real v : recv) ASSERT_DOUBLE_EQ(v, static_cast<Real>(src));
+  });
+}
+
+TEST(Comm, RouteIdentityIsFree) {
+  std::vector<CostMeter> meters;
+  run_world(3, [](Comm& comm) {
+    std::vector<Real> send = {static_cast<Real>(comm.rank())};
+    const auto recv = comm.route(std::span<const Real>(send), comm.rank(),
+                                 CommCategory::kDense);
+    ASSERT_DOUBLE_EQ(recv[0], static_cast<Real>(comm.rank()));
+  }, &meters);
+  for (const auto& m : meters) {
+    EXPECT_DOUBLE_EQ(m.words(CommCategory::kDense), 0.0);
+  }
+}
+
+TEST(Comm, RouteRejectsNonPermutation) {
+  EXPECT_THROW(run_world(3,
+                         [](Comm& comm) {
+                           // Everyone sends to rank 0: not a permutation.
+                           std::vector<Real> send = {1.0};
+                           comm.route(std::span<const Real>(send), 0,
+                                      CommCategory::kDense);
+                         }),
+               Error);
+}
+
+TEST(Comm, SplitFormsRowGroups) {
+  run_world(6, [](Comm& comm) {
+    // Two groups of three: color = rank / 3.
+    Comm sub = comm.split(comm.rank() / 3, comm.rank());
+    ASSERT_EQ(sub.size(), 3);
+    ASSERT_EQ(sub.rank(), comm.rank() % 3);
+    // A broadcast within the subgroup must not leak across groups.
+    std::vector<Real> v = {static_cast<Real>(comm.rank())};
+    sub.broadcast(std::span<Real>(v), 0, CommCategory::kDense);
+    ASSERT_DOUBLE_EQ(v[0], static_cast<Real>((comm.rank() / 3) * 3));
+  });
+}
+
+TEST(Comm, SplitHonorsKeyOrdering) {
+  run_world(4, [](Comm& comm) {
+    // Reverse ordering via key.
+    Comm sub = comm.split(0, -comm.rank());
+    ASSERT_EQ(sub.size(), 4);
+    ASSERT_EQ(sub.rank(), 3 - comm.rank());
+  });
+}
+
+TEST(Comm, NestedSplitWorks) {
+  run_world(8, [](Comm& comm) {
+    Comm half = comm.split(comm.rank() / 4, comm.rank());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    ASSERT_EQ(quarter.size(), 2);
+    std::vector<Real> v = {static_cast<Real>(comm.rank())};
+    quarter.allreduce_sum(std::span<Real>(v), CommCategory::kDense);
+    // Pairs are (0,1), (2,3), ...
+    const int base = (comm.rank() / 2) * 2;
+    ASSERT_DOUBLE_EQ(v[0], static_cast<Real>(base + base + 1));
+  });
+}
+
+TEST(Comm, AllgatherFixedSizeConcatenates) {
+  run_world(4, [](Comm& comm) {
+    std::vector<Real> mine(3, static_cast<Real>(comm.rank() + 1));
+    const auto all =
+        comm.allgather(std::span<const Real>(mine), CommCategory::kDense);
+    ASSERT_EQ(all.size(), 12u);
+    for (int r = 0; r < 4; ++r) {
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_DOUBLE_EQ(all[static_cast<std::size_t>(r * 3 + i)],
+                         static_cast<Real>(r + 1));
+      }
+    }
+  });
+}
+
+TEST(Comm, AllgatherMismatchedSizesDetected) {
+  EXPECT_THROW(
+      run_world(2,
+                [](Comm& comm) {
+                  std::vector<Real> mine(
+                      comm.rank() == 0 ? 2u : 3u, 0.0);
+                  comm.allgather(std::span<const Real>(mine),
+                                 CommCategory::kDense);
+                }),
+      Error);
+}
+
+TEST(Comm, ExchangeMeterChargesReceivedWords) {
+  std::vector<CostMeter> meters;
+  run_world(2, [](Comm& comm) {
+    std::vector<Real> send(static_cast<std::size_t>(comm.rank()) + 5, 1.0);
+    comm.exchange(std::span<const Real>(send), 1 - comm.rank(),
+                  CommCategory::kTranspose);
+  }, &meters);
+  // Rank 0 receives rank 1's 6 words; rank 1 receives 5.
+  EXPECT_DOUBLE_EQ(meters[0].words(CommCategory::kTranspose), 6.0);
+  EXPECT_DOUBLE_EQ(meters[1].words(CommCategory::kTranspose), 5.0);
+  EXPECT_DOUBLE_EQ(meters[0].latency_units(CommCategory::kTranspose), 1.0);
+}
+
+TEST(Comm, EmptyPayloadCollectivesAreSafe) {
+  run_world(3, [](Comm& comm) {
+    std::vector<Real> empty;
+    comm.broadcast(std::span<Real>(empty), 0, CommCategory::kDense);
+    comm.allreduce_sum(std::span<Real>(empty), CommCategory::kDense);
+    const auto gathered =
+        comm.allgatherv(std::span<const Real>(empty), CommCategory::kDense);
+    ASSERT_TRUE(gathered.data.empty());
+    ASSERT_EQ(gathered.offsets.size(), 4u);
+  });
+}
+
+TEST(Comm, LargePayloadBroadcastIntact) {
+  run_world(2, [](Comm& comm) {
+    std::vector<Real> data(1 << 18);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<Real>(i % 1009);
+      }
+    }
+    comm.broadcast(std::span<Real>(data), 0, CommCategory::kDense);
+    for (std::size_t i = 0; i < data.size(); i += 4097) {
+      ASSERT_DOUBLE_EQ(data[i], static_cast<Real>(i % 1009));
+    }
+  });
+}
+
+TEST(Comm, MeterChargesBroadcastCost) {
+  std::vector<CostMeter> meters;
+  run_world(4, [](Comm& comm) {
+    std::vector<Real> data(100, 1.0);
+    comm.broadcast(std::span<Real>(data), 0, CommCategory::kDense);
+  }, &meters);
+  for (const auto& m : meters) {
+    // alpha: lg 4 = 2; beta: 100 words.
+    EXPECT_DOUBLE_EQ(m.latency_units(CommCategory::kDense), 2.0);
+    EXPECT_DOUBLE_EQ(m.words(CommCategory::kDense), 100.0);
+    EXPECT_DOUBLE_EQ(m.words(CommCategory::kSparse), 0.0);
+  }
+}
+
+TEST(Comm, MeterChargesAllreduceRabenseifnerCost) {
+  std::vector<CostMeter> meters;
+  run_world(4, [](Comm& comm) {
+    std::vector<Real> data(64, 1.0);
+    comm.allreduce_sum(std::span<Real>(data), CommCategory::kDense);
+  }, &meters);
+  for (const auto& m : meters) {
+    EXPECT_DOUBLE_EQ(m.latency_units(CommCategory::kDense), 4.0);  // 2 lg 4
+    EXPECT_DOUBLE_EQ(m.words(CommCategory::kDense), 2.0 * 64 * 3 / 4);
+  }
+}
+
+TEST(Comm, MeterControlCategoryExcludedFromModeledTime) {
+  std::vector<CostMeter> meters;
+  run_world(2, [](Comm& comm) {
+    std::vector<Real> data(1000, 1.0);
+    comm.broadcast(std::span<Real>(data), 0, CommCategory::kControl);
+  }, &meters);
+  const MachineModel m = MachineModel::summit();
+  EXPECT_DOUBLE_EQ(meters[0].modeled_seconds(m), 0.0);
+  EXPECT_GT(meters[0].words(CommCategory::kControl), 0.0);
+  EXPECT_DOUBLE_EQ(meters[0].total_words(), 0.0);
+}
+
+TEST(Comm, MeterIndexPayloadCountedInRealWords) {
+  std::vector<CostMeter> meters;
+  run_world(2, [](Comm& comm) {
+    std::vector<Index> data(10, 1);  // 10 * 8 bytes = 10 Real words
+    comm.broadcast(std::span<Index>(data), 0, CommCategory::kSparse);
+  }, &meters);
+  EXPECT_DOUBLE_EQ(meters[0].words(CommCategory::kSparse), 10.0);
+}
+
+TEST(Comm, WorldSizeOneCollectivesAreFree) {
+  std::vector<CostMeter> meters;
+  run_world(1, [](Comm& comm) {
+    std::vector<Real> data(10, 2.0);
+    comm.broadcast(std::span<Real>(data), 0, CommCategory::kDense);
+    comm.allreduce_sum(std::span<Real>(data), CommCategory::kDense);
+    for (Real v : data) ASSERT_DOUBLE_EQ(v, 2.0);
+  }, &meters);
+  EXPECT_DOUBLE_EQ(meters[0].total_latency_units(), 0.0);
+  EXPECT_DOUBLE_EQ(meters[0].total_words(), 0.0);
+}
+
+TEST(Comm, RankExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      run_world(4,
+                [](Comm& comm) {
+                  std::vector<Real> v(8, 0.0);
+                  // Everyone reaches the eventual broadcast except rank 2,
+                  // which fails first; peers must unwind, not deadlock.
+                  if (comm.rank() == 2) throw Error("injected failure");
+                  comm.broadcast(std::span<Real>(v), 0, CommCategory::kDense);
+                }),
+      Error);
+}
+
+TEST(Comm, BarrierSynchronizesPhases) {
+  std::atomic<int> counter{0};
+  run_world(8, [&](Comm& comm) {
+    counter.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must observe all increments.
+    ASSERT_EQ(counter.load(), 8);
+  });
+}
+
+TEST(Comm, MismatchedBroadcastSizesDetected) {
+  EXPECT_THROW(run_world(2,
+                         [](Comm& comm) {
+                           std::vector<Real> v(
+                               comm.rank() == 0 ? 4u : 5u, 0.0);
+                           comm.broadcast(std::span<Real>(v), 0,
+                                          CommCategory::kDense);
+                         }),
+               Error);
+}
+
+TEST(Grid, TwoDSquareCoordinates) {
+  run_world(9, [](Comm& comm) {
+    Grid2D g = Grid2D::create_square(comm);
+    ASSERT_EQ(g.pr, 3);
+    ASSERT_EQ(g.pc, 3);
+    ASSERT_EQ(g.i, comm.rank() / 3);
+    ASSERT_EQ(g.j, comm.rank() % 3);
+    ASSERT_EQ(g.row.size(), 3);
+    ASSERT_EQ(g.col.size(), 3);
+    ASSERT_EQ(g.row.rank(), g.j);
+    ASSERT_EQ(g.col.rank(), g.i);
+  });
+}
+
+TEST(Grid, TwoDRowBroadcastStaysInRow) {
+  run_world(4, [](Comm& comm) {
+    Grid2D g = Grid2D::create_square(comm);
+    std::vector<Real> v = {static_cast<Real>(comm.rank())};
+    g.row.broadcast(std::span<Real>(v), 0, CommCategory::kDense);
+    // Row i's rank-0 member is world rank i*pc.
+    ASSERT_DOUBLE_EQ(v[0], static_cast<Real>(g.i * g.pc));
+  });
+}
+
+TEST(Grid, RectangularGridShapes) {
+  run_world(6, [](Comm& comm) {
+    Grid2D g = Grid2D::create(comm, 2, 3);
+    ASSERT_EQ(g.row.size(), 3);
+    ASSERT_EQ(g.col.size(), 2);
+  });
+}
+
+TEST(Grid, NonSquareWorldRejected) {
+  EXPECT_THROW(
+      run_world(6, [](Comm& comm) { Grid2D::create_square(comm); }),
+      Error);
+}
+
+TEST(Grid, ThreeDCoordinatesAndComms) {
+  run_world(8, [](Comm& comm) {
+    Grid3D g = Grid3D::create_cube(comm);
+    ASSERT_EQ(g.q, 2);
+    ASSERT_EQ(g.layer.size(), 4);
+    ASSERT_EQ(g.row.size(), 2);
+    ASSERT_EQ(g.col.size(), 2);
+    ASSERT_EQ(g.fiber.size(), 2);
+    // Fiber reduce across layers: ranks (i,j,0) and (i,j,1).
+    std::vector<Real> v = {static_cast<Real>(g.k + 1)};
+    g.fiber.allreduce_sum(std::span<Real>(v), CommCategory::kDense);
+    ASSERT_DOUBLE_EQ(v[0], 3.0);  // 1 + 2
+  });
+}
+
+TEST(Grid, FineRangesTileEachCoarseBlock) {
+  const Index n = 103;
+  const int q = 3;
+  for (int coarse = 0; coarse < q; ++coarse) {
+    const auto [clo, chi] = block_range(n, q, coarse);
+    Index prev = clo;
+    for (int sub = 0; sub < q; ++sub) {
+      const auto [flo, fhi] = fine_range(n, q, coarse, sub);
+      EXPECT_EQ(flo, prev);
+      EXPECT_LE(flo, fhi);
+      prev = fhi;
+    }
+    EXPECT_EQ(prev, chi);
+  }
+}
+
+TEST(Grid, FineRangesAreGloballyContiguous) {
+  const Index n = 64;
+  const int q = 4;
+  Index cursor = 0;
+  for (int coarse = 0; coarse < q; ++coarse) {
+    for (int sub = 0; sub < q; ++sub) {
+      const auto [lo, hi] = fine_range(n, q, coarse, sub);
+      EXPECT_EQ(lo, cursor);
+      cursor = hi;
+    }
+  }
+  EXPECT_EQ(cursor, n);
+}
+
+TEST(Grid, BlockRangeCoversDimensionExactly) {
+  const Index n = 103;
+  for (int parts : {1, 2, 3, 7, 10}) {
+    Index covered = 0;
+    Index prev_hi = 0;
+    for (int idx = 0; idx < parts; ++idx) {
+      const auto [lo, hi] = block_range(n, parts, idx);
+      EXPECT_EQ(lo, prev_hi);
+      EXPECT_LE(lo, hi);
+      covered += hi - lo;
+      prev_hi = hi;
+    }
+    EXPECT_EQ(covered, n);
+    EXPECT_EQ(prev_hi, n);
+  }
+}
+
+TEST(Machine, SpmmRateDegradationMatchesYangEtAl) {
+  // Section VI-a cites a ~3x GFlops drop when average degree falls 62 -> 8.
+  const MachineModel m = MachineModel::summit();
+  const double wide = 64.0;
+  const double ratio = m.spmm_gflops(62, wide) / m.spmm_gflops(8, wide);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Machine, SkinnyDenseOperandPenalized) {
+  const MachineModel m = MachineModel::summit();
+  EXPECT_GT(m.spmm_gflops(30, 16), 2.0 * m.spmm_gflops(30, 2));
+}
+
+TEST(Machine, WorkMeterAccumulatesModeledSeconds) {
+  const MachineModel m = MachineModel::summit();
+  WorkMeter w;
+  w.add_spmm(m, /*nnz=*/1e6, /*width=*/64, /*avg_degree=*/50);
+  w.add_gemm(m, /*flops=*/1e9);
+  EXPECT_GT(w.spmm_seconds(), 0.0);
+  EXPECT_NEAR(w.gemm_seconds(), 1e9 / (m.gemm_gflops * 1e9), 1e-12);
+  EXPECT_DOUBLE_EQ(w.spmm_flops(), 2.0 * 1e6 * 64);
+}
+
+TEST(Machine, CeilLog2Values) {
+  EXPECT_DOUBLE_EQ(ceil_log2(1), 0.0);
+  EXPECT_DOUBLE_EQ(ceil_log2(2), 1.0);
+  EXPECT_DOUBLE_EQ(ceil_log2(3), 2.0);
+  EXPECT_DOUBLE_EQ(ceil_log2(4), 2.0);
+  EXPECT_DOUBLE_EQ(ceil_log2(100), 7.0);
+}
+
+}  // namespace
+}  // namespace cagnet

@@ -1,0 +1,368 @@
+// Unit tests for src/dense: Matrix container, GEMM against a naive
+// reference over all transpose combinations, activations and their
+// derivatives (checked numerically), and the NLL loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "src/dense/gemm.hpp"
+#include "src/dense/matrix.hpp"
+#include "src/dense/ops.hpp"
+#include "src/util/rng.hpp"
+
+namespace cagnet {
+namespace {
+
+Matrix random_matrix(Index r, Index c, Rng& rng, Real lo = -1, Real hi = 1) {
+  Matrix m(r, c);
+  m.fill_uniform(rng, lo, hi);
+  return m;
+}
+
+// Straightforward triple loop used as the oracle for gemm.
+Matrix naive_matmul(const Matrix& a, const Matrix& b, Trans ta, Trans tb) {
+  const Index m = ta == Trans::kNo ? a.rows() : a.cols();
+  const Index k = ta == Trans::kNo ? a.cols() : a.rows();
+  const Index n = tb == Trans::kNo ? b.cols() : b.rows();
+  Matrix c(m, n);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      Real acc = 0;
+      for (Index p = 0; p < k; ++p) {
+        const Real av = ta == Trans::kNo ? a(i, p) : a(p, i);
+        const Real bv = tb == Trans::kNo ? b(p, j) : b(j, p);
+        acc += av * bv;
+      }
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(Matrix, ConstructZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, RowSpanIsContiguousView) {
+  Matrix m(2, 3);
+  m(1, 0) = 5;
+  m(1, 2) = 7;
+  auto row = m.row(1);
+  EXPECT_EQ(row[0], 5);
+  EXPECT_EQ(row[2], 7);
+  row[1] = 6;
+  EXPECT_EQ(m(1, 1), 6);
+}
+
+TEST(Matrix, BlockRoundTrip) {
+  Rng rng(1);
+  Matrix m = random_matrix(6, 8, rng);
+  Matrix blk = m.block(2, 3, 3, 4);
+  EXPECT_EQ(blk.rows(), 3);
+  EXPECT_EQ(blk.cols(), 4);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 4; ++j) EXPECT_EQ(blk(i, j), m(2 + i, 3 + j));
+  }
+  Matrix copy(6, 8);
+  copy.set_block(2, 3, blk);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 4; ++j) EXPECT_EQ(copy(2 + i, 3 + j), m(2 + i, 3 + j));
+  }
+}
+
+TEST(Matrix, BlockOutOfRangeThrows) {
+  Matrix m(3, 3);
+  EXPECT_THROW(m.block(1, 1, 3, 1), Error);
+  EXPECT_THROW((void)m.block(0, 2, 1, 2), Error);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  Rng rng(2);
+  Matrix m = random_matrix(4, 7, rng);
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 7);
+  EXPECT_EQ(t.cols(), 4);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 7; ++j) EXPECT_EQ(t(j, i), m(i, j));
+  }
+}
+
+TEST(Matrix, GlorotBoundsRespected) {
+  Rng rng(3);
+  Matrix w(64, 32);
+  w.fill_glorot(rng);
+  const Real bound = std::sqrt(6.0 / (64 + 32));
+  for (Real v : w.flat()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+  // Not all zero.
+  EXPECT_GT(w.frobenius_norm(), 0.1);
+}
+
+TEST(Matrix, MaxAbsDiffAndAllclose) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  b(1, 1) = 1e-3;
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 1e-3);
+  EXPECT_TRUE(Matrix::allclose(a, b, 1e-2));
+  EXPECT_FALSE(Matrix::allclose(a, b, 1e-4));
+}
+
+class GemmAllTranspose
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(GemmAllTranspose, MatchesNaive) {
+  const auto [mi, ki, ni, trans_combo] = GetParam();
+  const Index m = mi;
+  const Index k = ki;
+  const Index n = ni;
+  const Trans ta = (trans_combo & 1) ? Trans::kYes : Trans::kNo;
+  const Trans tb = (trans_combo & 2) ? Trans::kYes : Trans::kNo;
+
+  Rng rng(static_cast<std::uint64_t>(m * 131 + k * 17 + n + trans_combo));
+  Matrix a = ta == Trans::kNo ? random_matrix(m, k, rng)
+                              : random_matrix(k, m, rng);
+  Matrix b = tb == Trans::kNo ? random_matrix(k, n, rng)
+                              : random_matrix(n, k, rng);
+
+  const Matrix expected = naive_matmul(a, b, ta, tb);
+  const Matrix got = matmul(a, b, ta, tb);
+  EXPECT_LE(Matrix::max_abs_diff(expected, got), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmAllTranspose,
+    ::testing::Combine(::testing::Values(1, 5, 33, 64),
+                       ::testing::Values(1, 7, 65),
+                       ::testing::Values(1, 4, 31),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(Gemm, AlphaBetaComposition) {
+  Rng rng(5);
+  Matrix a = random_matrix(4, 6, rng);
+  Matrix b = random_matrix(6, 3, rng);
+  Matrix c = random_matrix(4, 3, rng);
+  Matrix c_orig = c;
+  gemm(Trans::kNo, Trans::kNo, 2.0, a, b, 0.5, c);
+  const Matrix ab = naive_matmul(a, b, Trans::kNo, Trans::kNo);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_NEAR(c(i, j), 2.0 * ab(i, j) + 0.5 * c_orig(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Gemm, InnerDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(4, 2);
+  Matrix c(2, 2);
+  EXPECT_THROW(gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, c), Error);
+}
+
+TEST(Gemm, ZeroAlphaScalesOnly) {
+  Rng rng(6);
+  Matrix a = random_matrix(3, 3, rng);
+  Matrix b = random_matrix(3, 3, rng);
+  Matrix c = random_matrix(3, 3, rng);
+  Matrix expected = c;
+  for (Real& v : expected.flat()) v *= 0.25;
+  gemm(Trans::kNo, Trans::kNo, 0.0, a, b, 0.25, c);
+  EXPECT_LE(Matrix::max_abs_diff(expected, c), 1e-15);
+}
+
+TEST(Ops, ReluClampsNegatives) {
+  Matrix z(2, 2);
+  z(0, 0) = -1;
+  z(0, 1) = 2;
+  z(1, 0) = 0;
+  z(1, 1) = -0.5;
+  Matrix out(2, 2);
+  relu(z, out);
+  EXPECT_EQ(out(0, 0), 0);
+  EXPECT_EQ(out(0, 1), 2);
+  EXPECT_EQ(out(1, 0), 0);
+  EXPECT_EQ(out(1, 1), 0);
+}
+
+TEST(Ops, ReluBackwardMasksByPreactivation) {
+  Matrix z(1, 3);
+  z(0, 0) = -1;
+  z(0, 1) = 1;
+  z(0, 2) = 0;
+  Matrix g(1, 3);
+  g(0, 0) = 10;
+  g(0, 1) = 20;
+  g(0, 2) = 30;
+  Matrix out(1, 3);
+  relu_backward(g, z, out);
+  EXPECT_EQ(out(0, 0), 0);
+  EXPECT_EQ(out(0, 1), 20);
+  EXPECT_EQ(out(0, 2), 0);  // subgradient at 0 chosen as 0
+}
+
+TEST(Ops, LogSoftmaxRowsNormalize) {
+  Rng rng(7);
+  Matrix z = random_matrix(5, 9, rng, -3, 3);
+  Matrix ls(5, 9);
+  log_softmax_rows(z, ls);
+  for (Index i = 0; i < 5; ++i) {
+    Real sum = 0;
+    for (Index j = 0; j < 9; ++j) sum += std::exp(ls(i, j));
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Ops, LogSoftmaxStableUnderLargeShift) {
+  Matrix z(1, 3);
+  z(0, 0) = 1000;
+  z(0, 1) = 1001;
+  z(0, 2) = 999;
+  Matrix ls(1, 3);
+  log_softmax_rows(z, ls);
+  Real sum = 0;
+  for (Index j = 0; j < 3; ++j) {
+    EXPECT_TRUE(std::isfinite(ls(0, j)));
+    sum += std::exp(ls(0, j));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Ops, LogSoftmaxShiftInvariant) {
+  Rng rng(8);
+  Matrix z = random_matrix(3, 4, rng);
+  Matrix shifted = z;
+  for (Real& v : shifted.flat()) v += 123.0;
+  Matrix a(3, 4);
+  Matrix b(3, 4);
+  log_softmax_rows(z, a);
+  log_softmax_rows(shifted, b);
+  EXPECT_LE(Matrix::max_abs_diff(a, b), 1e-9);
+}
+
+// Numerical check of the log-softmax backward rule.
+TEST(Ops, LogSoftmaxBackwardMatchesNumericalGradient) {
+  Rng rng(9);
+  const Index n = 3;
+  const Index f = 5;
+  Matrix z = random_matrix(n, f, rng);
+  Matrix g = random_matrix(n, f, rng);  // arbitrary upstream gradient
+
+  Matrix ls(n, f);
+  log_softmax_rows(z, ls);
+  Matrix analytic(n, f);
+  log_softmax_backward(g, ls, analytic);
+
+  const Real eps = 1e-6;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < f; ++j) {
+      Matrix zp = z;
+      Matrix zm = z;
+      zp(i, j) += eps;
+      zm(i, j) -= eps;
+      Matrix lsp(n, f);
+      Matrix lsm(n, f);
+      log_softmax_rows(zp, lsp);
+      log_softmax_rows(zm, lsm);
+      // Scalar objective: sum(g ⊙ log_softmax(z)).
+      Real fp = 0;
+      Real fm = 0;
+      for (Index a = 0; a < n; ++a) {
+        for (Index b = 0; b < f; ++b) {
+          fp += g(a, b) * lsp(a, b);
+          fm += g(a, b) * lsm(a, b);
+        }
+      }
+      EXPECT_NEAR(analytic(i, j), (fp - fm) / (2 * eps), 1e-5);
+    }
+  }
+}
+
+TEST(Ops, NllLossMatchesManual) {
+  Matrix lp(3, 2);
+  lp(0, 0) = std::log(0.25);
+  lp(0, 1) = std::log(0.75);
+  lp(1, 0) = std::log(0.5);
+  lp(1, 1) = std::log(0.5);
+  lp(2, 0) = std::log(0.9);
+  lp(2, 1) = std::log(0.1);
+  const std::vector<Index> labels = {1, 0, 0};
+  const Real expected =
+      -(std::log(0.75) + std::log(0.5) + std::log(0.9)) / 3.0;
+  EXPECT_NEAR(nll_loss(lp, labels), expected, 1e-12);
+}
+
+TEST(Ops, NllLossIgnoresMaskedRows) {
+  Matrix lp(2, 2);
+  lp(0, 0) = std::log(0.5);
+  lp(1, 0) = std::log(0.125);
+  const std::vector<Index> labels = {0, -1};
+  EXPECT_NEAR(nll_loss(lp, labels), -std::log(0.5), 1e-12);
+}
+
+TEST(Ops, NllBackwardPlacesMassOnLabels) {
+  Matrix lp(3, 4);
+  const std::vector<Index> labels = {2, -1, 0};
+  Matrix grad(3, 4);
+  nll_loss_backward(lp, labels, grad);
+  EXPECT_DOUBLE_EQ(grad(0, 2), -0.5);  // two labeled rows -> -1/2
+  EXPECT_DOUBLE_EQ(grad(2, 0), -0.5);
+  // All other entries zero.
+  Real sum = 0;
+  for (Real v : grad.flat()) sum += std::abs(v);
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Ops, AxpyAccumulates) {
+  Matrix x(2, 2);
+  x.fill(3);
+  Matrix y(2, 2);
+  y.fill(1);
+  axpy(0.5, x, y);
+  for (Real v : y.flat()) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(Ops, HadamardMultipliesElementwise) {
+  Matrix a(1, 3);
+  Matrix b(1, 3);
+  a(0, 0) = 2;
+  a(0, 1) = 3;
+  a(0, 2) = -1;
+  b(0, 0) = 5;
+  b(0, 1) = -2;
+  b(0, 2) = 4;
+  Matrix out(1, 3);
+  hadamard(a, b, out);
+  EXPECT_EQ(out(0, 0), 10);
+  EXPECT_EQ(out(0, 1), -6);
+  EXPECT_EQ(out(0, 2), -4);
+}
+
+TEST(Ops, AccuracyCountsLabeledHits) {
+  Matrix lp(3, 2);
+  lp(0, 1) = 1;  // argmax 1
+  lp(1, 0) = 1;  // argmax 0
+  lp(2, 1) = 1;  // argmax 1, masked
+  const std::vector<Index> labels = {1, 1, -1};
+  EXPECT_DOUBLE_EQ(accuracy(lp, labels), 0.5);
+}
+
+TEST(Ops, ArgmaxRowsPicksFirstMax) {
+  Matrix m(2, 3);
+  m(0, 2) = 5;
+  m(1, 0) = 1;
+  m(1, 1) = 1;  // tie -> first index
+  const auto idx = argmax_rows(m);
+  EXPECT_EQ(idx[0], 2);
+  EXPECT_EQ(idx[1], 0);
+}
+
+}  // namespace
+}  // namespace cagnet

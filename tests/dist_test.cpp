@@ -1,0 +1,484 @@
+// Parity tests for the distributed trainers: for the same seed, every
+// algorithm (1D, 2D, ...) must reproduce the serial reference's per-epoch
+// losses and output embeddings up to floating-point accumulation error —
+// the paper's Section V-A verification. Also checks the metered
+// communication against the Section IV closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "src/core/costmodel.hpp"
+#include "src/core/dist15d.hpp"
+#include "src/core/dist1d.hpp"
+#include "src/core/dist2d.hpp"
+#include "src/core/dist3d.hpp"
+#include "src/gnn/serial_trainer.hpp"
+#include "src/graph/datasets.hpp"
+#include "src/sparse/generate.hpp"
+
+namespace cagnet {
+namespace {
+
+constexpr Real kParityTol = 1e-8;
+
+Graph test_graph(Index n, Index f, Index classes, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  g.name = "dist-test";
+  g.adjacency = gcn_normalize(rmat(n, n * 6, rng), true);
+  g.features = Matrix(n, f);
+  g.features.fill_uniform(rng, -1, 1);
+  g.num_classes = classes;
+  g.labels.resize(static_cast<std::size_t>(n));
+  for (auto& label : g.labels) {
+    label = static_cast<Index>(rng.next_below(
+        static_cast<std::uint64_t>(classes)));
+  }
+  return g;
+}
+
+struct RunOutcome {
+  std::vector<Real> losses;
+  Matrix output;     // epoch-K forward output (gathered)
+  EpochStats stats;  // max-reduced stats of the final epoch
+};
+
+enum class Algo { k1D, k15D_c2, k15D_c4, k2D, k3D };
+
+std::unique_ptr<DistTrainer> make_trainer(Algo algo, const DistProblem& prob,
+                                          const GnnConfig& config,
+                                          Comm& world) {
+  switch (algo) {
+    case Algo::k1D:
+      return std::make_unique<Dist1D>(prob, config, world);
+    case Algo::k15D_c2:
+      return std::make_unique<Dist15D>(prob, config, world, 2);
+    case Algo::k15D_c4:
+      return std::make_unique<Dist15D>(prob, config, world, 4);
+    case Algo::k2D:
+      return std::make_unique<Dist2D>(prob, config, world);
+    case Algo::k3D:
+      return std::make_unique<Dist3D>(prob, config, world);
+  }
+  throw Error("unknown algo");
+}
+
+RunOutcome run_distributed(Algo algo, const Graph& g, const GnnConfig& config,
+                           int p, int epochs) {
+  const DistProblem prob = DistProblem::prepare(g);
+  RunOutcome outcome;
+  std::mutex mutex;
+  run_world(p, [&](Comm& world) {
+    auto trainer = make_trainer(algo, prob, config, world);
+    std::vector<Real> losses;
+    for (int e = 0; e < epochs; ++e) {
+      losses.push_back(trainer->train_epoch().loss);
+    }
+    const EpochStats reduced =
+        EpochStats::reduce_max(trainer->last_epoch_stats(), world);
+    Matrix out = trainer->gather_output();
+    if (world.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      outcome.losses = std::move(losses);
+      outcome.output = std::move(out);
+      outcome.stats = reduced;
+    }
+  });
+  return outcome;
+}
+
+/// Serial run collecting per-epoch losses and the epoch-K forward output.
+RunOutcome run_serial(const Graph& g, const GnnConfig& config, int epochs) {
+  SerialTrainer trainer(g, config);
+  RunOutcome outcome;
+  for (int e = 0; e < epochs; ++e) {
+    outcome.losses.push_back(trainer.train_epoch().loss);
+  }
+  outcome.output = trainer.activations().back();
+  return outcome;
+}
+
+class DistParity : public ::testing::TestWithParam<std::tuple<Algo, int>> {};
+
+TEST_P(DistParity, MatchesSerialLossesAndEmbeddings) {
+  const auto [algo, p] = GetParam();
+  const Graph g = test_graph(90, 12, 5, 42);
+  GnnConfig config = GnnConfig::three_layer(12, 5, 8);
+  config.learning_rate = 0.2;
+  const int epochs = 4;
+
+  const RunOutcome serial = run_serial(g, config, epochs);
+  const RunOutcome dist = run_distributed(algo, g, config, p, epochs);
+
+  ASSERT_EQ(dist.losses.size(), serial.losses.size());
+  for (int e = 0; e < epochs; ++e) {
+    EXPECT_NEAR(dist.losses[static_cast<std::size_t>(e)],
+                serial.losses[static_cast<std::size_t>(e)], kParityTol)
+        << "epoch " << e;
+  }
+  EXPECT_LE(Matrix::max_abs_diff(dist.output, serial.output), kParityTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OneD, DistParity,
+    ::testing::Combine(::testing::Values(Algo::k1D),
+                       ::testing::Values(1, 2, 3, 4, 7, 8)));
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoD, DistParity,
+    ::testing::Combine(::testing::Values(Algo::k2D),
+                       ::testing::Values(1, 4, 9, 16)));
+
+INSTANTIATE_TEST_SUITE_P(
+    OneAndAHalfD_c2, DistParity,
+    ::testing::Combine(::testing::Values(Algo::k15D_c2),
+                       ::testing::Values(2, 4, 6, 8)));
+
+INSTANTIATE_TEST_SUITE_P(
+    OneAndAHalfD_c4, DistParity,
+    ::testing::Combine(::testing::Values(Algo::k15D_c4),
+                       ::testing::Values(4, 8, 16)));
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreeD, DistParity,
+    ::testing::Combine(::testing::Values(Algo::k3D),
+                       ::testing::Values(1, 8, 27)));
+
+TEST(DistParity, UnevenBlockSizesStillMatch) {
+  // n deliberately not divisible by P or the grid dimension.
+  const Graph g = test_graph(101, 7, 3, 43);
+  GnnConfig config = GnnConfig::three_layer(7, 3, 5);
+  const RunOutcome serial = run_serial(g, config, 3);
+  const RunOutcome d1 = run_distributed(Algo::k1D, g, config, 6, 3);
+  const RunOutcome d2 = run_distributed(Algo::k2D, g, config, 9, 3);
+  EXPECT_LE(Matrix::max_abs_diff(d1.output, serial.output), kParityTol);
+  EXPECT_LE(Matrix::max_abs_diff(d2.output, serial.output), kParityTol);
+}
+
+TEST(DistParity, DirectedGraphMatchesAcrossAllFamilies) {
+  // A directed (asymmetric) adjacency exercises the A-vs-A^T handling: the
+  // forward pass multiplies by A^T, the backward by A, and the 2D/3D
+  // trainers materialize A through distributed transposes.
+  Rng rng(51);
+  Graph g;
+  g.name = "directed";
+  g.adjacency = gcn_normalize(rmat(80, 80 * 5, rng), /*symmetrize=*/false);
+  g.features = Matrix(80, 9);
+  g.features.fill_uniform(rng, -1, 1);
+  g.num_classes = 4;
+  g.labels.resize(80);
+  for (auto& label : g.labels) {
+    label = static_cast<Index>(rng.next_below(4));
+  }
+  GnnConfig config = GnnConfig::three_layer(9, 4, 6);
+
+  const RunOutcome serial = run_serial(g, config, 3);
+  for (const auto [algo, p] :
+       {std::pair<Algo, int>{Algo::k1D, 4},
+        {Algo::k15D_c2, 8},
+        {Algo::k2D, 9},
+        {Algo::k3D, 8}}) {
+    const RunOutcome dist = run_distributed(algo, g, config, p, 3);
+    EXPECT_LE(Matrix::max_abs_diff(dist.output, serial.output), kParityTol)
+        << "algo " << static_cast<int>(algo) << " P=" << p;
+  }
+}
+
+TEST(DistParity, MaskedLabelsMatchSerial) {
+  Graph g = test_graph(72, 8, 3, 52);
+  for (std::size_t v = 0; v < g.labels.size(); v += 3) g.labels[v] = -1;
+  GnnConfig config = GnnConfig::three_layer(8, 3, 5);
+  const RunOutcome serial = run_serial(g, config, 3);
+  for (const auto [algo, p] : {std::pair<Algo, int>{Algo::k1D, 6},
+                               {Algo::k2D, 4},
+                               {Algo::k3D, 8}}) {
+    const RunOutcome dist = run_distributed(algo, g, config, p, 3);
+    ASSERT_EQ(dist.losses.size(), serial.losses.size());
+    for (std::size_t e = 0; e < serial.losses.size(); ++e) {
+      EXPECT_NEAR(dist.losses[e], serial.losses[e], kParityTol);
+    }
+  }
+}
+
+TEST(DistParity, DeepNetworkMatchesOn3D) {
+  const Graph g = test_graph(100, 6, 3, 53);
+  GnnConfig config;
+  config.dims = {6, 10, 10, 10, 10, 3};  // 5 layers
+  const RunOutcome serial = run_serial(g, config, 2);
+  const RunOutcome dist = run_distributed(Algo::k3D, g, config, 27, 2);
+  EXPECT_LE(Matrix::max_abs_diff(dist.output, serial.output), kParityTol);
+}
+
+TEST(DistParity, ConfigGraphMismatchThrowsInWorld) {
+  const Graph g = test_graph(40, 8, 3, 54);
+  GnnConfig bad = GnnConfig::three_layer(9, 3);  // wrong input width
+  const DistProblem problem = DistProblem::prepare(g);
+  EXPECT_THROW(run_world(4,
+                         [&](Comm& world) {
+                           Dist2D trainer(problem, bad, world);
+                         }),
+               Error);
+}
+
+TEST(DistParity, ThreeDRejectsNonCubeWorld) {
+  const Graph g = test_graph(40, 8, 3, 55);
+  const DistProblem problem = DistProblem::prepare(g);
+  const GnnConfig config = GnnConfig::three_layer(8, 3);
+  EXPECT_THROW(run_world(4,
+                         [&](Comm& world) {
+                           Dist3D trainer(problem, config, world);
+                         }),
+               Error);
+}
+
+TEST(DistParity, FifteenDRejectsBadReplication) {
+  const Graph g = test_graph(40, 8, 3, 56);
+  const DistProblem problem = DistProblem::prepare(g);
+  const GnnConfig config = GnnConfig::three_layer(8, 3);
+  EXPECT_THROW(run_world(6,
+                         [&](Comm& world) {
+                           Dist15D trainer(problem, config, world, 4);
+                         }),
+               Error);
+}
+
+TEST(DistMeter, FifteenDDenseTrafficFallsWithReplication) {
+  // Section IV-B: c-fold replication cuts the broadcast volume ~1/c once
+  // P >> c^2 (the team-reduction terms scale with c/P). The closed form
+  // cost_15d predicts a ~0.34x ratio for c=4 at P=64.
+  const Graph g = test_graph(256, 16, 4, 57);
+  GnnConfig config;
+  config.dims = {16, 16, 16, 4};
+  const DistProblem problem = DistProblem::prepare(g);
+  const auto measure = [&](int c) {
+    double words = 0;
+    run_world(64, [&](Comm& world) {
+      Dist15D trainer(problem, config, world, c);
+      trainer.train_epoch();
+      const EpochStats s =
+          EpochStats::reduce_max(trainer.last_epoch_stats(), world);
+      if (world.rank() == 0) words = s.comm.words(CommCategory::kDense);
+    });
+    return words;
+  };
+  const double words_c1 = measure(1);
+  const double words_c4 = measure(4);
+  EXPECT_LT(words_c4, 0.5 * words_c1);
+}
+
+TEST(DistParity, TwoLayerNetworkMatches) {
+  const Graph g = test_graph(64, 10, 4, 44);
+  GnnConfig config;
+  config.dims = {10, 4};
+  const RunOutcome serial = run_serial(g, config, 3);
+  const RunOutcome d2 = run_distributed(Algo::k2D, g, config, 4, 3);
+  EXPECT_LE(Matrix::max_abs_diff(d2.output, serial.output), kParityTol);
+}
+
+// Optimizer state (momentum, Adam moments) is replicated alongside W, so
+// distributed parity must hold for every optimizer kind.
+class OptimizerParity : public ::testing::TestWithParam<OptimizerKind> {};
+
+TEST_P(OptimizerParity, DistributedMatchesSerial) {
+  const Graph g = test_graph(80, 10, 4, 60);
+  GnnConfig config = GnnConfig::three_layer(10, 4, 8);
+  config.learning_rate = 0.05;
+  config.optimizer.kind = GetParam();
+  const int epochs = 5;  // enough steps for momentum/Adam state to matter
+
+  const RunOutcome serial = run_serial(g, config, epochs);
+  for (const auto [algo, p] : {std::pair<Algo, int>{Algo::k1D, 4},
+                               {Algo::k2D, 9},
+                               {Algo::k3D, 8},
+                               {Algo::k15D_c2, 8}}) {
+    const RunOutcome dist = run_distributed(algo, g, config, p, epochs);
+    for (std::size_t e = 0; e < serial.losses.size(); ++e) {
+      EXPECT_NEAR(dist.losses[e], serial.losses[e], kParityTol)
+          << "algo " << static_cast<int>(algo) << " epoch " << e;
+    }
+    EXPECT_LE(Matrix::max_abs_diff(dist.output, serial.output), kParityTol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, OptimizerParity,
+                         ::testing::Values(OptimizerKind::kSgd,
+                                           OptimizerKind::kMomentum,
+                                           OptimizerKind::kAdam));
+
+// ---- Metered traffic vs the Section IV closed forms ----
+
+TEST(DistMeter, OneDDenseWordsMatchClosedForm) {
+  const Index n = 96;
+  const Index f = 8;  // uniform width keeps the formula exact
+  const Graph g = test_graph(n, f, 4, 45);
+  GnnConfig config;
+  config.dims = {f, f, f, 4};
+  const int p = 4;
+  const int L = 3;
+
+  const RunOutcome dist = run_distributed(Algo::k1D, g, config, p, 1);
+  const double dense_words = dist.stats.comm.words(CommCategory::kDense);
+
+  // Per layer and per rank: broadcasts deliver ~n*f (edgecut bound with the
+  // trailing f_out=4 layer slightly smaller), reduce-scatter ~n*f*(p-1)/p,
+  // all-reduce ~2*f^2*(p-1)/p. The closed form L*(edgecut*f + n*f + f^2)
+  // with edgecut = n(p-1)/p should agree within ~35% (layer-width taper and
+  // the meter charging the root its own block).
+  const CostInputs in = CostInputs::with_random_edgecut(
+      static_cast<double>(n), 0.0, static_cast<double>(f), p, L);
+  const double predicted = cost_1d(in).words;
+  EXPECT_GT(dense_words, 0.5 * predicted);
+  EXPECT_LT(dense_words, 1.6 * predicted);
+}
+
+TEST(DistMeter, TwoDDenseWordsScaleWithSqrtP) {
+  const Graph g = test_graph(144, 16, 4, 46);
+  GnnConfig config;
+  config.dims = {16, 16, 16, 4};
+
+  const RunOutcome p4 = run_distributed(Algo::k2D, g, config, 4, 1);
+  const RunOutcome p16 = run_distributed(Algo::k2D, g, config, 16, 1);
+  const double w4 = p4.stats.comm.words(CommCategory::kDense);
+  const double w16 = p16.stats.comm.words(CommCategory::kDense);
+  // Section IV-C: dense words per process fall by ~sqrt(4) = 2 when P
+  // quadruples. Allow generous slack for the f^2 replication terms and
+  // uneven blocks at this small scale.
+  EXPECT_GT(w4 / w16, 1.4);
+  EXPECT_LT(w4 / w16, 3.0);
+}
+
+TEST(DistMeter, TwoDSparseTrafficPresentAndTransposeCharged) {
+  const Graph g = test_graph(100, 8, 4, 47);
+  GnnConfig config = GnnConfig::three_layer(8, 4, 8);
+  const RunOutcome r = run_distributed(Algo::k2D, g, config, 9, 1);
+  EXPECT_GT(r.stats.comm.words(CommCategory::kSparse), 0.0);
+  EXPECT_GT(r.stats.comm.words(CommCategory::kTranspose), 0.0);
+  // 1D has no sparse movement at all (A never travels in Algorithm 1).
+  const RunOutcome r1 = run_distributed(Algo::k1D, g, config, 4, 1);
+  EXPECT_DOUBLE_EQ(r1.stats.comm.words(CommCategory::kSparse), 0.0);
+}
+
+TEST(DistMeter, SingleProcessMovesNoData) {
+  const Graph g = test_graph(64, 6, 3, 48);
+  GnnConfig config = GnnConfig::three_layer(6, 3, 4);
+  for (Algo algo : {Algo::k1D, Algo::k2D}) {
+    const RunOutcome r = run_distributed(algo, g, config, 1, 1);
+    EXPECT_DOUBLE_EQ(r.stats.comm.words(CommCategory::kDense), 0.0);
+    EXPECT_DOUBLE_EQ(r.stats.comm.words(CommCategory::kSparse), 0.0);
+  }
+}
+
+TEST(DistParity, GatherOutputIdenticalOnEveryRank) {
+  // gather_output is a collective returning the full H^L; every rank must
+  // observe bitwise the same matrix.
+  const Graph g = test_graph(60, 6, 3, 61);
+  const GnnConfig config = GnnConfig::three_layer(6, 3, 5);
+  const DistProblem problem = DistProblem::prepare(g);
+  run_world(9, [&](Comm& world) {
+    Dist2D trainer(problem, config, world);
+    trainer.train_epoch();
+    Matrix mine = trainer.gather_output();
+    // Compare against rank 0's copy via a broadcast.
+    Matrix reference = mine;
+    world.broadcast(reference.flat(), 0, CommCategory::kControl);
+    ASSERT_LE(Matrix::max_abs_diff(mine, reference), 0.0);
+  });
+}
+
+TEST(DistParity, RepeatedEpochsKeepWeightsReplicated) {
+  // After several epochs, every rank's replicated weights must agree
+  // exactly (any drift would indicate a non-deterministic reduction).
+  const Graph g = test_graph(70, 8, 4, 62);
+  GnnConfig config = GnnConfig::three_layer(8, 4, 6);
+  config.optimizer.kind = OptimizerKind::kAdam;
+  const DistProblem problem = DistProblem::prepare(g);
+  run_world(8, [&](Comm& world) {
+    Dist3D trainer(problem, config, world);
+    for (int e = 0; e < 4; ++e) trainer.train_epoch();
+    for (const Matrix& w : trainer.weights()) {
+      Matrix reference = w;
+      world.broadcast(reference.flat(), 0, CommCategory::kControl);
+      ASSERT_LE(Matrix::max_abs_diff(w, reference), 0.0);
+    }
+  });
+}
+
+TEST(DistStats, WorkMeterSeesSpmmOnAllRanks) {
+  const Graph g = test_graph(80, 8, 4, 49);
+  GnnConfig config = GnnConfig::three_layer(8, 4, 8);
+  const RunOutcome r = run_distributed(Algo::k2D, g, config, 4, 1);
+  EXPECT_GT(r.stats.work.spmm_flops(), 0.0);
+  EXPECT_GT(r.stats.work.gemm_flops(), 0.0);
+  EXPECT_GT(r.stats.work.total_seconds(), 0.0);
+}
+
+// Randomized differential sweep: random graph shape x random architecture
+// x every algorithm family, always compared against the serial oracle.
+class RandomizedDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedDifferential, AllFamiliesMatchSerial) {
+  const int trial = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(trial));
+  const Index n = 48 + static_cast<Index>(rng.next_below(80));
+  const Index f = 4 + static_cast<Index>(rng.next_below(10));
+  const Index classes = 2 + static_cast<Index>(rng.next_below(5));
+  const Index hidden = 3 + static_cast<Index>(rng.next_below(12));
+  const Index layers = 2 + static_cast<Index>(rng.next_below(3));
+  const bool directed = rng.next_below(2) == 0;
+
+  Graph g;
+  g.name = "fuzz";
+  g.adjacency = gcn_normalize(
+      rmat(n, n * (3 + static_cast<Index>(rng.next_below(6))), rng),
+      !directed);
+  g.features = Matrix(n, f);
+  g.features.fill_uniform(rng, -1, 1);
+  g.num_classes = classes;
+  g.labels.resize(static_cast<std::size_t>(n));
+  for (auto& label : g.labels) {
+    // ~1/8 of vertices unlabeled.
+    label = rng.next_below(8) == 0
+                ? Index{-1}
+                : static_cast<Index>(rng.next_below(
+                      static_cast<std::uint64_t>(classes)));
+  }
+
+  GnnConfig config;
+  config.dims.push_back(f);
+  for (Index l = 0; l + 1 < layers; ++l) config.dims.push_back(hidden);
+  config.dims.push_back(classes);
+  config.seed = 7 + static_cast<std::uint64_t>(trial);
+
+  const RunOutcome serial = run_serial(g, config, 2);
+  for (const auto [algo, p] : {std::pair<Algo, int>{Algo::k1D, 5},
+                               {Algo::k15D_c2, 6},
+                               {Algo::k2D, 16},
+                               {Algo::k3D, 8}}) {
+    const RunOutcome dist = run_distributed(algo, g, config, p, 2);
+    EXPECT_LE(Matrix::max_abs_diff(dist.output, serial.output), kParityTol)
+        << "trial " << trial << " algo " << static_cast<int>(algo);
+    for (std::size_t e = 0; e < serial.losses.size(); ++e) {
+      EXPECT_NEAR(dist.losses[e], serial.losses[e], kParityTol)
+          << "trial " << trial << " algo " << static_cast<int>(algo);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, RandomizedDifferential,
+                         ::testing::Range(0, 8));
+
+TEST(DistStats, ProfilerCoversAllPhasesFor2D) {
+  const Graph g = test_graph(81, 8, 4, 50);
+  GnnConfig config = GnnConfig::three_layer(8, 4, 8);
+  const RunOutcome r = run_distributed(Algo::k2D, g, config, 9, 1);
+  EXPECT_GT(r.stats.profiler.seconds(Phase::kSpmm), 0.0);
+  EXPECT_GT(r.stats.profiler.seconds(Phase::kDenseComm), 0.0);
+  EXPECT_GT(r.stats.profiler.seconds(Phase::kSparseComm), 0.0);
+  EXPECT_GT(r.stats.profiler.seconds(Phase::kTranspose), 0.0);
+  EXPECT_GT(r.stats.profiler.seconds(Phase::kMisc), 0.0);
+}
+
+}  // namespace
+}  // namespace cagnet

@@ -1,0 +1,400 @@
+// Tests for the paper-called-out extensions: semiring SpMM (Section I),
+// neighbor sampling + mini-batch training (Section VII future work),
+// Matrix Market I/O, and model checkpointing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/dense/ops.hpp"
+#include "src/gnn/checkpoint.hpp"
+#include "src/gnn/sampling.hpp"
+#include "src/gnn/serial_trainer.hpp"
+#include "src/graph/mmio.hpp"
+#include "src/sparse/generate.hpp"
+#include "src/sparse/semiring.hpp"
+
+namespace cagnet {
+namespace {
+
+// ---------- semirings ----------
+
+TEST(Semiring, PlusTimesMatchesStandardSpmm) {
+  Rng rng(1);
+  Coo coo(10, 10);
+  for (int e = 0; e < 40; ++e) {
+    coo.add(static_cast<Index>(rng.next_below(10)),
+            static_cast<Index>(rng.next_below(10)), rng.next_double(-1, 1));
+  }
+  const Csr a = Csr::from_coo(coo);
+  Matrix x(10, 4);
+  x.fill_uniform(rng, -1, 1);
+  const Matrix standard = a.multiply(x);
+  Matrix semi(10, 4);
+  spmm_semiring<PlusTimes>(a, x, semi);
+  EXPECT_LE(Matrix::max_abs_diff(standard, semi), 1e-14);
+}
+
+TEST(Semiring, MinPlusPerformsBellmanFordRelaxation) {
+  // Path 0 -> 1 -> 2 with weights 2 and 3; distances from vertex 0.
+  Coo coo(3, 3);
+  coo.add(1, 0, 2.0);  // row i holds in-edges of i: dist(1) <- dist(0) + 2
+  coo.add(2, 1, 3.0);
+  // Self loops with weight 0 keep already-settled distances.
+  coo.add(0, 0, 0.0);
+  coo.add(1, 1, 0.0);
+  coo.add(2, 2, 0.0);
+  const Csr a = Csr::from_coo(coo);
+
+  Matrix dist(3, 1);
+  dist(0, 0) = 0;
+  dist(1, 0) = std::numeric_limits<Real>::infinity();
+  dist(2, 0) = std::numeric_limits<Real>::infinity();
+  Matrix next(3, 1);
+  spmm_semiring<MinPlus>(a, dist, next);  // one relaxation
+  EXPECT_EQ(next(1, 0), 2.0);
+  EXPECT_TRUE(std::isinf(next(2, 0)));
+  spmm_semiring<MinPlus>(a, next, dist);  // second relaxation
+  EXPECT_EQ(dist(2, 0), 5.0);
+}
+
+TEST(Semiring, OrAndExpandsBfsFrontier) {
+  // Star: 0 -> {1,2,3}; one OrAnd step reaches all leaves.
+  Coo coo(4, 4);
+  for (Index leaf = 1; leaf < 4; ++leaf) coo.add(leaf, 0, 1.0);
+  for (Index v = 0; v < 4; ++v) coo.add(v, v, 1.0);
+  const Csr a = Csr::from_coo(coo);
+  Matrix frontier(4, 1);
+  frontier(0, 0) = 1;
+  Matrix reached(4, 1);
+  spmm_semiring<OrAnd>(a, frontier, reached);
+  for (Index v = 0; v < 4; ++v) EXPECT_EQ(reached(v, 0), 1.0);
+}
+
+TEST(Semiring, MaxTimesIsMaxPoolingAggregator) {
+  Coo coo(2, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 2, 1.0);
+  coo.add(1, 2, 2.0);
+  const Csr a = Csr::from_coo(coo);
+  Matrix x(3, 2);
+  x(0, 0) = 5;
+  x(1, 0) = -1;
+  x(2, 0) = 3;
+  x(0, 1) = 0.5;
+  x(1, 1) = 4;
+  x(2, 1) = 1;
+  Matrix y(2, 2);
+  spmm_semiring<MaxTimes>(a, x, y);
+  EXPECT_EQ(y(0, 0), 5.0);   // max over all three
+  EXPECT_EQ(y(0, 1), 4.0);
+  EXPECT_EQ(y(1, 0), 6.0);   // 2 * 3
+  EXPECT_EQ(y(1, 1), 2.0);   // 2 * 1
+}
+
+TEST(Semiring, EmptyRowsYieldIdentity) {
+  const Csr a(2, 2);  // all empty
+  Matrix x(2, 1);
+  x.fill(7.0);
+  Matrix y(2, 1);
+  spmm_semiring<MinPlus>(a, x, y);
+  EXPECT_TRUE(std::isinf(y(0, 0)));
+  spmm_semiring<PlusTimes>(a, x, y);
+  EXPECT_EQ(y(0, 0), 0.0);
+}
+
+// ---------- Matrix Market I/O ----------
+
+TEST(Mmio, RoundTripPreservesMatrix) {
+  Rng rng(2);
+  Coo coo = erdos_renyi(30, 4, rng);
+  const Csr original = Csr::from_coo(coo);
+  std::stringstream buffer;
+  write_matrix_market(buffer, original);
+  const Csr reloaded = Csr::from_coo(read_matrix_market(buffer));
+  EXPECT_TRUE(original == reloaded);
+}
+
+TEST(Mmio, ParsesSymmetricPattern) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% a triangle\n"
+      "3 3 3\n"
+      "2 1\n"
+      "3 1\n"
+      "3 2\n");
+  const Csr a = Csr::from_coo(read_matrix_market(in));
+  EXPECT_EQ(a.nnz(), 6);  // both triangles
+  const Matrix d = a.to_dense();
+  EXPECT_EQ(d(0, 1), 1.0);
+  EXPECT_EQ(d(1, 0), 1.0);
+  EXPECT_EQ(d(2, 0), 1.0);
+}
+
+TEST(Mmio, ParsesIntegerGeneralWithComments) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "% comment one\n"
+      "% comment two\n"
+      "2 3 2\n"
+      "1 3 7\n"
+      "2 1 -2\n");
+  const Csr a = Csr::from_coo(read_matrix_market(in));
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.to_dense()(0, 2), 7.0);
+  EXPECT_EQ(a.to_dense()(1, 0), -2.0);
+}
+
+TEST(Mmio, SkewSymmetricNegatesMirror) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.5\n");
+  const Matrix d = Csr::from_coo(read_matrix_market(in)).to_dense();
+  EXPECT_EQ(d(1, 0), 3.5);
+  EXPECT_EQ(d(0, 1), -3.5);
+}
+
+TEST(Mmio, RejectsMalformedInput) {
+  std::stringstream bad_banner("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(bad_banner), Error);
+  std::stringstream bad_format(
+      "%%MatrixMarket matrix array real general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(bad_format), Error);
+  std::stringstream out_of_range(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(out_of_range), Error);
+  std::stringstream truncated(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(truncated), Error);
+}
+
+TEST(Mmio, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cagnet_mmio_test.mtx")
+          .string();
+  Rng rng(3);
+  const Csr original = Csr::from_coo(erdos_renyi(20, 3, rng));
+  write_matrix_market_file(path, original);
+  const Csr reloaded = Csr::from_coo(read_matrix_market_file(path));
+  EXPECT_TRUE(original == reloaded);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_matrix_market_file(path), Error);
+}
+
+// ---------- sampling + mini-batch ----------
+
+Graph community_graph(Index n, Index communities, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  g.name = "communities";
+  Coo coo = planted_partition(n, communities, 10, 1, rng, 0.0);
+  g.adjacency = gcn_normalize(std::move(coo), true);
+  g.features = Matrix(n, 8);
+  g.features.fill_uniform(rng, -1, 1);
+  g.num_classes = communities;
+  g.labels.resize(static_cast<std::size_t>(n));
+  const Index comm_size = (n + communities - 1) / communities;
+  for (Index v = 0; v < n; ++v) {
+    g.labels[static_cast<std::size_t>(v)] = v / comm_size;
+  }
+  return g;
+}
+
+TEST(Sampling, SeedsComeFirstAndAreUnique) {
+  const Graph g = community_graph(200, 4, 4);
+  const Csr at = g.adjacency.transposed();
+  Rng rng(5);
+  const std::vector<Index> seeds = {7, 42, 130};
+  const std::vector<Index> fanouts = {5, 5};
+  const SampledSubgraph sub = sample_subgraph(g, at, seeds, fanouts, rng);
+  ASSERT_GE(sub.vertices.size(), seeds.size());
+  EXPECT_EQ(sub.num_seeds, 3);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(sub.vertices[i], seeds[i]);
+  }
+  std::set<Index> unique(sub.vertices.begin(), sub.vertices.end());
+  EXPECT_EQ(unique.size(), sub.vertices.size());
+}
+
+TEST(Sampling, FanoutBoundsNeighborhoodExplosion) {
+  const Graph g = community_graph(500, 5, 6);
+  const Csr at = g.adjacency.transposed();
+  Rng rng(7);
+  const std::vector<Index> seeds = {0, 1};
+  const std::vector<Index> fanouts = {3, 3};
+  const SampledSubgraph sub = sample_subgraph(g, at, seeds, fanouts, rng);
+  // At most seeds * (1 + f1 + f1*f2) vertices.
+  EXPECT_LE(static_cast<Index>(sub.vertices.size()), 2 * (1 + 3 + 9));
+}
+
+TEST(Sampling, SubgraphValuesMatchGlobalAdjacency) {
+  const Graph g = community_graph(120, 3, 8);
+  const Csr at = g.adjacency.transposed();
+  Rng rng(9);
+  const std::vector<Index> seeds = {11, 57};
+  const std::vector<Index> fanouts = {4};
+  const SampledSubgraph sub = sample_subgraph(g, at, seeds, fanouts, rng);
+  const Matrix global = g.adjacency.to_dense();
+  const Matrix local = sub.adjacency.to_dense();
+  for (std::size_t i = 0; i < sub.vertices.size(); ++i) {
+    for (std::size_t j = 0; j < sub.vertices.size(); ++j) {
+      EXPECT_NEAR(local(static_cast<Index>(i), static_cast<Index>(j)),
+                  global(sub.vertices[i], sub.vertices[j]), 1e-14);
+    }
+  }
+}
+
+TEST(Sampling, OnlySeedsKeepLabels) {
+  const Graph g = community_graph(150, 3, 10);
+  const Csr at = g.adjacency.transposed();
+  Rng rng(11);
+  const std::vector<Index> seeds = {20};
+  const std::vector<Index> fanouts = {6, 6};
+  const SampledSubgraph sub = sample_subgraph(g, at, seeds, fanouts, rng);
+  EXPECT_EQ(sub.labels[0], g.labels[20]);
+  for (std::size_t i = 1; i < sub.labels.size(); ++i) {
+    EXPECT_EQ(sub.labels[i], -1);
+  }
+}
+
+TEST(Sampling, FullFanoutCoversExactNeighborhood) {
+  const Graph g = community_graph(100, 2, 12);
+  const Csr at = g.adjacency.transposed();
+  Rng rng(13);
+  const std::vector<Index> seeds = {5};
+  const std::vector<Index> fanouts = {1000};  // > max degree: take all
+  const SampledSubgraph sub = sample_subgraph(g, at, seeds, fanouts, rng);
+  // Must contain exactly seed + its in-neighborhood.
+  std::set<Index> expected = {5};
+  const auto rp = at.row_ptr();
+  const auto ci = at.col_idx();
+  for (Index p = rp[5]; p < rp[6]; ++p) expected.insert(ci[p]);
+  const std::set<Index> got(sub.vertices.begin(), sub.vertices.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(MiniBatch, LearnsCommunitiesAboveChance) {
+  const Graph g = community_graph(300, 3, 14);
+  GnnConfig config;
+  config.dims = {8, 16, 3};
+  config.learning_rate = 0.01;
+  config.optimizer.kind = OptimizerKind::kAdam;
+  MiniBatchOptions options;
+  options.batch_size = 32;
+  options.fanouts = {8, 8};
+  MiniBatchTrainer trainer(g, config, options);
+  EXPECT_EQ(trainer.batches_per_epoch(), (300 + 31) / 32);
+
+  EpochResult r{};
+  for (int e = 0; e < 15; ++e) r = trainer.train_epoch();
+  // Chance is 1/3; community structure is learnable well above that.
+  EXPECT_GT(r.accuracy, 0.6);
+  // Full-graph inference agrees on being meaningfully predictive.
+  const Matrix probs = trainer.predict();
+  EXPECT_GT(accuracy(probs, g.labels), 0.6);
+}
+
+TEST(MiniBatch, LossDecreases) {
+  const Graph g = community_graph(200, 4, 15);
+  GnnConfig config;
+  config.dims = {8, 12, 4};
+  config.learning_rate = 0.02;
+  config.optimizer.kind = OptimizerKind::kAdam;
+  MiniBatchOptions options;
+  options.batch_size = 25;
+  options.fanouts = {6, 6};
+  MiniBatchTrainer trainer(g, config, options);
+  const Real first = trainer.train_epoch().loss;
+  Real last = first;
+  for (int e = 0; e < 10; ++e) last = trainer.train_epoch().loss;
+  EXPECT_LT(last, first);
+}
+
+TEST(MiniBatch, FullFanoutSingleBatchMatchesFullBatchLoss) {
+  // With one batch covering every (labeled) vertex, unbounded fanouts, and
+  // enough hops to reach the whole connected graph, the sampled subgraph
+  // is the whole graph (reordered), so the first batch's loss equals the
+  // full-batch trainer's first-epoch loss.
+  const Graph g = community_graph(120, 2, 18);
+  GnnConfig config;
+  config.dims = {8, 6, 2};
+
+  MiniBatchOptions options;
+  options.batch_size = 120;           // one batch
+  options.fanouts = {100000, 100000}; // take every neighbor
+  MiniBatchTrainer sampled(g, config, options);
+  const Real minibatch_loss = sampled.train_epoch().loss;
+
+  SerialTrainer full(g, config);
+  const Real full_loss = full.train_epoch().loss;
+  // The subgraph permutes vertices (seeds first), so losses agree up to
+  // accumulation-order error only if the sampled vertex set is complete.
+  EXPECT_NEAR(minibatch_loss, full_loss, 1e-8);
+}
+
+TEST(MiniBatch, RequiresLabeledVertices) {
+  Graph g = community_graph(50, 2, 16);
+  for (auto& label : g.labels) label = -1;
+  GnnConfig config;
+  config.dims = {8, 2};
+  EXPECT_THROW(MiniBatchTrainer(g, config, MiniBatchOptions{}), Error);
+}
+
+// ---------- checkpointing ----------
+
+TEST(Checkpoint, RoundTripPreservesWeights) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cagnet_ckpt_test.bin")
+          .string();
+  GnnConfig config = GnnConfig::three_layer(12, 5);
+  const auto weights = make_weights(config);
+  save_weights(path, weights);
+  const auto reloaded = load_weights(path);
+  ASSERT_EQ(reloaded.size(), weights.size());
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    EXPECT_TRUE(Matrix::allclose(weights[l], reloaded[l], 0.0));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsCorruptFiles) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cagnet_ckpt_bad.bin")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_THROW(load_weights(path), Error);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_weights(path), Error);
+}
+
+TEST(Checkpoint, TrainedModelResumesExactly) {
+  const Graph g = community_graph(80, 2, 17);
+  GnnConfig config;
+  config.dims = {8, 10, 2};
+  SerialTrainer a(g, config);
+  for (int e = 0; e < 5; ++e) a.train_epoch();
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cagnet_ckpt_resume.bin")
+          .string();
+  save_weights(path, a.weights());
+
+  SerialTrainer b(g, config);
+  b.weights() = load_weights(path);
+  // Same weights -> identical forward output.
+  EXPECT_TRUE(Matrix::allclose(a.forward(), b.forward(), 0.0));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cagnet

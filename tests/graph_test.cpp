@@ -1,0 +1,250 @@
+// Tests for src/graph: GCN normalization invariants, permutations,
+// partitioners and edge-cut metrics, and the synthetic dataset registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "src/graph/datasets.hpp"
+#include "src/graph/graph.hpp"
+#include "src/graph/partition.hpp"
+#include "src/sparse/generate.hpp"
+#include "src/sparse/stats.hpp"
+
+namespace cagnet {
+namespace {
+
+Coo path_graph(Index n) {
+  Coo coo(n, n);
+  for (Index i = 0; i + 1 < n; ++i) coo.add(i, i + 1, 1.0);
+  return coo;
+}
+
+TEST(Normalize, SelfLoopsGuaranteeFullDiagonal) {
+  const Csr a = gcn_normalize(path_graph(5), /*symmetrize=*/true);
+  const Matrix d = a.to_dense();
+  for (Index i = 0; i < 5; ++i) EXPECT_GT(d(i, i), 0.0);
+}
+
+TEST(Normalize, SymmetricInputYieldsSymmetricMatrix) {
+  Rng rng(1);
+  Coo coo = erdos_renyi(50, 4, rng);
+  const Csr a = gcn_normalize(coo, /*symmetrize=*/true);
+  const Matrix d = a.to_dense();
+  for (Index i = 0; i < 50; ++i) {
+    for (Index j = 0; j < i; ++j) EXPECT_NEAR(d(i, j), d(j, i), 1e-14);
+  }
+}
+
+TEST(Normalize, SpectralRadiusAtMostOne) {
+  // D^-1/2 (A+I) D^-1/2 of an undirected graph has eigenvalues in [-1, 1];
+  // verify via power iteration on a small graph.
+  Rng rng(2);
+  const Csr a = gcn_normalize(erdos_renyi(40, 5, rng), /*symmetrize=*/true);
+  Matrix v(40, 1);
+  v.fill_uniform(rng, -1, 1);
+  Real norm = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const Matrix w = a.multiply(v);
+    norm = w.frobenius_norm();
+    ASSERT_GT(norm, 0);
+    v = w;
+    for (Real& x : v.flat()) x /= norm;
+  }
+  EXPECT_LE(norm, 1.0 + 1e-9);
+}
+
+TEST(Normalize, RowValueIsInverseDegreeForRegularGraph) {
+  // A cycle is 2-regular; with self loops every modified degree is 3, so
+  // every nonzero equals 1/3.
+  Coo coo(6, 6);
+  for (Index i = 0; i < 6; ++i) coo.add(i, (i + 1) % 6, 1.0);
+  const Csr a = gcn_normalize(coo, /*symmetrize=*/true);
+  for (Real v : a.values()) EXPECT_NEAR(v, 1.0 / 3.0, 1e-14);
+}
+
+TEST(Normalize, RejectsRectangular) {
+  Coo coo(3, 4);
+  EXPECT_THROW(gcn_normalize(coo, false), Error);
+}
+
+TEST(Permutation, IsBijective) {
+  Rng rng(3);
+  const auto perm = random_permutation(100, rng);
+  std::set<Index> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(Partition, BlockPartitionMatchesBlockRange) {
+  for (Index n : {10, 103, 64}) {
+    for (int parts : {1, 3, 7}) {
+      const Partition p = block_partition(n, parts);
+      for (int q = 0; q < parts; ++q) {
+        const auto [lo, hi] = std::pair<Index, Index>{n * q / parts,
+                                                      n * (q + 1) / parts};
+        for (Index v = lo; v < hi; ++v) {
+          EXPECT_EQ(p.owner[static_cast<std::size_t>(v)], q)
+              << "n=" << n << " parts=" << parts << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, RandomPartitionIsBalanced) {
+  Rng rng(4);
+  const Partition p = random_partition(1000, 8, rng);
+  std::vector<Index> counts(8, 0);
+  for (Index o : p.owner) ++counts[static_cast<std::size_t>(o)];
+  for (Index c : counts) EXPECT_EQ(c, 125);
+}
+
+TEST(Partition, GreedyCoversAllVertices) {
+  Rng rng(5);
+  const Csr a = Csr::from_coo(erdos_renyi(500, 6, rng));
+  const Partition p = greedy_bfs_partition(a, 7);
+  ASSERT_EQ(p.size(), 500);
+  for (Index o : p.owner) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, 7);
+  }
+}
+
+TEST(Partition, GreedyRespectsCapacitySlack) {
+  Rng rng(6);
+  const Csr a = Csr::from_coo(erdos_renyi(600, 5, rng));
+  const double slack = 1.05;
+  const Partition p = greedy_bfs_partition(a, 6, slack);
+  std::vector<Index> counts(6, 0);
+  for (Index o : p.owner) ++counts[static_cast<std::size_t>(o)];
+  // The last part absorbs leftovers; all others obey the cap.
+  const auto cap = static_cast<Index>(slack * 100 + 1);
+  for (std::size_t q = 0; q + 1 < counts.size(); ++q) {
+    EXPECT_LE(counts[q], cap);
+  }
+}
+
+TEST(Partition, EdgeCutZeroForSinglePart) {
+  Rng rng(7);
+  const Csr a = Csr::from_coo(erdos_renyi(100, 4, rng));
+  const auto s = edge_cut(a, block_partition(100, 1));
+  EXPECT_EQ(s.total_cut_edges, 0);
+  EXPECT_EQ(s.max_cut_edges_per_part, 0);
+  EXPECT_EQ(s.max_remote_rows_per_part, 0);
+}
+
+TEST(Partition, EdgeCutCountsCrossEdges) {
+  // 4-cycle split into two halves: vertices {0,1} and {2,3}.
+  Coo coo(4, 4);
+  coo.add(0, 1, 1);
+  coo.add(1, 2, 1);
+  coo.add(2, 3, 1);
+  coo.add(3, 0, 1);
+  const Csr a = Csr::from_coo(coo);
+  const auto s = edge_cut(a, block_partition(4, 2));
+  EXPECT_EQ(s.total_cut_edges, 2);          // (1,2) and (3,0)
+  EXPECT_EQ(s.max_cut_edges_per_part, 1);   // one each
+  EXPECT_EQ(s.max_remote_rows_per_part, 1); // one remote vertex each
+}
+
+TEST(Partition, MaxMetricsBoundedByTotals) {
+  Rng rng(8);
+  const Csr a = Csr::from_coo(rmat(800, 8000, rng));
+  Rng prng(9);
+  const Partition p = random_partition(800, 8, prng);
+  const auto s = edge_cut(a, p);
+  EXPECT_LE(s.max_cut_edges_per_part, s.total_cut_edges);
+  EXPECT_LE(s.max_remote_rows_per_part, 800);
+  EXPECT_GE(s.max_cut_edges_per_part,
+            s.total_cut_edges / 8);  // max >= mean
+}
+
+// The Section IV-A.8 phenomenon: a locality partitioner cuts the *total*
+// edge count substantially, but the busiest process improves much less on
+// a skewed graph.
+TEST(Partition, GreedyBeatsRandomOnTotalCut) {
+  Rng rng(10);
+  Coo coo = rmat(2000, 30000, rng);
+  coo.symmetrize();
+  const Csr a = Csr::from_coo(coo);
+  Rng prng(11);
+  const Partition random = random_partition(a.rows(), 16, prng);
+  const Partition greedy = greedy_bfs_partition(a, 16);
+  const auto s_random = edge_cut(a, random);
+  const auto s_greedy = edge_cut(a, greedy);
+  EXPECT_LT(s_greedy.total_cut_edges, s_random.total_cut_edges);
+}
+
+TEST(Datasets, TableSixSpecsMatchPaper) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(dataset_spec("reddit").vertices, 232965);
+  EXPECT_EQ(dataset_spec("reddit").edges, 114848857);
+  EXPECT_EQ(dataset_spec("reddit").features, 602);
+  EXPECT_EQ(dataset_spec("reddit").labels, 41);
+  EXPECT_EQ(dataset_spec("amazon").vertices, 9430088);
+  EXPECT_EQ(dataset_spec("amazon").edges, 231594310);
+  EXPECT_EQ(dataset_spec("protein").vertices, 8745542);
+  EXPECT_EQ(dataset_spec("protein").edges, 1058120062);
+  EXPECT_EQ(dataset_spec("protein").labels, 256);
+  EXPECT_THROW(dataset_spec("citeseer"), Error);
+}
+
+TEST(Datasets, SyntheticPreservesShapeAtScale) {
+  SyntheticOptions opt;
+  opt.scale = 1.0 / 512;
+  opt.max_features = 64;
+  const Graph g = make_dataset("amazon", opt);
+  const auto& spec = dataset_spec("amazon");
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()),
+              spec.vertices / 512.0, spec.vertices / 512.0 * 0.01 + 2);
+  EXPECT_EQ(g.feature_dim(), 64);
+  EXPECT_EQ(g.num_classes, 24);
+  EXPECT_EQ(g.labels.size(), static_cast<std::size_t>(g.num_vertices()));
+  // Average degree of the normalized matrix is within 3x of the spec's
+  // (symmetrization + self loops grow it; duplicate merges shrink it).
+  const double d = degree_stats(g.adjacency).avg_degree;
+  EXPECT_GT(d, 0.5 * spec.avg_degree());
+  EXPECT_LT(d, 3.0 * spec.avg_degree());
+}
+
+TEST(Datasets, AllLabelsWithinRange) {
+  SyntheticOptions opt;
+  opt.scale = 1.0 / 1024;
+  opt.max_features = 16;
+  for (const auto& spec : paper_datasets()) {
+    const Graph g = make_synthetic(spec, opt);
+    for (Index label : g.labels) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, spec.labels);
+    }
+  }
+}
+
+TEST(Datasets, DeterministicForFixedSeed) {
+  SyntheticOptions opt;
+  opt.scale = 1.0 / 1024;
+  opt.max_features = 8;
+  const Graph a = make_dataset("protein", opt);
+  const Graph b = make_dataset("protein", opt);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(Matrix::allclose(a.features, b.features, 0.0));
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Datasets, SeedChangesTopology) {
+  SyntheticOptions a;
+  a.scale = 1.0 / 1024;
+  a.max_features = 8;
+  SyntheticOptions b = a;
+  b.seed = 777;
+  const Graph ga = make_dataset("reddit", a);
+  const Graph gb = make_dataset("reddit", b);
+  EXPECT_FALSE(Matrix::allclose(ga.features, gb.features, 1e-12));
+}
+
+}  // namespace
+}  // namespace cagnet

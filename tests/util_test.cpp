@@ -1,0 +1,197 @@
+// Unit tests for src/util: RNG determinism and stream independence, the
+// phase profiler, CLI parsing, and the error check machinery.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/util/cli.hpp"
+#include "src/util/error.hpp"
+#include "src/util/profiler.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/timer.hpp"
+
+namespace cagnet {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleRangeRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double(-2.5, 1.5);
+    EXPECT_GE(d, -2.5);
+    EXPECT_LT(d, 1.5);
+  }
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(99);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng p1(5);
+  Rng p2(5);
+  Rng a = p1.split(17);
+  Rng b = p2.split(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, MeanOfUniformIsCentered) {
+  Rng rng(123);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Profiler, AccumulatesPerPhase) {
+  Profiler p;
+  p.add(Phase::kSpmm, 1.5);
+  p.add(Phase::kSpmm, 0.5);
+  p.add(Phase::kDenseComm, 2.0);
+  EXPECT_DOUBLE_EQ(p.seconds(Phase::kSpmm), 2.0);
+  EXPECT_DOUBLE_EQ(p.seconds(Phase::kDenseComm), 2.0);
+  EXPECT_DOUBLE_EQ(p.seconds(Phase::kSparseComm), 0.0);
+  EXPECT_DOUBLE_EQ(p.total_seconds(), 4.0);
+}
+
+TEST(Profiler, MergeMaxTakesPerPhaseMax) {
+  Profiler a;
+  Profiler b;
+  a.add(Phase::kSpmm, 3.0);
+  a.add(Phase::kMisc, 1.0);
+  b.add(Phase::kSpmm, 2.0);
+  b.add(Phase::kMisc, 5.0);
+  a.merge_max(b);
+  EXPECT_DOUBLE_EQ(a.seconds(Phase::kSpmm), 3.0);
+  EXPECT_DOUBLE_EQ(a.seconds(Phase::kMisc), 5.0);
+}
+
+TEST(Profiler, ScopedPhaseAddsTime) {
+  Profiler p;
+  {
+    ScopedPhase scope(p, Phase::kTranspose);
+    WallTimer t;
+    while (t.seconds() < 0.01) {
+    }
+  }
+  EXPECT_GE(p.seconds(Phase::kTranspose), 0.009);
+}
+
+TEST(Profiler, PhaseNamesMatchPaperFigure3) {
+  EXPECT_STREQ(phase_name(Phase::kMisc), "misc");
+  EXPECT_STREQ(phase_name(Phase::kTranspose), "trpose");
+  EXPECT_STREQ(phase_name(Phase::kDenseComm), "dcomm");
+  EXPECT_STREQ(phase_name(Phase::kSparseComm), "scomm");
+  EXPECT_STREQ(phase_name(Phase::kSpmm), "spmm");
+}
+
+TEST(Cli, ParsesSpaceAndEqualsForms) {
+  // A bare boolean flag must come last (or use --flag=): a following
+  // non-flag token would be consumed as its value.
+  const char* argv[] = {"prog", "positional", "--alpha", "3", "--beta=4.5",
+                        "--flag"};
+  CliArgs args(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(args.get_double("beta", 0), 4.5);
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_FALSE(args.has("missing"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Cli, FallbacksUsedWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.get("name", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("n", 7), 7);
+}
+
+TEST(Cli, ParsesIntLists) {
+  const char* argv[] = {"prog", "--procs", "4,16,64"};
+  CliArgs args(3, const_cast<char**>(argv));
+  const auto procs = args.get_int_list("procs", {});
+  ASSERT_EQ(procs.size(), 3u);
+  EXPECT_EQ(procs[0], 4);
+  EXPECT_EQ(procs[1], 16);
+  EXPECT_EQ(procs[2], 64);
+  EXPECT_EQ(args.get_int_list("missing", {1, 2}).size(), 2u);
+}
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    CAGNET_CHECK(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(CAGNET_CHECK(true, "fine"));
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  WallTimer spin;
+  while (spin.seconds() < 0.01) {
+  }
+  EXPECT_GE(t.seconds(), 0.009);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.01);
+}
+
+}  // namespace
+}  // namespace cagnet
