@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
       EpochResult r{};
       for (int e = 0; e < 2; ++e) r = trainer.train_epoch();
       const EpochStats s =
-          EpochStats::reduce_max(trainer.last_epoch_stats(), world);
+          trainer.reduce_epoch_stats();
       if (world.rank() == 0) {
         words = s.comm.words(CommCategory::kDense);
         ms = 1e3 * s.comm.modeled_seconds(summit);

@@ -81,7 +81,7 @@ inline Fig2Point run_2d(const ScaledDataset& data, int procs, int epochs,
     EpochResult r{};
     for (int e = 0; e < epochs; ++e) r = trainer.train_epoch();
     const EpochStats s =
-        EpochStats::reduce_max(trainer.last_epoch_stats(), world);
+        trainer.reduce_epoch_stats();
     if (world.rank() == 0) {
       point.stats = s;
       point.loss = r.loss;

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
       Dist1D trainer(problem, config, world);
       trainer.train_epoch();
       const EpochStats s =
-          EpochStats::reduce_max(trainer.last_epoch_stats(), world);
+          trainer.reduce_epoch_stats();
       if (world.rank() == 0) metered = s.comm.words(CommCategory::kDense);
     });
     const CostInputs in = CostInputs::with_random_edgecut(
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
         Dist2D trainer(problem, config, world);
         trainer.train_epoch();
         const EpochStats s =
-            EpochStats::reduce_max(trainer.last_epoch_stats(), world);
+            trainer.reduce_epoch_stats();
         if (world.rank() == 0) {
           out.stats = s;
           out.modeled_epoch_seconds = s.modeled_seconds(summit);

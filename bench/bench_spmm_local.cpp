@@ -20,6 +20,7 @@
 #include "src/sparse/spmm_kernel.hpp"
 #include "src/sparse/stats.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/timer.hpp"
 
 namespace cagnet {
 namespace {
@@ -124,6 +125,58 @@ void BM_SpmmKernelPrecision(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmmKernelPrecision<float>);
 BENCHMARK(BM_SpmmKernelPrecision<double>);
+
+// (4) Thread scaling of the row-block-parallel kernel. The paper's kernel
+// runs on a saturated GPU; here the CPU kernel splits contiguous,
+// nnz-balanced row blocks across std::thread workers (CAGNET_THREADS caps
+// the automatic choice; the benchmark passes explicit counts). The
+// "speedup" counter is serial seconds / per-iteration seconds.
+double serial_spmm_seconds(const Csr& a, const Matrix& x, Matrix& y) {
+  // One warm-up plus three timed runs of the single-threaded kernel.
+  static double cached = -1;
+  if (cached >= 0) return cached;
+  const auto run = [&] {
+    spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
+                          a.values().data(), x.data(), x.cols(), y.data(),
+                          /*accumulate=*/false, /*num_threads=*/1);
+  };
+  run();
+  WallTimer timer;
+  for (int i = 0; i < 3; ++i) run();
+  cached = timer.seconds() / 3;
+  return cached;
+}
+
+void BM_SpmmThreadScaling(benchmark::State& state) {
+  const Index n = 16384;
+  const Index f = 64;
+  const int threads = static_cast<int>(state.range(0));
+  const Csr a = make_er(n, 24, 18);
+  Matrix x(n, f);
+  Rng rng(19);
+  x.fill_uniform(rng, -1, 1);
+  Matrix y(n, f);
+  const double serial_seconds = serial_spmm_seconds(a, x, y);
+  for (auto _ : state) {
+    spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
+                          a.values().data(), x.data(), f, y.data(),
+                          /*accumulate=*/false, threads);
+    benchmark::DoNotOptimize(y.data());
+  }
+  const double flops = 2.0 * static_cast<double>(a.nnz()) *
+                       static_cast<double>(f);
+  state.counters["GFlop/s"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+  // kIsRate divides by total elapsed: serial_secs * iters / elapsed
+  // = serial seconds per iteration seconds = the parallel speedup.
+  state.counters["speedup_vs_1t"] = benchmark::Counter(
+      serial_seconds * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_SpmmThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace cagnet

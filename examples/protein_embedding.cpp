@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     for (int e = 0; e < epochs; ++e) {
       r = trainer.train_epoch();
       const EpochStats s =
-          EpochStats::reduce_max(trainer.last_epoch_stats(), world);
+          trainer.reduce_epoch_stats();
       if (world.rank() == 0) {
         std::printf("  epoch %d: loss %.4f | modeled Summit epoch %.3f s "
                     "(comm %.3f s, spmm %.3f s, gemm %.3f s)\n",

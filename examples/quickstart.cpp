@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     EpochResult r{};
     for (int e = 0; e < epochs; ++e) r = trainer.train_epoch();
     const EpochStats stats =
-        EpochStats::reduce_max(trainer.last_epoch_stats(), world);
+        trainer.reduce_epoch_stats();
     if (world.rank() == 0) {
       std::printf("  final loss %.6f  train-acc %.3f\n", r.loss, r.accuracy);
       std::printf("  per-epoch traffic (busiest rank): dense %.0f words, "

@@ -40,7 +40,7 @@ Row run_one(const char* name, const DistProblem& problem,
     EpochResult r{};
     for (int e = 0; e < epochs; ++e) r = trainer->train_epoch();
     const EpochStats s =
-        EpochStats::reduce_max(trainer->last_epoch_stats(), world);
+        trainer->reduce_epoch_stats();
     if (world.rank() == 0) {
       row.dense_words = s.comm.words(CommCategory::kDense);
       row.sparse_words = s.comm.words(CommCategory::kSparse) +

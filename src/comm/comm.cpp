@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/util/parallel.hpp"
+
 namespace cagnet {
 
 double ceil_log2(int p) {
@@ -95,6 +97,9 @@ void run_world(int p, const std::function<void(Comm&)>& fn,
   CAGNET_CHECK(p >= 1, "world size must be at least 1");
   auto state = std::make_shared<detail::CommState>(p);
   std::vector<CostMeter> meters(static_cast<std::size_t>(p));
+  // P rank threads run concurrently; split the kernel thread budget among
+  // them so nested SpMM parallelism cannot oversubscribe the host.
+  ScopedThreadBudgetShare budget_share(p);
 
   std::exception_ptr first_error = nullptr;
   std::mutex error_mutex;

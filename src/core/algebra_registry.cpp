@@ -1,0 +1,62 @@
+#include "src/core/algebra_registry.hpp"
+
+#include "src/comm/grid.hpp"
+#include "src/core/dist15d.hpp"
+#include "src/core/dist1d.hpp"
+#include "src/core/dist2d.hpp"
+#include "src/core/dist3d.hpp"
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+const std::vector<AlgebraSpec>& algebra_registry() {
+  static const std::vector<AlgebraSpec> registry = [] {
+    std::vector<AlgebraSpec> specs;
+    specs.push_back(
+        {"1d", [](int p) { return p >= 1; }, {1, 2, 3, 4, 7, 8},
+         [](const DistProblem& problem, Comm& world, MachineModel machine) {
+           return std::make_unique<Algebra1D>(problem, world, machine);
+         }});
+    specs.push_back(
+        {"1.5d-c2", [](int p) { return p >= 2 && p % 2 == 0; }, {2, 4, 6, 8},
+         [](const DistProblem& problem, Comm& world, MachineModel machine) {
+           return std::make_unique<Algebra15D>(problem, world, 2, machine);
+         }});
+    specs.push_back(
+        {"1.5d-c4", [](int p) { return p >= 4 && p % 4 == 0; }, {4, 8, 16},
+         [](const DistProblem& problem, Comm& world, MachineModel machine) {
+           return std::make_unique<Algebra15D>(problem, world, 4, machine);
+         }});
+    specs.push_back(
+        {"2d", [](int p) { return exact_sqrt(p) > 0; }, {1, 4, 9, 16},
+         [](const DistProblem& problem, Comm& world, MachineModel machine) {
+           return std::make_unique<Algebra2D>(problem, world, machine);
+         }});
+    specs.push_back(
+        {"3d", [](int p) { return exact_cbrt(p) > 0; }, {1, 8, 27},
+         [](const DistProblem& problem, Comm& world, MachineModel machine) {
+           return std::make_unique<Algebra3D>(problem, world, machine);
+         }});
+    return specs;
+  }();
+  return registry;
+}
+
+const AlgebraSpec* find_algebra(const std::string& name) {
+  for (const AlgebraSpec& spec : algebra_registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<DistTrainer> make_dist_trainer(const std::string& name,
+                                               const DistProblem& problem,
+                                               GnnConfig config, Comm& world,
+                                               MachineModel machine) {
+  const AlgebraSpec* spec = find_algebra(name);
+  CAGNET_CHECK(spec != nullptr, "unknown algebra: " + name);
+  return std::make_unique<DistEngine>(problem, std::move(config),
+                                      spec->make(problem, world, machine));
+}
+
+}  // namespace cagnet

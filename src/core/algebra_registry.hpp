@@ -1,0 +1,49 @@
+// Registry of the distributed SpMM algebras the shared engine can drive.
+//
+// Each paper algorithm registers a name, a validity predicate on the world
+// size, a representative list of valid world sizes (for parameterized
+// parity tests and shoot-out tools), and a factory. Adding a new
+// partitioning (e.g. an ABC-style aggregation-before-communication scheme)
+// is one DistSpmmAlgebra subclass plus one AlgebraSpec entry here — the
+// engine, the parity tests, and the benches pick it up automatically.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/dist_engine.hpp"
+
+namespace cagnet {
+
+struct AlgebraSpec {
+  /// Unique registry key ("1d", "1.5d-c2", "2d", ...).
+  std::string name;
+
+  /// Which simulated world sizes this algebra accepts.
+  std::function<bool(int world_size)> accepts;
+
+  /// Representative valid world sizes exercised by the parity tests.
+  std::vector<int> world_sizes;
+
+  /// Collective factory: call on every rank of `world`.
+  std::function<std::unique_ptr<DistSpmmAlgebra>(
+      const DistProblem& problem, Comm& world, MachineModel machine)>
+      make;
+};
+
+/// All registered algebras (1D, 1.5D at c = 2 and 4, 2D, 3D).
+const std::vector<AlgebraSpec>& algebra_registry();
+
+/// Lookup by name; nullptr when unknown.
+const AlgebraSpec* find_algebra(const std::string& name);
+
+/// Build the shared engine over the named algebra. Collective: call on
+/// every rank of `world`. Throws on an unknown name or an invalid world
+/// size for that algebra.
+std::unique_ptr<DistTrainer> make_dist_trainer(
+    const std::string& name, const DistProblem& problem, GnnConfig config,
+    Comm& world, MachineModel machine = MachineModel::summit());
+
+}  // namespace cagnet

@@ -1,18 +1,12 @@
 #include "src/core/dist15d.hpp"
 
-#include "src/dense/gemm.hpp"
-#include "src/dense/ops.hpp"
 #include "src/util/error.hpp"
 
 namespace cagnet {
 
-Dist15D::Dist15D(const DistProblem& problem, GnnConfig config, Comm world,
-                 int replication, MachineModel machine)
-    : problem_(problem), config_(std::move(config)), world_(std::move(world)),
-      machine_(machine), c_(replication) {
-  const Graph& g = *problem_.graph;
-  CAGNET_CHECK(config_.dims.front() == g.feature_dim(),
-               "input dim must match graph features");
+Algebra15D::Algebra15D(const DistProblem& problem, Comm world,
+                       int replication, MachineModel machine)
+    : DistSpmmAlgebra(machine), world_(std::move(world)), c_(replication) {
   CAGNET_CHECK(c_ >= 1 && world_.size() % c_ == 0,
                "replication factor must divide world size");
   groups_ = world_.size() / c_;
@@ -21,208 +15,112 @@ Dist15D::Dist15D(const DistProblem& problem, GnnConfig config, Comm world,
   team_ = world_.split(/*color=*/g_, /*key=*/t_);
   slice_ = world_.split(/*color=*/t_, /*key=*/g_);
 
-  n_ = g.num_vertices();
+  n_ = problem.graph->num_vertices();
   std::tie(row_lo_, row_hi_) = block_range(n_, groups_, g_);
 
   for (int j = t_; j < groups_; j += c_) {
     const auto [c0, c1] = block_range(n_, groups_, j);
-    Csr block = problem_.at.block(row_lo_, row_hi_, c0, c1);
+    Csr block = problem.at.block(row_lo_, row_hi_, c0, c1);
     a_stripe_[j] = block.transposed();
     at_stripe_[j] = std::move(block);
   }
-
-  weights_ = make_weights(config_);
-  optimizer_.emplace(config_.optimizer, config_.learning_rate, weights_);
-  gradients_.resize(weights_.size());
-  const auto layers = static_cast<std::size_t>(config_.num_layers());
-  h_.resize(layers + 1);
-  z_.resize(layers + 1);
-  h_[0] = g.features.block(row_lo_, 0, row_hi_ - row_lo_, g.feature_dim());
 }
 
-const Matrix& Dist15D::forward() {
-  const Index layers = config_.num_layers();
-  const Index local_rows = row_hi_ - row_lo_;
+Matrix Algebra15D::spmm_at(const Matrix& h, EpochStats& stats) {
+  const Index f = h.cols();
+  Matrix t_partial(local_rows(), f);
 
-  for (Index l = 1; l <= layers; ++l) {
-    const Index f_in = config_.dims[static_cast<std::size_t>(l - 1)];
-    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
-    Matrix t_partial(local_rows, f_in);
-
-    // Broadcast stages restricted to this slice's stripe j ≡ t (mod c):
-    // the broadcast volume of the 1D algorithm divided by c.
-    for (int j = t_; j < groups_; j += c_) {
-      const auto [r0, r1] = block_range(n_, groups_, j);
-      Matrix hj(r1 - r0, f_in);
-      if (g_ == j) hj = h_[static_cast<std::size_t>(l - 1)];
-      {
-        ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-        slice_.broadcast(hj.flat(), j, CommCategory::kDense);
-      }
-      {
-        ScopedPhase scope(stats_.profiler, Phase::kSpmm);
-        const Csr& a = at_stripe_.at(j);
-        a.spmm(hj, t_partial, /*accumulate=*/true);
-        stats_.work.add_spmm(machine_, static_cast<double>(a.nnz()),
-                             static_cast<double>(f_in),
-                             dist::block_degree(a));
-      }
-    }
-
-    // Team all-reduce completes the contraction and leaves T replicated
-    // across the c team members (the 1.5D replication cost in flight).
+  // Broadcast stages restricted to this slice's stripe j ≡ t (mod c):
+  // the broadcast volume of the 1D algorithm divided by c.
+  for (int j = t_; j < groups_; j += c_) {
+    const auto [r0, r1] = block_range(n_, groups_, j);
+    Matrix hj(r1 - r0, f);
+    if (g_ == j) hj = h;
     {
-      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-      team_.allreduce_sum(t_partial.flat(), CommCategory::kDense);
+      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+      slice_.broadcast(hj.flat(), j, CommCategory::kDense);
     }
-
-    ScopedPhase scope(stats_.profiler, Phase::kMisc);
-    auto& z = z_[static_cast<std::size_t>(l)];
-    z = Matrix(local_rows, f_out);
-    gemm(Trans::kNo, Trans::kNo, Real{1}, t_partial,
-         weights_[static_cast<std::size_t>(l - 1)], Real{0}, z);
-    stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(local_rows) *
-                                       static_cast<double>(f_in) *
-                                       static_cast<double>(f_out));
-    auto& h = h_[static_cast<std::size_t>(l)];
-    h = Matrix(local_rows, f_out);
-    if (l == layers) {
-      log_softmax_rows(z, h);  // rows whole: no communication (as in 1D)
-    } else {
-      relu(z, h);
+    {
+      ScopedPhase scope(stats.profiler, Phase::kSpmm);
+      const Csr& a = at_stripe_.at(j);
+      a.spmm(hj, t_partial, /*accumulate=*/true);
+      stats.work.add_spmm(machine(), static_cast<double>(a.nnz()),
+                          static_cast<double>(f), dist::block_degree(a));
     }
   }
-  return h_[static_cast<std::size_t>(layers)];
-}
 
-void Dist15D::backward() {
-  const Index layers = config_.num_layers();
-  const Index local_rows = row_hi_ - row_lo_;
-  const std::vector<Index>& labels = problem_.graph->labels;
-
-  Matrix g(local_rows, config_.dims.back());
+  // Team all-reduce completes the contraction and leaves T replicated
+  // across the c team members (the 1.5D replication cost in flight).
   {
-    ScopedPhase scope(stats_.profiler, Phase::kMisc);
-    const Matrix& log_probs = h_[static_cast<std::size_t>(layers)];
-    const Matrix dh = dist::local_nll_gradient(log_probs, row_lo_, labels,
-                                               problem_.labeled_count);
-    log_softmax_backward(dh, log_probs, g);
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    team_.allreduce_sum(t_partial.flat(), CommCategory::kDense);
   }
+  return t_partial;
+}
 
-  for (Index l = layers; l >= 1; --l) {
-    const Index f_in = config_.dims[static_cast<std::size_t>(l - 1)];
-    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
+Matrix Algebra15D::spmm_a(const Matrix& g, EpochStats& stats) {
+  const Index f = g.cols();
 
-    // Outer product restricted to this stripe: partial U over the rows
-    // R_j, j ≡ t (mod c), stacked in ascending-j order.
-    Index stripe_rows = 0;
+  // Outer product restricted to this stripe: partial U over the rows
+  // R_j, j ≡ t (mod c), stacked in ascending-j order.
+  Index stripe_rows = 0;
+  for (int j = t_; j < groups_; j += c_) {
+    const auto [r0, r1] = block_range(n_, groups_, j);
+    stripe_rows += r1 - r0;
+  }
+  Matrix u_partial(stripe_rows, f);
+  {
+    ScopedPhase scope(stats.profiler, Phase::kSpmm);
+    Index cursor = 0;
     for (int j = t_; j < groups_; j += c_) {
-      const auto [r0, r1] = block_range(n_, groups_, j);
-      stripe_rows += r1 - r0;
-    }
-    Matrix u_partial(stripe_rows, f_out);
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kSpmm);
-      Index cursor = 0;
-      for (int j = t_; j < groups_; j += c_) {
-        const Csr& a = a_stripe_.at(j);
-        Matrix piece(a.rows(), f_out);
-        a.spmm(g, piece, /*accumulate=*/false);
-        stats_.work.add_spmm(machine_, static_cast<double>(a.nnz()),
-                             static_cast<double>(f_out),
-                             dist::block_degree(a));
-        u_partial.set_block(cursor, 0, piece);
-        cursor += a.rows();
-      }
-    }
-
-    // Reduce-scatter within the slice: slice rank j' keeps U[R_j'] when
-    // j' ≡ t (mod c), nothing otherwise (chunk order is ascending j, which
-    // is ascending slice rank).
-    const bool keeper = (g_ % c_) == t_;
-    const auto [my0, my1] = block_range(n_, groups_, g_);
-    Matrix u_mine(keeper ? my1 - my0 : 0, f_out);
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-      slice_.reduce_scatter_sum(std::span<const Real>(u_partial.flat()),
-                                u_mine.flat(), CommCategory::kDense);
-    }
-    // Team broadcast from the member holding this group's block: group g's
-    // reduced block landed on team member g mod c.
-    Matrix u(local_rows, f_out);
-    if (keeper) u = std::move(u_mine);
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-      team_.broadcast(u.flat(), g_ % c_, CommCategory::kDense);
-    }
-
-    // Y^l = (H^(l-1))^T U: local product, summed over groups within the
-    // slice (each slice forms the identical full sum independently, keeping
-    // Y replicated without cross-team traffic).
-    auto& y = gradients_[static_cast<std::size_t>(l - 1)];
-    y = Matrix(f_in, f_out);
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      gemm(Trans::kYes, Trans::kNo, Real{1},
-           h_[static_cast<std::size_t>(l - 1)], u, Real{0}, y);
-      stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(local_rows) *
-                                         static_cast<double>(f_in) *
-                                         static_cast<double>(f_out));
-    }
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-      slice_.allreduce_sum(y.flat(), CommCategory::kDense);
-    }
-
-    if (l > 1) {
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      Matrix dh(local_rows, f_in);
-      gemm(Trans::kNo, Trans::kYes, Real{1}, u,
-           weights_[static_cast<std::size_t>(l - 1)], Real{0}, dh);
-      stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(local_rows) *
-                                         static_cast<double>(f_in) *
-                                         static_cast<double>(f_out));
-      Matrix next_g(local_rows, f_in);
-      relu_backward(dh, z_[static_cast<std::size_t>(l - 1)], next_g);
-      g = std::move(next_g);
+      const Csr& a = a_stripe_.at(j);
+      Matrix piece(a.rows(), f);
+      a.spmm(g, piece, /*accumulate=*/false);
+      stats.work.add_spmm(machine(), static_cast<double>(a.nnz()),
+                          static_cast<double>(f), dist::block_degree(a));
+      u_partial.set_block(cursor, 0, piece);
+      cursor += a.rows();
     }
   }
+
+  // Reduce-scatter within the slice: slice rank j' keeps U[R_j'] when
+  // j' ≡ t (mod c), nothing otherwise (chunk order is ascending j, which
+  // is ascending slice rank).
+  const bool keeper = (g_ % c_) == t_;
+  const auto [my0, my1] = block_range(n_, groups_, g_);
+  Matrix u_mine(keeper ? my1 - my0 : 0, f);
+  {
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    slice_.reduce_scatter_sum(std::span<const Real>(u_partial.flat()),
+                              u_mine.flat(), CommCategory::kDense);
+  }
+  // Team broadcast from the member holding this group's block: group g's
+  // reduced block landed on team member g mod c.
+  Matrix u(local_rows(), f);
+  if (keeper) u = std::move(u_mine);
+  {
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    team_.broadcast(u.flat(), g_ % c_, CommCategory::kDense);
+  }
+  return u;
 }
 
-void Dist15D::step() {
-  ScopedPhase scope(stats_.profiler, Phase::kMisc);
-  optimizer_->step(weights_, gradients_);
+Matrix Algebra15D::reduce_gradients(Matrix y_local, Index f_in, Index f_out,
+                                    EpochStats& stats) {
+  // Rows whole: y_local is the group's (f_in x f_out) contribution, summed
+  // over groups within the slice (each slice forms the identical full sum
+  // independently, keeping Y replicated without cross-team traffic).
+  CAGNET_CHECK(y_local.rows() == f_in && y_local.cols() == f_out,
+               "reduce_gradients: unexpected partial shape");
+  ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+  slice_.allreduce_sum(y_local.flat(), CommCategory::kDense);
+  return y_local;
 }
 
-EpochResult Dist15D::train_epoch() {
-  const CostMeter before = world_.meter();
-  stats_ = EpochStats{};
-
-  const Matrix& log_probs = forward();
-  // Team replicas hold identical rows; only team member 0 contributes.
-  const Matrix empty(0, config_.dims.back());
-  stats_.result = dist::reduce_loss_accuracy(
-      t_ == 0 ? log_probs : empty, row_lo_, problem_.graph->labels,
-      problem_.labeled_count, world_);
-  backward();
-  step();
-
-  stats_.comm = world_.meter();
-  stats_.comm.subtract(before);
-  return stats_.result;
-}
-
-Matrix Dist15D::gather_output() {
-  // Slices hold identical replicas; any slice's all-gather assembles H^L
-  // (slice ranks are ordered by group, i.e. by row block).
-  const Matrix& mine = h_[static_cast<std::size_t>(config_.num_layers())];
-  const auto gathered = slice_.allgatherv(std::span<const Real>(mine.flat()),
-                                          CommCategory::kControl);
-  Matrix full(n_, config_.dims.back());
-  CAGNET_CHECK(gathered.data.size() == static_cast<std::size_t>(full.size()),
-               "gather_output: size mismatch");
-  std::copy(gathered.data.begin(), gathered.data.end(), full.data());
-  return full;
-}
+Dist15D::Dist15D(const DistProblem& problem, GnnConfig config, Comm world,
+                 int replication, MachineModel machine)
+    : DistEngine(problem, std::move(config),
+                 std::make_unique<Algebra15D>(problem, std::move(world),
+                                              replication, machine)) {}
 
 }  // namespace cagnet

@@ -17,42 +17,50 @@
 // followed by a team all-reduce of the partial T. Backward: the outer
 // product reduces within the slice (reduce-scatter onto the j ≡ t ranks)
 // and finishes with a team broadcast.
+//
+// Only the distributed algebra lives here; the training loop itself is the
+// shared DistEngine (see dist_engine.hpp).
 #pragma once
 
 #include <map>
+#include <memory>
 
-#include <optional>
-
-#include "src/core/dist_common.hpp"
-#include "src/gnn/optimizer.hpp"
+#include "src/core/dist_engine.hpp"
 
 namespace cagnet {
 
-class Dist15D final : public DistTrainer {
+/// 1.5D replicated block-row algebra: rows-whole layout (the engine's
+/// default times_weight / gather_feature_rows apply); loss rows are primary
+/// only on team member 0 of each group.
+class Algebra15D final : public DistSpmmAlgebra {
  public:
   /// Collective constructor; replication must divide the world size.
-  Dist15D(const DistProblem& problem, GnnConfig config, Comm world,
-          int replication, MachineModel machine = MachineModel::summit());
+  Algebra15D(const DistProblem& problem, Comm world, int replication,
+             MachineModel machine);
 
-  EpochResult train_epoch() override;
-  const EpochStats& last_epoch_stats() const override { return stats_; }
-  Matrix gather_output() override;
-  const std::vector<Matrix>& weights() const override { return weights_; }
+  const char* name() const override { return "1.5d"; }
+  Comm& world() override { return world_; }
+  Index row_lo() const override { return row_lo_; }
+  Index row_hi() const override { return row_hi_; }
+  bool owns_loss_rows() const override { return t_ == 0; }
+
+  Matrix spmm_at(const Matrix& h, EpochStats& stats) override;
+  Matrix spmm_a(const Matrix& g, EpochStats& stats) override;
+  Matrix reduce_gradients(Matrix y_local, Index f_in, Index f_out,
+                          EpochStats& stats) override;
 
   int replication() const { return c_; }
   int groups() const { return groups_; }
 
- private:
-  const Matrix& forward();
-  void backward();
-  void step();
+ protected:
+  /// Slices hold identical replicas; slice ranks are ordered by group,
+  /// i.e. by row block, so the slice all-gather assembles H^L.
+  Comm& gather_comm() override { return slice_; }
 
-  const DistProblem& problem_;
-  GnnConfig config_;
+ private:
   Comm world_;
   Comm team_;   ///< the c replicas of this group's dense blocks
   Comm slice_;  ///< the G ranks sharing this team index t
-  MachineModel machine_;
 
   int c_ = 1;       ///< replication factor
   int groups_ = 1;  ///< G = P / c
@@ -67,14 +75,14 @@ class Dist15D final : public DistTrainer {
   /// a_stripe_[j] = A[R_j, R_g] (transposes of the above), the backward
   /// outer-product operands.
   std::map<int, Csr> a_stripe_;
+};
 
-  std::optional<Optimizer> optimizer_;
-  std::vector<Matrix> weights_;
-  std::vector<Matrix> gradients_;
-  std::vector<Matrix> h_;
-  std::vector<Matrix> z_;
-
-  EpochStats stats_;
+/// The 1.5D trainer: the shared engine driven by Algebra15D.
+class Dist15D final : public DistEngine {
+ public:
+  /// Collective constructor; replication must divide the world size.
+  Dist15D(const DistProblem& problem, GnnConfig config, Comm world,
+          int replication, MachineModel machine = MachineModel::summit());
 };
 
 }  // namespace cagnet

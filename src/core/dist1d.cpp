@@ -1,19 +1,13 @@
 #include "src/core/dist1d.hpp"
 
-#include "src/dense/gemm.hpp"
-#include "src/dense/ops.hpp"
 #include "src/util/error.hpp"
 
 namespace cagnet {
 
-Dist1D::Dist1D(const DistProblem& problem, GnnConfig config, Comm world,
-               MachineModel machine)
-    : problem_(problem), config_(std::move(config)), world_(std::move(world)),
-      machine_(machine) {
-  const Graph& g = *problem_.graph;
-  CAGNET_CHECK(config_.dims.front() == g.feature_dim(),
-               "input dim must match graph features");
-  n_ = g.num_vertices();
+Algebra1D::Algebra1D(const DistProblem& problem, Comm world,
+                     MachineModel machine)
+    : DistSpmmAlgebra(machine), world_(std::move(world)) {
+  n_ = problem.graph->num_vertices();
   const int p = world_.size();
   std::tie(row_lo_, row_hi_) = block_range(n_, p, world_.rank());
 
@@ -21,176 +15,76 @@ Dist1D::Dist1D(const DistProblem& problem, GnnConfig config, Comm world,
   at_blocks_.reserve(static_cast<std::size_t>(p));
   for (int j = 0; j < p; ++j) {
     const auto [c0, c1] = block_range(n_, p, j);
-    at_blocks_.push_back(problem_.at.block(row_lo_, row_hi_, c0, c1));
+    at_blocks_.push_back(problem.at.block(row_lo_, row_hi_, c0, c1));
   }
   // Column block of A for the backward outer product: A(:, lo:hi) is the
   // transpose of this rank's A^T block row.
-  a_col_block_ = problem_.at.block(row_lo_, row_hi_, 0, n_).transposed();
-
-  weights_ = make_weights(config_);
-  optimizer_.emplace(config_.optimizer, config_.learning_rate, weights_);
-  gradients_.resize(weights_.size());
-  const auto layers = static_cast<std::size_t>(config_.num_layers());
-  h_.resize(layers + 1);
-  z_.resize(layers + 1);
-  h_[0] = g.features.block(row_lo_, 0, row_hi_ - row_lo_, g.feature_dim());
+  a_col_block_ = problem.at.block(row_lo_, row_hi_, 0, n_).transposed();
 }
 
-const Matrix& Dist1D::local_output() const {
-  return h_[static_cast<std::size_t>(config_.num_layers())];
-}
-
-const Matrix& Dist1D::forward() {
-  const Index layers = config_.num_layers();
+Matrix Algebra1D::spmm_at(const Matrix& h, EpochStats& stats) {
   const int p = world_.size();
-  const Index local_rows = row_hi_ - row_lo_;
+  const Index f = h.cols();
+  Matrix t(local_rows(), f);
 
-  for (Index l = 1; l <= layers; ++l) {
-    const Index f_in = config_.dims[static_cast<std::size_t>(l - 1)];
-    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
-    Matrix t(local_rows, f_in);
-
-    // Algorithm 1: for j = 1..p, broadcast H_j and accumulate A^T_ij H_j.
-    for (int j = 0; j < p; ++j) {
-      const auto [r0, r1] = block_range(n_, p, j);
-      Matrix hj(r1 - r0, f_in);
-      if (world_.rank() == j) hj = h_[static_cast<std::size_t>(l - 1)];
-      {
-        ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-        world_.broadcast(hj.flat(), j, CommCategory::kDense);
-      }
-      {
-        ScopedPhase scope(stats_.profiler, Phase::kSpmm);
-        const Csr& a = at_blocks_[static_cast<std::size_t>(j)];
-        a.spmm(hj, t, /*accumulate=*/true);
-        stats_.work.add_spmm(machine_, static_cast<double>(a.nnz()),
-                             static_cast<double>(f_in),
-                             dist::block_degree(a));
-      }
+  // Algorithm 1: for j = 1..p, broadcast H_j and accumulate A^T_ij H_j.
+  for (int j = 0; j < p; ++j) {
+    const auto [r0, r1] = block_range(n_, p, j);
+    Matrix hj(r1 - r0, f);
+    if (world_.rank() == j) hj = h;
+    {
+      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+      world_.broadcast(hj.flat(), j, CommCategory::kDense);
     }
-
-    // Z_i = T_i W^l and the activation, both local.
-    ScopedPhase scope(stats_.profiler, Phase::kMisc);
-    auto& z = z_[static_cast<std::size_t>(l)];
-    z = Matrix(local_rows, f_out);
-    gemm(Trans::kNo, Trans::kNo, Real{1}, t,
-         weights_[static_cast<std::size_t>(l - 1)], Real{0}, z);
-    stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(local_rows) *
-                                       static_cast<double>(f_in) *
-                                       static_cast<double>(f_out));
-    auto& h = h_[static_cast<std::size_t>(l)];
-    h = Matrix(local_rows, f_out);
-    if (l == layers) {
-      // Rows are whole in the 1D layout, so log_softmax is local.
-      log_softmax_rows(z, h);
-    } else {
-      relu(z, h);
+    {
+      ScopedPhase scope(stats.profiler, Phase::kSpmm);
+      const Csr& a = at_blocks_[static_cast<std::size_t>(j)];
+      a.spmm(hj, t, /*accumulate=*/true);
+      stats.work.add_spmm(machine(), static_cast<double>(a.nnz()),
+                          static_cast<double>(f), dist::block_degree(a));
     }
   }
-  return h_[static_cast<std::size_t>(layers)];
+  return t;
 }
 
-void Dist1D::backward() {
-  const Index layers = config_.num_layers();
-  const Index local_rows = row_hi_ - row_lo_;
-  const std::vector<Index>& labels = problem_.graph->labels;
+Matrix Algebra1D::spmm_a(const Matrix& g, EpochStats& stats) {
+  const Index f = g.cols();
 
-  // G^L from the loss through log_softmax, all local rows.
-  Matrix g(local_rows, config_.dims.back());
+  // 1D outer product: U_partial = A(:, my rows) * G_i, a full n x f
+  // low-rank partial (the O(nf) intermediate of Section IV-A.3) ...
+  Matrix u_partial(n_, f);
   {
-    ScopedPhase scope(stats_.profiler, Phase::kMisc);
-    const Matrix& log_probs = h_[static_cast<std::size_t>(layers)];
-    const Matrix dh = dist::local_nll_gradient(log_probs, row_lo_, labels,
-                                               problem_.labeled_count);
-    log_softmax_backward(dh, log_probs, g);
+    ScopedPhase scope(stats.profiler, Phase::kSpmm);
+    a_col_block_.spmm(g, u_partial, /*accumulate=*/false);
+    stats.work.add_spmm(machine(), static_cast<double>(a_col_block_.nnz()),
+                        static_cast<double>(f),
+                        dist::block_degree(a_col_block_));
   }
-
-  for (Index l = layers; l >= 1; --l) {
-    const Index f_in = config_.dims[static_cast<std::size_t>(l - 1)];
-    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
-
-    // 1D outer product: U_partial = A(:, my rows) * G_i, a full n x f_out
-    // low-rank partial (the O(nf) intermediate of Section IV-A.3) ...
-    Matrix u_partial(n_, f_out);
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kSpmm);
-      a_col_block_.spmm(g, u_partial, /*accumulate=*/false);
-      stats_.work.add_spmm(machine_, static_cast<double>(a_col_block_.nnz()),
-                           static_cast<double>(f_out),
-                           dist::block_degree(a_col_block_));
-    }
-    // ... reduce-scattered back to block rows.
-    Matrix u(local_rows, f_out);
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-      world_.reduce_scatter_sum(std::span<const Real>(u_partial.flat()),
-                                u.flat(), CommCategory::kDense);
-    }
-
-    // Y^l = (H^(l-1))^T (A G^l): local product then f x f all-reduce
-    // (the "small 1D outer product" of Section IV-A.4).
-    auto& y = gradients_[static_cast<std::size_t>(l - 1)];
-    y = Matrix(f_in, f_out);
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      gemm(Trans::kYes, Trans::kNo, Real{1},
-           h_[static_cast<std::size_t>(l - 1)], u, Real{0}, y);
-      stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(local_rows) *
-                                         static_cast<double>(f_in) *
-                                         static_cast<double>(f_out));
-    }
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-      world_.allreduce_sum(y.flat(), CommCategory::kDense);
-    }
-
-    if (l > 1) {
-      // G^(l-1) = (A G^l (W^l)^T) ⊙ relu'(Z^(l-1)), all local.
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      Matrix dh(local_rows, f_in);
-      gemm(Trans::kNo, Trans::kYes, Real{1}, u,
-           weights_[static_cast<std::size_t>(l - 1)], Real{0}, dh);
-      stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(local_rows) *
-                                         static_cast<double>(f_in) *
-                                         static_cast<double>(f_out));
-      Matrix next_g(local_rows, f_in);
-      relu_backward(dh, z_[static_cast<std::size_t>(l - 1)], next_g);
-      g = std::move(next_g);
-    }
+  // ... reduce-scattered back to block rows.
+  Matrix u(local_rows(), f);
+  {
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    world_.reduce_scatter_sum(std::span<const Real>(u_partial.flat()),
+                              u.flat(), CommCategory::kDense);
   }
+  return u;
 }
 
-void Dist1D::step() {
-  ScopedPhase scope(stats_.profiler, Phase::kMisc);
-  optimizer_->step(weights_, gradients_);
+Matrix Algebra1D::reduce_gradients(Matrix y_local, Index f_in, Index f_out,
+                                   EpochStats& stats) {
+  // Rows whole: y_local is already (f_in x f_out); the "small 1D outer
+  // product" of Section IV-A.4 finishes with an f x f all-reduce.
+  CAGNET_CHECK(y_local.rows() == f_in && y_local.cols() == f_out,
+               "reduce_gradients: unexpected partial shape");
+  ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+  world_.allreduce_sum(y_local.flat(), CommCategory::kDense);
+  return y_local;
 }
 
-EpochResult Dist1D::train_epoch() {
-  const CostMeter before = world_.meter();
-  stats_ = EpochStats{};
-
-  const Matrix& log_probs = forward();
-  stats_.result = dist::reduce_loss_accuracy(log_probs, row_lo_,
-                                             problem_.graph->labels,
-                                             problem_.labeled_count, world_);
-  backward();
-  step();
-
-  stats_.comm = world_.meter();
-  stats_.comm.subtract(before);
-  return stats_.result;
-}
-
-Matrix Dist1D::gather_output() {
-  const Matrix& mine = local_output();
-  const auto gathered = world_.allgatherv(
-      std::span<const Real>(mine.flat()), CommCategory::kControl);
-  Matrix full(n_, mine.cols());
-  CAGNET_CHECK(gathered.data.size() ==
-                   static_cast<std::size_t>(n_ * mine.cols()),
-               "gathered output size mismatch");
-  std::copy(gathered.data.begin(), gathered.data.end(), full.data());
-  return full;
-}
+Dist1D::Dist1D(const DistProblem& problem, GnnConfig config, Comm world,
+               MachineModel machine)
+    : DistEngine(problem, std::move(config),
+                 std::make_unique<Algebra1D>(problem, std::move(world),
+                                             machine)) {}
 
 }  // namespace cagnet

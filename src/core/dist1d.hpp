@@ -15,41 +15,40 @@
 // Metered cost matches Section IV-A.5 with edgecut = n(P-1)/P (the random /
 // broadcast-based bound; Algorithm 1 broadcasts rather than doing
 // individualized request-and-send, exactly as the paper argues in IV-A.8).
+//
+// Only the distributed algebra lives here; the training loop itself is the
+// shared DistEngine (see dist_engine.hpp).
 #pragma once
 
-#include <optional>
+#include <memory>
+#include <vector>
 
-#include "src/core/dist_common.hpp"
-#include "src/gnn/optimizer.hpp"
+#include "src/core/dist_engine.hpp"
 
 namespace cagnet {
 
-class Dist1D final : public DistTrainer {
+/// 1D block-row distributed algebra: rows-whole layout, so the engine's
+/// default times_weight / gather_feature_rows (purely local) apply.
+class Algebra1D final : public DistSpmmAlgebra {
  public:
   /// Collective constructor: call on every rank of `world`.
-  Dist1D(const DistProblem& problem, GnnConfig config, Comm world,
-         MachineModel machine = MachineModel::summit());
+  Algebra1D(const DistProblem& problem, Comm world, MachineModel machine);
 
-  EpochResult train_epoch() override;
-  const EpochStats& last_epoch_stats() const override { return stats_; }
-  Matrix gather_output() override;
-  const std::vector<Matrix>& weights() const override { return weights_; }
+  const char* name() const override { return "1d"; }
+  Comm& world() override { return world_; }
+  Index row_lo() const override { return row_lo_; }
+  Index row_hi() const override { return row_hi_; }
 
-  /// Local row range [row_lo, row_hi) of this rank.
-  Index row_lo() const { return row_lo_; }
-  Index row_hi() const { return row_hi_; }
-  /// Local block of the last forward's output log-probabilities.
-  const Matrix& local_output() const;
+  Matrix spmm_at(const Matrix& h, EpochStats& stats) override;
+  Matrix spmm_a(const Matrix& g, EpochStats& stats) override;
+  Matrix reduce_gradients(Matrix y_local, Index f_in, Index f_out,
+                          EpochStats& stats) override;
+
+ protected:
+  Comm& gather_comm() override { return world_; }
 
  private:
-  const Matrix& forward();
-  void backward();
-  void step();
-
-  const DistProblem& problem_;
-  GnnConfig config_;
   Comm world_;
-  MachineModel machine_;
 
   Index n_ = 0;
   Index row_lo_ = 0;
@@ -60,14 +59,14 @@ class Dist1D final : public DistTrainer {
   std::vector<Csr> at_blocks_;
   /// A(:, local rows) as CSR (n x local_rows): the outer-product operand.
   Csr a_col_block_;
+};
 
-  std::optional<Optimizer> optimizer_;
-  std::vector<Matrix> weights_;
-  std::vector<Matrix> gradients_;
-  std::vector<Matrix> h_;  ///< local blocks of H^l, l = 0..L
-  std::vector<Matrix> z_;  ///< local blocks of Z^l, l = 1..L
-
-  EpochStats stats_;
+/// The 1D trainer: the shared engine driven by Algebra1D.
+class Dist1D final : public DistEngine {
+ public:
+  /// Collective constructor: call on every rank of `world`.
+  Dist1D(const DistProblem& problem, GnnConfig config, Comm world,
+         MachineModel machine = MachineModel::summit());
 };
 
 }  // namespace cagnet

@@ -1,53 +1,31 @@
 #include "src/core/dist2d.hpp"
 
-#include <cmath>
-
-#include "src/dense/gemm.hpp"
-#include "src/dense/ops.hpp"
 #include "src/util/error.hpp"
 
 namespace cagnet {
 
-Dist2D::Dist2D(const DistProblem& problem, GnnConfig config, Comm world,
-               MachineModel machine)
-    : problem_(problem), config_(std::move(config)),
-      grid_(Grid2D::create_square(world)), machine_(machine) {
-  const Graph& g = *problem_.graph;
-  CAGNET_CHECK(config_.dims.front() == g.feature_dim(),
-               "input dim must match graph features");
-  n_ = g.num_vertices();
+Algebra2D::Algebra2D(const DistProblem& problem, Comm world,
+                     MachineModel machine)
+    : DistSpmmAlgebra(machine), grid_(Grid2D::create_square(world)) {
+  n_ = problem.graph->num_vertices();
   const int q = grid_.pr;
   std::tie(row_lo_, row_hi_) = block_range(n_, q, grid_.i);
   std::tie(col_lo_, col_hi_) = block_range(n_, q, grid_.j);
 
-  at_block_ = problem_.at.block(row_lo_, row_hi_, col_lo_, col_hi_);
-
-  weights_ = make_weights(config_);
-  optimizer_.emplace(config_.optimizer, config_.learning_rate, weights_);
-  gradients_.resize(weights_.size());
-  const auto layers = static_cast<std::size_t>(config_.num_layers());
-  h_.resize(layers + 1);
-  z_.resize(layers + 1);
-  const auto [f0, f1] = feat_range(0);
-  h_[0] = g.features.block(row_lo_, f0, row_hi_ - row_lo_, f1 - f0);
+  at_block_ = problem.at.block(row_lo_, row_hi_, col_lo_, col_hi_);
 }
 
-std::pair<Index, Index> Dist2D::feat_range(Index l) const {
-  return block_range(config_.dims[static_cast<std::size_t>(l)], grid_.pc,
-                     grid_.j);
-}
-
-Matrix Dist2D::summa_spmm(const Csr& my_sparse, const Matrix& my_dense) {
+Matrix Algebra2D::summa_spmm(const Csr& my_sparse, const Matrix& my_dense,
+                             EpochStats& stats) {
   const int q = grid_.pr;
-  const Index local_rows = row_hi_ - row_lo_;
-  Matrix t(local_rows, my_dense.cols());
+  Matrix t(local_rows(), my_dense.cols());
 
   for (int k = 0; k < q; ++k) {
     // Stage k: A-block (i,k) travels along process row i; dense block
     // (k,j) travels along process column j.
     Csr a_recv;
     {
-      ScopedPhase scope(stats_.profiler, Phase::kSparseComm);
+      ScopedPhase scope(stats.profiler, Phase::kSparseComm);
       a_recv = dist::broadcast_csr(grid_.j == k ? &my_sparse : nullptr, k,
                                    grid_.row, CommCategory::kSparse);
     }
@@ -59,244 +37,79 @@ Matrix Dist2D::summa_spmm(const Csr& my_sparse, const Matrix& my_dense) {
       d_recv = my_dense;
     }
     {
-      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
+      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
       grid_.col.broadcast(d_recv.flat(), k, CommCategory::kDense);
     }
     {
-      ScopedPhase scope(stats_.profiler, Phase::kSpmm);
+      ScopedPhase scope(stats.profiler, Phase::kSpmm);
       a_recv.spmm(d_recv, t, /*accumulate=*/true);
-      stats_.work.add_spmm(machine_, static_cast<double>(a_recv.nnz()),
-                           static_cast<double>(my_dense.cols()),
-                           dist::block_degree(a_recv));
+      stats.work.add_spmm(machine(), static_cast<double>(a_recv.nnz()),
+                          static_cast<double>(my_dense.cols()),
+                          dist::block_degree(a_recv));
     }
   }
   return t;
 }
 
-Matrix Dist2D::allgather_rows(const Matrix& local, Index full_cols) {
-  const int q = grid_.pc;
-  Gathered<Real> gathered;
-  {
-    ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-    gathered = grid_.row.allgatherv(std::span<const Real>(local.flat()),
-                                    CommCategory::kDense);
-  }
-  Matrix full(local.rows(), full_cols);
-  for (int jj = 0; jj < q; ++jj) {
-    const auto [c0, c1] = block_range(full_cols, q, jj);
-    const auto chunk = gathered.chunk(jj);
-    CAGNET_CHECK(chunk.size() == static_cast<std::size_t>(local.rows() *
-                                                          (c1 - c0)),
-                 "allgather_rows: chunk size mismatch");
-    for (Index r = 0; r < local.rows(); ++r) {
-      std::copy(chunk.begin() + r * (c1 - c0),
-                chunk.begin() + (r + 1) * (c1 - c0),
-                full.data() + r * full_cols + c0);
-    }
-  }
-  return full;
+Matrix Algebra2D::spmm_at(const Matrix& h, EpochStats& stats) {
+  return summa_spmm(at_block_, h, stats);
 }
 
-const Matrix& Dist2D::forward() {
-  const Index layers = config_.num_layers();
-  const int q = grid_.pr;
-  const Index local_rows = row_hi_ - row_lo_;
-
-  for (Index l = 1; l <= layers; ++l) {
-    const Index f_in = config_.dims[static_cast<std::size_t>(l - 1)];
-    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
-
-    // First SUMMA phase: T = A^T H^(l-1), 2D-partitioned like H.
-    const Matrix t = summa_spmm(at_block_, h_[static_cast<std::size_t>(l - 1)]);
-
-    // Second ("partial SUMMA") phase: Z = T W. W is replicated, so only T
-    // moves, along the process row.
-    const auto [fo0, fo1] = block_range(f_out, q, grid_.j);
-    auto& z = z_[static_cast<std::size_t>(l)];
-    z = Matrix(local_rows, fo1 - fo0);
-    const Matrix& w = weights_[static_cast<std::size_t>(l - 1)];
-    for (int m = 0; m < q; ++m) {
-      const auto [fm0, fm1] = block_range(f_in, q, m);
-      Matrix t_recv(local_rows, fm1 - fm0);
-      if (grid_.j == m) t_recv = t;
-      {
-        ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-        grid_.row.broadcast(t_recv.flat(), m, CommCategory::kDense);
-      }
-      {
-        ScopedPhase scope(stats_.profiler, Phase::kMisc);
-        const Matrix w_block = w.block(fm0, fo0, fm1 - fm0, fo1 - fo0);
-        gemm(Trans::kNo, Trans::kNo, Real{1}, t_recv, w_block, Real{1}, z);
-        stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(local_rows) *
-                                           static_cast<double>(fm1 - fm0) *
-                                           static_cast<double>(fo1 - fo0));
-      }
-    }
-
-    auto& h = h_[static_cast<std::size_t>(l)];
-    if (l == layers) {
-      // log_softmax needs whole rows: all-gather Z along the process row,
-      // apply the activation, keep the local column slice (IV-C.2).
-      const Matrix z_rows = allgather_rows(z, f_out);
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      output_rows_ = Matrix(local_rows, f_out);
-      log_softmax_rows(z_rows, output_rows_);
-      h = output_rows_.block(0, fo0, local_rows, fo1 - fo0);
-    } else {
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      h = Matrix(z.rows(), z.cols());
-      relu(z, h);
-    }
-  }
-  return h_[static_cast<std::size_t>(layers)];
+Matrix Algebra2D::spmm_a(const Matrix& g, EpochStats& stats) {
+  CAGNET_CHECK(a_block_.rows() > 0 || local_rows() == 0,
+               "spmm_a outside begin_backward/end_backward");
+  return summa_spmm(a_block_, g, stats);
 }
 
-void Dist2D::backward() {
-  const Index layers = config_.num_layers();
-  const int q = grid_.pr;
-  const Index local_rows = row_hi_ - row_lo_;
-  const std::vector<Index>& labels = problem_.graph->labels;
-  const int transpose_peer = grid_.j * q + grid_.i;
+Matrix Algebra2D::times_weight(const Matrix& t, const Matrix& w,
+                               EpochStats& stats) {
+  // "Partial SUMMA" Z = T W: W is replicated, so only T moves, along the
+  // process row.
+  return dist::partial_summa_times_weight(t, w, grid_.pr, grid_.j, grid_.row,
+                                          machine(), stats);
+}
 
-  // Distributed transpose A^T -> A: swap blocks across the diagonal and
-  // transpose locally (the paper's "trpose" phase).
-  Csr a_block;
-  {
-    ScopedPhase scope(stats_.profiler, Phase::kTranspose);
-    a_block = dist::exchange_csr(at_block_, transpose_peer, grid_.world,
-                                 CommCategory::kTranspose)
-                  .transposed();
-  }
+Matrix Algebra2D::gather_feature_rows(const Matrix& local, Index f,
+                                      EpochStats& stats) {
+  return dist::allgather_feature_rows(local, f, grid_.pc, grid_.row,
+                                      stats.profiler);
+}
 
-  // G^L = dL/dZ^L: local, using the full-row log-probs kept from forward.
-  // For mean-NLL upstream gradients the row sum of dL/dH is -1/m for every
-  // labeled row, so the log-softmax Jacobian product needs no communication.
-  const auto [fL0, fL1] = feat_range(layers);
-  Matrix g(local_rows, fL1 - fL0);
-  {
-    ScopedPhase scope(stats_.profiler, Phase::kMisc);
-    const Matrix& ls = h_[static_cast<std::size_t>(layers)];
-    const Real scale = Real{-1} / static_cast<Real>(problem_.labeled_count);
-    for (Index r = 0; r < local_rows; ++r) {
-      const Index label = labels[static_cast<std::size_t>(row_lo_ + r)];
-      if (label < 0) continue;
-      for (Index c = 0; c < fL1 - fL0; ++c) {
-        g(r, c) = -std::exp(ls(r, c)) * scale;
-      }
-      if (label >= fL0 && label < fL1) g(r, label - fL0) += scale;
-    }
-  }
+Matrix Algebra2D::reduce_gradients(Matrix y_local, Index f_in, Index f_out,
+                                   EpochStats& stats) {
+  // Column-wise reduction of the slice partials, then row all-gather to
+  // keep Y fully replicated (IV-C.4).
+  return dist::assemble_weight_gradient(std::move(y_local), f_in, f_out,
+                                        grid_.pc, grid_.col, grid_.row,
+                                        stats.profiler);
+}
 
-  for (Index l = layers; l >= 1; --l) {
-    const Index f_in = config_.dims[static_cast<std::size_t>(l - 1)];
-    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
+void Algebra2D::begin_backward(EpochStats& stats) {
+  const int transpose_peer = grid_.j * grid_.pr + grid_.i;
+  ScopedPhase scope(stats.profiler, Phase::kTranspose);
+  a_block_ = dist::exchange_csr(at_block_, transpose_peer, grid_.world,
+                                CommCategory::kTranspose)
+                 .transposed();
+}
 
-    // U = A G^l by SUMMA SpMM (same pattern as forward's first phase).
-    const Matrix u = summa_spmm(a_block, g);
-
-    // Row-wise all-gather of U: reused by both Y^l and G^(l-1), the
-    // paper's intermediate-product reuse (IV-C.4).
-    const Matrix u_rows = allgather_rows(u, f_out);
-
-    // Y^l = (H^(l-1))^T (A G^l): local slice product, column reduction,
-    // then row all-gather to keep Y fully replicated.
-    const auto [fi0, fi1] = block_range(f_in, q, grid_.j);
-    Matrix y_slice(fi1 - fi0, f_out);
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      gemm(Trans::kYes, Trans::kNo, Real{1},
-           h_[static_cast<std::size_t>(l - 1)], u_rows, Real{0}, y_slice);
-      stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(local_rows) *
-                                         static_cast<double>(fi1 - fi0) *
-                                         static_cast<double>(f_out));
-    }
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-      grid_.col.allreduce_sum(y_slice.flat(), CommCategory::kDense);
-    }
-    auto& y = gradients_[static_cast<std::size_t>(l - 1)];
-    y = Matrix(f_in, f_out);
-    {
-      Gathered<Real> slices;
-      {
-        ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-        slices = grid_.row.allgatherv(std::span<const Real>(y_slice.flat()),
-                                      CommCategory::kDense);
-      }
-      for (int jj = 0; jj < q; ++jj) {
-        const auto [r0, r1] = block_range(f_in, q, jj);
-        const auto chunk = slices.chunk(jj);
-        CAGNET_CHECK(chunk.size() ==
-                         static_cast<std::size_t>((r1 - r0) * f_out),
-                     "Y assembly: slice size mismatch");
-        std::copy(chunk.begin(), chunk.end(), y.data() + r0 * f_out);
-      }
-    }
-
-    if (l > 1) {
-      // G^(l-1) = (U (W^l)^T) ⊙ relu'(Z^(l-1)); U's full rows are in hand.
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      const Matrix& w = weights_[static_cast<std::size_t>(l - 1)];
-      const Matrix w_rows = w.block(fi0, 0, fi1 - fi0, f_out);
-      Matrix dh(local_rows, fi1 - fi0);
-      gemm(Trans::kNo, Trans::kYes, Real{1}, u_rows, w_rows, Real{0}, dh);
-      stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(local_rows) *
-                                         static_cast<double>(fi1 - fi0) *
-                                         static_cast<double>(f_out));
-      Matrix next_g(local_rows, fi1 - fi0);
-      relu_backward(dh, z_[static_cast<std::size_t>(l - 1)], next_g);
-      g = std::move(next_g);
-    }
-  }
-
+void Algebra2D::end_backward(EpochStats& stats) {
   // Transpose back (A -> A^T), restoring the forward orientation; together
-  // with the transpose above this is the paper's twice-per-epoch cost.
-  {
-    ScopedPhase scope(stats_.profiler, Phase::kTranspose);
-    const Csr restored = dist::exchange_csr(a_block, transpose_peer,
-                                            grid_.world,
-                                            CommCategory::kTranspose)
-                             .transposed();
-    CAGNET_CHECK(restored.nnz() == at_block_.nnz(),
-                 "transpose round-trip changed the block");
-  }
+  // with begin_backward this is the paper's twice-per-epoch cost.
+  const int transpose_peer = grid_.j * grid_.pr + grid_.i;
+  ScopedPhase scope(stats.profiler, Phase::kTranspose);
+  const Csr restored = dist::exchange_csr(a_block_, transpose_peer,
+                                          grid_.world,
+                                          CommCategory::kTranspose)
+                           .transposed();
+  CAGNET_CHECK(restored.nnz() == at_block_.nnz(),
+               "transpose round-trip changed the block");
+  a_block_ = Csr();
 }
 
-void Dist2D::step() {
-  ScopedPhase scope(stats_.profiler, Phase::kMisc);
-  optimizer_->step(weights_, gradients_);
-}
-
-EpochResult Dist2D::train_epoch() {
-  const CostMeter before = grid_.world.meter();
-  stats_ = EpochStats{};
-
-  forward();
-  // Only the j == 0 column contributes loss terms (each process row holds
-  // replicated full output rows after the softmax all-gather).
-  const Index f_out = config_.dims.back();
-  const Matrix empty(0, f_out);
-  stats_.result = dist::reduce_loss_accuracy(
-      grid_.j == 0 ? output_rows_ : empty, row_lo_, problem_.graph->labels,
-      problem_.labeled_count, grid_.world);
-  backward();
-  step();
-
-  stats_.comm = grid_.world.meter();
-  stats_.comm.subtract(before);
-  return stats_.result;
-}
-
-Matrix Dist2D::gather_output() {
-  // Column communicator spans one process per row block (rank order = i),
-  // so gathering full-row outputs along it assembles H^L everywhere.
-  const auto gathered = grid_.col.allgatherv(
-      std::span<const Real>(output_rows_.flat()), CommCategory::kControl);
-  Matrix full(n_, config_.dims.back());
-  CAGNET_CHECK(gathered.data.size() == static_cast<std::size_t>(full.size()),
-               "gather_output: size mismatch");
-  std::copy(gathered.data.begin(), gathered.data.end(), full.data());
-  return full;
-}
+Dist2D::Dist2D(const DistProblem& problem, GnnConfig config, Comm world,
+               MachineModel machine)
+    : DistEngine(problem, std::move(config),
+                 std::make_unique<Algebra2D>(problem, std::move(world),
+                                             machine)) {}
 
 }  // namespace cagnet

@@ -21,69 +21,81 @@
 //            Y^l           : (H^(l-1))^T (A G^l) via row all-gather of U,
 //                            local GEMM, column-wise reduction, and final
 //                            all-gather to keep Y replicated (IV-C.4).
+//
+// Only the distributed algebra lives here; the training loop itself is the
+// shared DistEngine (see dist_engine.hpp).
 #pragma once
 
-#include <optional>
+#include <memory>
 
-#include "src/core/dist_common.hpp"
-#include "src/gnn/optimizer.hpp"
+#include "src/core/dist_engine.hpp"
 
 namespace cagnet {
 
-class Dist2D final : public DistTrainer {
+/// Block-2D SUMMA algebra: both vertex rows and feature columns are
+/// partitioned, so it overrides the feature-dimension hooks
+/// (times_weight, gather_feature_rows) with their SUMMA realizations.
+class Algebra2D final : public DistSpmmAlgebra {
  public:
   /// Collective constructor; world size must be a perfect square.
-  Dist2D(const DistProblem& problem, GnnConfig config, Comm world,
-         MachineModel machine = MachineModel::summit());
+  Algebra2D(const DistProblem& problem, Comm world, MachineModel machine);
 
-  EpochResult train_epoch() override;
-  const EpochStats& last_epoch_stats() const override { return stats_; }
-  Matrix gather_output() override;
-  const std::vector<Matrix>& weights() const override { return weights_; }
+  const char* name() const override { return "2d"; }
+  Comm& world() override { return grid_.world; }
+  Index row_lo() const override { return row_lo_; }
+  Index row_hi() const override { return row_hi_; }
+  std::pair<Index, Index> feat_slice(Index f) const override {
+    return block_range(f, grid_.pc, grid_.j);
+  }
+  bool rows_whole() const override { return false; }
+  bool owns_loss_rows() const override { return grid_.j == 0; }
 
-  /// Grid coordinates and local ranges (for tests).
+  Matrix spmm_at(const Matrix& h, EpochStats& stats) override;
+  Matrix spmm_a(const Matrix& g, EpochStats& stats) override;
+  Matrix times_weight(const Matrix& t, const Matrix& w,
+                      EpochStats& stats) override;
+  Matrix gather_feature_rows(const Matrix& local, Index f,
+                             EpochStats& stats) override;
+  Matrix reduce_gradients(Matrix y_local, Index f_in, Index f_out,
+                          EpochStats& stats) override;
+
+  /// Distributed transpose A^T -> A (and back): swap blocks across the
+  /// diagonal and transpose locally (the paper's "trpose" phase, charged
+  /// twice per epoch).
+  void begin_backward(EpochStats& stats) override;
+  void end_backward(EpochStats& stats) override;
+
   int grid_dim() const { return grid_.pr; }
-  Index row_lo() const { return row_lo_; }
-  Index row_hi() const { return row_hi_; }
+
+ protected:
+  /// Column communicator spans one process per row block (rank order = i),
+  /// so gathering full-row outputs along it assembles H^L everywhere.
+  Comm& gather_comm() override { return grid_.col; }
 
  private:
-  const Matrix& forward();
-  void backward();
-  void step();
-
-  /// Column range of layer-l features owned by this process column.
-  std::pair<Index, Index> feat_range(Index l) const;
-
   /// SUMMA T = S * D where S is this rank's sparse block family (row
   /// broadcasts of `my_sparse`) and D the dense blocks (column broadcasts
   /// of `my_dense`); accumulates into a fresh (local_rows x dense_cols)
   /// matrix. Used by both A^T H (forward) and A G (backward).
-  Matrix summa_spmm(const Csr& my_sparse, const Matrix& my_dense);
+  Matrix summa_spmm(const Csr& my_sparse, const Matrix& my_dense,
+                    EpochStats& stats);
 
-  /// Row-wise all-gather of a local block into full rows
-  /// (local_rows x full_cols); `full_cols` is the sum of widths over the
-  /// process row. Charges kDense.
-  Matrix allgather_rows(const Matrix& local, Index full_cols);
-
-  const DistProblem& problem_;
-  GnnConfig config_;
   Grid2D grid_;
-  MachineModel machine_;
 
   Index n_ = 0;
   Index row_lo_ = 0, row_hi_ = 0;  ///< vertex rows of process row i
   Index col_lo_ = 0, col_hi_ = 0;  ///< vertex cols of process column j
 
   Csr at_block_;  ///< A^T(rows_i, cols_j)
+  Csr a_block_;   ///< A(rows_i, cols_j), materialized during backward
+};
 
-  std::optional<Optimizer> optimizer_;
-  std::vector<Matrix> weights_;
-  std::vector<Matrix> gradients_;
-  std::vector<Matrix> h_;  ///< local 2D blocks of H^l
-  std::vector<Matrix> z_;  ///< local 2D blocks of Z^l
-  Matrix output_rows_;     ///< full rows of H^L (from the softmax all-gather)
-
-  EpochStats stats_;
+/// The 2D trainer: the shared engine driven by Algebra2D.
+class Dist2D final : public DistEngine {
+ public:
+  /// Collective constructor; world size must be a perfect square.
+  Dist2D(const DistProblem& problem, GnnConfig config, Comm world,
+         MachineModel machine = MachineModel::summit());
 };
 
 }  // namespace cagnet

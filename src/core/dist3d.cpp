@@ -1,43 +1,27 @@
 #include "src/core/dist3d.hpp"
 
-#include <cmath>
-
-#include "src/dense/gemm.hpp"
-#include "src/dense/ops.hpp"
 #include "src/util/error.hpp"
 
 namespace cagnet {
 
-Dist3D::Dist3D(const DistProblem& problem, GnnConfig config, Comm world,
-               MachineModel machine)
-    : problem_(problem), config_(std::move(config)),
-      grid_(Grid3D::create_cube(world)), machine_(machine) {
-  const Graph& g = *problem_.graph;
-  CAGNET_CHECK(config_.dims.front() == g.feature_dim(),
-               "input dim must match graph features");
-  n_ = g.num_vertices();
+Algebra3D::Algebra3D(const DistProblem& problem, Comm world,
+                     MachineModel machine)
+    : DistSpmmAlgebra(machine), grid_(Grid3D::create_cube(world)) {
+  n_ = problem.graph->num_vertices();
   const int q = grid_.q;
 
   std::tie(coarse_lo_, coarse_hi_) = block_range(n_, q, grid_.i);
   std::tie(fine_lo_, fine_hi_) = fine_range(n_, q, grid_.i, grid_.k);
 
   const auto [ac0, ac1] = fine_range(n_, q, grid_.j, grid_.k);
-  at_block_ = problem_.at.block(coarse_lo_, coarse_hi_, ac0, ac1);
+  at_block_ = problem.at.block(coarse_lo_, coarse_hi_, ac0, ac1);
 
   jplane_ = grid_.world.split(/*color=*/grid_.j,
                               /*key=*/grid_.i * q + grid_.k);
-
-  weights_ = make_weights(config_);
-  optimizer_.emplace(config_.optimizer, config_.learning_rate, weights_);
-  gradients_.resize(weights_.size());
-  const auto layers = static_cast<std::size_t>(config_.num_layers());
-  h_.resize(layers + 1);
-  z_.resize(layers + 1);
-  const auto [f0, f1] = block_range(config_.dims.front(), q, grid_.j);
-  h_[0] = g.features.block(fine_lo_, f0, fine_hi_ - fine_lo_, f1 - f0);
 }
 
-Matrix Dist3D::split3d_spmm(const Csr& my_sparse, const Matrix& my_dense) {
+Matrix Algebra3D::split3d_spmm(const Csr& my_sparse, const Matrix& my_dense,
+                               EpochStats& stats) {
   const int q = grid_.q;
   const Index coarse_rows = coarse_hi_ - coarse_lo_;
   const Index w = my_dense.cols();
@@ -48,7 +32,7 @@ Matrix Dist3D::split3d_spmm(const Csr& my_sparse, const Matrix& my_dense) {
   for (int s = 0; s < q; ++s) {
     Csr a_recv;
     {
-      ScopedPhase scope(stats_.profiler, Phase::kSparseComm);
+      ScopedPhase scope(stats.profiler, Phase::kSparseComm);
       a_recv = dist::broadcast_csr(grid_.j == s ? &my_sparse : nullptr, s,
                                    grid_.row, CommCategory::kSparse);
     }
@@ -60,15 +44,14 @@ Matrix Dist3D::split3d_spmm(const Csr& my_sparse, const Matrix& my_dense) {
       d_recv = my_dense;
     }
     {
-      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
+      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
       grid_.col.broadcast(d_recv.flat(), s, CommCategory::kDense);
     }
     {
-      ScopedPhase scope(stats_.profiler, Phase::kSpmm);
+      ScopedPhase scope(stats.profiler, Phase::kSpmm);
       a_recv.spmm(d_recv, t_partial, /*accumulate=*/true);
-      stats_.work.add_spmm(machine_, static_cast<double>(a_recv.nnz()),
-                           static_cast<double>(w),
-                           dist::block_degree(a_recv));
+      stats.work.add_spmm(machine(), static_cast<double>(a_recv.nnz()),
+                          static_cast<double>(w), dist::block_degree(a_recv));
     }
   }
 
@@ -76,38 +59,14 @@ Matrix Dist3D::split3d_spmm(const Csr& my_sparse, const Matrix& my_dense) {
   // slabs F_{i,kk}; fiber rank kk keeps slab kk.
   Matrix out(fine_hi_ - fine_lo_, w);
   {
-    ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
     grid_.fiber.reduce_scatter_sum(std::span<const Real>(t_partial.flat()),
                                    out.flat(), CommCategory::kDense);
   }
   return out;
 }
 
-Matrix Dist3D::allgather_rows(const Matrix& local, Index full_cols) {
-  const int q = grid_.q;
-  Gathered<Real> gathered;
-  {
-    ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-    gathered = grid_.row.allgatherv(std::span<const Real>(local.flat()),
-                                    CommCategory::kDense);
-  }
-  Matrix full(local.rows(), full_cols);
-  for (int jj = 0; jj < q; ++jj) {
-    const auto [c0, c1] = block_range(full_cols, q, jj);
-    const auto chunk = gathered.chunk(jj);
-    CAGNET_CHECK(chunk.size() == static_cast<std::size_t>(local.rows() *
-                                                          (c1 - c0)),
-                 "allgather_rows: chunk size mismatch");
-    for (Index r = 0; r < local.rows(); ++r) {
-      std::copy(chunk.begin() + r * (c1 - c0),
-                chunk.begin() + (r + 1) * (c1 - c0),
-                full.data() + r * full_cols + c0);
-    }
-  }
-  return full;
-}
-
-Csr Dist3D::transpose_3d(const Csr& my_block) {
+Csr Algebra3D::transpose_3d(const Csr& my_block) {
   const int q = grid_.q;
   // Local transpose: M[C_i, F_{j,k}] -> M^T[F_{j,k}, C_i].
   const Csr bt = my_block.transposed();
@@ -135,195 +94,59 @@ Csr Dist3D::transpose_3d(const Csr& my_block) {
   return assembled;
 }
 
-const Matrix& Dist3D::forward() {
-  const Index layers = config_.num_layers();
-  const int q = grid_.q;
-  const Index fine_rows = fine_hi_ - fine_lo_;
-
-  for (Index l = 1; l <= layers; ++l) {
-    const Index f_in = config_.dims[static_cast<std::size_t>(l - 1)];
-    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
-
-    // T = A^T H^(l-1): one full Split-3D-SpMM.
-    const Matrix t =
-        split3d_spmm(at_block_, h_[static_cast<std::size_t>(l - 1)]);
-
-    // Z = T W: partial Split-3D-SpMM — W is replicated, so only T moves,
-    // along within-layer process rows (contraction over the f dimension
-    // needs no fiber reduction).
-    const auto [fo0, fo1] = block_range(f_out, q, grid_.j);
-    auto& z = z_[static_cast<std::size_t>(l)];
-    z = Matrix(fine_rows, fo1 - fo0);
-    const Matrix& w = weights_[static_cast<std::size_t>(l - 1)];
-    for (int m = 0; m < q; ++m) {
-      const auto [fm0, fm1] = block_range(f_in, q, m);
-      Matrix t_recv(fine_rows, fm1 - fm0);
-      if (grid_.j == m) t_recv = t;
-      {
-        ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-        grid_.row.broadcast(t_recv.flat(), m, CommCategory::kDense);
-      }
-      {
-        ScopedPhase scope(stats_.profiler, Phase::kMisc);
-        const Matrix w_block = w.block(fm0, fo0, fm1 - fm0, fo1 - fo0);
-        gemm(Trans::kNo, Trans::kNo, Real{1}, t_recv, w_block, Real{1}, z);
-        stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(fine_rows) *
-                                           static_cast<double>(fm1 - fm0) *
-                                           static_cast<double>(fo1 - fo0));
-      }
-    }
-
-    auto& h = h_[static_cast<std::size_t>(l)];
-    if (l == layers) {
-      // log_softmax needs whole rows: within-layer row all-gather
-      // (Section IV-D.2 — no cross-layer or cross-row communication).
-      const Matrix z_rows = allgather_rows(z, f_out);
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      output_rows_ = Matrix(fine_rows, f_out);
-      log_softmax_rows(z_rows, output_rows_);
-      h = output_rows_.block(0, fo0, fine_rows, fo1 - fo0);
-    } else {
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      h = Matrix(z.rows(), z.cols());
-      relu(z, h);
-    }
-  }
-  return h_[static_cast<std::size_t>(layers)];
+Matrix Algebra3D::spmm_at(const Matrix& h, EpochStats& stats) {
+  return split3d_spmm(at_block_, h, stats);
 }
 
-void Dist3D::backward() {
-  const Index layers = config_.num_layers();
-  const int q = grid_.q;
-  const Index fine_rows = fine_hi_ - fine_lo_;
-  const std::vector<Index>& labels = problem_.graph->labels;
-
-  // 3D distributed transpose A^T -> A.
-  Csr a_block;
-  {
-    ScopedPhase scope(stats_.profiler, Phase::kTranspose);
-    a_block = transpose_3d(at_block_);
-  }
-
-  // G^L, local (see Dist2D::backward for the row-sum argument).
-  const auto [fL0, fL1] = block_range(config_.dims.back(), q, grid_.j);
-  Matrix g(fine_rows, fL1 - fL0);
-  {
-    ScopedPhase scope(stats_.profiler, Phase::kMisc);
-    const Matrix& ls = h_[static_cast<std::size_t>(layers)];
-    const Real scale = Real{-1} / static_cast<Real>(problem_.labeled_count);
-    for (Index r = 0; r < fine_rows; ++r) {
-      const Index label = labels[static_cast<std::size_t>(fine_lo_ + r)];
-      if (label < 0) continue;
-      for (Index c = 0; c < fL1 - fL0; ++c) {
-        g(r, c) = -std::exp(ls(r, c)) * scale;
-      }
-      if (label >= fL0 && label < fL1) g(r, label - fL0) += scale;
-    }
-  }
-
-  for (Index l = layers; l >= 1; --l) {
-    const Index f_in = config_.dims[static_cast<std::size_t>(l - 1)];
-    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
-
-    // U = A G^l: full Split-3D-SpMM on the transposed adjacency.
-    const Matrix u = split3d_spmm(a_block, g);
-
-    // Row all-gather of U, reused by Y^l and G^(l-1) (IV-D.4).
-    const Matrix u_rows = allgather_rows(u, f_out);
-
-    // Y^l = (H^(l-1))^T (A G^l): local slice product, reduction over the
-    // j-plane (all fine row blocks sharing this feature slice), then row
-    // all-gather to replicate Y.
-    const auto [fi0, fi1] = block_range(f_in, q, grid_.j);
-    Matrix y_slice(fi1 - fi0, f_out);
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      gemm(Trans::kYes, Trans::kNo, Real{1},
-           h_[static_cast<std::size_t>(l - 1)], u_rows, Real{0}, y_slice);
-      stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(fine_rows) *
-                                         static_cast<double>(fi1 - fi0) *
-                                         static_cast<double>(f_out));
-    }
-    {
-      ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-      jplane_.allreduce_sum(y_slice.flat(), CommCategory::kDense);
-    }
-    auto& y = gradients_[static_cast<std::size_t>(l - 1)];
-    y = Matrix(f_in, f_out);
-    {
-      Gathered<Real> slices;
-      {
-        ScopedPhase scope(stats_.profiler, Phase::kDenseComm);
-        slices = grid_.row.allgatherv(std::span<const Real>(y_slice.flat()),
-                                      CommCategory::kDense);
-      }
-      for (int jj = 0; jj < q; ++jj) {
-        const auto [r0, r1] = block_range(f_in, q, jj);
-        const auto chunk = slices.chunk(jj);
-        CAGNET_CHECK(chunk.size() ==
-                         static_cast<std::size_t>((r1 - r0) * f_out),
-                     "Y assembly: slice size mismatch");
-        std::copy(chunk.begin(), chunk.end(), y.data() + r0 * f_out);
-      }
-    }
-
-    if (l > 1) {
-      ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      const Matrix& w = weights_[static_cast<std::size_t>(l - 1)];
-      const Matrix w_rows = w.block(fi0, 0, fi1 - fi0, f_out);
-      Matrix dh(fine_rows, fi1 - fi0);
-      gemm(Trans::kNo, Trans::kYes, Real{1}, u_rows, w_rows, Real{0}, dh);
-      stats_.work.add_gemm(machine_, 2.0 * static_cast<double>(fine_rows) *
-                                         static_cast<double>(fi1 - fi0) *
-                                         static_cast<double>(f_out));
-      Matrix next_g(fine_rows, fi1 - fi0);
-      relu_backward(dh, z_[static_cast<std::size_t>(l - 1)], next_g);
-      g = std::move(next_g);
-    }
-  }
-
-  // Transpose back to restore the forward orientation.
-  {
-    ScopedPhase scope(stats_.profiler, Phase::kTranspose);
-    const Csr restored = transpose_3d(a_block);
-    CAGNET_CHECK(restored.nnz() == at_block_.nnz(),
-                 "3D transpose round-trip changed the block");
-  }
+Matrix Algebra3D::spmm_a(const Matrix& g, EpochStats& stats) {
+  CAGNET_CHECK(a_block_.rows() > 0 || coarse_hi_ == coarse_lo_,
+               "spmm_a outside begin_backward/end_backward");
+  return split3d_spmm(a_block_, g, stats);
 }
 
-void Dist3D::step() {
-  ScopedPhase scope(stats_.profiler, Phase::kMisc);
-  optimizer_->step(weights_, gradients_);
+Matrix Algebra3D::times_weight(const Matrix& t, const Matrix& w,
+                               EpochStats& stats) {
+  // Partial Split-3D-SpMM Z = T W: W is replicated, so only T moves, along
+  // within-layer process rows (contraction over the f dimension needs no
+  // fiber reduction).
+  return dist::partial_summa_times_weight(t, w, grid_.q, grid_.j, grid_.row,
+                                          machine(), stats);
 }
 
-EpochResult Dist3D::train_epoch() {
-  const CostMeter before = grid_.world.meter();
-  stats_ = EpochStats{};
-
-  forward();
-  const Index f_out = config_.dims.back();
-  const Matrix empty(0, f_out);
-  stats_.result = dist::reduce_loss_accuracy(
-      grid_.j == 0 ? output_rows_ : empty, fine_lo_, problem_.graph->labels,
-      problem_.labeled_count, grid_.world);
-  backward();
-  step();
-
-  stats_.comm = grid_.world.meter();
-  stats_.comm.subtract(before);
-  return stats_.result;
+Matrix Algebra3D::gather_feature_rows(const Matrix& local, Index f,
+                                      EpochStats& stats) {
+  // Within-layer row all-gather (Section IV-D.2 — no cross-layer or
+  // cross-row communication).
+  return dist::allgather_feature_rows(local, f, grid_.q, grid_.row,
+                                      stats.profiler);
 }
 
-Matrix Dist3D::gather_output() {
-  // j-plane ranks are keyed by (i, k), i.e. ascending fine row blocks, so
-  // gathering along it assembles all n rows in order.
-  const auto gathered = jplane_.allgatherv(
-      std::span<const Real>(output_rows_.flat()), CommCategory::kControl);
-  Matrix full(n_, config_.dims.back());
-  CAGNET_CHECK(gathered.data.size() == static_cast<std::size_t>(full.size()),
-               "gather_output: size mismatch");
-  std::copy(gathered.data.begin(), gathered.data.end(), full.data());
-  return full;
+Matrix Algebra3D::reduce_gradients(Matrix y_local, Index f_in, Index f_out,
+                                   EpochStats& stats) {
+  // Reduction over the j-plane (all fine row blocks sharing this feature
+  // slice), then row all-gather to replicate Y (IV-D.4).
+  return dist::assemble_weight_gradient(std::move(y_local), f_in, f_out,
+                                        grid_.q, jplane_, grid_.row,
+                                        stats.profiler);
 }
+
+void Algebra3D::begin_backward(EpochStats& stats) {
+  ScopedPhase scope(stats.profiler, Phase::kTranspose);
+  a_block_ = transpose_3d(at_block_);
+}
+
+void Algebra3D::end_backward(EpochStats& stats) {
+  ScopedPhase scope(stats.profiler, Phase::kTranspose);
+  const Csr restored = transpose_3d(a_block_);
+  CAGNET_CHECK(restored.nnz() == at_block_.nnz(),
+               "3D transpose round-trip changed the block");
+  a_block_ = Csr();
+}
+
+Dist3D::Dist3D(const DistProblem& problem, GnnConfig config, Comm world,
+               MachineModel machine)
+    : DistEngine(problem, std::move(config),
+                 std::make_unique<Algebra3D>(problem, std::move(world),
+                                             machine)) {}
 
 }  // namespace cagnet

@@ -19,66 +19,83 @@
 // memory replication. The backward pass needs A in the same family of
 // blocks, obtained by a 3D distributed transpose: a local transpose plus q
 // permutation-routed piece exchanges (i,j,k) -> (j,i,k'').
+//
+// Only the distributed algebra lives here; the training loop itself is the
+// shared DistEngine (see dist_engine.hpp).
 #pragma once
 
-#include <optional>
+#include <memory>
 
-#include "src/core/dist_common.hpp"
-#include "src/gnn/optimizer.hpp"
+#include "src/core/dist_engine.hpp"
 
 namespace cagnet {
 
-class Dist3D final : public DistTrainer {
+/// Split-3D-SpMM algebra: vertex rows are fine slabs F_{i,k}, feature
+/// columns are split across j — both feature hooks are overridden with
+/// their within-layer SUMMA realizations.
+class Algebra3D final : public DistSpmmAlgebra {
  public:
   /// Collective constructor; world size must be a perfect cube.
-  Dist3D(const DistProblem& problem, GnnConfig config, Comm world,
-         MachineModel machine = MachineModel::summit());
+  Algebra3D(const DistProblem& problem, Comm world, MachineModel machine);
 
-  EpochResult train_epoch() override;
-  const EpochStats& last_epoch_stats() const override { return stats_; }
-  Matrix gather_output() override;
-  const std::vector<Matrix>& weights() const override { return weights_; }
+  const char* name() const override { return "3d"; }
+  Comm& world() override { return grid_.world; }
+  Index row_lo() const override { return fine_lo_; }
+  Index row_hi() const override { return fine_hi_; }
+  std::pair<Index, Index> feat_slice(Index f) const override {
+    return block_range(f, grid_.q, grid_.j);
+  }
+  bool rows_whole() const override { return false; }
+  bool owns_loss_rows() const override { return grid_.j == 0; }
+
+  Matrix spmm_at(const Matrix& h, EpochStats& stats) override;
+  Matrix spmm_a(const Matrix& g, EpochStats& stats) override;
+  Matrix times_weight(const Matrix& t, const Matrix& w,
+                      EpochStats& stats) override;
+  Matrix gather_feature_rows(const Matrix& local, Index f,
+                             EpochStats& stats) override;
+  Matrix reduce_gradients(Matrix y_local, Index f_in, Index f_out,
+                          EpochStats& stats) override;
+
+  /// 3D distributed transpose A^T -> A (and back).
+  void begin_backward(EpochStats& stats) override;
+  void end_backward(EpochStats& stats) override;
 
   int grid_dim() const { return grid_.q; }
 
- private:
-  const Matrix& forward();
-  void backward();
-  void step();
+ protected:
+  /// j-plane ranks are keyed by (i, k), i.e. ascending fine row blocks, so
+  /// gathering full-row outputs along it assembles all n rows in order.
+  Comm& gather_comm() override { return jplane_; }
 
+ private:
   /// One Split-3D-SpMM: T = S * D with S this rank's sparse block (row
   /// broadcasts), D the dense blocks (column broadcasts), then the fiber
   /// reduce-scatter. Returns the (fine rows x dense cols) result block.
-  Matrix split3d_spmm(const Csr& my_sparse, const Matrix& my_dense);
-
-  /// Row-wise all-gather within the layer: local (fine rows x w_j) block to
-  /// full (fine rows x full_cols).
-  Matrix allgather_rows(const Matrix& local, Index full_cols);
+  Matrix split3d_spmm(const Csr& my_sparse, const Matrix& my_dense,
+                      EpochStats& stats);
 
   /// 3D distributed transpose of a (coarse x fine)-blocked square matrix;
   /// returns this rank's block of the transpose in the same blocking.
   Csr transpose_3d(const Csr& my_block);
 
-  const DistProblem& problem_;
-  GnnConfig config_;
   Grid3D grid_;
   Comm jplane_;  ///< ranks sharing j, ordered by (i, k): Y reduction/gather
-  MachineModel machine_;
 
   Index n_ = 0;
   Index coarse_lo_ = 0, coarse_hi_ = 0;  ///< C_i
   Index fine_lo_ = 0, fine_hi_ = 0;      ///< F_{i,k} (H rows)
 
   Csr at_block_;  ///< A^T[C_i, F_{j,k}]
+  Csr a_block_;   ///< A[C_i, F_{j,k}], materialized during backward
+};
 
-  std::optional<Optimizer> optimizer_;
-  std::vector<Matrix> weights_;
-  std::vector<Matrix> gradients_;
-  std::vector<Matrix> h_;
-  std::vector<Matrix> z_;
-  Matrix output_rows_;  ///< full rows F_{i,k} of H^L
-
-  EpochStats stats_;
+/// The 3D trainer: the shared engine driven by Algebra3D.
+class Dist3D final : public DistEngine {
+ public:
+  /// Collective constructor; world size must be a perfect cube.
+  Dist3D(const DistProblem& problem, GnnConfig config, Comm world,
+         MachineModel machine = MachineModel::summit());
 };
 
 }  // namespace cagnet

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "src/dense/gemm.hpp"
 #include "src/dense/ops.hpp"
 #include "src/util/error.hpp"
 
@@ -143,6 +144,83 @@ Csr exchange_csr(const Csr& mine, int peer, Comm& comm, CommCategory cat) {
   auto vals = comm.exchange(std::span<const Real>(mine.values()), peer, cat);
   return Csr::from_parts(header[0], header[1], std::move(row_ptr),
                          std::move(col_idx), std::move(vals));
+}
+
+Matrix partial_summa_times_weight(const Matrix& t, const Matrix& w,
+                                  int parts, int my_col, Comm& row_comm,
+                                  const MachineModel& machine,
+                                  EpochStats& stats) {
+  const Index local_rows = t.rows();
+  const Index f_in = w.rows();
+  const Index f_out = w.cols();
+  const auto [fo0, fo1] = block_range(f_out, parts, my_col);
+  Matrix z(local_rows, fo1 - fo0);
+  for (int m = 0; m < parts; ++m) {
+    const auto [fm0, fm1] = block_range(f_in, parts, m);
+    Matrix t_recv(local_rows, fm1 - fm0);
+    if (my_col == m) t_recv = t;
+    {
+      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+      row_comm.broadcast(t_recv.flat(), m, CommCategory::kDense);
+    }
+    {
+      ScopedPhase scope(stats.profiler, Phase::kMisc);
+      const Matrix w_block = w.block(fm0, fo0, fm1 - fm0, fo1 - fo0);
+      gemm(Trans::kNo, Trans::kNo, Real{1}, t_recv, w_block, Real{1}, z);
+      stats.work.add_gemm(machine, 2.0 * static_cast<double>(local_rows) *
+                                       static_cast<double>(fm1 - fm0) *
+                                       static_cast<double>(fo1 - fo0));
+    }
+  }
+  return z;
+}
+
+Matrix allgather_feature_rows(const Matrix& local, Index full_cols, int parts,
+                              Comm& row_comm, Profiler& profiler) {
+  Gathered<Real> gathered;
+  {
+    ScopedPhase scope(profiler, Phase::kDenseComm);
+    gathered = row_comm.allgatherv(std::span<const Real>(local.flat()),
+                                   CommCategory::kDense);
+  }
+  Matrix full(local.rows(), full_cols);
+  for (int jj = 0; jj < parts; ++jj) {
+    const auto [c0, c1] = block_range(full_cols, parts, jj);
+    const auto chunk = gathered.chunk(jj);
+    CAGNET_CHECK(chunk.size() == static_cast<std::size_t>(local.rows() *
+                                                          (c1 - c0)),
+                 "allgather_feature_rows: chunk size mismatch");
+    for (Index r = 0; r < local.rows(); ++r) {
+      std::copy(chunk.begin() + r * (c1 - c0),
+                chunk.begin() + (r + 1) * (c1 - c0),
+                full.data() + r * full_cols + c0);
+    }
+  }
+  return full;
+}
+
+Matrix assemble_weight_gradient(Matrix y_slice, Index f_in, Index f_out,
+                                int parts, Comm& reduce_comm, Comm& row_comm,
+                                Profiler& profiler) {
+  {
+    ScopedPhase scope(profiler, Phase::kDenseComm);
+    reduce_comm.allreduce_sum(y_slice.flat(), CommCategory::kDense);
+  }
+  Matrix y(f_in, f_out);
+  Gathered<Real> slices;
+  {
+    ScopedPhase scope(profiler, Phase::kDenseComm);
+    slices = row_comm.allgatherv(std::span<const Real>(y_slice.flat()),
+                                 CommCategory::kDense);
+  }
+  for (int jj = 0; jj < parts; ++jj) {
+    const auto [r0, r1] = block_range(f_in, parts, jj);
+    const auto chunk = slices.chunk(jj);
+    CAGNET_CHECK(chunk.size() == static_cast<std::size_t>((r1 - r0) * f_out),
+                 "assemble_weight_gradient: slice size mismatch");
+    std::copy(chunk.begin(), chunk.end(), y.data() + r0 * f_out);
+  }
+  return y;
 }
 
 Csr route_csr(const Csr& mine, int dest, Comm& comm, CommCategory cat) {

@@ -58,6 +58,10 @@ class DistTrainer {
   /// Stats of the most recent epoch (this rank's view).
   virtual const EpochStats& last_epoch_stats() const = 0;
 
+  /// Collective: the most recent epoch's stats max-reduced over the world
+  /// (bulk-synchronous epochs are paced by the slowest rank).
+  virtual EpochStats reduce_epoch_stats() const = 0;
+
   /// Assemble the full output log-probability matrix H^L on every rank
   /// (control-category traffic; used for parity tests and inference).
   virtual Matrix gather_output() = 0;
@@ -95,6 +99,32 @@ Csr exchange_csr(const Csr& mine, int peer, Comm& comm, CommCategory cat);
 
 /// Permutation-route a CSR block to `dest` (see Comm::route).
 Csr route_csr(const Csr& mine, int dest, Comm& comm, CommCategory cat);
+
+/// Row-wise all-gather of feature slices into full rows: `local` is this
+/// rank's (rows x w_j) slice, `parts` ranks along `row_comm` each hold the
+/// block_range(full_cols, parts, j) slice. Charges kDense. Shared by the
+/// 2D and 3D families (log-softmax rows and the U reuse).
+Matrix allgather_feature_rows(const Matrix& local, Index full_cols, int parts,
+                              Comm& row_comm, Profiler& profiler);
+
+/// Complete a weight gradient from per-rank slice partials: sum `y_slice`
+/// (a feat_slice(f_in) x f_out partial) over `reduce_comm`, then all-gather
+/// the reduced slices along `row_comm` (`parts` ranks, rank j holding
+/// block_range(f_in, parts, j)) into the fully replicated (f_in x f_out)
+/// gradient. Shared by the 2D and 3D families.
+Matrix assemble_weight_gradient(Matrix y_slice, Index f_in, Index f_out,
+                                int parts, Comm& reduce_comm, Comm& row_comm,
+                                Profiler& profiler);
+
+/// Partial SUMMA Z = T W with W replicated: only T moves, broadcast along
+/// `row_comm` (`parts` ranks; this rank is column `my_col` and contributes
+/// `t`, its local feat_slice of T). Returns this rank's Z slice
+/// (t.rows() x block_range(w.cols(), parts, my_col) width). Shared by the
+/// 2D and 3D families ("partial SUMMA" / "partial Split-3D-SpMM").
+Matrix partial_summa_times_weight(const Matrix& t, const Matrix& w,
+                                  int parts, int my_col, Comm& row_comm,
+                                  const MachineModel& machine,
+                                  EpochStats& stats);
 
 }  // namespace dist
 

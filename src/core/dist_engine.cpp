@@ -1,0 +1,218 @@
+#include "src/core/dist_engine.hpp"
+
+#include <cmath>
+
+#include "src/dense/gemm.hpp"
+#include "src/dense/ops.hpp"
+#include "src/util/error.hpp"
+
+namespace cagnet {
+
+Matrix DistSpmmAlgebra::times_weight(const Matrix& t, const Matrix& w,
+                                     EpochStats& stats) {
+  // Rows-whole default: T is (local_rows x f_in), W replicated, so Z = T W
+  // is a purely local GEMM.
+  ScopedPhase scope(stats.profiler, Phase::kMisc);
+  Matrix z(t.rows(), w.cols());
+  gemm(Trans::kNo, Trans::kNo, Real{1}, t, w, Real{0}, z);
+  stats.work.add_gemm(machine(), 2.0 * static_cast<double>(t.rows()) *
+                                     static_cast<double>(w.rows()) *
+                                     static_cast<double>(w.cols()));
+  return z;
+}
+
+Matrix DistSpmmAlgebra::gather_feature_rows(const Matrix& local, Index f,
+                                            EpochStats& stats) {
+  (void)stats;
+  CAGNET_CHECK(local.cols() == f,
+               "gather_feature_rows: rows-whole layout expects full width");
+  return local;
+}
+
+Matrix DistSpmmAlgebra::gather_output(const Matrix& output_rows, Index n) {
+  const auto gathered = gather_comm().allgatherv(
+      std::span<const Real>(output_rows.flat()), CommCategory::kControl);
+  Matrix full(n, output_rows.cols());
+  CAGNET_CHECK(gathered.data.size() == static_cast<std::size_t>(full.size()),
+               "gather_output: size mismatch");
+  std::copy(gathered.data.begin(), gathered.data.end(), full.data());
+  return full;
+}
+
+DistEngine::DistEngine(const DistProblem& problem, GnnConfig config,
+                       std::unique_ptr<DistSpmmAlgebra> algebra)
+    : problem_(problem), config_(std::move(config)),
+      algebra_(std::move(algebra)) {
+  const Graph& g = *problem_.graph;
+  CAGNET_CHECK(algebra_ != nullptr, "engine requires an algebra");
+  CAGNET_CHECK(config_.dims.front() == g.feature_dim(),
+               "input dim must match graph features");
+
+  weights_ = make_weights(config_);
+  optimizer_.emplace(config_.optimizer, config_.learning_rate, weights_);
+  gradients_.resize(weights_.size());
+  const auto layers = static_cast<std::size_t>(config_.num_layers());
+  h_.resize(layers + 1);
+  z_.resize(layers + 1);
+  const auto [f0, f1] = algebra_->feat_slice(config_.dims.front());
+  h_[0] = g.features.block(algebra_->row_lo(), f0, algebra_->local_rows(),
+                           f1 - f0);
+}
+
+const Matrix& DistEngine::forward() {
+  const Index layers = config_.num_layers();
+
+  for (Index l = 1; l <= layers; ++l) {
+    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
+
+    // T = A^T H^(l-1) (the algebra's distributed SpMM), then Z = T W.
+    const Matrix t = algebra_->spmm_at(h_[static_cast<std::size_t>(l - 1)],
+                                       stats_);
+    auto& z = z_[static_cast<std::size_t>(l)];
+    z = algebra_->times_weight(t, weights_[static_cast<std::size_t>(l - 1)],
+                               stats_);
+
+    if (l == layers) {
+      // log-softmax needs whole rows; rows-whole layouts skip the gather
+      // (uniform across ranks by the algebra contract). output_rows_ is
+      // the canonical final-layer activation — h_[L] is never read.
+      const bool rows_whole = algebra_->rows_whole();
+      Matrix gathered;
+      if (!rows_whole) {
+        gathered = algebra_->gather_feature_rows(z, f_out, stats_);
+      }
+      const Matrix& z_rows = rows_whole ? z : gathered;
+      ScopedPhase scope(stats_.profiler, Phase::kMisc);
+      output_rows_ = Matrix(z_rows.rows(), f_out);
+      log_softmax_rows(z_rows, output_rows_);
+    } else {
+      ScopedPhase scope(stats_.profiler, Phase::kMisc);
+      auto& h = h_[static_cast<std::size_t>(l)];
+      h = Matrix(z.rows(), z.cols());
+      relu(z, h);
+    }
+  }
+  return output_rows_;
+}
+
+void DistEngine::backward() {
+  const Index layers = config_.num_layers();
+  const Index local_rows = algebra_->local_rows();
+  const Index row_lo = algebra_->row_lo();
+  const std::vector<Index>& labels = problem_.graph->labels;
+
+  algebra_->begin_backward(stats_);
+
+  // G^L = dL/dZ^L from the cached full-row log-probs, restricted to the
+  // local feature slice. For mean-NLL upstream gradients the row sum of
+  // dL/dH is -1/m for every labeled row, so the log-softmax Jacobian
+  // product needs no communication in any layout.
+  const Index f_last = config_.dims.back();
+  const auto [fL0, fL1] = algebra_->feat_slice(f_last);
+  Matrix g(local_rows, fL1 - fL0);
+  {
+    ScopedPhase scope(stats_.profiler, Phase::kMisc);
+    if (problem_.labeled_count > 0) {
+      const Real scale =
+          Real{-1} / static_cast<Real>(problem_.labeled_count);
+      for (Index r = 0; r < local_rows; ++r) {
+        const Index label = labels[static_cast<std::size_t>(row_lo + r)];
+        if (label < 0) continue;
+        for (Index c = 0; c < fL1 - fL0; ++c) {
+          g(r, c) = -std::exp(output_rows_(r, fL0 + c)) * scale;
+        }
+        if (label >= fL0 && label < fL1) g(r, label - fL0) += scale;
+      }
+    }
+  }
+
+  for (Index l = layers; l >= 1; --l) {
+    const Index f_in = config_.dims[static_cast<std::size_t>(l - 1)];
+    const Index f_out = config_.dims[static_cast<std::size_t>(l)];
+
+    // U = A G^l (the algebra's transposed distributed SpMM), with full rows
+    // assembled once and reused by both Y^l and G^(l-1) — the paper's
+    // intermediate-product reuse. Rows-whole layouts already hold full
+    // rows and skip the gather (uniform by the algebra contract).
+    const Matrix u = algebra_->spmm_a(g, stats_);
+    Matrix u_gathered;
+    if (!algebra_->rows_whole()) {
+      u_gathered = algebra_->gather_feature_rows(u, f_out, stats_);
+    }
+    const Matrix& u_rows = algebra_->rows_whole() ? u : u_gathered;
+
+    // Y^l = (H^(l-1))^T (A G^l): local slice product, completed into the
+    // replicated gradient by the algebra's reductions.
+    const auto [fi0, fi1] = algebra_->feat_slice(f_in);
+    Matrix y_local(fi1 - fi0, f_out);
+    {
+      ScopedPhase scope(stats_.profiler, Phase::kMisc);
+      gemm(Trans::kYes, Trans::kNo, Real{1},
+           h_[static_cast<std::size_t>(l - 1)], u_rows, Real{0}, y_local);
+      stats_.work.add_gemm(algebra_->machine(),
+                           2.0 * static_cast<double>(local_rows) *
+                               static_cast<double>(fi1 - fi0) *
+                               static_cast<double>(f_out));
+    }
+    gradients_[static_cast<std::size_t>(l - 1)] =
+        algebra_->reduce_gradients(std::move(y_local), f_in, f_out, stats_);
+
+    if (l > 1) {
+      // G^(l-1) = (U (W^l)^T) ⊙ relu'(Z^(l-1)); only the local feature
+      // slice of W's rows participates.
+      ScopedPhase scope(stats_.profiler, Phase::kMisc);
+      const Matrix& w = weights_[static_cast<std::size_t>(l - 1)];
+      Matrix dh(local_rows, fi1 - fi0);
+      if (fi0 == 0 && fi1 == f_in) {
+        gemm(Trans::kNo, Trans::kYes, Real{1}, u_rows, w, Real{0}, dh);
+      } else {
+        const Matrix w_rows = w.block(fi0, 0, fi1 - fi0, f_out);
+        gemm(Trans::kNo, Trans::kYes, Real{1}, u_rows, w_rows, Real{0}, dh);
+      }
+      stats_.work.add_gemm(algebra_->machine(),
+                           2.0 * static_cast<double>(local_rows) *
+                               static_cast<double>(fi1 - fi0) *
+                               static_cast<double>(f_out));
+      Matrix next_g(local_rows, fi1 - fi0);
+      relu_backward(dh, z_[static_cast<std::size_t>(l - 1)], next_g);
+      g = std::move(next_g);
+    }
+  }
+
+  algebra_->end_backward(stats_);
+}
+
+void DistEngine::step() {
+  ScopedPhase scope(stats_.profiler, Phase::kMisc);
+  optimizer_->step(weights_, gradients_);
+}
+
+EpochResult DistEngine::train_epoch() {
+  Comm& world = algebra_->world();
+  const CostMeter before = world.meter();
+  stats_ = EpochStats{};
+
+  forward();
+  // Replicas hold identical output rows; only the primary copies
+  // contribute loss terms to the global reduction.
+  const Matrix empty(0, config_.dims.back());
+  stats_.result = dist::reduce_loss_accuracy(
+      algebra_->owns_loss_rows() ? output_rows_ : empty, algebra_->row_lo(),
+      problem_.graph->labels, problem_.labeled_count, world);
+  backward();
+  step();
+
+  stats_.comm = world.meter();
+  stats_.comm.subtract(before);
+  return stats_.result;
+}
+
+EpochStats DistEngine::reduce_epoch_stats() const {
+  return EpochStats::reduce_max(stats_, algebra_->world());
+}
+
+Matrix DistEngine::gather_output() {
+  return algebra_->gather_output(output_rows_, problem_.graph->num_vertices());
+}
+
+}  // namespace cagnet

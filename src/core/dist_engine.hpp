@@ -1,0 +1,171 @@
+// The shared distributed GCN training engine.
+//
+// The paper's four partitioning algorithms (1D, 1.5D, 2D, 3D) differ *only*
+// in how they realize the distributed SpMM A^T H (forward) and A G
+// (backward) plus the collectives that keep W and Y replicated. Everything
+// else — weight/optimizer state, the per-layer forward (distributed SpMM ->
+// local GEMM -> ReLU / log-softmax), the loss/accuracy reduction, the
+// backward recurrence, the SGD step, and EpochStats collection — is
+// identical across the families. DistEngine owns that shared epoch;
+// DistSpmmAlgebra is the strategy interface each partitioning implements
+// (see DESIGN.md, "Engine / algebra split"). Adding a new partitioning is
+// one algebra subclass plus a registry entry (algebra_registry.hpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/core/dist_common.hpp"
+#include "src/gnn/optimizer.hpp"
+
+namespace cagnet {
+
+/// Distributed linear algebra of one partitioning scheme. All methods are
+/// collective over world(); every rank must call them in lockstep (the same
+/// contract as Comm). An algebra is stateful only in its partitioned
+/// adjacency blocks and communicators — activations, weights, and optimizer
+/// state live in the engine.
+///
+/// Local data layout contract: each rank owns the H/G/Z row block
+/// [row_lo(), row_hi()) and, of an f-wide feature dimension, the column
+/// slice feat_slice(f). 1D/1.5D keep rows whole (feat_slice = [0, f)); the
+/// 2D/3D families split features across process columns.
+class DistSpmmAlgebra {
+ public:
+  explicit DistSpmmAlgebra(MachineModel machine) : machine_(machine) {}
+  virtual ~DistSpmmAlgebra() = default;
+
+  DistSpmmAlgebra(const DistSpmmAlgebra&) = delete;
+  DistSpmmAlgebra& operator=(const DistSpmmAlgebra&) = delete;
+
+  /// Registry / display name ("1d", "2d", ...).
+  virtual const char* name() const = 0;
+
+  /// The world communicator (loss reduction, stats, meter deltas).
+  virtual Comm& world() = 0;
+
+  /// Target machine for modeled local-kernel work.
+  const MachineModel& machine() const { return machine_; }
+
+  // ---- Local layout ----
+
+  /// Global row range [row_lo, row_hi) of this rank's H/G/Z blocks.
+  virtual Index row_lo() const = 0;
+  virtual Index row_hi() const = 0;
+  Index local_rows() const { return row_hi() - row_lo(); }
+
+  /// Column range [c0, c1) of an f-wide feature dimension stored locally.
+  virtual std::pair<Index, Index> feat_slice(Index f) const { return {0, f}; }
+
+  /// True when local blocks hold whole feature rows (feat_slice is the
+  /// identity) so gather_feature_rows is a no-op the engine may skip.
+  /// Must be uniform across the world — the engine branches on it around
+  /// collectives. Per-rank slice arithmetic is NOT a substitute: a 1-wide
+  /// feature dimension on a multi-column grid gives some ranks the full
+  /// slice and others an empty one.
+  virtual bool rows_whole() const { return true; }
+
+  /// True when this rank's output rows are the primary copy for loss and
+  /// accuracy terms (replicas — 1.5D team members t > 0, 2D/3D process
+  /// columns j > 0 — contribute nothing to the global reduction).
+  virtual bool owns_loss_rows() const { return true; }
+
+  // ---- The distributed operations of one GCN layer ----
+
+  /// Forward propagation T = A^T H: `h` is the local block of H^(l-1),
+  /// the result is the local block of T in the same layout.
+  virtual Matrix spmm_at(const Matrix& h, EpochStats& stats) = 0;
+
+  /// Backward propagation U = A G: `g` is the local block of G^l, the
+  /// result is the local block of U. Called between begin_backward() and
+  /// end_backward() (the 2D/3D families materialize A there).
+  virtual Matrix spmm_a(const Matrix& g, EpochStats& stats) = 0;
+
+  /// Z = T W with W replicated: `t` is the local block of T, the result the
+  /// local block of Z. Default: purely local GEMM (rows-whole layouts); the
+  /// 2D/3D families override with their partial-SUMMA row broadcasts.
+  virtual Matrix times_weight(const Matrix& t, const Matrix& w,
+                              EpochStats& stats);
+
+  /// Assemble full rows (local_rows x f) from the local feature slice —
+  /// the row-wise all-gather forced by log-softmax's row dependence and
+  /// reused for the weight-gradient operand. Default: identity copy
+  /// (rows-whole layouts move nothing).
+  virtual Matrix gather_feature_rows(const Matrix& local, Index f,
+                                     EpochStats& stats);
+
+  /// Complete the weight gradient Y^l = (H^(l-1))^T (A G^l): `y_local` is
+  /// this rank's partial (feat_slice(f_in) width x f_out); the result is
+  /// the fully replicated (f_in x f_out) gradient on every rank.
+  virtual Matrix reduce_gradients(Matrix y_local, Index f_in, Index f_out,
+                                  EpochStats& stats) = 0;
+
+  /// Assemble the full (n x f) output on every rank from the full-row local
+  /// output block (control traffic; parity tests and inference). Default:
+  /// rank-ordered all-gather over gather_comm().
+  virtual Matrix gather_output(const Matrix& output_rows, Index n);
+
+  // ---- Epoch hooks ----
+
+  /// Called before the backward recurrence; the 2D/3D families run their
+  /// distributed transpose A^T -> A here (the paper's "trpose" phase).
+  virtual void begin_backward(EpochStats& stats) { (void)stats; }
+
+  /// Called after the backward recurrence; undoes begin_backward().
+  virtual void end_backward(EpochStats& stats) { (void)stats; }
+
+ protected:
+  /// Communicator whose rank-ordered all-gather of full-row output blocks
+  /// assembles H^L: world (1D), the slice (1.5D), the process column (2D),
+  /// the j-plane (3D).
+  virtual Comm& gather_comm() = 0;
+
+ private:
+  MachineModel machine_;
+};
+
+/// The single shared trainer: one full-batch GCN epoch (forward, loss,
+/// backward, SGD step) expressed against a DistSpmmAlgebra. Owns the
+/// replicated weights/optimizer, the local activation caches, and the
+/// per-epoch EpochStats.
+class DistEngine : public DistTrainer {
+ public:
+  /// Collective constructor: call on every rank of the algebra's world.
+  DistEngine(const DistProblem& problem, GnnConfig config,
+             std::unique_ptr<DistSpmmAlgebra> algebra);
+
+  EpochResult train_epoch() override;
+  const EpochStats& last_epoch_stats() const override { return stats_; }
+  EpochStats reduce_epoch_stats() const override;
+  Matrix gather_output() override;
+  const std::vector<Matrix>& weights() const override { return weights_; }
+
+  const GnnConfig& config() const { return config_; }
+  DistSpmmAlgebra& algebra() { return *algebra_; }
+  const DistSpmmAlgebra& algebra() const { return *algebra_; }
+
+  /// Full rows of this rank's block of H^L (valid after an epoch).
+  const Matrix& local_output() const { return output_rows_; }
+
+ private:
+  const Matrix& forward();
+  void backward();
+  void step();
+
+  const DistProblem& problem_;
+  GnnConfig config_;
+  std::unique_ptr<DistSpmmAlgebra> algebra_;
+
+  std::optional<Optimizer> optimizer_;
+  std::vector<Matrix> weights_;
+  std::vector<Matrix> gradients_;
+  std::vector<Matrix> h_;  ///< local blocks of H^l, l = 0..L
+  std::vector<Matrix> z_;  ///< local blocks of Z^l, l = 1..L
+  Matrix output_rows_;     ///< full rows of this rank's H^L block
+
+  EpochStats stats_;
+};
+
+}  // namespace cagnet

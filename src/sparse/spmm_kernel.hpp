@@ -4,20 +4,36 @@
 // portable CPU kernel whose inner loop is a contiguous axpy over the dense
 // operand's row (length f), which vectorizes. Templating lets the local-SpMM
 // bench (E6) measure both fp32 (the paper's GPU precision) and fp64.
+//
+// The kernel is parallelized over contiguous row blocks with std::thread:
+// each worker owns a disjoint row range (boundaries chosen to balance nnz),
+// so no synchronization or atomics are needed and the result is bitwise
+// identical for every thread count. The automatic thread count comes from
+// the process thread budget (src/util/parallel.hpp: CAGNET_THREADS or the
+// hardware concurrency, divided across concurrent simulated-world ranks)
+// and is clamped by a minimum-work heuristic so the tiny per-rank blocks
+// of the simulated distributed worlds stay serial.
 #pragma once
 
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "src/util/parallel.hpp"
 #include "src/util/types.hpp"
 
 namespace cagnet {
 
-/// y[i,:] (+)= sum_k a(i,k) * x[k,:] for a CSR matrix a of shape
-/// (rows x anything), x with `f` columns, y with `f` columns.
-/// If `accumulate` is false, y rows are overwritten.
+namespace detail {
+
+/// Flops below which threading overhead outweighs the kernel itself.
+inline constexpr double kSpmmMinFlopsPerThread = 1 << 18;
+
+/// Serial row-range body shared by the serial and threaded paths.
 template <typename T>
-void spmm_csr_kernel(Index rows, const Index* row_ptr, const Index* col_idx,
-                     const T* vals, const T* x, Index f, T* y,
-                     bool accumulate) {
-  for (Index i = 0; i < rows; ++i) {
+void spmm_rows(Index r0, Index r1, const Index* row_ptr, const Index* col_idx,
+               const T* vals, const T* x, Index f, T* y, bool accumulate) {
+  for (Index i = r0; i < r1; ++i) {
     T* yrow = y + i * f;
     if (!accumulate) {
       for (Index j = 0; j < f; ++j) yrow[j] = T{0};
@@ -28,6 +44,66 @@ void spmm_csr_kernel(Index rows, const Index* row_ptr, const Index* col_idx,
       for (Index j = 0; j < f; ++j) yrow[j] += v * xrow[j];
     }
   }
+}
+
+}  // namespace detail
+
+/// y[i,:] (+)= sum_k a(i,k) * x[k,:] for a CSR matrix a of shape
+/// (rows x anything), x with `f` columns, y with `f` columns.
+/// If `accumulate` is false, y rows are overwritten.
+///
+/// `num_threads` <= 0 selects automatically: up to
+/// available_thread_budget() workers, scaled down so each keeps at least
+/// ~256k flops. Row-block boundaries are placed at nnz quantiles
+/// (contiguous blocks, balanced work), so every thread count produces
+/// bitwise-identical output.
+template <typename T>
+void spmm_csr_kernel(Index rows, const Index* row_ptr, const Index* col_idx,
+                     const T* vals, const T* x, Index f, T* y,
+                     bool accumulate, int num_threads = 0) {
+  const Index nnz = rows > 0 ? row_ptr[rows] : 0;
+  int threads = num_threads;
+  if (threads <= 0) {
+    const double flops = 2.0 * static_cast<double>(nnz) *
+                         static_cast<double>(f);
+    const int by_work = static_cast<int>(flops /
+                                         detail::kSpmmMinFlopsPerThread) + 1;
+    threads = std::min(available_thread_budget(), by_work);
+  }
+  threads = static_cast<int>(
+      std::min<Index>(static_cast<Index>(threads), std::max<Index>(rows, 1)));
+
+  if (threads <= 1) {
+    detail::spmm_rows(Index{0}, rows, row_ptr, col_idx, vals, x, f, y,
+                      accumulate);
+    return;
+  }
+
+  // Contiguous row blocks with ~equal nnz: boundary w is the first row
+  // whose cumulative nnz reaches w/threads of the total.
+  std::vector<Index> bounds(static_cast<std::size_t>(threads) + 1);
+  bounds[0] = 0;
+  for (int w = 1; w < threads; ++w) {
+    const Index target = nnz * w / threads;
+    const Index* found = std::lower_bound(row_ptr, row_ptr + rows + 1, target);
+    bounds[static_cast<std::size_t>(w)] =
+        std::max(bounds[static_cast<std::size_t>(w - 1)],
+                 static_cast<Index>(found - row_ptr));
+  }
+  bounds[static_cast<std::size_t>(threads)] = rows;
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads) - 1);
+  for (int w = 1; w < threads; ++w) {
+    const Index r0 = bounds[static_cast<std::size_t>(w)];
+    const Index r1 = bounds[static_cast<std::size_t>(w) + 1];
+    workers.emplace_back([=] {
+      detail::spmm_rows(r0, r1, row_ptr, col_idx, vals, x, f, y, accumulate);
+    });
+  }
+  detail::spmm_rows(bounds[0], bounds[1], row_ptr, col_idx, vals, x, f, y,
+                    accumulate);
+  for (std::thread& worker : workers) worker.join();
 }
 
 }  // namespace cagnet

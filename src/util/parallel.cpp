@@ -1,0 +1,43 @@
+#include "src/util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace cagnet {
+
+namespace {
+
+/// Extra concurrent claimants beyond the baseline single caller.
+std::atomic<int> g_extra_shares{0};
+
+}  // namespace
+
+int thread_budget() {
+  static const int budget = [] {
+    if (const char* env = std::getenv("CAGNET_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  return budget;
+}
+
+int available_thread_budget() {
+  const int claimants = 1 + g_extra_shares.load(std::memory_order_relaxed);
+  return std::max(1, thread_budget() / claimants);
+}
+
+ScopedThreadBudgetShare::ScopedThreadBudgetShare(int ways)
+    : extra_(std::max(ways, 1) - 1) {
+  g_extra_shares.fetch_add(extra_, std::memory_order_relaxed);
+}
+
+ScopedThreadBudgetShare::~ScopedThreadBudgetShare() {
+  g_extra_shares.fetch_sub(extra_, std::memory_order_relaxed);
+}
+
+}  // namespace cagnet

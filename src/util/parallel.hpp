@@ -1,0 +1,36 @@
+// Process-wide worker-thread budget for nested parallelism.
+//
+// Two layers of threading coexist here: simulated worlds run P ranks as
+// threads (src/comm/comm.hpp), and local kernels (the SpMM row-block
+// parallelism) spawn workers of their own. Without coordination a P-rank
+// world on an H-core host could create up to P*H kernel threads. The
+// budget is the fix: kernels size themselves from
+// available_thread_budget(), and run_world holds a ScopedThreadBudgetShare
+// so concurrent ranks split the budget instead of multiplying it.
+#pragma once
+
+namespace cagnet {
+
+/// Process-wide worker-thread budget: CAGNET_THREADS if set to a positive
+/// integer, otherwise std::thread::hardware_concurrency() (read once).
+int thread_budget();
+
+/// The budget available to one caller right now: thread_budget() divided
+/// by the number of concurrently active budget shares, at least 1.
+int available_thread_budget();
+
+/// RAII: splits the process thread budget `ways` ways for its lifetime.
+/// run_world holds one sized to its world while rank threads execute.
+class ScopedThreadBudgetShare {
+ public:
+  explicit ScopedThreadBudgetShare(int ways);
+  ~ScopedThreadBudgetShare();
+
+  ScopedThreadBudgetShare(const ScopedThreadBudgetShare&) = delete;
+  ScopedThreadBudgetShare& operator=(const ScopedThreadBudgetShare&) = delete;
+
+ private:
+  int extra_;
+};
+
+}  // namespace cagnet

@@ -1,14 +1,16 @@
 // Parity tests for the distributed trainers: for the same seed, every
-// algorithm (1D, 2D, ...) must reproduce the serial reference's per-epoch
-// losses and output embeddings up to floating-point accumulation error —
-// the paper's Section V-A verification. Also checks the metered
-// communication against the Section IV closed forms.
+// registered algebra (1D, 1.5D, 2D, 3D), executed by the one shared
+// DistEngine, must reproduce the serial reference's per-epoch losses and
+// output embeddings up to floating-point accumulation error — the paper's
+// Section V-A verification. Also checks the metered communication against
+// the Section IV closed forms.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <mutex>
 #include <vector>
 
+#include "src/core/algebra_registry.hpp"
 #include "src/core/costmodel.hpp"
 #include "src/core/dist15d.hpp"
 #include "src/core/dist1d.hpp"
@@ -45,39 +47,20 @@ struct RunOutcome {
   EpochStats stats;  // max-reduced stats of the final epoch
 };
 
-enum class Algo { k1D, k15D_c2, k15D_c4, k2D, k3D };
-
-std::unique_ptr<DistTrainer> make_trainer(Algo algo, const DistProblem& prob,
-                                          const GnnConfig& config,
-                                          Comm& world) {
-  switch (algo) {
-    case Algo::k1D:
-      return std::make_unique<Dist1D>(prob, config, world);
-    case Algo::k15D_c2:
-      return std::make_unique<Dist15D>(prob, config, world, 2);
-    case Algo::k15D_c4:
-      return std::make_unique<Dist15D>(prob, config, world, 4);
-    case Algo::k2D:
-      return std::make_unique<Dist2D>(prob, config, world);
-    case Algo::k3D:
-      return std::make_unique<Dist3D>(prob, config, world);
-  }
-  throw Error("unknown algo");
-}
-
-RunOutcome run_distributed(Algo algo, const Graph& g, const GnnConfig& config,
-                           int p, int epochs) {
+/// Run `epochs` epochs of the named registry algebra through the shared
+/// engine on a simulated world of `p` ranks.
+RunOutcome run_distributed(const std::string& algebra, const Graph& g,
+                           const GnnConfig& config, int p, int epochs) {
   const DistProblem prob = DistProblem::prepare(g);
   RunOutcome outcome;
   std::mutex mutex;
   run_world(p, [&](Comm& world) {
-    auto trainer = make_trainer(algo, prob, config, world);
+    auto trainer = make_dist_trainer(algebra, prob, config, world);
     std::vector<Real> losses;
     for (int e = 0; e < epochs; ++e) {
       losses.push_back(trainer->train_epoch().loss);
     }
-    const EpochStats reduced =
-        EpochStats::reduce_max(trainer->last_epoch_stats(), world);
+    const EpochStats reduced = trainer->reduce_epoch_stats();
     Matrix out = trainer->gather_output();
     if (world.rank() == 0) {
       std::lock_guard<std::mutex> lock(mutex);
@@ -100,17 +83,45 @@ RunOutcome run_serial(const Graph& g, const GnnConfig& config, int epochs) {
   return outcome;
 }
 
-class DistParity : public ::testing::TestWithParam<std::tuple<Algo, int>> {};
+// ---- Registry-driven parity: every algebra x every valid world size ----
 
-TEST_P(DistParity, MatchesSerialLossesAndEmbeddings) {
-  const auto [algo, p] = GetParam();
+struct AlgebraWorld {
+  std::string algebra;
+  int p = 0;
+};
+
+std::vector<AlgebraWorld> all_registered_cases() {
+  std::vector<AlgebraWorld> cases;
+  for (const AlgebraSpec& spec : algebra_registry()) {
+    for (int p : spec.world_sizes) {
+      EXPECT_TRUE(spec.accepts(p))
+          << spec.name << " rejects its own suggested world size " << p;
+      cases.push_back({spec.name, p});
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<AlgebraWorld>& info) {
+  std::string name = info.param.algebra + "_p" +
+                     std::to_string(info.param.p);
+  for (char& c : name) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return name;
+}
+
+class EngineParity : public ::testing::TestWithParam<AlgebraWorld> {};
+
+TEST_P(EngineParity, MatchesSerialLossesAndEmbeddings) {
+  const auto [algebra, p] = GetParam();
   const Graph g = test_graph(90, 12, 5, 42);
   GnnConfig config = GnnConfig::three_layer(12, 5, 8);
   config.learning_rate = 0.2;
   const int epochs = 4;
 
   const RunOutcome serial = run_serial(g, config, epochs);
-  const RunOutcome dist = run_distributed(algo, g, config, p, epochs);
+  const RunOutcome dist = run_distributed(algebra, g, config, p, epochs);
 
   ASSERT_EQ(dist.losses.size(), serial.losses.size());
   for (int e = 0; e < epochs; ++e) {
@@ -121,38 +132,35 @@ TEST_P(DistParity, MatchesSerialLossesAndEmbeddings) {
   EXPECT_LE(Matrix::max_abs_diff(dist.output, serial.output), kParityTol);
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    OneD, DistParity,
-    ::testing::Combine(::testing::Values(Algo::k1D),
-                       ::testing::Values(1, 2, 3, 4, 7, 8)));
+INSTANTIATE_TEST_SUITE_P(AllAlgebras, EngineParity,
+                         ::testing::ValuesIn(all_registered_cases()),
+                         case_name);
 
-INSTANTIATE_TEST_SUITE_P(
-    TwoD, DistParity,
-    ::testing::Combine(::testing::Values(Algo::k2D),
-                       ::testing::Values(1, 4, 9, 16)));
+TEST(EngineParity, RegistryCoversAllPaperFamilies) {
+  for (const char* name : {"1d", "1.5d-c2", "1.5d-c4", "2d", "3d"}) {
+    EXPECT_NE(find_algebra(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_algebra("nonexistent"), nullptr);
+}
 
-INSTANTIATE_TEST_SUITE_P(
-    OneAndAHalfD_c2, DistParity,
-    ::testing::Combine(::testing::Values(Algo::k15D_c2),
-                       ::testing::Values(2, 4, 6, 8)));
-
-INSTANTIATE_TEST_SUITE_P(
-    OneAndAHalfD_c4, DistParity,
-    ::testing::Combine(::testing::Values(Algo::k15D_c4),
-                       ::testing::Values(4, 8, 16)));
-
-INSTANTIATE_TEST_SUITE_P(
-    ThreeD, DistParity,
-    ::testing::Combine(::testing::Values(Algo::k3D),
-                       ::testing::Values(1, 8, 27)));
+TEST(EngineParity, UnknownAlgebraNameThrows) {
+  const Graph g = test_graph(40, 8, 3, 58);
+  const DistProblem problem = DistProblem::prepare(g);
+  const GnnConfig config = GnnConfig::three_layer(8, 3);
+  EXPECT_THROW(run_world(2,
+                         [&](Comm& world) {
+                           make_dist_trainer("4d", problem, config, world);
+                         }),
+               Error);
+}
 
 TEST(DistParity, UnevenBlockSizesStillMatch) {
   // n deliberately not divisible by P or the grid dimension.
   const Graph g = test_graph(101, 7, 3, 43);
   GnnConfig config = GnnConfig::three_layer(7, 3, 5);
   const RunOutcome serial = run_serial(g, config, 3);
-  const RunOutcome d1 = run_distributed(Algo::k1D, g, config, 6, 3);
-  const RunOutcome d2 = run_distributed(Algo::k2D, g, config, 9, 3);
+  const RunOutcome d1 = run_distributed("1d", g, config, 6, 3);
+  const RunOutcome d2 = run_distributed("2d", g, config, 9, 3);
   EXPECT_LE(Matrix::max_abs_diff(d1.output, serial.output), kParityTol);
   EXPECT_LE(Matrix::max_abs_diff(d2.output, serial.output), kParityTol);
 }
@@ -160,7 +168,7 @@ TEST(DistParity, UnevenBlockSizesStillMatch) {
 TEST(DistParity, DirectedGraphMatchesAcrossAllFamilies) {
   // A directed (asymmetric) adjacency exercises the A-vs-A^T handling: the
   // forward pass multiplies by A^T, the backward by A, and the 2D/3D
-  // trainers materialize A through distributed transposes.
+  // algebras materialize A through distributed transposes.
   Rng rng(51);
   Graph g;
   g.name = "directed";
@@ -175,14 +183,14 @@ TEST(DistParity, DirectedGraphMatchesAcrossAllFamilies) {
   GnnConfig config = GnnConfig::three_layer(9, 4, 6);
 
   const RunOutcome serial = run_serial(g, config, 3);
-  for (const auto [algo, p] :
-       {std::pair<Algo, int>{Algo::k1D, 4},
-        {Algo::k15D_c2, 8},
-        {Algo::k2D, 9},
-        {Algo::k3D, 8}}) {
-    const RunOutcome dist = run_distributed(algo, g, config, p, 3);
+  for (const auto& [algebra, p] :
+       {std::pair<std::string, int>{"1d", 4},
+        {"1.5d-c2", 8},
+        {"2d", 9},
+        {"3d", 8}}) {
+    const RunOutcome dist = run_distributed(algebra, g, config, p, 3);
     EXPECT_LE(Matrix::max_abs_diff(dist.output, serial.output), kParityTol)
-        << "algo " << static_cast<int>(algo) << " P=" << p;
+        << "algebra " << algebra << " P=" << p;
   }
 }
 
@@ -191,10 +199,10 @@ TEST(DistParity, MaskedLabelsMatchSerial) {
   for (std::size_t v = 0; v < g.labels.size(); v += 3) g.labels[v] = -1;
   GnnConfig config = GnnConfig::three_layer(8, 3, 5);
   const RunOutcome serial = run_serial(g, config, 3);
-  for (const auto [algo, p] : {std::pair<Algo, int>{Algo::k1D, 6},
-                               {Algo::k2D, 4},
-                               {Algo::k3D, 8}}) {
-    const RunOutcome dist = run_distributed(algo, g, config, p, 3);
+  for (const auto& [algebra, p] : {std::pair<std::string, int>{"1d", 6},
+                                   {"2d", 4},
+                                   {"3d", 8}}) {
+    const RunOutcome dist = run_distributed(algebra, g, config, p, 3);
     ASSERT_EQ(dist.losses.size(), serial.losses.size());
     for (std::size_t e = 0; e < serial.losses.size(); ++e) {
       EXPECT_NEAR(dist.losses[e], serial.losses[e], kParityTol);
@@ -207,7 +215,7 @@ TEST(DistParity, DeepNetworkMatchesOn3D) {
   GnnConfig config;
   config.dims = {6, 10, 10, 10, 10, 3};  // 5 layers
   const RunOutcome serial = run_serial(g, config, 2);
-  const RunOutcome dist = run_distributed(Algo::k3D, g, config, 27, 2);
+  const RunOutcome dist = run_distributed("3d", g, config, 27, 2);
   EXPECT_LE(Matrix::max_abs_diff(dist.output, serial.output), kParityTol);
 }
 
@@ -257,8 +265,7 @@ TEST(DistMeter, FifteenDDenseTrafficFallsWithReplication) {
     run_world(64, [&](Comm& world) {
       Dist15D trainer(problem, config, world, c);
       trainer.train_epoch();
-      const EpochStats s =
-          EpochStats::reduce_max(trainer.last_epoch_stats(), world);
+      const EpochStats s = trainer.reduce_epoch_stats();
       if (world.rank() == 0) words = s.comm.words(CommCategory::kDense);
     });
     return words;
@@ -268,12 +275,32 @@ TEST(DistMeter, FifteenDDenseTrafficFallsWithReplication) {
   EXPECT_LT(words_c4, 0.5 * words_c1);
 }
 
+TEST(DistParity, FeatureDimNarrowerThanGridMatchesSerial) {
+  // A feature dimension smaller than the grid dimension gives some process
+  // columns the full slice and others an empty one — the engine's
+  // rows-whole branching must stay uniform across ranks (a per-rank slice
+  // test deadlocks the gather collectives here).
+  const Graph g = test_graph(48, 6, 1, 63);
+  for (const std::vector<Index>& dims :
+       {std::vector<Index>{6, 4, 1}, {6, 1, 4, 1}}) {
+    GnnConfig config;
+    config.dims = dims;
+    const RunOutcome serial = run_serial(g, config, 2);
+    for (const auto& [algebra, p] : {std::pair<std::string, int>{"2d", 4},
+                                     {"3d", 8}}) {
+      const RunOutcome dist = run_distributed(algebra, g, config, p, 2);
+      EXPECT_LE(Matrix::max_abs_diff(dist.output, serial.output), kParityTol)
+          << "algebra " << algebra;
+    }
+  }
+}
+
 TEST(DistParity, TwoLayerNetworkMatches) {
   const Graph g = test_graph(64, 10, 4, 44);
   GnnConfig config;
   config.dims = {10, 4};
   const RunOutcome serial = run_serial(g, config, 3);
-  const RunOutcome d2 = run_distributed(Algo::k2D, g, config, 4, 3);
+  const RunOutcome d2 = run_distributed("2d", g, config, 4, 3);
   EXPECT_LE(Matrix::max_abs_diff(d2.output, serial.output), kParityTol);
 }
 
@@ -289,14 +316,14 @@ TEST_P(OptimizerParity, DistributedMatchesSerial) {
   const int epochs = 5;  // enough steps for momentum/Adam state to matter
 
   const RunOutcome serial = run_serial(g, config, epochs);
-  for (const auto [algo, p] : {std::pair<Algo, int>{Algo::k1D, 4},
-                               {Algo::k2D, 9},
-                               {Algo::k3D, 8},
-                               {Algo::k15D_c2, 8}}) {
-    const RunOutcome dist = run_distributed(algo, g, config, p, epochs);
+  for (const auto& [algebra, p] : {std::pair<std::string, int>{"1d", 4},
+                                   {"2d", 9},
+                                   {"3d", 8},
+                                   {"1.5d-c2", 8}}) {
+    const RunOutcome dist = run_distributed(algebra, g, config, p, epochs);
     for (std::size_t e = 0; e < serial.losses.size(); ++e) {
       EXPECT_NEAR(dist.losses[e], serial.losses[e], kParityTol)
-          << "algo " << static_cast<int>(algo) << " epoch " << e;
+          << "algebra " << algebra << " epoch " << e;
     }
     EXPECT_LE(Matrix::max_abs_diff(dist.output, serial.output), kParityTol);
   }
@@ -318,7 +345,7 @@ TEST(DistMeter, OneDDenseWordsMatchClosedForm) {
   const int p = 4;
   const int L = 3;
 
-  const RunOutcome dist = run_distributed(Algo::k1D, g, config, p, 1);
+  const RunOutcome dist = run_distributed("1d", g, config, p, 1);
   const double dense_words = dist.stats.comm.words(CommCategory::kDense);
 
   // Per layer and per rank: broadcasts deliver ~n*f (edgecut bound with the
@@ -338,8 +365,8 @@ TEST(DistMeter, TwoDDenseWordsScaleWithSqrtP) {
   GnnConfig config;
   config.dims = {16, 16, 16, 4};
 
-  const RunOutcome p4 = run_distributed(Algo::k2D, g, config, 4, 1);
-  const RunOutcome p16 = run_distributed(Algo::k2D, g, config, 16, 1);
+  const RunOutcome p4 = run_distributed("2d", g, config, 4, 1);
+  const RunOutcome p16 = run_distributed("2d", g, config, 16, 1);
   const double w4 = p4.stats.comm.words(CommCategory::kDense);
   const double w16 = p16.stats.comm.words(CommCategory::kDense);
   // Section IV-C: dense words per process fall by ~sqrt(4) = 2 when P
@@ -352,19 +379,19 @@ TEST(DistMeter, TwoDDenseWordsScaleWithSqrtP) {
 TEST(DistMeter, TwoDSparseTrafficPresentAndTransposeCharged) {
   const Graph g = test_graph(100, 8, 4, 47);
   GnnConfig config = GnnConfig::three_layer(8, 4, 8);
-  const RunOutcome r = run_distributed(Algo::k2D, g, config, 9, 1);
+  const RunOutcome r = run_distributed("2d", g, config, 9, 1);
   EXPECT_GT(r.stats.comm.words(CommCategory::kSparse), 0.0);
   EXPECT_GT(r.stats.comm.words(CommCategory::kTranspose), 0.0);
   // 1D has no sparse movement at all (A never travels in Algorithm 1).
-  const RunOutcome r1 = run_distributed(Algo::k1D, g, config, 4, 1);
+  const RunOutcome r1 = run_distributed("1d", g, config, 4, 1);
   EXPECT_DOUBLE_EQ(r1.stats.comm.words(CommCategory::kSparse), 0.0);
 }
 
 TEST(DistMeter, SingleProcessMovesNoData) {
   const Graph g = test_graph(64, 6, 3, 48);
   GnnConfig config = GnnConfig::three_layer(6, 3, 4);
-  for (Algo algo : {Algo::k1D, Algo::k2D}) {
-    const RunOutcome r = run_distributed(algo, g, config, 1, 1);
+  for (const char* algebra : {"1d", "2d"}) {
+    const RunOutcome r = run_distributed(algebra, g, config, 1, 1);
     EXPECT_DOUBLE_EQ(r.stats.comm.words(CommCategory::kDense), 0.0);
     EXPECT_DOUBLE_EQ(r.stats.comm.words(CommCategory::kSparse), 0.0);
   }
@@ -408,14 +435,14 @@ TEST(DistParity, RepeatedEpochsKeepWeightsReplicated) {
 TEST(DistStats, WorkMeterSeesSpmmOnAllRanks) {
   const Graph g = test_graph(80, 8, 4, 49);
   GnnConfig config = GnnConfig::three_layer(8, 4, 8);
-  const RunOutcome r = run_distributed(Algo::k2D, g, config, 4, 1);
+  const RunOutcome r = run_distributed("2d", g, config, 4, 1);
   EXPECT_GT(r.stats.work.spmm_flops(), 0.0);
   EXPECT_GT(r.stats.work.gemm_flops(), 0.0);
   EXPECT_GT(r.stats.work.total_seconds(), 0.0);
 }
 
 // Randomized differential sweep: random graph shape x random architecture
-// x every algorithm family, always compared against the serial oracle.
+// x every algebra family, always compared against the serial oracle.
 class RandomizedDifferential : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomizedDifferential, AllFamiliesMatchSerial) {
@@ -452,16 +479,16 @@ TEST_P(RandomizedDifferential, AllFamiliesMatchSerial) {
   config.seed = 7 + static_cast<std::uint64_t>(trial);
 
   const RunOutcome serial = run_serial(g, config, 2);
-  for (const auto [algo, p] : {std::pair<Algo, int>{Algo::k1D, 5},
-                               {Algo::k15D_c2, 6},
-                               {Algo::k2D, 16},
-                               {Algo::k3D, 8}}) {
-    const RunOutcome dist = run_distributed(algo, g, config, p, 2);
+  for (const auto& [algebra, p] : {std::pair<std::string, int>{"1d", 5},
+                                   {"1.5d-c2", 6},
+                                   {"2d", 16},
+                                   {"3d", 8}}) {
+    const RunOutcome dist = run_distributed(algebra, g, config, p, 2);
     EXPECT_LE(Matrix::max_abs_diff(dist.output, serial.output), kParityTol)
-        << "trial " << trial << " algo " << static_cast<int>(algo);
+        << "trial " << trial << " algebra " << algebra;
     for (std::size_t e = 0; e < serial.losses.size(); ++e) {
       EXPECT_NEAR(dist.losses[e], serial.losses[e], kParityTol)
-          << "trial " << trial << " algo " << static_cast<int>(algo);
+          << "trial " << trial << " algebra " << algebra;
     }
   }
 }
@@ -472,7 +499,7 @@ INSTANTIATE_TEST_SUITE_P(Trials, RandomizedDifferential,
 TEST(DistStats, ProfilerCoversAllPhasesFor2D) {
   const Graph g = test_graph(81, 8, 4, 50);
   GnnConfig config = GnnConfig::three_layer(8, 4, 8);
-  const RunOutcome r = run_distributed(Algo::k2D, g, config, 9, 1);
+  const RunOutcome r = run_distributed("2d", g, config, 9, 1);
   EXPECT_GT(r.stats.profiler.seconds(Phase::kSpmm), 0.0);
   EXPECT_GT(r.stats.profiler.seconds(Phase::kDenseComm), 0.0);
   EXPECT_GT(r.stats.profiler.seconds(Phase::kSparseComm), 0.0);

@@ -8,6 +8,7 @@
 #include "src/sparse/coo.hpp"
 #include "src/sparse/csr.hpp"
 #include "src/sparse/generate.hpp"
+#include "src/sparse/spmm_kernel.hpp"
 #include "src/sparse/stats.hpp"
 #include "src/util/rng.hpp"
 
@@ -432,6 +433,63 @@ TEST(Stats, HypersparsityEmptyRowFractionGrowsWithGrid) {
   const auto rep2 = hypersparsity_report(a, 2);
   const auto rep16 = hypersparsity_report(a, 16);
   EXPECT_GT(rep16.avg_empty_row_fraction, rep2.avg_empty_row_fraction);
+}
+
+TEST(SpmmKernel, ThreadedMatchesSerialBitwise) {
+  // The row-block parallelization partitions rows across workers, so every
+  // thread count must produce bitwise-identical output (each row's flops
+  // are computed in the same order by exactly one thread).
+  Rng rng(17);
+  const Csr a = Csr::from_coo(erdos_renyi(512, 9, rng));
+  const Index f = 7;
+  Matrix x(a.cols(), f);
+  x.fill_uniform(rng, -1, 1);
+
+  Matrix serial(a.rows(), f);
+  spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
+                        a.values().data(), x.data(), f, serial.data(),
+                        /*accumulate=*/false, /*num_threads=*/1);
+  for (int threads : {2, 3, 8, 64}) {
+    Matrix parallel(a.rows(), f);
+    spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
+                          a.values().data(), x.data(), f, parallel.data(),
+                          /*accumulate=*/false, threads);
+    EXPECT_EQ(Matrix::max_abs_diff(serial, parallel), 0.0)
+        << threads << " threads";
+  }
+}
+
+TEST(SpmmKernel, ThreadedAccumulateMatchesSerial) {
+  Rng rng(18);
+  const Csr a = Csr::from_coo(erdos_renyi(300, 6, rng));
+  const Index f = 5;
+  Matrix x(a.cols(), f);
+  x.fill_uniform(rng, -1, 1);
+  Matrix serial(a.rows(), f);
+  serial.fill(0.5);
+  Matrix parallel(a.rows(), f);
+  parallel.fill(0.5);
+  spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
+                        a.values().data(), x.data(), f, serial.data(),
+                        /*accumulate=*/true, /*num_threads=*/1);
+  spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
+                        a.values().data(), x.data(), f, parallel.data(),
+                        /*accumulate=*/true, /*num_threads=*/4);
+  EXPECT_EQ(Matrix::max_abs_diff(serial, parallel), 0.0);
+}
+
+TEST(SpmmKernel, MoreThreadsThanRowsIsSafe) {
+  Rng rng(19);
+  const Csr a = Csr::from_coo(erdos_renyi(3, 2, rng));
+  const Index f = 4;
+  Matrix x(a.cols(), f);
+  x.fill_uniform(rng, -1, 1);
+  Matrix y(a.rows(), f);
+  spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
+                        a.values().data(), x.data(), f, y.data(),
+                        /*accumulate=*/false, /*num_threads=*/16);
+  const Matrix reference = a.multiply(x);
+  EXPECT_EQ(Matrix::max_abs_diff(reference, y), 0.0);
 }
 
 }  // namespace
