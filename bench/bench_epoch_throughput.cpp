@@ -1,0 +1,186 @@
+// Epoch throughput per algebra x world size x thread count, in
+// machine-readable JSON (one object per line) so successive PRs can track
+// the performance trajectory in BENCH_*.json files.
+//
+// Unlike the figure regenerators this measures *host* epochs/sec — the
+// thing local-kernel and allocation work actually moves — alongside the
+// metered per-epoch communication words, which must stay invariant across
+// perf PRs (the words are the paper's measurements; see the cost-model
+// regression test in tests/determinism_test.cpp).
+//
+// Flags:
+//   --smoke            tiny problem + ~2s total budget (the CI mode)
+//   --n, --degree      graph shape (default 4096 vertices, avg degree 12)
+//   --f, --hidden      feature/hidden widths (default 32/32)
+//   --algebras 2d,3d   comma-separated registry names (default: all four
+//                      families at representative sizes)
+//   --threads 1,8      thread budgets to sweep (default 1,<hardware>)
+//   --seconds S        measurement budget per configuration (default 1.0)
+//   --epochs N         cap on measured epochs per configuration
+#include <array>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/algebra_registry.hpp"
+#include "src/graph/graph.hpp"
+#include "src/sparse/generate.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/timer.hpp"
+
+namespace cagnet {
+namespace {
+
+struct BenchConfig {
+  std::string algebra;
+  int world = 1;
+};
+
+Graph make_graph(Index n, Index degree, Index f, Index classes) {
+  Rng rng(2024);
+  Graph g;
+  g.name = "epoch-throughput";
+  g.adjacency = gcn_normalize(rmat(n, n * degree, rng), /*symmetrize=*/true);
+  g.features = Matrix(n, f);
+  g.features.fill_uniform(rng, -1, 1);
+  g.num_classes = classes;
+  g.labels.resize(static_cast<std::size_t>(n));
+  for (auto& label : g.labels) {
+    label = static_cast<Index>(
+        rng.next_below(static_cast<std::uint64_t>(classes)));
+  }
+  return g;
+}
+
+int run(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool smoke = args.has("smoke");
+
+  const Index n = args.get_int("n", smoke ? 768 : 4096);
+  const Index degree = args.get_int("degree", 12);
+  const Index f = args.get_int("f", 32);
+  const Index hidden = args.get_int("hidden", 32);
+  const Index classes = 8;
+  const double seconds_per_config =
+      args.get_double("seconds", smoke ? 0.12 : 1.0);
+  const long max_epochs = args.get_int("epochs", smoke ? 6 : 1000);
+
+  std::vector<BenchConfig> configs;
+  if (args.has("algebras")) {
+    for (const std::string& name :
+         [&] {
+           std::vector<std::string> names;
+           std::string list = args.get("algebras", "");
+           std::size_t start = 0;
+           while (start <= list.size()) {
+             const std::size_t comma = list.find(',', start);
+             const std::size_t end =
+                 comma == std::string::npos ? list.size() : comma;
+             if (end > start) names.push_back(list.substr(start, end - start));
+             if (comma == std::string::npos) break;
+             start = comma + 1;
+           }
+           return names;
+         }()) {
+      const AlgebraSpec* spec = find_algebra(name);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "unknown algebra: %s\n", name.c_str());
+        return 1;
+      }
+      for (int p : spec->world_sizes) {
+        if (p <= 9) configs.push_back({name, p});
+      }
+    }
+  } else {
+    configs = {{"1d", 1},      {"1d", 4},  {"1.5d-c2", 4}, {"2d", 1},
+               {"2d", 4},      {"3d", 1},  {"3d", 8}};
+    if (smoke) configs = {{"1d", 4}, {"2d", 1}, {"2d", 4}, {"3d", 8}};
+  }
+
+  std::vector<long> thread_counts = args.get_int_list(
+      "threads", {1, static_cast<long>(thread_budget())});
+
+  const Graph graph = make_graph(n, degree, f, classes);
+  const DistProblem problem = DistProblem::prepare(graph);
+  GnnConfig gnn = GnnConfig::three_layer(f, classes, hidden);
+
+  for (const BenchConfig& config : configs) {
+    for (long threads : thread_counts) {
+      override_thread_budget(static_cast<int>(threads));
+      double warm_seconds = 0;
+      double measured_seconds = 0;
+      long epochs = 0;
+      double dense_words = 0, sparse_words = 0, trpose_words = 0;
+      double latency_units = 0;
+      double phase_seconds[Profiler::kNumPhases] = {};
+      run_world(config.world, [&](Comm& world) {
+        auto trainer =
+            make_dist_trainer(config.algebra, problem, gnn, world);
+        WallTimer warm;
+        trainer->train_epoch();  // warm-up: caches fill, buffers size
+        world.barrier();
+        const double warmed = warm.seconds();
+        WallTimer timer;
+        long local_epochs = 0;
+        // Every rank runs the same loop (collectives are lock-step), so
+        // the continue/stop decision must be rank-uniform: rank 0 decides
+        // and broadcasts the verdict as control traffic.
+        bool keep_going = true;
+        while (keep_going) {
+          trainer->train_epoch();
+          ++local_epochs;
+          std::array<Index, 1> flag = {
+              world.rank() == 0 && local_epochs < max_epochs &&
+                      timer.seconds() < seconds_per_config
+                  ? Index{1}
+                  : Index{0}};
+          world.broadcast(std::span<Index>(flag), 0, CommCategory::kControl);
+          keep_going = flag[0] == 1;
+        }
+        world.barrier();
+        const double elapsed = timer.seconds();
+        const EpochStats stats = trainer->reduce_epoch_stats();
+        if (world.rank() == 0) {
+          warm_seconds = warmed;
+          measured_seconds = elapsed;
+          epochs = local_epochs;
+          dense_words = stats.comm.words(CommCategory::kDense);
+          sparse_words = stats.comm.words(CommCategory::kSparse);
+          trpose_words = stats.comm.words(CommCategory::kTranspose);
+          latency_units = stats.comm.total_latency_units();
+          for (std::size_t ph = 0; ph < Profiler::kNumPhases; ++ph) {
+            phase_seconds[ph] = stats.profiler.seconds(static_cast<Phase>(ph));
+          }
+        }
+      });
+      override_thread_budget(0);
+      const double eps =
+          measured_seconds > 0 ? static_cast<double>(epochs) / measured_seconds
+                               : 0.0;
+      std::printf(
+          "{\"bench\":\"epoch_throughput\",\"algebra\":\"%s\","
+          "\"world\":%d,\"threads\":%ld,\"n\":%lld,\"degree\":%lld,"
+          "\"f\":%lld,\"hidden\":%lld,\"epochs\":%ld,\"seconds\":%.4f,"
+          "\"warmup_seconds\":%.4f,\"epochs_per_sec\":%.3f,"
+          "\"dense_words\":%.1f,\"sparse_words\":%.1f,"
+          "\"transpose_words\":%.1f,\"latency_units\":%.1f,"
+          "\"phase_misc\":%.5f,\"phase_trpose\":%.5f,\"phase_dcomm\":%.5f,"
+          "\"phase_scomm\":%.5f,\"phase_spmm\":%.5f}\n",
+          config.algebra.c_str(), config.world, threads,
+          static_cast<long long>(n), static_cast<long long>(degree),
+          static_cast<long long>(f), static_cast<long long>(hidden), epochs,
+          measured_seconds, warm_seconds, eps, dense_words, sparse_words,
+          trpose_words, latency_units, phase_seconds[0], phase_seconds[1],
+          phase_seconds[2], phase_seconds[3], phase_seconds[4]);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cagnet
+
+int main(int argc, char** argv) { return cagnet::run(argc, argv); }

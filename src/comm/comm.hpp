@@ -108,6 +108,30 @@ class Comm {
     if (size() > 1) charge(cat, ceil_log2(size()), data.size() * sizeof(T));
   }
 
+  /// Broadcast that reads directly from the root's existing buffer: the
+  /// root passes its data as `src` (left untouched) and an empty `dst`;
+  /// every other rank passes an empty `src` and receives into `dst`. This
+  /// is the zero-staging-copy form the SUMMA loops use so roots never
+  /// materialize a second copy of the block they already hold. Charged
+  /// exactly like broadcast.
+  template <typename T>
+  void broadcast_from(std::span<const T> src, std::span<T> dst, int root,
+                      CommCategory cat) {
+    check_member(root);
+    const std::size_t n = rank_ == root ? src.size() : dst.size();
+    sync_sizes(n, "broadcast_from");
+    state_->slot_ptr[static_cast<std::size_t>(rank_)] =
+        rank_ == root ? static_cast<const void*>(src.data()) : nullptr;
+    phase();
+    if (rank_ != root && n > 0) {
+      std::memcpy(dst.data(),
+                  state_->slot_ptr[static_cast<std::size_t>(root)],
+                  n * sizeof(T));
+    }
+    phase();
+    if (size() > 1) charge(cat, ceil_log2(size()), n * sizeof(T));
+  }
+
   /// In-place elementwise sum over all members; every rank ends with the
   /// total. Cost: Rabenseifner (reduce-scatter + all-gather).
   template <typename T>
@@ -140,13 +164,16 @@ class Comm {
     }
     CAGNET_CHECK(contrib.size() == total,
                  "reduce_scatter: contribution length != sum of outputs");
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      T acc{};
-      for (int r = 0; r < p; ++r) {
-        acc += static_cast<const T*>(
-            state_->slot_ptr[static_cast<std::size_t>(r)])[offset + i];
-      }
-      out[i] = acc;
+    // Chunk-by-chunk with contiguous inner loops so the accumulation
+    // vectorizes like the other collectives. The per-element order (zero,
+    // then ranks ascending) matches the per-element form exactly, so the
+    // result is bitwise identical.
+    std::fill(out.begin(), out.end(), T{});
+    for (int r = 0; r < p; ++r) {
+      const T* src = static_cast<const T*>(
+                         state_->slot_ptr[static_cast<std::size_t>(r)]) +
+                     offset;
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += src[i];
     }
     phase();
     charge(cat, ceil_log2(p),
@@ -164,29 +191,38 @@ class Comm {
   /// All-gather of variable-size chunks.
   template <typename T>
   Gathered<T> allgatherv(std::span<const T> mine, CommCategory cat) {
+    Gathered<T> result;
+    allgatherv_into(mine, result, cat);
+    return result;
+  }
+
+  /// All-gather of variable-size chunks into a caller-owned Gathered whose
+  /// storage is reused across calls (the allocation-free hot-path form).
+  /// `mine` must not alias `out.data`.
+  template <typename T>
+  void allgatherv_into(std::span<const T> mine, Gathered<T>& out,
+                       CommCategory cat) {
     const int p = size();
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = mine.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = mine.size();
     phase();
-    Gathered<T> result;
-    result.offsets.resize(static_cast<std::size_t>(p) + 1, 0);
+    out.offsets.resize(static_cast<std::size_t>(p) + 1);
+    out.offsets[0] = 0;
     for (int r = 0; r < p; ++r) {
-      result.offsets[static_cast<std::size_t>(r) + 1] =
-          result.offsets[static_cast<std::size_t>(r)] +
+      out.offsets[static_cast<std::size_t>(r) + 1] =
+          out.offsets[static_cast<std::size_t>(r)] +
           state_->slot_len[static_cast<std::size_t>(r)];
     }
-    result.data.resize(result.offsets.back());
+    out.data.resize(out.offsets.back());
     for (int r = 0; r < p; ++r) {
       const auto len = state_->slot_len[static_cast<std::size_t>(r)];
       if (len == 0) continue;
-      std::memcpy(result.data.data() + result.offsets[static_cast<std::size_t>(r)],
+      std::memcpy(out.data.data() + out.offsets[static_cast<std::size_t>(r)],
                   state_->slot_ptr[static_cast<std::size_t>(r)],
                   len * sizeof(T));
     }
     phase();
-    charge(cat, ceil_log2(p),
-           (result.data.size() - mine.size()) * sizeof(T));
-    return result;
+    charge(cat, ceil_log2(p), (out.data.size() - mine.size()) * sizeof(T));
   }
 
   /// Pairwise exchange: send `send` to `peer` and receive its message.

@@ -1,5 +1,8 @@
 #include "src/core/dist15d.hpp"
 
+#include <algorithm>
+
+#include "src/sparse/spmm_kernel.hpp"
 #include "src/util/error.hpp"
 
 namespace cagnet {
@@ -26,24 +29,27 @@ Algebra15D::Algebra15D(const DistProblem& problem, Comm world,
   }
 }
 
-Matrix Algebra15D::spmm_at(const Matrix& h, EpochStats& stats) {
+void Algebra15D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
   const Index f = h.cols();
-  Matrix t_partial(local_rows(), f);
+  t.resize(local_rows(), f);
+  t.set_zero();
 
   // Broadcast stages restricted to this slice's stripe j ≡ t (mod c):
-  // the broadcast volume of the 1D algorithm divided by c.
+  // the broadcast volume of the 1D algorithm divided by c. The stage root
+  // broadcasts straight from h (slice ranks are ordered by group, so the
+  // slice root of stage j is group j's member).
   for (int j = t_; j < groups_; j += c_) {
     const auto [r0, r1] = block_range(n_, groups_, j);
-    Matrix hj(r1 - r0, f);
-    if (g_ == j) hj = h;
+    const Matrix* hj = nullptr;
     {
       ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-      slice_.broadcast(hj.flat(), j, CommCategory::kDense);
+      hj = dist::broadcast_dense_stage(h, hj_recv_, r1 - r0, f, j, slice_,
+                                       CommCategory::kDense);
     }
     {
       ScopedPhase scope(stats.profiler, Phase::kSpmm);
       const Csr& a = at_stripe_.at(j);
-      a.spmm(hj, t_partial, /*accumulate=*/true);
+      a.spmm(*hj, t, /*accumulate=*/true);
       stats.work.add_spmm(machine(), static_cast<double>(a.nnz()),
                           static_cast<double>(f), dist::block_degree(a));
     }
@@ -53,68 +59,73 @@ Matrix Algebra15D::spmm_at(const Matrix& h, EpochStats& stats) {
   // across the c team members (the 1.5D replication cost in flight).
   {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-    team_.allreduce_sum(t_partial.flat(), CommCategory::kDense);
+    team_.allreduce_sum(t.flat(), CommCategory::kDense);
   }
-  return t_partial;
 }
 
-Matrix Algebra15D::spmm_a(const Matrix& g, EpochStats& stats) {
+void Algebra15D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   const Index f = g.cols();
 
   // Outer product restricted to this stripe: partial U over the rows
-  // R_j, j ≡ t (mod c), stacked in ascending-j order.
+  // R_j, j ≡ t (mod c), stacked in ascending-j order. The pieces are
+  // contiguous row ranges of u_partial_, so the kernel writes straight
+  // into the stacked buffer.
   Index stripe_rows = 0;
   for (int j = t_; j < groups_; j += c_) {
     const auto [r0, r1] = block_range(n_, groups_, j);
     stripe_rows += r1 - r0;
   }
-  Matrix u_partial(stripe_rows, f);
+  u_partial_.resize(stripe_rows, f);
   {
     ScopedPhase scope(stats.profiler, Phase::kSpmm);
     Index cursor = 0;
     for (int j = t_; j < groups_; j += c_) {
       const Csr& a = a_stripe_.at(j);
-      Matrix piece(a.rows(), f);
-      a.spmm(g, piece, /*accumulate=*/false);
+      CAGNET_CHECK(g.rows() == a.cols(),
+                   "spmm_a: stripe block width does not match G rows");
+      spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
+                            a.values().data(), g.data(), f,
+                            u_partial_.data() + cursor * f,
+                            /*accumulate=*/false);
       stats.work.add_spmm(machine(), static_cast<double>(a.nnz()),
                           static_cast<double>(f), dist::block_degree(a));
-      u_partial.set_block(cursor, 0, piece);
       cursor += a.rows();
     }
   }
 
   // Reduce-scatter within the slice: slice rank j' keeps U[R_j'] when
   // j' ≡ t (mod c), nothing otherwise (chunk order is ascending j, which
-  // is ascending slice rank).
+  // is ascending slice rank). The keeper's chunk lands directly in u.
   const bool keeper = (g_ % c_) == t_;
-  const auto [my0, my1] = block_range(n_, groups_, g_);
-  Matrix u_mine(keeper ? my1 - my0 : 0, f);
+  u.resize(local_rows(), f);
   {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-    slice_.reduce_scatter_sum(std::span<const Real>(u_partial.flat()),
-                              u_mine.flat(), CommCategory::kDense);
+    slice_.reduce_scatter_sum(std::span<const Real>(u_partial_.flat()),
+                              keeper ? u.flat() : std::span<Real>{},
+                              CommCategory::kDense);
   }
   // Team broadcast from the member holding this group's block: group g's
-  // reduced block landed on team member g mod c.
-  Matrix u(local_rows(), f);
-  if (keeper) u = std::move(u_mine);
+  // reduced block landed on team member g mod c (the keeper).
   {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-    team_.broadcast(u.flat(), g_ % c_, CommCategory::kDense);
+    if (keeper) {
+      team_.broadcast_from(std::span<const Real>(u.flat()),
+                           std::span<Real>{}, g_ % c_, CommCategory::kDense);
+    } else {
+      team_.broadcast_from(std::span<const Real>{}, u.flat(), g_ % c_,
+                           CommCategory::kDense);
+    }
   }
-  return u;
 }
 
-Matrix Algebra15D::reduce_gradients(Matrix y_local, Index f_in, Index f_out,
-                                    EpochStats& stats) {
-  // Rows whole: y_local is the group's (f_in x f_out) contribution, summed
-  // over groups within the slice (each slice forms the identical full sum
-  // independently, keeping Y replicated without cross-team traffic).
-  CAGNET_CHECK(y_local.rows() == f_in && y_local.cols() == f_out,
-               "reduce_gradients: unexpected partial shape");
-  ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-  slice_.allreduce_sum(y_local.flat(), CommCategory::kDense);
-  return y_local;
+void Algebra15D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                                  Matrix& y_full, EpochStats& stats) {
+  // Rows whole: y_partial is the group's (f_in x f_out) contribution,
+  // summed over groups within the slice (each slice forms the identical
+  // full sum independently, keeping Y replicated without cross-team
+  // traffic).
+  dist::allreduce_weight_gradient(y_partial, f_in, f_out, slice_,
+                                  stats.profiler, y_full);
 }
 
 Dist15D::Dist15D(const DistProblem& problem, GnnConfig config, Comm world,

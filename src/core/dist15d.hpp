@@ -44,10 +44,10 @@ class Algebra15D final : public DistSpmmAlgebra {
   Index row_hi() const override { return row_hi_; }
   bool owns_loss_rows() const override { return t_ == 0; }
 
-  Matrix spmm_at(const Matrix& h, EpochStats& stats) override;
-  Matrix spmm_a(const Matrix& g, EpochStats& stats) override;
-  Matrix reduce_gradients(Matrix y_local, Index f_in, Index f_out,
-                          EpochStats& stats) override;
+  void spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) override;
+  void spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) override;
+  void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                        Matrix& y_full, EpochStats& stats) override;
 
   int replication() const { return c_; }
   int groups() const { return groups_; }
@@ -75,6 +75,9 @@ class Algebra15D final : public DistSpmmAlgebra {
   /// a_stripe_[j] = A[R_j, R_g] (transposes of the above), the backward
   /// outer-product operands.
   std::map<int, Csr> a_stripe_;
+
+  Matrix hj_recv_;    ///< broadcast-stage receive buffer (reused)
+  Matrix u_partial_;  ///< stacked stripe outer-product partial (reused)
 };
 
 /// The 1.5D trainer: the shared engine driven by Algebra15D.

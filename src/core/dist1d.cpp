@@ -1,5 +1,7 @@
 #include "src/core/dist1d.hpp"
 
+#include <algorithm>
+
 #include "src/util/error.hpp"
 
 namespace cagnet {
@@ -22,63 +24,61 @@ Algebra1D::Algebra1D(const DistProblem& problem, Comm world,
   a_col_block_ = problem.at.block(row_lo_, row_hi_, 0, n_).transposed();
 }
 
-Matrix Algebra1D::spmm_at(const Matrix& h, EpochStats& stats) {
+void Algebra1D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
   const int p = world_.size();
   const Index f = h.cols();
-  Matrix t(local_rows(), f);
+  t.resize(local_rows(), f);
+  t.set_zero();
 
   // Algorithm 1: for j = 1..p, broadcast H_j and accumulate A^T_ij H_j.
+  // The stage root broadcasts straight from h; everyone else receives
+  // into the reused stage buffer.
   for (int j = 0; j < p; ++j) {
     const auto [r0, r1] = block_range(n_, p, j);
-    Matrix hj(r1 - r0, f);
-    if (world_.rank() == j) hj = h;
+    const Matrix* hj = nullptr;
     {
       ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-      world_.broadcast(hj.flat(), j, CommCategory::kDense);
+      hj = dist::broadcast_dense_stage(h, hj_recv_, r1 - r0, f, j, world_,
+                                       CommCategory::kDense);
     }
     {
       ScopedPhase scope(stats.profiler, Phase::kSpmm);
       const Csr& a = at_blocks_[static_cast<std::size_t>(j)];
-      a.spmm(hj, t, /*accumulate=*/true);
+      a.spmm(*hj, t, /*accumulate=*/true);
       stats.work.add_spmm(machine(), static_cast<double>(a.nnz()),
                           static_cast<double>(f), dist::block_degree(a));
     }
   }
-  return t;
 }
 
-Matrix Algebra1D::spmm_a(const Matrix& g, EpochStats& stats) {
+void Algebra1D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   const Index f = g.cols();
 
   // 1D outer product: U_partial = A(:, my rows) * G_i, a full n x f
   // low-rank partial (the O(nf) intermediate of Section IV-A.3) ...
-  Matrix u_partial(n_, f);
+  u_partial_.resize(n_, f);
   {
     ScopedPhase scope(stats.profiler, Phase::kSpmm);
-    a_col_block_.spmm(g, u_partial, /*accumulate=*/false);
+    a_col_block_.spmm(g, u_partial_, /*accumulate=*/false);
     stats.work.add_spmm(machine(), static_cast<double>(a_col_block_.nnz()),
                         static_cast<double>(f),
                         dist::block_degree(a_col_block_));
   }
   // ... reduce-scattered back to block rows.
-  Matrix u(local_rows(), f);
+  u.resize(local_rows(), f);
   {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-    world_.reduce_scatter_sum(std::span<const Real>(u_partial.flat()),
+    world_.reduce_scatter_sum(std::span<const Real>(u_partial_.flat()),
                               u.flat(), CommCategory::kDense);
   }
-  return u;
 }
 
-Matrix Algebra1D::reduce_gradients(Matrix y_local, Index f_in, Index f_out,
-                                   EpochStats& stats) {
-  // Rows whole: y_local is already (f_in x f_out); the "small 1D outer
+void Algebra1D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                                 Matrix& y_full, EpochStats& stats) {
+  // Rows whole: y_partial is already (f_in x f_out); the "small 1D outer
   // product" of Section IV-A.4 finishes with an f x f all-reduce.
-  CAGNET_CHECK(y_local.rows() == f_in && y_local.cols() == f_out,
-               "reduce_gradients: unexpected partial shape");
-  ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-  world_.allreduce_sum(y_local.flat(), CommCategory::kDense);
-  return y_local;
+  dist::allreduce_weight_gradient(y_partial, f_in, f_out, world_,
+                                  stats.profiler, y_full);
 }
 
 Dist1D::Dist1D(const DistProblem& problem, GnnConfig config, Comm world,

@@ -39,10 +39,10 @@ class Algebra1D final : public DistSpmmAlgebra {
   Index row_lo() const override { return row_lo_; }
   Index row_hi() const override { return row_hi_; }
 
-  Matrix spmm_at(const Matrix& h, EpochStats& stats) override;
-  Matrix spmm_a(const Matrix& g, EpochStats& stats) override;
-  Matrix reduce_gradients(Matrix y_local, Index f_in, Index f_out,
-                          EpochStats& stats) override;
+  void spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) override;
+  void spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) override;
+  void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                        Matrix& y_full, EpochStats& stats) override;
 
  protected:
   Comm& gather_comm() override { return world_; }
@@ -59,6 +59,9 @@ class Algebra1D final : public DistSpmmAlgebra {
   std::vector<Csr> at_blocks_;
   /// A(:, local rows) as CSR (n x local_rows): the outer-product operand.
   Csr a_col_block_;
+
+  Matrix hj_recv_;    ///< broadcast-stage receive buffer (reused)
+  Matrix u_partial_;  ///< O(nf) outer-product partial (reused)
 };
 
 /// The 1D trainer: the shared engine driven by Algebra1D.

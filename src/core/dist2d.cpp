@@ -15,95 +15,135 @@ Algebra2D::Algebra2D(const DistProblem& problem, Comm world,
   at_block_ = problem.at.block(row_lo_, row_hi_, col_lo_, col_hi_);
 }
 
-Matrix Algebra2D::summa_spmm(const Csr& my_sparse, const Matrix& my_dense,
-                             EpochStats& stats) {
+void Algebra2D::summa_spmm(const Csr& my_sparse,
+                           dist::SparseStageCache& cache,
+                           const Matrix& my_dense, Matrix& t,
+                           EpochStats& stats) {
   const int q = grid_.pr;
-  Matrix t(local_rows(), my_dense.cols());
+  t.resize(local_rows(), my_dense.cols());
+  t.set_zero();
+
+  const bool use_cache = cache.ready && dist::epoch_cache_enabled();
+  if (use_cache) {
+    // The adjacency blocks are epoch-invariant: replay the recorded
+    // epoch-1 sparse charges instead of re-broadcasting identical bytes.
+    ScopedPhase scope(stats.profiler, Phase::kSparseComm);
+    grid_.world.meter().merge_sum(cache.charges);
+  } else {
+    cache.charges.clear();
+    cache.blocks.resize(static_cast<std::size_t>(q));
+    cache.own_stage.assign(static_cast<std::size_t>(q), 0);
+  }
 
   for (int k = 0; k < q; ++k) {
     // Stage k: A-block (i,k) travels along process row i; dense block
     // (k,j) travels along process column j.
-    Csr a_recv;
-    {
+    const Csr* a = nullptr;
+    if (use_cache) {
+      a = cache.own_stage[static_cast<std::size_t>(k)]
+              ? &my_sparse
+              : &cache.blocks[static_cast<std::size_t>(k)];
+    } else {
       ScopedPhase scope(stats.profiler, Phase::kSparseComm);
-      a_recv = dist::broadcast_csr(grid_.j == k ? &my_sparse : nullptr, k,
-                                   grid_.row, CommCategory::kSparse);
+      CostMeter before = grid_.world.meter();
+      a = dist::broadcast_csr(grid_.j == k ? &my_sparse : nullptr,
+                              cache.blocks[static_cast<std::size_t>(k)], k,
+                              grid_.row, CommCategory::kSparse);
+      CostMeter delta = grid_.world.meter();
+      delta.subtract(before);
+      cache.charges.merge_sum(delta);
+      cache.own_stage[static_cast<std::size_t>(k)] = a == &my_sparse;
     }
     const auto [k_lo, k_hi] = block_range(n_, q, k);
-    Matrix d_recv(k_hi - k_lo, my_dense.cols());
-    if (grid_.i == k) {
-      CAGNET_CHECK(my_dense.rows() == d_recv.rows(),
-                   "summa_spmm: dense block height mismatch at root");
-      d_recv = my_dense;
-    }
+    const Matrix* d = nullptr;
     {
       ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-      grid_.col.broadcast(d_recv.flat(), k, CommCategory::kDense);
+      d = dist::broadcast_dense_stage(my_dense, ws_.stage_recv, k_hi - k_lo,
+                                      my_dense.cols(), k, grid_.col,
+                                      CommCategory::kDense);
     }
     {
       ScopedPhase scope(stats.profiler, Phase::kSpmm);
-      a_recv.spmm(d_recv, t, /*accumulate=*/true);
-      stats.work.add_spmm(machine(), static_cast<double>(a_recv.nnz()),
+      a->spmm(*d, t, /*accumulate=*/true);
+      stats.work.add_spmm(machine(), static_cast<double>(a->nnz()),
                           static_cast<double>(my_dense.cols()),
-                          dist::block_degree(a_recv));
+                          dist::block_degree(*a));
     }
   }
-  return t;
+  cache.ready = dist::epoch_cache_enabled();
 }
 
-Matrix Algebra2D::spmm_at(const Matrix& h, EpochStats& stats) {
-  return summa_spmm(at_block_, h, stats);
+void Algebra2D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
+  summa_spmm(at_block_, at_cache_, h, t, stats);
 }
 
-Matrix Algebra2D::spmm_a(const Matrix& g, EpochStats& stats) {
+void Algebra2D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   CAGNET_CHECK(a_block_.rows() > 0 || local_rows() == 0,
                "spmm_a outside begin_backward/end_backward");
-  return summa_spmm(a_block_, g, stats);
+  summa_spmm(a_block_, a_cache_, g, u, stats);
 }
 
-Matrix Algebra2D::times_weight(const Matrix& t, const Matrix& w,
-                               EpochStats& stats) {
+void Algebra2D::times_weight(const Matrix& t, const Matrix& w, Matrix& z,
+                             EpochStats& stats) {
   // "Partial SUMMA" Z = T W: W is replicated, so only T moves, along the
   // process row.
-  return dist::partial_summa_times_weight(t, w, grid_.pr, grid_.j, grid_.row,
-                                          machine(), stats);
+  dist::partial_summa_times_weight(t, w, grid_.pr, grid_.j, grid_.row,
+                                   machine(), stats, ws_, z);
 }
 
-Matrix Algebra2D::gather_feature_rows(const Matrix& local, Index f,
-                                      EpochStats& stats) {
-  return dist::allgather_feature_rows(local, f, grid_.pc, grid_.row,
-                                      stats.profiler);
+void Algebra2D::gather_feature_rows(const Matrix& local, Index f,
+                                    Matrix& full, EpochStats& stats) {
+  dist::allgather_feature_rows(local, f, grid_.pc, grid_.row,
+                               stats.profiler, ws_, full);
 }
 
-Matrix Algebra2D::reduce_gradients(Matrix y_local, Index f_in, Index f_out,
-                                   EpochStats& stats) {
+void Algebra2D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                                 Matrix& y_full, EpochStats& stats) {
   // Column-wise reduction of the slice partials, then row all-gather to
   // keep Y fully replicated (IV-C.4).
-  return dist::assemble_weight_gradient(std::move(y_local), f_in, f_out,
-                                        grid_.pc, grid_.col, grid_.row,
-                                        stats.profiler);
+  dist::assemble_weight_gradient(y_partial, f_in, f_out, grid_.pc, grid_.col,
+                                 grid_.row, stats.profiler, ws_, y_full);
 }
 
 void Algebra2D::begin_backward(EpochStats& stats) {
-  const int transpose_peer = grid_.j * grid_.pr + grid_.i;
   ScopedPhase scope(stats.profiler, Phase::kTranspose);
+  if (trpose_cache_.ready && dist::epoch_cache_enabled()) {
+    // a_block_ is still materialized from epoch 1; replay the charges.
+    grid_.world.meter().merge_sum(trpose_cache_.begin_charges);
+    return;
+  }
+  const int transpose_peer = grid_.j * grid_.pr + grid_.i;
+  CostMeter before = grid_.world.meter();
   a_block_ = dist::exchange_csr(at_block_, transpose_peer, grid_.world,
                                 CommCategory::kTranspose)
                  .transposed();
+  trpose_cache_.begin_charges = grid_.world.meter();
+  trpose_cache_.begin_charges.subtract(before);
 }
 
 void Algebra2D::end_backward(EpochStats& stats) {
   // Transpose back (A -> A^T), restoring the forward orientation; together
   // with begin_backward this is the paper's twice-per-epoch cost.
-  const int transpose_peer = grid_.j * grid_.pr + grid_.i;
   ScopedPhase scope(stats.profiler, Phase::kTranspose);
+  if (trpose_cache_.ready && dist::epoch_cache_enabled()) {
+    grid_.world.meter().merge_sum(trpose_cache_.end_charges);
+    return;
+  }
+  const int transpose_peer = grid_.j * grid_.pr + grid_.i;
+  CostMeter before = grid_.world.meter();
   const Csr restored = dist::exchange_csr(a_block_, transpose_peer,
                                           grid_.world,
                                           CommCategory::kTranspose)
                            .transposed();
   CAGNET_CHECK(restored.nnz() == at_block_.nnz(),
                "transpose round-trip changed the block");
-  a_block_ = Csr();
+  trpose_cache_.end_charges = grid_.world.meter();
+  trpose_cache_.end_charges.subtract(before);
+  if (dist::epoch_cache_enabled()) {
+    trpose_cache_.ready = true;  // keep a_block_ for the next epoch
+  } else {
+    a_block_ = Csr();
+  }
 }
 
 Dist2D::Dist2D(const DistProblem& problem, GnnConfig config, Comm world,

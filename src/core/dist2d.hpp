@@ -50,14 +50,14 @@ class Algebra2D final : public DistSpmmAlgebra {
   bool rows_whole() const override { return false; }
   bool owns_loss_rows() const override { return grid_.j == 0; }
 
-  Matrix spmm_at(const Matrix& h, EpochStats& stats) override;
-  Matrix spmm_a(const Matrix& g, EpochStats& stats) override;
-  Matrix times_weight(const Matrix& t, const Matrix& w,
-                      EpochStats& stats) override;
-  Matrix gather_feature_rows(const Matrix& local, Index f,
-                             EpochStats& stats) override;
-  Matrix reduce_gradients(Matrix y_local, Index f_in, Index f_out,
-                          EpochStats& stats) override;
+  void spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) override;
+  void spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) override;
+  void times_weight(const Matrix& t, const Matrix& w, Matrix& z,
+                    EpochStats& stats) override;
+  void gather_feature_rows(const Matrix& local, Index f, Matrix& full,
+                           EpochStats& stats) override;
+  void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                        Matrix& y_full, EpochStats& stats) override;
 
   /// Distributed transpose A^T -> A (and back): swap blocks across the
   /// diagonal and transpose locally (the paper's "trpose" phase, charged
@@ -74,11 +74,12 @@ class Algebra2D final : public DistSpmmAlgebra {
 
  private:
   /// SUMMA T = S * D where S is this rank's sparse block family (row
-  /// broadcasts of `my_sparse`) and D the dense blocks (column broadcasts
-  /// of `my_dense`); accumulates into a fresh (local_rows x dense_cols)
-  /// matrix. Used by both A^T H (forward) and A G (backward).
-  Matrix summa_spmm(const Csr& my_sparse, const Matrix& my_dense,
-                    EpochStats& stats);
+  /// broadcasts of `my_sparse`, cached across epochs in `cache`) and D the
+  /// dense blocks (column broadcasts of `my_dense`); accumulates into `t`
+  /// (resized, storage reused). Used by both A^T H (forward) and A G
+  /// (backward).
+  void summa_spmm(const Csr& my_sparse, dist::SparseStageCache& cache,
+                  const Matrix& my_dense, Matrix& t, EpochStats& stats);
 
   Grid2D grid_;
 
@@ -87,7 +88,13 @@ class Algebra2D final : public DistSpmmAlgebra {
   Index col_lo_ = 0, col_hi_ = 0;  ///< vertex cols of process column j
 
   Csr at_block_;  ///< A^T(rows_i, cols_j)
-  Csr a_block_;   ///< A(rows_i, cols_j), materialized during backward
+  Csr a_block_;   ///< A(rows_i, cols_j), materialized in backward epoch 1
+                  ///< and kept across epochs while the cache is enabled
+
+  dist::DistWorkspace ws_;           ///< reused dense/staging buffers
+  dist::SparseStageCache at_cache_;  ///< forward-SUMMA received A^T blocks
+  dist::SparseStageCache a_cache_;   ///< backward-SUMMA received A blocks
+  dist::TransposeCache trpose_cache_;
 };
 
 /// The 2D trainer: the shared engine driven by Algebra2D.

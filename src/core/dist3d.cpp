@@ -20,50 +20,71 @@ Algebra3D::Algebra3D(const DistProblem& problem, Comm world,
                               /*key=*/grid_.i * q + grid_.k);
 }
 
-Matrix Algebra3D::split3d_spmm(const Csr& my_sparse, const Matrix& my_dense,
-                               EpochStats& stats) {
+void Algebra3D::split3d_spmm(const Csr& my_sparse,
+                             dist::SparseStageCache& cache,
+                             const Matrix& my_dense, Matrix& out,
+                             EpochStats& stats) {
   const int q = grid_.q;
   const Index coarse_rows = coarse_hi_ - coarse_lo_;
   const Index w = my_dense.cols();
   // The pre-reduction partial: (n/q x f/q), the P^(1/3)-replicated
   // intermediate of Section IV-D.1.
-  Matrix t_partial(coarse_rows, w);
+  t_partial_.resize(coarse_rows, w);
+  t_partial_.set_zero();
+
+  const bool use_cache = cache.ready && dist::epoch_cache_enabled();
+  if (use_cache) {
+    // Epoch-invariant adjacency: replay the recorded epoch-1 sparse
+    // charges instead of re-broadcasting identical bytes.
+    ScopedPhase scope(stats.profiler, Phase::kSparseComm);
+    grid_.world.meter().merge_sum(cache.charges);
+  } else {
+    cache.charges.clear();
+    cache.blocks.resize(static_cast<std::size_t>(q));
+    cache.own_stage.assign(static_cast<std::size_t>(q), 0);
+  }
 
   for (int s = 0; s < q; ++s) {
-    Csr a_recv;
-    {
+    const Csr* a = nullptr;
+    if (use_cache) {
+      a = cache.own_stage[static_cast<std::size_t>(s)]
+              ? &my_sparse
+              : &cache.blocks[static_cast<std::size_t>(s)];
+    } else {
       ScopedPhase scope(stats.profiler, Phase::kSparseComm);
-      a_recv = dist::broadcast_csr(grid_.j == s ? &my_sparse : nullptr, s,
-                                   grid_.row, CommCategory::kSparse);
+      CostMeter before = grid_.world.meter();
+      a = dist::broadcast_csr(grid_.j == s ? &my_sparse : nullptr,
+                              cache.blocks[static_cast<std::size_t>(s)], s,
+                              grid_.row, CommCategory::kSparse);
+      CostMeter delta = grid_.world.meter();
+      delta.subtract(before);
+      cache.charges.merge_sum(delta);
+      cache.own_stage[static_cast<std::size_t>(s)] = a == &my_sparse;
     }
     const auto [d_lo, d_hi] = fine_range(n_, q, s, grid_.k);
-    Matrix d_recv(d_hi - d_lo, w);
-    if (grid_.i == s) {
-      CAGNET_CHECK(my_dense.rows() == d_recv.rows(),
-                   "split3d_spmm: dense block height mismatch at root");
-      d_recv = my_dense;
-    }
+    const Matrix* d = nullptr;
     {
       ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-      grid_.col.broadcast(d_recv.flat(), s, CommCategory::kDense);
+      d = dist::broadcast_dense_stage(my_dense, ws_.stage_recv, d_hi - d_lo,
+                                      w, s, grid_.col, CommCategory::kDense);
     }
     {
       ScopedPhase scope(stats.profiler, Phase::kSpmm);
-      a_recv.spmm(d_recv, t_partial, /*accumulate=*/true);
-      stats.work.add_spmm(machine(), static_cast<double>(a_recv.nnz()),
-                          static_cast<double>(w), dist::block_degree(a_recv));
+      a->spmm(*d, t_partial_, /*accumulate=*/true);
+      stats.work.add_spmm(machine(), static_cast<double>(a->nnz()),
+                          static_cast<double>(w), dist::block_degree(*a));
     }
   }
+  cache.ready = dist::epoch_cache_enabled();
 
   // Fiber reduce-scatter: sum layer partials, splitting C_i into its fine
   // slabs F_{i,kk}; fiber rank kk keeps slab kk.
-  Matrix out(fine_hi_ - fine_lo_, w);
+  out.resize(fine_hi_ - fine_lo_, w);
   {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-    grid_.fiber.reduce_scatter_sum(std::span<const Real>(t_partial.flat()),
+    grid_.fiber.reduce_scatter_sum(std::span<const Real>(t_partial_.flat()),
                                    out.flat(), CommCategory::kDense);
   }
-  return out;
 }
 
 Csr Algebra3D::transpose_3d(const Csr& my_block) {
@@ -94,53 +115,71 @@ Csr Algebra3D::transpose_3d(const Csr& my_block) {
   return assembled;
 }
 
-Matrix Algebra3D::spmm_at(const Matrix& h, EpochStats& stats) {
-  return split3d_spmm(at_block_, h, stats);
+void Algebra3D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
+  split3d_spmm(at_block_, at_cache_, h, t, stats);
 }
 
-Matrix Algebra3D::spmm_a(const Matrix& g, EpochStats& stats) {
+void Algebra3D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   CAGNET_CHECK(a_block_.rows() > 0 || coarse_hi_ == coarse_lo_,
                "spmm_a outside begin_backward/end_backward");
-  return split3d_spmm(a_block_, g, stats);
+  split3d_spmm(a_block_, a_cache_, g, u, stats);
 }
 
-Matrix Algebra3D::times_weight(const Matrix& t, const Matrix& w,
-                               EpochStats& stats) {
+void Algebra3D::times_weight(const Matrix& t, const Matrix& w, Matrix& z,
+                             EpochStats& stats) {
   // Partial Split-3D-SpMM Z = T W: W is replicated, so only T moves, along
   // within-layer process rows (contraction over the f dimension needs no
   // fiber reduction).
-  return dist::partial_summa_times_weight(t, w, grid_.q, grid_.j, grid_.row,
-                                          machine(), stats);
+  dist::partial_summa_times_weight(t, w, grid_.q, grid_.j, grid_.row,
+                                   machine(), stats, ws_, z);
 }
 
-Matrix Algebra3D::gather_feature_rows(const Matrix& local, Index f,
-                                      EpochStats& stats) {
+void Algebra3D::gather_feature_rows(const Matrix& local, Index f,
+                                    Matrix& full, EpochStats& stats) {
   // Within-layer row all-gather (Section IV-D.2 — no cross-layer or
   // cross-row communication).
-  return dist::allgather_feature_rows(local, f, grid_.q, grid_.row,
-                                      stats.profiler);
+  dist::allgather_feature_rows(local, f, grid_.q, grid_.row, stats.profiler,
+                               ws_, full);
 }
 
-Matrix Algebra3D::reduce_gradients(Matrix y_local, Index f_in, Index f_out,
-                                   EpochStats& stats) {
+void Algebra3D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                                 Matrix& y_full, EpochStats& stats) {
   // Reduction over the j-plane (all fine row blocks sharing this feature
   // slice), then row all-gather to replicate Y (IV-D.4).
-  return dist::assemble_weight_gradient(std::move(y_local), f_in, f_out,
-                                        grid_.q, jplane_, grid_.row,
-                                        stats.profiler);
+  dist::assemble_weight_gradient(y_partial, f_in, f_out, grid_.q, jplane_,
+                                 grid_.row, stats.profiler, ws_, y_full);
 }
 
 void Algebra3D::begin_backward(EpochStats& stats) {
   ScopedPhase scope(stats.profiler, Phase::kTranspose);
+  if (trpose_cache_.ready && dist::epoch_cache_enabled()) {
+    // a_block_ is still materialized from epoch 1; replay the charges.
+    grid_.world.meter().merge_sum(trpose_cache_.begin_charges);
+    return;
+  }
+  CostMeter before = grid_.world.meter();
   a_block_ = transpose_3d(at_block_);
+  trpose_cache_.begin_charges = grid_.world.meter();
+  trpose_cache_.begin_charges.subtract(before);
 }
 
 void Algebra3D::end_backward(EpochStats& stats) {
   ScopedPhase scope(stats.profiler, Phase::kTranspose);
+  if (trpose_cache_.ready && dist::epoch_cache_enabled()) {
+    grid_.world.meter().merge_sum(trpose_cache_.end_charges);
+    return;
+  }
+  CostMeter before = grid_.world.meter();
   const Csr restored = transpose_3d(a_block_);
   CAGNET_CHECK(restored.nnz() == at_block_.nnz(),
                "3D transpose round-trip changed the block");
-  a_block_ = Csr();
+  trpose_cache_.end_charges = grid_.world.meter();
+  trpose_cache_.end_charges.subtract(before);
+  if (dist::epoch_cache_enabled()) {
+    trpose_cache_.ready = true;  // keep a_block_ for the next epoch
+  } else {
+    a_block_ = Csr();
+  }
 }
 
 Dist3D::Dist3D(const DistProblem& problem, GnnConfig config, Comm world,

@@ -48,14 +48,14 @@ class Algebra3D final : public DistSpmmAlgebra {
   bool rows_whole() const override { return false; }
   bool owns_loss_rows() const override { return grid_.j == 0; }
 
-  Matrix spmm_at(const Matrix& h, EpochStats& stats) override;
-  Matrix spmm_a(const Matrix& g, EpochStats& stats) override;
-  Matrix times_weight(const Matrix& t, const Matrix& w,
-                      EpochStats& stats) override;
-  Matrix gather_feature_rows(const Matrix& local, Index f,
-                             EpochStats& stats) override;
-  Matrix reduce_gradients(Matrix y_local, Index f_in, Index f_out,
-                          EpochStats& stats) override;
+  void spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) override;
+  void spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) override;
+  void times_weight(const Matrix& t, const Matrix& w, Matrix& z,
+                    EpochStats& stats) override;
+  void gather_feature_rows(const Matrix& local, Index f, Matrix& full,
+                           EpochStats& stats) override;
+  void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                        Matrix& y_full, EpochStats& stats) override;
 
   /// 3D distributed transpose A^T -> A (and back).
   void begin_backward(EpochStats& stats) override;
@@ -70,10 +70,11 @@ class Algebra3D final : public DistSpmmAlgebra {
 
  private:
   /// One Split-3D-SpMM: T = S * D with S this rank's sparse block (row
-  /// broadcasts), D the dense blocks (column broadcasts), then the fiber
-  /// reduce-scatter. Returns the (fine rows x dense cols) result block.
-  Matrix split3d_spmm(const Csr& my_sparse, const Matrix& my_dense,
-                      EpochStats& stats);
+  /// broadcasts, cached across epochs in `cache`), D the dense blocks
+  /// (column broadcasts), then the fiber reduce-scatter. Writes the
+  /// (fine rows x dense cols) result block into `out` (storage reused).
+  void split3d_spmm(const Csr& my_sparse, dist::SparseStageCache& cache,
+                    const Matrix& my_dense, Matrix& out, EpochStats& stats);
 
   /// 3D distributed transpose of a (coarse x fine)-blocked square matrix;
   /// returns this rank's block of the transpose in the same blocking.
@@ -87,7 +88,14 @@ class Algebra3D final : public DistSpmmAlgebra {
   Index fine_lo_ = 0, fine_hi_ = 0;      ///< F_{i,k} (H rows)
 
   Csr at_block_;  ///< A^T[C_i, F_{j,k}]
-  Csr a_block_;   ///< A[C_i, F_{j,k}], materialized during backward
+  Csr a_block_;   ///< A[C_i, F_{j,k}], materialized in backward epoch 1
+                  ///< and kept across epochs while the cache is enabled
+
+  Matrix t_partial_;                 ///< P^(1/3)-replicated partial (reused)
+  dist::DistWorkspace ws_;           ///< reused dense/staging buffers
+  dist::SparseStageCache at_cache_;  ///< forward received A^T blocks
+  dist::SparseStageCache a_cache_;   ///< backward received A blocks
+  dist::TransposeCache trpose_cache_;
 };
 
 /// The 3D trainer: the shared engine driven by Algebra3D.

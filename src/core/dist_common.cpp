@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <utility>
 
 #include "src/dense/gemm.hpp"
 #include "src/dense/ops.hpp"
@@ -65,6 +66,14 @@ EpochStats EpochStats::reduce_max(const EpochStats& mine, Comm& comm) {
 
 namespace dist {
 
+namespace {
+/// Not atomic on purpose: flip only between run_world invocations.
+bool g_epoch_cache_enabled = true;
+}  // namespace
+
+bool epoch_cache_enabled() { return g_epoch_cache_enabled; }
+void set_epoch_cache_enabled(bool on) { g_epoch_cache_enabled = on; }
+
 EpochResult reduce_loss_accuracy(const Matrix& local_log_probs, Index row_lo,
                                  const std::vector<Index>& labels,
                                  Index labeled_count, Comm& comm) {
@@ -109,30 +118,56 @@ double block_degree(const Csr& block) {
              : 0.0;
 }
 
-Csr broadcast_csr(const Csr* mine, int root, Comm& comm, CommCategory cat) {
-  std::array<Index, 3> header = {0, 0, 0};
+const Matrix* broadcast_dense_stage(const Matrix& mine, Matrix& recv,
+                                    Index rows, Index cols, int root,
+                                    Comm& comm, CommCategory cat) {
   if (comm.rank() == root) {
+    CAGNET_CHECK(mine.rows() == rows && mine.cols() == cols,
+                 "broadcast_dense_stage: root block shape mismatch");
+    comm.broadcast_from(std::span<const Real>(mine.flat()),
+                        std::span<Real>{}, root, cat);
+    return &mine;
+  }
+  recv.resize(rows, cols);
+  comm.broadcast_from(std::span<const Real>{}, recv.flat(), root, cat);
+  return &recv;
+}
+
+void allreduce_weight_gradient(Matrix& y_partial, Index f_in, Index f_out,
+                               Comm& comm, Profiler& profiler,
+                               Matrix& y_full) {
+  CAGNET_CHECK(y_partial.rows() == f_in && y_partial.cols() == f_out,
+               "reduce_gradients: unexpected partial shape");
+  std::swap(y_partial, y_full);
+  ScopedPhase scope(profiler, Phase::kDenseComm);
+  comm.allreduce_sum(y_full.flat(), CommCategory::kDense);
+}
+
+const Csr* broadcast_csr(const Csr* mine, Csr& recv, int root, Comm& comm,
+                         CommCategory cat) {
+  const bool is_root = comm.rank() == root;
+  std::array<Index, 3> header = {0, 0, 0};
+  if (is_root) {
     CAGNET_CHECK(mine != nullptr, "broadcast_csr: root must supply a block");
     header = {mine->rows(), mine->cols(), mine->nnz()};
   }
   comm.broadcast(std::span<Index>(header), root, cat);
-  const Index rows = header[0];
-  const Index cols = header[1];
-  const Index nnz = header[2];
-
-  std::vector<Index> row_ptr(static_cast<std::size_t>(rows) + 1);
-  std::vector<Index> col_idx(static_cast<std::size_t>(nnz));
-  std::vector<Real> vals(static_cast<std::size_t>(nnz));
-  if (comm.rank() == root) {
-    std::copy(mine->row_ptr().begin(), mine->row_ptr().end(), row_ptr.begin());
-    std::copy(mine->col_idx().begin(), mine->col_idx().end(), col_idx.begin());
-    std::copy(mine->values().begin(), mine->values().end(), vals.begin());
+  if (is_root) {
+    // The root publishes straight from its block's arrays — no staging
+    // copy, no deserialization, and the caller keeps using `mine`.
+    comm.broadcast_from(mine->row_ptr(), std::span<Index>{}, root, cat);
+    comm.broadcast_from(mine->col_idx(), std::span<Index>{}, root, cat);
+    comm.broadcast_from(std::span<const Real>(mine->values()),
+                        std::span<Real>{}, root, cat);
+    return mine;
   }
-  comm.broadcast(std::span<Index>(row_ptr), root, cat);
-  comm.broadcast(std::span<Index>(col_idx), root, cat);
-  comm.broadcast(std::span<Real>(vals), root, cat);
-  return Csr::from_parts(rows, cols, std::move(row_ptr), std::move(col_idx),
-                         std::move(vals));
+  recv.resize_parts(header[0], header[1], header[2]);
+  comm.broadcast_from(std::span<const Index>{}, recv.row_ptr_mut(), root,
+                      cat);
+  comm.broadcast_from(std::span<const Index>{}, recv.col_idx_mut(), root,
+                      cat);
+  comm.broadcast_from(std::span<const Real>{}, recv.values(), root, cat);
+  return &recv;
 }
 
 Csr exchange_csr(const Csr& mine, int peer, Comm& comm, CommCategory cat) {
@@ -146,47 +181,48 @@ Csr exchange_csr(const Csr& mine, int peer, Comm& comm, CommCategory cat) {
                          std::move(col_idx), std::move(vals));
 }
 
-Matrix partial_summa_times_weight(const Matrix& t, const Matrix& w,
-                                  int parts, int my_col, Comm& row_comm,
-                                  const MachineModel& machine,
-                                  EpochStats& stats) {
+void partial_summa_times_weight(const Matrix& t, const Matrix& w, int parts,
+                                int my_col, Comm& row_comm,
+                                const MachineModel& machine,
+                                EpochStats& stats, DistWorkspace& ws,
+                                Matrix& z) {
   const Index local_rows = t.rows();
   const Index f_in = w.rows();
   const Index f_out = w.cols();
   const auto [fo0, fo1] = block_range(f_out, parts, my_col);
-  Matrix z(local_rows, fo1 - fo0);
+  z.resize(local_rows, fo1 - fo0);
+  z.set_zero();
   for (int m = 0; m < parts; ++m) {
     const auto [fm0, fm1] = block_range(f_in, parts, m);
-    Matrix t_recv(local_rows, fm1 - fm0);
-    if (my_col == m) t_recv = t;
+    const Matrix* t_m = nullptr;
     {
       ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-      row_comm.broadcast(t_recv.flat(), m, CommCategory::kDense);
+      t_m = broadcast_dense_stage(t, ws.stage_recv, local_rows, fm1 - fm0,
+                                  m, row_comm, CommCategory::kDense);
     }
     {
       ScopedPhase scope(stats.profiler, Phase::kMisc);
-      const Matrix w_block = w.block(fm0, fo0, fm1 - fm0, fo1 - fo0);
-      gemm(Trans::kNo, Trans::kNo, Real{1}, t_recv, w_block, Real{1}, z);
+      w.block_into(fm0, fo0, fm1 - fm0, fo1 - fo0, ws.w_block);
+      gemm(Trans::kNo, Trans::kNo, Real{1}, *t_m, ws.w_block, Real{1}, z);
       stats.work.add_gemm(machine, 2.0 * static_cast<double>(local_rows) *
                                        static_cast<double>(fm1 - fm0) *
                                        static_cast<double>(fo1 - fo0));
     }
   }
-  return z;
 }
 
-Matrix allgather_feature_rows(const Matrix& local, Index full_cols, int parts,
-                              Comm& row_comm, Profiler& profiler) {
-  Gathered<Real> gathered;
+void allgather_feature_rows(const Matrix& local, Index full_cols, int parts,
+                            Comm& row_comm, Profiler& profiler,
+                            DistWorkspace& ws, Matrix& full) {
   {
     ScopedPhase scope(profiler, Phase::kDenseComm);
-    gathered = row_comm.allgatherv(std::span<const Real>(local.flat()),
-                                   CommCategory::kDense);
+    row_comm.allgatherv_into(std::span<const Real>(local.flat()),
+                             ws.gathered, CommCategory::kDense);
   }
-  Matrix full(local.rows(), full_cols);
+  full.resize(local.rows(), full_cols);
   for (int jj = 0; jj < parts; ++jj) {
     const auto [c0, c1] = block_range(full_cols, parts, jj);
-    const auto chunk = gathered.chunk(jj);
+    const auto chunk = ws.gathered.chunk(jj);
     CAGNET_CHECK(chunk.size() == static_cast<std::size_t>(local.rows() *
                                                           (c1 - c0)),
                  "allgather_feature_rows: chunk size mismatch");
@@ -196,31 +232,29 @@ Matrix allgather_feature_rows(const Matrix& local, Index full_cols, int parts,
                 full.data() + r * full_cols + c0);
     }
   }
-  return full;
 }
 
-Matrix assemble_weight_gradient(Matrix y_slice, Index f_in, Index f_out,
-                                int parts, Comm& reduce_comm, Comm& row_comm,
-                                Profiler& profiler) {
+void assemble_weight_gradient(Matrix& y_slice, Index f_in, Index f_out,
+                              int parts, Comm& reduce_comm, Comm& row_comm,
+                              Profiler& profiler, DistWorkspace& ws,
+                              Matrix& y) {
   {
     ScopedPhase scope(profiler, Phase::kDenseComm);
     reduce_comm.allreduce_sum(y_slice.flat(), CommCategory::kDense);
   }
-  Matrix y(f_in, f_out);
-  Gathered<Real> slices;
   {
     ScopedPhase scope(profiler, Phase::kDenseComm);
-    slices = row_comm.allgatherv(std::span<const Real>(y_slice.flat()),
-                                 CommCategory::kDense);
+    row_comm.allgatherv_into(std::span<const Real>(y_slice.flat()),
+                             ws.gathered, CommCategory::kDense);
   }
+  y.resize(f_in, f_out);
   for (int jj = 0; jj < parts; ++jj) {
     const auto [r0, r1] = block_range(f_in, parts, jj);
-    const auto chunk = slices.chunk(jj);
+    const auto chunk = ws.gathered.chunk(jj);
     CAGNET_CHECK(chunk.size() == static_cast<std::size_t>((r1 - r0) * f_out),
                  "assemble_weight_gradient: slice size mismatch");
     std::copy(chunk.begin(), chunk.end(), y.data() + r0 * f_out);
   }
-  return y;
 }
 
 Csr route_csr(const Csr& mine, int dest, Comm& comm, CommCategory cat) {

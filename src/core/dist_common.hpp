@@ -73,6 +73,48 @@ class DistTrainer {
 /// Helpers shared by the trainer implementations.
 namespace dist {
 
+/// Process-global switch for the epoch-invariant adjacency caches
+/// (default on). When off, every epoch re-runs the epoch-1 communication
+/// path; tests flip it to compare the cached and uncached paths
+/// in-process. Not per-trainer state: flip it only between run_world
+/// invocations.
+bool epoch_cache_enabled();
+void set_epoch_cache_enabled(bool on);
+
+/// Reusable dense/staging buffers for the shared SUMMA helpers. One per
+/// algebra instance; after the first epoch the hot path stops allocating.
+/// The helpers never nest, so sharing the buffers between them is safe.
+struct DistWorkspace {
+  Matrix stage_recv;        ///< per-stage dense broadcast receive buffer
+  Matrix w_block;           ///< partial-SUMMA weight sub-block
+  Gathered<Real> gathered;  ///< all-gather staging
+};
+
+/// Epoch-invariant cache of the sparse blocks a SUMMA-style loop
+/// receives. The adjacency never changes across epochs, so stage k of
+/// epoch e > 1 re-receives exactly the block it deserialized in epoch 1;
+/// after the first pass the blocks are served from memory and the
+/// recorded epoch-1 CostMeter charges are replayed instead (all charges
+/// are integer-valued in words/latency units, so replaying the summed
+/// delta is bitwise-exact). Modeled communication volumes — the paper's
+/// measurements — are therefore unchanged while the data movement,
+/// deserialization, and allocation disappear.
+struct SparseStageCache {
+  bool ready = false;
+  std::vector<Csr> blocks;      ///< per stage; unused when own_stage[k]
+  std::vector<char> own_stage;  ///< stage roots keep using their own block
+  CostMeter charges;            ///< epoch-1 sparse charges to replay
+};
+
+/// Epoch-invariant cache of a distributed-transpose pair: after epoch 1
+/// the materialized A block is kept across epochs and begin/end_backward
+/// only replay their recorded charges.
+struct TransposeCache {
+  bool ready = false;
+  CostMeter begin_charges;
+  CostMeter end_charges;
+};
+
 /// Global mean NLL loss and accuracy from a local row block of output
 /// log-probabilities. `row_lo` is the first global row of the block.
 /// Reduces (loss_sum, hits, labeled) across ranks as control traffic.
@@ -88,10 +130,30 @@ Matrix local_nll_gradient(const Matrix& local_log_probs, Index row_lo,
 /// Average degree of a CSR block (nnz / rows), guarding empty blocks.
 double block_degree(const Csr& block);
 
-/// Broadcast a CSR block from `root` within `comm`. Non-roots pass their
-/// (ignored) local block or nullptr. Traffic (indices + values) is charged
-/// to `cat`; this is the SUMMA sparse-broadcast primitive.
-Csr broadcast_csr(const Csr* mine, int root, Comm& comm, CommCategory cat);
+/// Broadcast a CSR block from `root` within `comm` without staging
+/// copies: the root publishes straight from `mine`'s arrays and returns
+/// `mine`; every other rank receives into `recv` (reusing its buffers,
+/// non-roots pass nullptr for `mine`) and returns `&recv`. Traffic
+/// (indices + values) is charged to `cat`; this is the SUMMA
+/// sparse-broadcast primitive.
+const Csr* broadcast_csr(const Csr* mine, Csr& recv, int root, Comm& comm,
+                         CommCategory cat);
+
+/// One dense SUMMA broadcast stage without staging copies: the stage root
+/// (comm rank `root`) publishes `mine` directly and returns it; every
+/// other rank receives a (rows x cols) block into `recv` (storage reused)
+/// and gets `&recv`. Shared by every dense broadcast loop (1D stages,
+/// 1.5D stripes, 2D/3D SUMMA stages, partial SUMMA).
+const Matrix* broadcast_dense_stage(const Matrix& mine, Matrix& recv,
+                                    Index rows, Index cols, int root,
+                                    Comm& comm, CommCategory cat);
+
+/// Complete a rows-whole weight gradient: move the (f_in x f_out) local
+/// partial into `y_full` (buffer swap, no copy) and all-reduce it over
+/// `comm`, leaving Y replicated. Shared by the 1D and 1.5D algebras.
+void allreduce_weight_gradient(Matrix& y_partial, Index f_in, Index f_out,
+                               Comm& comm, Profiler& profiler,
+                               Matrix& y_full);
 
 /// Pairwise CSR exchange with `peer` (the distributed-transpose primitive:
 /// rank (i,j) swaps blocks with rank (j,i) and locally transposes).
@@ -102,29 +164,35 @@ Csr route_csr(const Csr& mine, int dest, Comm& comm, CommCategory cat);
 
 /// Row-wise all-gather of feature slices into full rows: `local` is this
 /// rank's (rows x w_j) slice, `parts` ranks along `row_comm` each hold the
-/// block_range(full_cols, parts, j) slice. Charges kDense. Shared by the
-/// 2D and 3D families (log-softmax rows and the U reuse).
-Matrix allgather_feature_rows(const Matrix& local, Index full_cols, int parts,
-                              Comm& row_comm, Profiler& profiler);
+/// block_range(full_cols, parts, j) slice. Assembles into `full` (storage
+/// reused) via the workspace. Charges kDense. Shared by the 2D and 3D
+/// families (log-softmax rows and the U reuse).
+void allgather_feature_rows(const Matrix& local, Index full_cols, int parts,
+                            Comm& row_comm, Profiler& profiler,
+                            DistWorkspace& ws, Matrix& full);
 
 /// Complete a weight gradient from per-rank slice partials: sum `y_slice`
-/// (a feat_slice(f_in) x f_out partial) over `reduce_comm`, then all-gather
-/// the reduced slices along `row_comm` (`parts` ranks, rank j holding
-/// block_range(f_in, parts, j)) into the fully replicated (f_in x f_out)
-/// gradient. Shared by the 2D and 3D families.
-Matrix assemble_weight_gradient(Matrix y_slice, Index f_in, Index f_out,
-                                int parts, Comm& reduce_comm, Comm& row_comm,
-                                Profiler& profiler);
+/// (a feat_slice(f_in) x f_out partial, consumed as scratch) over
+/// `reduce_comm`, then all-gather the reduced slices along `row_comm`
+/// (`parts` ranks, rank j holding block_range(f_in, parts, j)) into the
+/// fully replicated (f_in x f_out) gradient `y` (storage reused). Shared
+/// by the 2D and 3D families.
+void assemble_weight_gradient(Matrix& y_slice, Index f_in, Index f_out,
+                              int parts, Comm& reduce_comm, Comm& row_comm,
+                              Profiler& profiler, DistWorkspace& ws,
+                              Matrix& y);
 
 /// Partial SUMMA Z = T W with W replicated: only T moves, broadcast along
 /// `row_comm` (`parts` ranks; this rank is column `my_col` and contributes
-/// `t`, its local feat_slice of T). Returns this rank's Z slice
-/// (t.rows() x block_range(w.cols(), parts, my_col) width). Shared by the
-/// 2D and 3D families ("partial SUMMA" / "partial Split-3D-SpMM").
-Matrix partial_summa_times_weight(const Matrix& t, const Matrix& w,
-                                  int parts, int my_col, Comm& row_comm,
-                                  const MachineModel& machine,
-                                  EpochStats& stats);
+/// `t`, its local feat_slice of T). Writes this rank's Z slice
+/// (t.rows() x block_range(w.cols(), parts, my_col) width) into `z`
+/// (storage reused). Shared by the 2D and 3D families ("partial SUMMA" /
+/// "partial Split-3D-SpMM").
+void partial_summa_times_weight(const Matrix& t, const Matrix& w, int parts,
+                                int my_col, Comm& row_comm,
+                                const MachineModel& machine,
+                                EpochStats& stats, DistWorkspace& ws,
+                                Matrix& z);
 
 }  // namespace dist
 

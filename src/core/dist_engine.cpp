@@ -1,6 +1,8 @@
 #include "src/core/dist_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/dense/gemm.hpp"
 #include "src/dense/ops.hpp"
@@ -8,25 +10,25 @@
 
 namespace cagnet {
 
-Matrix DistSpmmAlgebra::times_weight(const Matrix& t, const Matrix& w,
-                                     EpochStats& stats) {
+void DistSpmmAlgebra::times_weight(const Matrix& t, const Matrix& w,
+                                   Matrix& z, EpochStats& stats) {
   // Rows-whole default: T is (local_rows x f_in), W replicated, so Z = T W
   // is a purely local GEMM.
   ScopedPhase scope(stats.profiler, Phase::kMisc);
-  Matrix z(t.rows(), w.cols());
+  z.resize(t.rows(), w.cols());
   gemm(Trans::kNo, Trans::kNo, Real{1}, t, w, Real{0}, z);
   stats.work.add_gemm(machine(), 2.0 * static_cast<double>(t.rows()) *
                                      static_cast<double>(w.rows()) *
                                      static_cast<double>(w.cols()));
-  return z;
 }
 
-Matrix DistSpmmAlgebra::gather_feature_rows(const Matrix& local, Index f,
-                                            EpochStats& stats) {
+void DistSpmmAlgebra::gather_feature_rows(const Matrix& local, Index f,
+                                          Matrix& full, EpochStats& stats) {
   (void)stats;
   CAGNET_CHECK(local.cols() == f,
                "gather_feature_rows: rows-whole layout expects full width");
-  return local;
+  full.resize(local.rows(), f);
+  std::copy(local.flat().begin(), local.flat().end(), full.flat().begin());
 }
 
 Matrix DistSpmmAlgebra::gather_output(const Matrix& output_rows, Index n) {
@@ -66,29 +68,27 @@ const Matrix& DistEngine::forward() {
     const Index f_out = config_.dims[static_cast<std::size_t>(l)];
 
     // T = A^T H^(l-1) (the algebra's distributed SpMM), then Z = T W.
-    const Matrix t = algebra_->spmm_at(h_[static_cast<std::size_t>(l - 1)],
-                                       stats_);
+    algebra_->spmm_at(h_[static_cast<std::size_t>(l - 1)], t_buf_, stats_);
     auto& z = z_[static_cast<std::size_t>(l)];
-    z = algebra_->times_weight(t, weights_[static_cast<std::size_t>(l - 1)],
-                               stats_);
+    algebra_->times_weight(t_buf_, weights_[static_cast<std::size_t>(l - 1)],
+                           z, stats_);
 
     if (l == layers) {
       // log-softmax needs whole rows; rows-whole layouts skip the gather
       // (uniform across ranks by the algebra contract). output_rows_ is
       // the canonical final-layer activation — h_[L] is never read.
       const bool rows_whole = algebra_->rows_whole();
-      Matrix gathered;
       if (!rows_whole) {
-        gathered = algebra_->gather_feature_rows(z, f_out, stats_);
+        algebra_->gather_feature_rows(z, f_out, zrows_buf_, stats_);
       }
-      const Matrix& z_rows = rows_whole ? z : gathered;
+      const Matrix& z_rows = rows_whole ? z : zrows_buf_;
       ScopedPhase scope(stats_.profiler, Phase::kMisc);
-      output_rows_ = Matrix(z_rows.rows(), f_out);
+      output_rows_.resize(z_rows.rows(), f_out);
       log_softmax_rows(z_rows, output_rows_);
     } else {
       ScopedPhase scope(stats_.profiler, Phase::kMisc);
       auto& h = h_[static_cast<std::size_t>(l)];
-      h = Matrix(z.rows(), z.cols());
+      h.resize(z.rows(), z.cols());
       relu(z, h);
     }
   }
@@ -109,7 +109,8 @@ void DistEngine::backward() {
   // product needs no communication in any layout.
   const Index f_last = config_.dims.back();
   const auto [fL0, fL1] = algebra_->feat_slice(f_last);
-  Matrix g(local_rows, fL1 - fL0);
+  g_buf_.resize(local_rows, fL1 - fL0);
+  g_buf_.set_zero();
   {
     ScopedPhase scope(stats_.profiler, Phase::kMisc);
     if (problem_.labeled_count > 0) {
@@ -119,9 +120,9 @@ void DistEngine::backward() {
         const Index label = labels[static_cast<std::size_t>(row_lo + r)];
         if (label < 0) continue;
         for (Index c = 0; c < fL1 - fL0; ++c) {
-          g(r, c) = -std::exp(output_rows_(r, fL0 + c)) * scale;
+          g_buf_(r, c) = -std::exp(output_rows_(r, fL0 + c)) * scale;
         }
-        if (label >= fL0 && label < fL1) g(r, label - fL0) += scale;
+        if (label >= fL0 && label < fL1) g_buf_(r, label - fL0) += scale;
       }
     }
   }
@@ -134,48 +135,50 @@ void DistEngine::backward() {
     // assembled once and reused by both Y^l and G^(l-1) — the paper's
     // intermediate-product reuse. Rows-whole layouts already hold full
     // rows and skip the gather (uniform by the algebra contract).
-    const Matrix u = algebra_->spmm_a(g, stats_);
-    Matrix u_gathered;
+    algebra_->spmm_a(g_buf_, u_buf_, stats_);
     if (!algebra_->rows_whole()) {
-      u_gathered = algebra_->gather_feature_rows(u, f_out, stats_);
+      algebra_->gather_feature_rows(u_buf_, f_out, u_rows_buf_, stats_);
     }
-    const Matrix& u_rows = algebra_->rows_whole() ? u : u_gathered;
+    const Matrix& u_rows = algebra_->rows_whole() ? u_buf_ : u_rows_buf_;
 
     // Y^l = (H^(l-1))^T (A G^l): local slice product, completed into the
     // replicated gradient by the algebra's reductions.
     const auto [fi0, fi1] = algebra_->feat_slice(f_in);
-    Matrix y_local(fi1 - fi0, f_out);
     {
       ScopedPhase scope(stats_.profiler, Phase::kMisc);
+      y_buf_.resize(fi1 - fi0, f_out);
       gemm(Trans::kYes, Trans::kNo, Real{1},
-           h_[static_cast<std::size_t>(l - 1)], u_rows, Real{0}, y_local);
+           h_[static_cast<std::size_t>(l - 1)], u_rows, Real{0}, y_buf_);
       stats_.work.add_gemm(algebra_->machine(),
                            2.0 * static_cast<double>(local_rows) *
                                static_cast<double>(fi1 - fi0) *
                                static_cast<double>(f_out));
     }
-    gradients_[static_cast<std::size_t>(l - 1)] =
-        algebra_->reduce_gradients(std::move(y_local), f_in, f_out, stats_);
+    algebra_->reduce_gradients(y_buf_, f_in, f_out,
+                               gradients_[static_cast<std::size_t>(l - 1)],
+                               stats_);
 
     if (l > 1) {
       // G^(l-1) = (U (W^l)^T) ⊙ relu'(Z^(l-1)); only the local feature
       // slice of W's rows participates.
       ScopedPhase scope(stats_.profiler, Phase::kMisc);
       const Matrix& w = weights_[static_cast<std::size_t>(l - 1)];
-      Matrix dh(local_rows, fi1 - fi0);
+      dh_buf_.resize(local_rows, fi1 - fi0);
       if (fi0 == 0 && fi1 == f_in) {
-        gemm(Trans::kNo, Trans::kYes, Real{1}, u_rows, w, Real{0}, dh);
+        gemm(Trans::kNo, Trans::kYes, Real{1}, u_rows, w, Real{0}, dh_buf_);
       } else {
-        const Matrix w_rows = w.block(fi0, 0, fi1 - fi0, f_out);
-        gemm(Trans::kNo, Trans::kYes, Real{1}, u_rows, w_rows, Real{0}, dh);
+        w.block_into(fi0, 0, fi1 - fi0, f_out, w_rows_buf_);
+        gemm(Trans::kNo, Trans::kYes, Real{1}, u_rows, w_rows_buf_, Real{0},
+             dh_buf_);
       }
       stats_.work.add_gemm(algebra_->machine(),
                            2.0 * static_cast<double>(local_rows) *
                                static_cast<double>(fi1 - fi0) *
                                static_cast<double>(f_out));
-      Matrix next_g(local_rows, fi1 - fi0);
-      relu_backward(dh, z_[static_cast<std::size_t>(l - 1)], next_g);
-      g = std::move(next_g);
+      g_next_buf_.resize(local_rows, fi1 - fi0);
+      relu_backward(dh_buf_, z_[static_cast<std::size_t>(l - 1)],
+                    g_next_buf_);
+      std::swap(g_buf_, g_next_buf_);
     }
   }
 

@@ -73,34 +73,41 @@ class DistSpmmAlgebra {
   virtual bool owns_loss_rows() const { return true; }
 
   // ---- The distributed operations of one GCN layer ----
+  //
+  // All results are written into caller-owned output matrices whose
+  // storage is reused across layers and epochs (Matrix::resize), so the
+  // per-epoch hot path stops allocating after the first epoch. Outputs
+  // must not alias inputs.
 
   /// Forward propagation T = A^T H: `h` is the local block of H^(l-1),
-  /// the result is the local block of T in the same layout.
-  virtual Matrix spmm_at(const Matrix& h, EpochStats& stats) = 0;
+  /// `t` receives the local block of T in the same layout.
+  virtual void spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) = 0;
 
-  /// Backward propagation U = A G: `g` is the local block of G^l, the
-  /// result is the local block of U. Called between begin_backward() and
+  /// Backward propagation U = A G: `g` is the local block of G^l, `u`
+  /// receives the local block of U. Called between begin_backward() and
   /// end_backward() (the 2D/3D families materialize A there).
-  virtual Matrix spmm_a(const Matrix& g, EpochStats& stats) = 0;
+  virtual void spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) = 0;
 
-  /// Z = T W with W replicated: `t` is the local block of T, the result the
-  /// local block of Z. Default: purely local GEMM (rows-whole layouts); the
-  /// 2D/3D families override with their partial-SUMMA row broadcasts.
-  virtual Matrix times_weight(const Matrix& t, const Matrix& w,
-                              EpochStats& stats);
+  /// Z = T W with W replicated: `t` is the local block of T, `z` receives
+  /// the local block of Z. Default: purely local GEMM (rows-whole
+  /// layouts); the 2D/3D families override with their partial-SUMMA row
+  /// broadcasts.
+  virtual void times_weight(const Matrix& t, const Matrix& w, Matrix& z,
+                            EpochStats& stats);
 
   /// Assemble full rows (local_rows x f) from the local feature slice —
   /// the row-wise all-gather forced by log-softmax's row dependence and
   /// reused for the weight-gradient operand. Default: identity copy
-  /// (rows-whole layouts move nothing).
-  virtual Matrix gather_feature_rows(const Matrix& local, Index f,
-                                     EpochStats& stats);
+  /// (rows-whole layouts move nothing; the engine skips the call).
+  virtual void gather_feature_rows(const Matrix& local, Index f,
+                                   Matrix& full, EpochStats& stats);
 
-  /// Complete the weight gradient Y^l = (H^(l-1))^T (A G^l): `y_local` is
-  /// this rank's partial (feat_slice(f_in) width x f_out); the result is
-  /// the fully replicated (f_in x f_out) gradient on every rank.
-  virtual Matrix reduce_gradients(Matrix y_local, Index f_in, Index f_out,
-                                  EpochStats& stats) = 0;
+  /// Complete the weight gradient Y^l = (H^(l-1))^T (A G^l): `y_partial`
+  /// is this rank's partial (feat_slice(f_in) width x f_out), consumed as
+  /// reduction scratch; `y_full` receives the fully replicated
+  /// (f_in x f_out) gradient on every rank.
+  virtual void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                                Matrix& y_full, EpochStats& stats) = 0;
 
   /// Assemble the full (n x f) output on every rank from the full-row local
   /// output block (control traffic; parity tests and inference). Default:
@@ -164,6 +171,18 @@ class DistEngine : public DistTrainer {
   std::vector<Matrix> h_;  ///< local blocks of H^l, l = 0..L
   std::vector<Matrix> z_;  ///< local blocks of Z^l, l = 1..L
   Matrix output_rows_;     ///< full rows of this rank's H^L block
+
+  // Reusable epoch workspaces: sized on first use, allocation-free after
+  // the first epoch (Matrix::resize reuses storage).
+  Matrix t_buf_;       ///< T = A^T H
+  Matrix zrows_buf_;   ///< gathered full rows of Z^L
+  Matrix u_buf_;       ///< U = A G
+  Matrix u_rows_buf_;  ///< gathered full rows of U
+  Matrix g_buf_;       ///< G^l (ping)
+  Matrix g_next_buf_;  ///< G^(l-1) (pong)
+  Matrix dh_buf_;      ///< U (W^l)^T before the ReLU mask
+  Matrix y_buf_;       ///< weight-gradient slice partial
+  Matrix w_rows_buf_;  ///< feat-sliced rows of W for the G recurrence
 
   EpochStats stats_;
 };

@@ -1,16 +1,124 @@
 #include "src/dense/gemm.hpp"
 
+#include <algorithm>
+
+#include "src/util/parallel.hpp"
+
 namespace cagnet {
 namespace {
 
 // Tile edge for the k-blocking; sized so a B tile row set stays in L1/L2.
 constexpr Index kTile = 64;
 
+/// Flops below which threading overhead outweighs the kernel itself.
+constexpr double kGemmMinFlopsPerChunk = 1 << 18;
+
 Index op_rows(Trans t, const Matrix& m) {
   return t == Trans::kNo ? m.rows() : m.cols();
 }
 Index op_cols(Trans t, const Matrix& m) {
   return t == Trans::kNo ? m.cols() : m.rows();
+}
+
+/// A-not-transposed, B-not-transposed rows [i0, i1): i-k-j with k tiling
+/// and a 4-row register block — four C rows accumulate from one streamed B
+/// row, quartering the B traffic. Every C element still accumulates its
+/// k-products in ascending-p order, one add per product, so the result is
+/// bitwise identical to the single-row form for any row partition.
+void gemm_block_nn(Index i0, Index i1, Real alpha, const Matrix& a,
+                   const Matrix& b, Matrix& c, Index k, Index n) {
+  const Real* adata = a.data();
+  const Real* bdata = b.data();
+  Real* cdata = c.data();
+  Index i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    Real* c0 = cdata + i * n;
+    Real* c1 = c0 + n;
+    Real* c2 = c1 + n;
+    Real* c3 = c2 + n;
+    const Real* a0 = adata + i * k;
+    const Real* a1 = a0 + k;
+    const Real* a2 = a1 + k;
+    const Real* a3 = a2 + k;
+    for (Index p0 = 0; p0 < k; p0 += kTile) {
+      const Index p1 = std::min(p0 + kTile, k);
+      for (Index p = p0; p < p1; ++p) {
+        const Real* brow = bdata + p * n;
+        const Real av0 = alpha * a0[p];
+        const Real av1 = alpha * a1[p];
+        const Real av2 = alpha * a2[p];
+        const Real av3 = alpha * a3[p];
+        for (Index j = 0; j < n; ++j) {
+          const Real bv = brow[j];
+          c0[j] += av0 * bv;
+          c1[j] += av1 * bv;
+          c2[j] += av2 * bv;
+          c3[j] += av3 * bv;
+        }
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    Real* crow = cdata + i * n;
+    const Real* arow = adata + i * k;
+    for (Index p0 = 0; p0 < k; p0 += kTile) {
+      const Index p1 = std::min(p0 + kTile, k);
+      for (Index p = p0; p < p1; ++p) {
+        const Real av = alpha * arow[p];
+        const Real* brow = bdata + p * n;
+        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+/// One contiguous row block [i0, i1) of C = alpha * op(A) op(B) + C; the
+/// beta pass already ran. Row blocks write disjoint C rows, so any
+/// partition of [0, m) produces bitwise-identical output.
+void gemm_rows(Index i0, Index i1, Trans trans_a, Trans trans_b, Real alpha,
+               const Matrix& a, const Matrix& b, Matrix& c, Index k,
+               Index n) {
+  if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
+    gemm_block_nn(i0, i1, alpha, a, b, c, k, n);
+    return;
+  }
+  if (trans_a == Trans::kYes && trans_b == Trans::kNo) {
+    // A transposed (the H^T U weight-gradient product): element (p, i) of
+    // the stored A is column i of op(A), so iterate p outermost and apply
+    // rank-1 updates — both A row p and B row p stream contiguously while
+    // the small C block stays hot. Each C element still accumulates its
+    // products in ascending-p order. Post-ReLU operands carry many exact
+    // zeros, so the zero skip pays for itself.
+    const Index m = a.cols();
+    const Real* adata = a.data();
+    const Real* bdata = b.data();
+    Real* cdata = c.data();
+    for (Index p = 0; p < k; ++p) {
+      const Real* arow = adata + p * m;
+      const Real* brow = bdata + p * n;
+      for (Index i = i0; i < i1; ++i) {
+        const Real av = alpha * arow[i];
+        if (av == Real{0}) continue;
+        Real* crow = cdata + i * n;
+        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+  // Remaining cases have B transposed: dot-product form streaming B's
+  // row j (the j-th column of op(B)).
+  const auto a_at = [&](Index i, Index p) {
+    return trans_a == Trans::kNo ? a(i, p) : a(p, i);
+  };
+  for (Index i = i0; i < i1; ++i) {
+    Real* crow = c.data() + i * n;
+    for (Index j = 0; j < n; ++j) {
+      const Real* brow = b.data() + j * k;
+      Real acc = 0;
+      for (Index p = 0; p < k; ++p) acc += a_at(i, p) * brow[p];
+      crow[j] += alpha * acc;
+    }
+  }
 }
 
 }  // namespace
@@ -26,45 +134,24 @@ void gemm(Trans trans_a, Trans trans_b, Real alpha, const Matrix& a,
   CAGNET_CHECK(c.rows() == m && c.cols() == n,
                "gemm output shape mismatch: got " + c.shape_string());
 
-  if (beta == Real{0}) {
-    c.set_zero();
-  } else if (beta != Real{1}) {
-    for (Real& v : c.flat()) v *= beta;
-  }
-  if (alpha == Real{0} || m == 0 || n == 0 || k == 0) return;
+  const bool multiply = alpha != Real{0} && m > 0 && n > 0 && k > 0;
+  const double flops = 2.0 * static_cast<double>(m) *
+                       static_cast<double>(k) * static_cast<double>(n);
+  const int chunks =
+      multiply ? plan_chunks(flops, kGemmMinFlopsPerChunk, m) : 1;
 
-  const auto a_at = [&](Index i, Index p) {
-    return trans_a == Trans::kNo ? a(i, p) : a(p, i);
-  };
-
-  // i-k-j with k tiling. When B is not transposed the innermost loop is a
-  // contiguous axpy over B's row p and C's row i; when B is transposed we
-  // fall back to a dot-product form that still streams B's row j.
-  if (trans_b == Trans::kNo) {
-    for (Index i = 0; i < m; ++i) {
-      Real* crow = c.data() + i * n;
-      for (Index p0 = 0; p0 < k; p0 += kTile) {
-        const Index p1 = std::min(p0 + kTile, k);
-        for (Index p = p0; p < p1; ++p) {
-          const Real av = alpha * a_at(i, p);
-          if (av == Real{0}) continue;
-          const Real* brow = b.data() + p * n;
-          for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
+  parallel_for(m, chunks, [&](Index i0, Index i1) {
+    // Per-row beta pass inside the chunk keeps C rows hot for the
+    // accumulation that follows.
+    if (beta == Real{0}) {
+      std::fill(c.data() + i0 * n, c.data() + i1 * n, Real{0});
+    } else if (beta != Real{1}) {
+      Real* row = c.data() + i0 * n;
+      const Index len = (i1 - i0) * n;
+      for (Index j = 0; j < len; ++j) row[j] *= beta;
     }
-  } else {
-    for (Index i = 0; i < m; ++i) {
-      Real* crow = c.data() + i * n;
-      for (Index j = 0; j < n; ++j) {
-        // B stored (n x k); its row j is the j-th column of op(B).
-        const Real* brow = b.data() + j * k;
-        Real acc = 0;
-        for (Index p = 0; p < k; ++p) acc += a_at(i, p) * brow[p];
-        crow[j] += alpha * acc;
-      }
-    }
-  }
+    if (multiply) gemm_rows(i0, i1, trans_a, trans_b, alpha, a, b, c, k, n);
+  });
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b, Trans trans_a, Trans trans_b) {

@@ -27,15 +27,22 @@ void Matrix::set_block(Index row0, Index col0, const Matrix& src) {
 }
 
 Matrix Matrix::block(Index row0, Index col0, Index rows, Index cols) const {
+  Matrix out;
+  block_into(row0, col0, rows, cols, out);
+  return out;
+}
+
+void Matrix::block_into(Index row0, Index col0, Index rows, Index cols,
+                        Matrix& out) const {
   CAGNET_CHECK(row0 >= 0 && col0 >= 0 && row0 + rows <= rows_ &&
                    col0 + cols <= cols_,
                "block out of range");
-  Matrix out(rows, cols);
+  CAGNET_CHECK(&out != this, "block_into cannot alias its source");
+  out.resize(rows, cols);
   for (Index i = 0; i < rows; ++i) {
     const Real* src = data_.data() + (row0 + i) * cols_ + col0;
     std::copy(src, src + cols, out.data() + i * cols);
   }
-  return out;
 }
 
 Matrix Matrix::transposed() const {

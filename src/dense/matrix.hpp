@@ -51,6 +51,17 @@ class Matrix {
   void set_zero() { std::fill(data_.begin(), data_.end(), Real{0}); }
   void fill(Real v) { std::fill(data_.begin(), data_.end(), v); }
 
+  /// Reshape to (rows x cols), reusing the existing allocation when the
+  /// capacity suffices — the workspace primitive of the allocation-free
+  /// hot path. Contents are unspecified afterwards; callers must overwrite
+  /// (or call set_zero) before reading.
+  void resize(Index rows, Index cols) {
+    CAGNET_CHECK(rows >= 0 && cols >= 0, "negative matrix dimension");
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows * cols));
+  }
+
   /// Uniform values in [lo, hi) from the given stream.
   void fill_uniform(Rng& rng, Real lo, Real hi);
 
@@ -63,6 +74,10 @@ class Matrix {
 
   /// Extract the block of shape (rows x cols) anchored at (row0, col0).
   Matrix block(Index row0, Index col0, Index rows, Index cols) const;
+
+  /// block() into a caller-owned matrix whose storage is reused.
+  void block_into(Index row0, Index col0, Index rows, Index cols,
+                  Matrix& out) const;
 
   /// Out-of-place transpose.
   Matrix transposed() const;

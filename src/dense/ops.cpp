@@ -3,23 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/parallel.hpp"
+
 namespace cagnet {
 
 namespace {
+
 void check_same_shape(const Matrix& a, const Matrix& b, const char* what) {
   CAGNET_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
                std::string(what) + " shape mismatch: " + a.shape_string() +
                    " vs " + b.shape_string());
 }
+
 }  // namespace
 
 void relu(const Matrix& z, Matrix& out) {
   check_same_shape(z, out, "relu");
   const auto src = z.flat();
   auto dst = out.flat();
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    dst[i] = src[i] > Real{0} ? src[i] : Real{0};
-  }
+  parallel_for_elements(
+      static_cast<Index>(src.size()), [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      dst[static_cast<std::size_t>(i)] =
+          src[static_cast<std::size_t>(i)] > Real{0}
+              ? src[static_cast<std::size_t>(i)]
+              : Real{0};
+    }
+  });
 }
 
 void relu_backward(const Matrix& g, const Matrix& z, Matrix& out) {
@@ -28,38 +38,56 @@ void relu_backward(const Matrix& g, const Matrix& z, Matrix& out) {
   const auto gs = g.flat();
   const auto zs = z.flat();
   auto dst = out.flat();
-  for (std::size_t i = 0; i < gs.size(); ++i) {
-    dst[i] = zs[i] > Real{0} ? gs[i] : Real{0};
-  }
+  parallel_for_elements(
+      static_cast<Index>(gs.size()), [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      dst[static_cast<std::size_t>(i)] =
+          zs[static_cast<std::size_t>(i)] > Real{0}
+              ? gs[static_cast<std::size_t>(i)]
+              : Real{0};
+    }
+  });
 }
 
 void log_softmax_rows(const Matrix& z, Matrix& out) {
   check_same_shape(z, out, "log_softmax");
-  for (Index i = 0; i < z.rows(); ++i) {
-    const auto row = z.row(i);
-    auto dst = out.row(i);
-    const Real mx = *std::max_element(row.begin(), row.end());
-    Real sum = 0;
-    for (std::size_t j = 0; j < row.size(); ++j) sum += std::exp(row[j] - mx);
-    const Real lse = mx + std::log(sum);
-    for (std::size_t j = 0; j < row.size(); ++j) dst[j] = row[j] - lse;
-  }
+  parallel_for(
+      z.rows(),
+      plan_chunks(static_cast<double>(z.size()), kMinElemsPerChunk, z.rows()),
+      [&](Index r0, Index r1) {
+        for (Index i = r0; i < r1; ++i) {
+          const auto row = z.row(i);
+          auto dst = out.row(i);
+          const Real mx = *std::max_element(row.begin(), row.end());
+          Real sum = 0;
+          for (std::size_t j = 0; j < row.size(); ++j) {
+            sum += std::exp(row[j] - mx);
+          }
+          const Real lse = mx + std::log(sum);
+          for (std::size_t j = 0; j < row.size(); ++j) dst[j] = row[j] - lse;
+        }
+      });
 }
 
 void log_softmax_backward(const Matrix& g, const Matrix& log_probs,
                           Matrix& out) {
   check_same_shape(g, log_probs, "log_softmax_backward");
   check_same_shape(g, out, "log_softmax_backward");
-  for (Index i = 0; i < g.rows(); ++i) {
-    const auto grow = g.row(i);
-    const auto lrow = log_probs.row(i);
-    auto dst = out.row(i);
-    Real gsum = 0;
-    for (Real v : grow) gsum += v;
-    for (std::size_t j = 0; j < grow.size(); ++j) {
-      dst[j] = grow[j] - std::exp(lrow[j]) * gsum;
-    }
-  }
+  parallel_for(
+      g.rows(),
+      plan_chunks(static_cast<double>(g.size()), kMinElemsPerChunk, g.rows()),
+      [&](Index r0, Index r1) {
+        for (Index i = r0; i < r1; ++i) {
+          const auto grow = g.row(i);
+          const auto lrow = log_probs.row(i);
+          auto dst = out.row(i);
+          Real gsum = 0;
+          for (Real v : grow) gsum += v;
+          for (std::size_t j = 0; j < grow.size(); ++j) {
+            dst[j] = grow[j] - std::exp(lrow[j]) * gsum;
+          }
+        }
+      });
 }
 
 Real nll_loss(const Matrix& log_probs, std::span<const Index> labels) {
@@ -97,7 +125,13 @@ void axpy(Real alpha, const Matrix& x, Matrix& y) {
   check_same_shape(x, y, "axpy");
   const auto xs = x.flat();
   auto ys = y.flat();
-  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] += alpha * xs[i];
+  parallel_for_elements(
+      static_cast<Index>(xs.size()), [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      ys[static_cast<std::size_t>(i)] +=
+          alpha * xs[static_cast<std::size_t>(i)];
+    }
+  });
 }
 
 void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -106,7 +140,13 @@ void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
   const auto as = a.flat();
   const auto bs = b.flat();
   auto dst = out.flat();
-  for (std::size_t i = 0; i < as.size(); ++i) dst[i] = as[i] * bs[i];
+  parallel_for_elements(
+      static_cast<Index>(as.size()), [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      dst[static_cast<std::size_t>(i)] = as[static_cast<std::size_t>(i)] *
+                                         bs[static_cast<std::size_t>(i)];
+    }
+  });
 }
 
 std::vector<Index> argmax_rows(const Matrix& m) {

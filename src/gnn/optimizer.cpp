@@ -3,8 +3,14 @@
 #include <cmath>
 
 #include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
 
 namespace cagnet {
+
+// The update rules below run through parallel_for_elements: purely
+// elementwise, so chunking the flat range on the pool is
+// bitwise-deterministic for every thread count, and the minimum-work
+// clamp keeps the small (f x f) weight matrices serial.
 
 Optimizer::Optimizer(OptimizerOptions options, Real learning_rate,
                      const std::vector<Matrix>& weights)
@@ -30,9 +36,13 @@ void Optimizer::step(std::vector<Matrix>& weights,
         auto w = weights[l].flat();
         const auto g = gradients[l].flat();
         CAGNET_CHECK(w.size() == g.size(), "optimizer: shape mismatch");
-        for (std::size_t i = 0; i < w.size(); ++i) {
-          w[i] -= learning_rate_ * g[i];
-        }
+        parallel_for_elements(static_cast<Index>(w.size()),
+                              [&](Index lo, Index hi) {
+          for (Index i = lo; i < hi; ++i) {
+            w[static_cast<std::size_t>(i)] -=
+                learning_rate_ * g[static_cast<std::size_t>(i)];
+          }
+        });
       }
       return;
     }
@@ -42,10 +52,14 @@ void Optimizer::step(std::vector<Matrix>& weights,
         const auto g = gradients[l].flat();
         auto m = m_[l].flat();
         CAGNET_CHECK(w.size() == g.size(), "optimizer: shape mismatch");
-        for (std::size_t i = 0; i < w.size(); ++i) {
-          m[i] = options_.momentum * m[i] + g[i];
-          w[i] -= learning_rate_ * m[i];
-        }
+        parallel_for_elements(static_cast<Index>(w.size()),
+                              [&](Index lo, Index hi) {
+          for (Index i = lo; i < hi; ++i) {
+            const auto s = static_cast<std::size_t>(i);
+            m[s] = options_.momentum * m[s] + g[s];
+            w[s] -= learning_rate_ * m[s];
+          }
+        });
       }
       return;
     }
@@ -62,14 +76,18 @@ void Optimizer::step(std::vector<Matrix>& weights,
         auto m = m_[l].flat();
         auto v = v_[l].flat();
         CAGNET_CHECK(w.size() == g.size(), "optimizer: shape mismatch");
-        for (std::size_t i = 0; i < w.size(); ++i) {
-          m[i] = b1 * m[i] + (Real{1} - b1) * g[i];
-          v[i] = b2 * v[i] + (Real{1} - b2) * g[i] * g[i];
-          const Real m_hat = m[i] / correction1;
-          const Real v_hat = v[i] / correction2;
-          w[i] -= learning_rate_ * m_hat /
-                  (std::sqrt(v_hat) + options_.adam_epsilon);
-        }
+        parallel_for_elements(static_cast<Index>(w.size()),
+                              [&](Index lo, Index hi) {
+          for (Index i = lo; i < hi; ++i) {
+            const auto s = static_cast<std::size_t>(i);
+            m[s] = b1 * m[s] + (Real{1} - b1) * g[s];
+            v[s] = b2 * v[s] + (Real{1} - b2) * g[s] * g[s];
+            const Real m_hat = m[s] / correction1;
+            const Real v_hat = v[s] / correction2;
+            w[s] -= learning_rate_ * m_hat /
+                    (std::sqrt(v_hat) + options_.adam_epsilon);
+          }
+        });
       }
       return;
     }

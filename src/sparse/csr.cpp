@@ -49,6 +49,16 @@ Csr Csr::from_parts(Index rows, Index cols, std::vector<Index> row_ptr,
   return out;
 }
 
+void Csr::resize_parts(Index rows, Index cols, Index nnz) {
+  CAGNET_CHECK(rows >= 0 && cols >= 0 && nnz >= 0,
+               "resize_parts: negative dimension");
+  rows_ = rows;
+  cols_ = cols;
+  row_ptr_.resize(static_cast<std::size_t>(rows) + 1);
+  col_idx_.resize(static_cast<std::size_t>(nnz));
+  vals_.resize(static_cast<std::size_t>(nnz));
+}
+
 Csr Csr::vstack(const std::vector<Csr>& pieces) {
   CAGNET_CHECK(!pieces.empty(), "vstack of nothing");
   Index rows = 0;

@@ -40,6 +40,16 @@ class Csr {
   std::span<const Real> values() const { return vals_; }
   std::span<Real> values() { return vals_; }
 
+  /// Reshape to (rows x cols) with `nnz` slots, reusing the existing
+  /// buffers when their capacity suffices — the receive side of the CSR
+  /// collectives deserializes straight into the mutable views below.
+  /// Contents are unspecified until the caller fills them (and must
+  /// satisfy the from_parts invariants afterwards).
+  void resize_parts(Index rows, Index cols, Index nnz);
+
+  std::span<Index> row_ptr_mut() { return row_ptr_; }
+  std::span<Index> col_idx_mut() { return col_idx_; }
+
   /// Number of structural nonzeros in row i.
   Index row_degree(Index i) const { return row_ptr_[i + 1] - row_ptr_[i]; }
 

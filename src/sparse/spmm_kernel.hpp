@@ -5,18 +5,17 @@
 // operand's row (length f), which vectorizes. Templating lets the local-SpMM
 // bench (E6) measure both fp32 (the paper's GPU precision) and fp64.
 //
-// The kernel is parallelized over contiguous row blocks with std::thread:
-// each worker owns a disjoint row range (boundaries chosen to balance nnz),
-// so no synchronization or atomics are needed and the result is bitwise
-// identical for every thread count. The automatic thread count comes from
-// the process thread budget (src/util/parallel.hpp: CAGNET_THREADS or the
-// hardware concurrency, divided across concurrent simulated-world ranks)
-// and is clamped by a minimum-work heuristic so the tiny per-rank blocks
-// of the simulated distributed worlds stay serial.
+// The kernel is parallelized over contiguous row blocks on the persistent
+// process-wide pool (src/util/parallel.hpp): each chunk owns a disjoint
+// row range (boundaries chosen to balance nnz), so no synchronization or
+// atomics are needed and the result is bitwise identical for every thread
+// count. The automatic chunk count comes from the process thread budget
+// (CAGNET_THREADS or the hardware concurrency, divided across concurrent
+// simulated-world ranks) and is clamped by a minimum-work heuristic so the
+// tiny per-rank blocks of the simulated distributed worlds stay serial.
 #pragma once
 
 #include <algorithm>
-#include <thread>
 #include <vector>
 
 #include "src/util/parallel.hpp"
@@ -53,10 +52,11 @@ void spmm_rows(Index r0, Index r1, const Index* row_ptr, const Index* col_idx,
 /// If `accumulate` is false, y rows are overwritten.
 ///
 /// `num_threads` <= 0 selects automatically: up to
-/// available_thread_budget() workers, scaled down so each keeps at least
+/// available_thread_budget() chunks, scaled down so each keeps at least
 /// ~256k flops. Row-block boundaries are placed at nnz quantiles
 /// (contiguous blocks, balanced work), so every thread count produces
-/// bitwise-identical output.
+/// bitwise-identical output. Chunks execute on the persistent pool; the
+/// call never spawns threads.
 template <typename T>
 void spmm_csr_kernel(Index rows, const Index* row_ptr, const Index* col_idx,
                      const T* vals, const T* x, Index f, T* y,
@@ -66,9 +66,8 @@ void spmm_csr_kernel(Index rows, const Index* row_ptr, const Index* col_idx,
   if (threads <= 0) {
     const double flops = 2.0 * static_cast<double>(nnz) *
                          static_cast<double>(f);
-    const int by_work = static_cast<int>(flops /
-                                         detail::kSpmmMinFlopsPerThread) + 1;
-    threads = std::min(available_thread_budget(), by_work);
+    threads = plan_chunks(flops, detail::kSpmmMinFlopsPerThread,
+                          std::max<Index>(rows, 1));
   }
   threads = static_cast<int>(
       std::min<Index>(static_cast<Index>(threads), std::max<Index>(rows, 1)));
@@ -92,18 +91,11 @@ void spmm_csr_kernel(Index rows, const Index* row_ptr, const Index* col_idx,
   }
   bounds[static_cast<std::size_t>(threads)] = rows;
 
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads) - 1);
-  for (int w = 1; w < threads; ++w) {
-    const Index r0 = bounds[static_cast<std::size_t>(w)];
-    const Index r1 = bounds[static_cast<std::size_t>(w) + 1];
-    workers.emplace_back([=] {
-      detail::spmm_rows(r0, r1, row_ptr, col_idx, vals, x, f, y, accumulate);
-    });
-  }
-  detail::spmm_rows(bounds[0], bounds[1], row_ptr, col_idx, vals, x, f, y,
-                    accumulate);
-  for (std::thread& worker : workers) worker.join();
+  parallel_for_chunks(threads, [&](int w) {
+    detail::spmm_rows(bounds[static_cast<std::size_t>(w)],
+                      bounds[static_cast<std::size_t>(w) + 1], row_ptr,
+                      col_idx, vals, x, f, y, accumulate);
+  });
 }
 
 }  // namespace cagnet

@@ -514,5 +514,78 @@ TEST(Machine, CeilLog2Values) {
   EXPECT_DOUBLE_EQ(ceil_log2(100), 7.0);
 }
 
+TEST(RootDirectBroadcast, DeliversRootDataAndChargesLikeBroadcast) {
+  // broadcast_from must be observably identical to broadcast: same data on
+  // every non-root, same alpha-beta charge on every rank — it only skips
+  // the root's staging copy.
+  const int p = 4;
+  std::vector<CostMeter> meters;
+  run_world(
+      p,
+      [&](Comm& comm) {
+        const int root = 1;
+        std::vector<Real> src;
+        std::vector<Real> dst(29, -1);
+        if (comm.rank() == root) {
+          src.resize(29);
+          for (std::size_t i = 0; i < src.size(); ++i) {
+            src[i] = static_cast<Real>(i) * 1.5;
+          }
+        }
+        comm.broadcast_from(std::span<const Real>(src), std::span<Real>(dst),
+                            root, CommCategory::kDense);
+        if (comm.rank() != root) {
+          for (std::size_t i = 0; i < dst.size(); ++i) {
+            ASSERT_DOUBLE_EQ(dst[i], static_cast<Real>(i) * 1.5);
+          }
+        } else {
+          // Root's buffers are untouched.
+          for (Real v : dst) ASSERT_DOUBLE_EQ(v, -1);
+        }
+      },
+      &meters);
+  std::vector<CostMeter> reference_meters;
+  run_world(
+      p,
+      [&](Comm& comm) {
+        std::vector<Real> data(29);
+        if (comm.rank() == 1) {
+          for (std::size_t i = 0; i < data.size(); ++i) {
+            data[i] = static_cast<Real>(i) * 1.5;
+          }
+        }
+        comm.broadcast(std::span<Real>(data), 1, CommCategory::kDense);
+      },
+      &reference_meters);
+  for (int r = 0; r < p; ++r) {
+    const auto& got = meters[static_cast<std::size_t>(r)];
+    const auto& want = reference_meters[static_cast<std::size_t>(r)];
+    EXPECT_EQ(got.words(CommCategory::kDense),
+              want.words(CommCategory::kDense));
+    EXPECT_EQ(got.latency_units(CommCategory::kDense),
+              want.latency_units(CommCategory::kDense));
+  }
+}
+
+TEST(AllgathervInto, ReusesStorageAcrossCalls) {
+  run_world(3, [&](Comm& comm) {
+    Gathered<Real> out;
+    for (int round = 0; round < 3; ++round) {
+      std::vector<Real> mine(static_cast<std::size_t>(comm.rank()) + 2,
+                             static_cast<Real>(comm.rank() + round));
+      comm.allgatherv_into(std::span<const Real>(mine), out,
+                           CommCategory::kControl);
+      ASSERT_EQ(out.offsets.size(), 4u);
+      for (int r = 0; r < 3; ++r) {
+        const auto chunk = out.chunk(r);
+        ASSERT_EQ(chunk.size(), static_cast<std::size_t>(r) + 2);
+        for (Real v : chunk) {
+          ASSERT_DOUBLE_EQ(v, static_cast<Real>(r + round));
+        }
+      }
+    }
+  });
+}
+
 }  // namespace
 }  // namespace cagnet

@@ -10,6 +10,7 @@
 #include "src/dense/gemm.hpp"
 #include "src/dense/matrix.hpp"
 #include "src/dense/ops.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 
 namespace cagnet {
@@ -362,6 +363,56 @@ TEST(Ops, ArgmaxRowsPicksFirstMax) {
   const auto idx = argmax_rows(m);
   EXPECT_EQ(idx[0], 2);
   EXPECT_EQ(idx[1], 0);
+}
+
+TEST(MatrixWorkspace, ResizeReusesStorage) {
+  Matrix m(4, 5);
+  m.fill(7);
+  const Real* before = m.data();
+  m.resize(2, 10);  // same element count: storage must be reused
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 10);
+  EXPECT_EQ(m.data(), before);
+  m.resize(1, 3);  // shrink keeps capacity
+  EXPECT_EQ(m.data(), before);
+  EXPECT_EQ(m.size(), 3);
+}
+
+TEST(MatrixWorkspace, BlockIntoMatchesBlock) {
+  Rng rng(91);
+  Matrix m(6, 7);
+  m.fill_uniform(rng, -1, 1);
+  Matrix out(1, 1);  // wrong shape on purpose; block_into must resize
+  m.block_into(1, 2, 4, 3, out);
+  EXPECT_EQ(Matrix::max_abs_diff(out, m.block(1, 2, 4, 3)), 0.0);
+}
+
+TEST(Gemm, ThreadedMatchesSerialBitwise) {
+  // The row-block partition must not change any result bit, for every
+  // trans combination (each picks a different kernel path). Shapes are
+  // large enough that the automatic plan genuinely chunks at budget 8.
+  Rng rng(92);
+  const Index m = 2003, k = 64, n = 31;
+  Matrix a(m, k);
+  Matrix b(k, n);
+  a.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  for (const auto& [ta, tb] :
+       {std::pair<Trans, Trans>{Trans::kNo, Trans::kNo},
+        {Trans::kYes, Trans::kNo},
+        {Trans::kNo, Trans::kYes},
+        {Trans::kYes, Trans::kYes}}) {
+    const Matrix aa = ta == Trans::kNo ? a : a.transposed();
+    const Matrix bb = tb == Trans::kNo ? b : b.transposed();
+    Matrix serial(m, n);
+    Matrix threaded(m, n);
+    override_thread_budget(1);
+    gemm(ta, tb, Real{1.25}, aa, bb, Real{0}, serial);
+    override_thread_budget(8);
+    gemm(ta, tb, Real{1.25}, aa, bb, Real{0}, threaded);
+    override_thread_budget(0);
+    EXPECT_EQ(Matrix::max_abs_diff(serial, threaded), 0.0);
+  }
 }
 
 }  // namespace

@@ -492,5 +492,23 @@ TEST(SpmmKernel, MoreThreadsThanRowsIsSafe) {
   EXPECT_EQ(Matrix::max_abs_diff(reference, y), 0.0);
 }
 
+TEST(Csr, ResizePartsDeserializationRoundTrip) {
+  // The receive side of the CSR collectives: resize a reused buffer and
+  // fill its mutable views from another block's serialized arrays.
+  Rng rng(61);
+  const Csr source = Csr::from_coo(erdos_renyi(40, 5.0, rng));
+  Csr recv;
+  for (int round = 0; round < 2; ++round) {  // second round reuses buffers
+    recv.resize_parts(source.rows(), source.cols(), source.nnz());
+    std::copy(source.row_ptr().begin(), source.row_ptr().end(),
+              recv.row_ptr_mut().begin());
+    std::copy(source.col_idx().begin(), source.col_idx().end(),
+              recv.col_idx_mut().begin());
+    std::copy(source.values().begin(), source.values().end(),
+              recv.values().begin());
+    EXPECT_EQ(recv, source);
+  }
+}
+
 }  // namespace
 }  // namespace cagnet

@@ -2,11 +2,14 @@
 // phase profiler, CLI parsing, and the error check machinery.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "src/util/cli.hpp"
 #include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/profiler.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/timer.hpp"
@@ -191,6 +194,64 @@ TEST(Timer, MeasuresElapsedTime) {
   EXPECT_GE(t.seconds(), 0.009);
   t.reset();
   EXPECT_LT(t.seconds(), 0.01);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  override_thread_budget(8);
+  const Index n = 100000;
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  parallel_for(n, 8, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  override_thread_budget(0);
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ChunksRunExactlyOnceEvenWhenConcurrent) {
+  override_thread_budget(8);
+  std::atomic<int> total{0};
+  // Several concurrent submitters sharing the one pool, as simulated-world
+  // rank threads do.
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        parallel_for_chunks(7, [&](int) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  override_thread_budget(0);
+  EXPECT_EQ(total.load(), 4 * 10 * 7);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  override_thread_budget(4);
+  EXPECT_THROW(parallel_for_chunks(4,
+                                   [&](int c) {
+                                     if (c == 2) throw Error("chunk failed");
+                                   }),
+               Error);
+  override_thread_budget(0);
+}
+
+TEST(ThreadBudget, OverrideAndPlanChunks) {
+  override_thread_budget(6);
+  EXPECT_EQ(thread_budget(), 6);
+  EXPECT_EQ(available_thread_budget(), 6);
+  {
+    ScopedThreadBudgetShare share(3);
+    EXPECT_EQ(available_thread_budget(), 2);
+  }
+  // Work-based clamp: tiny work stays serial, big work uses the budget,
+  // max_chunks caps everything.
+  EXPECT_EQ(plan_chunks(/*total_work=*/10.0, /*min_work_per_chunk=*/1000.0,
+                        /*max_chunks=*/100),
+            1);
+  EXPECT_EQ(plan_chunks(1e9, 1000.0, 100), 6);
+  EXPECT_EQ(plan_chunks(1e9, 1000.0, 3), 3);
+  override_thread_budget(0);
+  EXPECT_GE(thread_budget(), 1);
 }
 
 }  // namespace
