@@ -90,13 +90,19 @@ int run(int argc, char** argv) {
         return 1;
       }
       for (int p : spec->world_sizes) {
-        if (p <= 9) configs.push_back({name, p});
+        if (p <= 27) configs.push_back({name, p});
       }
     }
   } else {
-    configs = {{"1d", 1},      {"1d", 4},  {"1.5d-c2", 4}, {"2d", 1},
-               {"2d", 4},      {"3d", 1},  {"3d", 8}};
-    if (smoke) configs = {{"1d", 4}, {"2d", 1}, {"2d", 4}, {"3d", 8}};
+    // The large worlds (2d@16, 3d@27) are where the overlap runtime pays
+    // most: barrier overhead grows with P, and P is the paper's regime.
+    configs = {{"1d", 1},  {"1d", 4},  {"1.5d-c2", 4}, {"2d", 1},
+               {"2d", 4},  {"2d", 16}, {"3d", 1},      {"3d", 8},
+               {"3d", 27}};
+    if (smoke) {
+      configs = {{"1d", 4}, {"2d", 1}, {"2d", 4},
+                 {"2d", 16}, {"3d", 8}, {"3d", 27}};
+    }
   }
 
   std::vector<long> thread_counts = args.get_int_list(
@@ -114,6 +120,7 @@ int run(int argc, char** argv) {
       long epochs = 0;
       double dense_words = 0, sparse_words = 0, trpose_words = 0;
       double latency_units = 0;
+      double overlap_regions = 0, overlap_saved = 0;
       double phase_seconds[Profiler::kNumPhases] = {};
       run_world(config.world, [&](Comm& world) {
         auto trainer =
@@ -126,18 +133,40 @@ int run(int argc, char** argv) {
         long local_epochs = 0;
         // Every rank runs the same loop (collectives are lock-step), so
         // the continue/stop decision must be rank-uniform: rank 0 decides
-        // and broadcasts the verdict as control traffic.
+        // and broadcasts the verdict as control traffic. In overlap mode
+        // the harness uses the nonblocking broadcast so its own pacing
+        // does not re-serialize the ranks each epoch; the persistent flag
+        // buffers are released by the engine's epoch-start quiesce.
         bool keep_going = true;
+        std::array<Index, 1> flag_src = {0};
+        std::array<Index, 1> flag_dst = {0};
         while (keep_going) {
           trainer->train_epoch();
           ++local_epochs;
-          std::array<Index, 1> flag = {
-              world.rank() == 0 && local_epochs < max_epochs &&
-                      timer.seconds() < seconds_per_config
-                  ? Index{1}
-                  : Index{0}};
-          world.broadcast(std::span<Index>(flag), 0, CommCategory::kControl);
-          keep_going = flag[0] == 1;
+          const Index verdict = world.rank() == 0 &&
+                                        local_epochs < max_epochs &&
+                                        timer.seconds() < seconds_per_config
+                                    ? Index{1}
+                                    : Index{0};
+          if (dist::overlap_enabled() && world.size() > 1) {
+            flag_src[0] = verdict;
+            PendingOp op =
+                world.rank() == 0
+                    ? world.ibroadcast_from(
+                          std::span<const Index>(flag_src),
+                          std::span<Index>{}, 0, CommCategory::kControl)
+                    : world.ibroadcast_from(std::span<const Index>{},
+                                            std::span<Index>(flag_dst), 0,
+                                            CommCategory::kControl);
+            op.wait();
+            keep_going =
+                (world.rank() == 0 ? flag_src[0] : flag_dst[0]) == 1;
+          } else {
+            std::array<Index, 1> flag = {verdict};
+            world.broadcast(std::span<Index>(flag), 0,
+                            CommCategory::kControl);
+            keep_going = flag[0] == 1;
+          }
         }
         world.barrier();
         const double elapsed = timer.seconds();
@@ -150,6 +179,8 @@ int run(int argc, char** argv) {
           sparse_words = stats.comm.words(CommCategory::kSparse);
           trpose_words = stats.comm.words(CommCategory::kTranspose);
           latency_units = stats.comm.total_latency_units();
+          overlap_regions = stats.comm.overlap_regions();
+          overlap_saved = stats.comm.overlap_saved_seconds();
           for (std::size_t ph = 0; ph < Profiler::kNumPhases; ++ph) {
             phase_seconds[ph] = stats.profiler.seconds(static_cast<Phase>(ph));
           }
@@ -166,14 +197,18 @@ int run(int argc, char** argv) {
           "\"warmup_seconds\":%.4f,\"epochs_per_sec\":%.3f,"
           "\"dense_words\":%.1f,\"sparse_words\":%.1f,"
           "\"transpose_words\":%.1f,\"latency_units\":%.1f,"
+          "\"overlap\":%d,\"overlap_regions\":%.0f,"
+          "\"overlap_saved_modeled_s\":%.6f,"
           "\"phase_misc\":%.5f,\"phase_trpose\":%.5f,\"phase_dcomm\":%.5f,"
           "\"phase_scomm\":%.5f,\"phase_spmm\":%.5f}\n",
           config.algebra.c_str(), config.world, threads,
           static_cast<long long>(n), static_cast<long long>(degree),
           static_cast<long long>(f), static_cast<long long>(hidden), epochs,
           measured_seconds, warm_seconds, eps, dense_words, sparse_words,
-          trpose_words, latency_units, phase_seconds[0], phase_seconds[1],
-          phase_seconds[2], phase_seconds[3], phase_seconds[4]);
+          trpose_words, latency_units, dist::overlap_enabled() ? 1 : 0,
+          overlap_regions, overlap_saved, phase_seconds[0],
+          phase_seconds[1], phase_seconds[2], phase_seconds[3],
+          phase_seconds[4]);
       std::fflush(stdout);
     }
   }

@@ -1,6 +1,7 @@
 #include "src/comm/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <thread>
 #include <utility>
@@ -20,11 +21,96 @@ double ceil_log2(int p) {
   return bits;
 }
 
-void Comm::barrier() { phase(); }
+namespace detail {
+
+void AbortHub::poison() {
+  aborted.store(true);
+  std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& weak : states) {
+    const auto state = weak.lock();
+    if (!state) continue;
+    for (const auto& channel : state->channels) {
+      // Any value change wakes parked waiters; they observe the flag and
+      // unwind. The counters are meaningless once the world is dead.
+      channel->posted.fetch_add(1, std::memory_order_release);
+      channel->posted.notify_all();
+      channel->finished.fetch_add(1, std::memory_order_release);
+      channel->finished.notify_all();
+    }
+  }
+}
+
+void await_counter(const std::atomic<std::uint64_t>& counter,
+                   std::atomic<int>& waiters, std::uint64_t target,
+                   const std::atomic<bool>& aborted) {
+  // Fast path: the double-buffered loops post a whole compute stage before
+  // they wait, so the counter usually already covers the target. When it
+  // does not, park on the counter's futex — on an oversubscribed host the
+  // cycles a spinning waiter would burn are cycles the rank it waits on
+  // needs, and a sleep loop pays its wake-up latency on every sync.
+  std::uint64_t cur = counter.load(std::memory_order_acquire);
+  int spins = 0;
+  while (cur < target) {
+    if (aborted.load(std::memory_order_relaxed)) {
+      throw Error("communicator aborted: a peer rank failed");
+    }
+    if (++spins <= 4) {
+      std::this_thread::yield();  // let the posting rank run first
+    } else {
+      waiters.fetch_add(1, std::memory_order_seq_cst);
+      counter.wait(cur, std::memory_order_seq_cst);
+      waiters.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    cur = counter.load(std::memory_order_acquire);
+  }
+  if (aborted.load(std::memory_order_relaxed)) {
+    throw Error("communicator aborted: a peer rank failed");
+  }
+}
+
+}  // namespace detail
+
+void Comm::barrier() {
+  check_valid("barrier");
+  phase();
+}
+
+void Comm::quiesce() const {
+  check_valid("quiesce");
+  auto& st = *state_;
+  // All ranks post in the same program order, so this rank's ticket count
+  // is the communicator-wide count of posted ops. Channel C carried the
+  // tickets congruent to C mod K; each must be finished by every rank.
+  const std::uint64_t n = st.next_ticket[static_cast<std::size_t>(rank_)];
+  for (std::uint64_t c = 0; c < detail::kAsyncChannels; ++c) {
+    if (n <= c) break;
+    const std::uint64_t ops_on_channel =
+        (n - 1 - c) / static_cast<std::uint64_t>(detail::kAsyncChannels) + 1;
+    detail::await_counter(
+        st.channels[c]->finished, st.channels[c]->waiters,
+        static_cast<std::uint64_t>(st.size) * ops_on_channel,
+        st.hub->aborted);
+  }
+}
+
+void Comm::quiesce_op(std::uint64_t ticket) const {
+  check_valid("quiesce_op");
+  auto& st = *state_;
+  // Generations on a channel complete strictly in order (the recycle gate
+  // serializes them), so finishing this op's generation implies the op —
+  // and nothing on any other channel — is globally finished.
+  auto& ch = *st.channels[ticket % static_cast<std::uint64_t>(
+                                       detail::kAsyncChannels)];
+  const std::uint64_t gen =
+      ticket / static_cast<std::uint64_t>(detail::kAsyncChannels);
+  detail::await_counter(ch.finished, ch.waiters,
+                        static_cast<std::uint64_t>(st.size) * (gen + 1),
+                        st.hub->aborted);
+}
 
 void Comm::phase() const {
   state_->gate.arrive_and_wait();
-  if (state_->aborted.load(std::memory_order_relaxed)) {
+  if (state_->hub->aborted.load(std::memory_order_relaxed)) {
     throw Error("communicator aborted: a peer rank failed");
   }
 }
@@ -38,6 +124,78 @@ void Comm::sync_sizes(std::size_t n, const char* what) const {
                  std::string(what) + ": ranks disagree on element count");
   }
   phase();
+}
+
+PendingOp Comm::post_async(detail::OpKind kind, const void* publish_ptr,
+                           std::size_t publish_len, int root,
+                           CommCategory cat, bool charged,
+                           void (*complete)(PendingOp&), void* out,
+                           std::size_t out_len, std::size_t src_len,
+                           void* gathered) {
+  auto& st = *state_;
+  const auto rank = static_cast<std::size_t>(rank_);
+  CAGNET_CHECK(
+      st.outstanding[rank] < detail::kAsyncChannels,
+      "too many posted-but-unwaited nonblocking collectives on one "
+      "communicator (max 16 in flight per rank); wait() some first");
+  const std::uint64_t ticket = st.next_ticket[rank]++;
+  auto& ch = *st.channels[ticket % static_cast<std::uint64_t>(
+                                       detail::kAsyncChannels)];
+  const std::uint64_t gen =
+      ticket / static_cast<std::uint64_t>(detail::kAsyncChannels);
+  // Recycle gate: every rank must have finished the channel's previous
+  // generation before its slots may be overwritten.
+  detail::await_counter(ch.finished, ch.waiters,
+                        static_cast<std::uint64_t>(st.size) * gen,
+                        st.hub->aborted);
+  ch.ptr[rank] = publish_ptr;
+  ch.len[rank] = publish_len;
+  ch.kind[rank] = kind;
+  ch.root[rank] = root;
+  detail::bump_counter(ch.posted, ch.waiters);
+  st.outstanding[rank]++;
+
+  PendingOp op;
+  op.state_ = state_;
+  op.rank_ = rank_;
+  op.meter_ = meter_;
+  op.ticket_ = ticket;
+  op.cat_ = cat;
+  op.root_ = root;
+  op.charged_ = charged;
+  op.kind_ = kind;
+  op.out_ = out;
+  op.out_len_ = out_len;
+  op.src_len_ = src_len;
+  op.gathered_ = gathered;
+  op.complete_ = complete;
+  return op;
+}
+
+void PendingOp::wait() {
+  if (!pending()) return;
+  auto& st = *state_;
+  auto& ch = *st.channels[ticket_ % static_cast<std::uint64_t>(
+                                        detail::kAsyncChannels)];
+  const std::uint64_t gen =
+      ticket_ / static_cast<std::uint64_t>(detail::kAsyncChannels);
+  // A broadcast root moves no data and reads no peer slot at its own
+  // wait: it completes passively (charge + bookkeeping) without awaiting
+  // peers' posts, so stage roots never stall on stragglers. Its source —
+  // like every op source — stays readable until the communicator's
+  // release point (quiesce / quiesce_op / a blocking rendezvous).
+  const bool passive_root =
+      kind_ == detail::OpKind::kBcast && rank_ == root_;
+  if (!passive_root) {
+    detail::await_counter(ch.posted, ch.waiters,
+                          static_cast<std::uint64_t>(st.size) * (gen + 1),
+                          st.hub->aborted);
+  }
+  complete_(*this);
+  detail::bump_counter(ch.finished, ch.waiters);
+  st.outstanding[static_cast<std::size_t>(rank_)]--;
+  state_.reset();
+  complete_ = nullptr;
 }
 
 namespace {
@@ -72,8 +230,11 @@ Comm Comm::split(int color, int key) const {
   const int new_rank = static_cast<int>(it - group.begin());
 
   if (new_rank == 0) {
-    auto new_state =
-        std::make_shared<detail::CommState>(static_cast<int>(group.size()));
+    // The sub-communicator registers with the world's abort hub so
+    // failures anywhere wake its parked nonblocking waiters too.
+    auto new_state = std::make_shared<detail::CommState>(
+        static_cast<int>(group.size()), st.hub);
+    st.hub->register_state(new_state);
     std::lock_guard<std::mutex> lock(ctx->mutex);
     ctx->states[color] = new_state;
   }
@@ -95,7 +256,9 @@ Comm Comm::split(int color, int key) const {
 void run_world(int p, const std::function<void(Comm&)>& fn,
                std::vector<CostMeter>* meters_out) {
   CAGNET_CHECK(p >= 1, "world size must be at least 1");
-  auto state = std::make_shared<detail::CommState>(p);
+  auto hub = std::make_shared<detail::AbortHub>();
+  auto state = std::make_shared<detail::CommState>(p, hub);
+  hub->register_state(state);
   std::vector<CostMeter> meters(static_cast<std::size_t>(p));
   // P rank threads run concurrently; split the kernel thread budget among
   // them so nested SpMM parallelism cannot oversubscribe the host.
@@ -117,9 +280,11 @@ void run_world(int p, const std::function<void(Comm&)>& fn,
           if (!first_error) first_error = std::current_exception();
         }
         // Release peers parked at the barrier, permanently removing this
-        // rank so current and future phases complete; they observe the
-        // aborted flag and unwind.
-        state->aborted.store(true);
+        // rank so current and future phases complete, and poison every
+        // registered communicator state so nonblocking waiters (including
+        // those parked on split sub-communicators) wake, observe the
+        // flag, and unwind.
+        hub->poison();
         state->gate.arrive_and_drop();
       }
     });

@@ -12,6 +12,15 @@
 // Contract (same as MPI): a collective must be invoked by every member of
 // the communicator, in the same program order. All spans must stay alive
 // until the call returns.
+//
+// Nonblocking layer: the i-prefixed collectives (ibroadcast_from,
+// ireduce_scatter_sum, iallgatherv_into, iallreduce_sum) post immediately
+// and return a PendingOp whose wait() completes the data movement and the
+// meter charge. Posts must follow the same program order on every rank;
+// waits may be out of order. Between post and wait a rank may compute and
+// may run other collectives (blocking or nonblocking) on any communicator —
+// this is what the SUMMA double-buffering in src/core/ exploits. See
+// DESIGN.md, "Nonblocking runtime and overlap accounting".
 #pragma once
 
 #include <atomic>
@@ -36,14 +45,85 @@ double ceil_log2(int p);
 
 namespace detail {
 
+/// Channels per communicator for nonblocking collectives; also the cap on
+/// posted-but-unwaited operations per rank (posting more is diagnosed, not
+/// deadlocked).
+inline constexpr int kAsyncChannels = 16;
+
+/// Which nonblocking collective a channel generation carries; published
+/// per rank so mismatched program order is diagnosed at wait().
+enum class OpKind : std::uint8_t {
+  kNone = 0,
+  kBcast,
+  kReduceScatter,
+  kAllgatherv,
+  kAllreduce,
+};
+
+/// Rendezvous state of one nonblocking-collective channel. Channels are
+/// recycled in generations: the op with ticket T uses channel T % K at
+/// generation T / K. `posted` and `finished` count cumulatively across
+/// generations; generation G's payload is readable once posted reaches
+/// size*(G+1), and the channel is recyclable for G+1 once finished reaches
+/// size*(G+1). Slot writes happen-before the posting increment (release)
+/// and slot reads happen-before the finishing increment, so recycling
+/// never races with a straggling reader.
+struct AsyncChannel {
+  explicit AsyncChannel(int n)
+      : ptr(static_cast<std::size_t>(n), nullptr),
+        len(static_cast<std::size_t>(n), 0),
+        kind(static_cast<std::size_t>(n), OpKind::kNone),
+        root(static_cast<std::size_t>(n), -1) {}
+
+  std::atomic<std::uint64_t> posted{0};
+  std::atomic<std::uint64_t> finished{0};
+  /// Parked-waiter count gating the notify syscalls: posters bump their
+  /// counter (seq_cst) and notify only when this is nonzero; waiters
+  /// advertise themselves (seq_cst) before parking. The seq_cst total
+  /// order makes a missed wake a cycle, hence impossible.
+  std::atomic<int> waiters{0};
+  std::vector<const void*> ptr;  ///< per-rank published source
+  std::vector<std::size_t> len;  ///< per-rank published element count
+  std::vector<OpKind> kind;      ///< per-rank op kind (order validation)
+  std::vector<int> root;         ///< per-rank root (order validation)
+};
+
+struct CommState;
+
+/// World-wide abort fan-out shared by a world and every communicator split
+/// off it. A failing rank sets the flag and poisons every registered
+/// state's channels (bump + notify), so waiters parked on channel futexes
+/// anywhere in the communicator tree wake, observe the flag, and unwind.
+struct AbortHub {
+  std::atomic<bool> aborted{false};
+  std::mutex mutex;
+  std::vector<std::weak_ptr<CommState>> states;
+
+  void register_state(const std::shared_ptr<CommState>& state) {
+    std::lock_guard<std::mutex> lock(mutex);
+    states.push_back(state);
+  }
+  void poison();  // comm.cpp
+};
+
 /// Shared state of one communicator: a phase barrier plus per-rank
-/// publication slots. All slot accesses are separated by barrier phases,
-/// which provide the necessary happens-before edges.
+/// publication slots for the blocking collectives, and a ring of
+/// AsyncChannels for the nonblocking ones. All blocking slot accesses are
+/// separated by barrier phases, which provide the necessary happens-before
+/// edges; the channels carry their own ordering (see AsyncChannel).
 struct CommState {
-  explicit CommState(int n)
+  CommState(int n, std::shared_ptr<AbortHub> abort_hub)
       : size(n), gate(n), slot_ptr(static_cast<std::size_t>(n), nullptr),
         slot_len(static_cast<std::size_t>(n), 0),
-        slot_dest(static_cast<std::size_t>(n), -1) {}
+        slot_dest(static_cast<std::size_t>(n), -1),
+        next_ticket(static_cast<std::size_t>(n), 0),
+        outstanding(static_cast<std::size_t>(n), 0),
+        hub(std::move(abort_hub)) {
+    channels.reserve(kAsyncChannels);
+    for (int c = 0; c < kAsyncChannels; ++c) {
+      channels.push_back(std::make_unique<AsyncChannel>(n));
+    }
+  }
 
   const int size;
   std::barrier<> gate;
@@ -51,10 +131,35 @@ struct CommState {
   std::vector<std::size_t> slot_len;  // element counts, payload-defined units
   std::vector<int> slot_dest;         // route() destination per rank
   std::vector<unsigned char> scratch; // reduction workspace (rank 0 resizes)
+  std::vector<std::unique_ptr<AsyncChannel>> channels;
+  std::vector<std::uint64_t> next_ticket;  // per rank; owner-written only
+  std::vector<int> outstanding;            // per-rank posted-unwaited count
   std::mutex mutex;
   void* split_ctx = nullptr;          // transient, owned by split()
-  std::atomic<bool> aborted{false};
+  /// Shared with every communicator split off this one, so a rank failure
+  /// anywhere in the world also unblocks nonblocking waits on
+  /// sub-communicators.
+  std::shared_ptr<AbortHub> hub;
 };
+
+/// Block until `counter` (cumulative across channel generations) reaches
+/// `target`: a few yields for the near-miss case, then a futex park
+/// (atomic wait) that burns no cycles — on an oversubscribed host the
+/// rank being waited on needs them. Throws as soon as the world aborts
+/// (AbortHub::poison bumps and notifies every channel counter, so parked
+/// waiters wake). Posts precede waits by a whole compute stage in the
+/// double-buffered loops, so the fast path is a single load.
+void await_counter(const std::atomic<std::uint64_t>& counter,
+                   std::atomic<int>& waiters, std::uint64_t target,
+                   const std::atomic<bool>& aborted);
+
+/// Counter bump + conditional wake, the posting half of await_counter's
+/// protocol.
+inline void bump_counter(std::atomic<std::uint64_t>& counter,
+                         const std::atomic<int>& waiters) {
+  counter.fetch_add(1, std::memory_order_seq_cst);
+  if (waiters.load(std::memory_order_seq_cst) != 0) counter.notify_all();
+}
 
 }  // namespace detail
 
@@ -71,30 +176,156 @@ struct Gathered {
   }
 };
 
+/// Handle to a posted-but-possibly-incomplete nonblocking collective.
+/// Move-only. wait() blocks until every member has posted the matching op,
+/// performs this rank's data movement, charges the meter exactly as the
+/// blocking form would, and releases the channel; it is idempotent. A
+/// PendingOp that is destroyed while still pending completes itself first
+/// (like a blocking wait), swallowing abort errors so unwinding a failed
+/// world never terminates.
+///
+/// Caller contract: every span passed to the posting call must stay valid
+/// and unmodified until *every* rank has waited the op (sources are read by
+/// peers at their own wait), and output spans must not alias any rank's
+/// contribution.
+class PendingOp {
+ public:
+  PendingOp() = default;  ///< empty handle; pending() is false
+
+  PendingOp(PendingOp&& other) noexcept { *this = std::move(other); }
+  PendingOp& operator=(PendingOp&& other) noexcept {
+    if (this != &other) {
+      complete_for_destroy();
+      state_ = std::move(other.state_);
+      rank_ = other.rank_;
+      meter_ = other.meter_;
+      ticket_ = other.ticket_;
+      cat_ = other.cat_;
+      root_ = other.root_;
+      charged_ = other.charged_;
+      kind_ = other.kind_;
+      out_ = other.out_;
+      out_len_ = other.out_len_;
+      src_len_ = other.src_len_;
+      gathered_ = other.gathered_;
+      complete_ = other.complete_;
+      other.state_.reset();
+      other.complete_ = nullptr;
+    }
+    return *this;
+  }
+
+  PendingOp(const PendingOp&) = delete;
+  PendingOp& operator=(const PendingOp&) = delete;
+
+  ~PendingOp() { complete_for_destroy(); }
+
+  /// True between post and wait.
+  bool pending() const { return state_ != nullptr; }
+
+  /// Posting-order index of this op on its communicator (valid while
+  /// pending). Record it before wait() to later release this op's
+  /// sources with Comm::quiesce_op.
+  std::uint64_t ticket() const { return ticket_; }
+
+  /// Complete the op: block for all posts, move this rank's data, charge
+  /// the meter, release the channel. No-op when not pending.
+  void wait();
+
+ private:
+  friend class Comm;
+
+  void complete_for_destroy() noexcept {
+    if (!pending()) return;
+    try {
+      wait();
+    } catch (...) {
+      // Unwinding a failed world: peers were released by the abort flag;
+      // there is nothing left to complete.
+      state_.reset();
+    }
+  }
+
+  void charge(double latency_units, std::size_t bytes) {
+    if (!charged_) return;
+    meter_->add(cat_, latency_units,
+                static_cast<double>(bytes) / sizeof(Real));
+  }
+
+  template <typename T>
+  static void complete_impl(PendingOp& op);
+
+  std::shared_ptr<detail::CommState> state_;
+  int rank_ = 0;
+  CostMeter* meter_ = nullptr;
+  std::uint64_t ticket_ = 0;
+  CommCategory cat_ = CommCategory::kControl;
+  int root_ = -1;
+  bool charged_ = true;
+  detail::OpKind kind_ = detail::OpKind::kNone;
+  void* out_ = nullptr;          ///< this rank's destination (kind-specific)
+  std::size_t out_len_ = 0;      ///< destination element count
+  std::size_t src_len_ = 0;      ///< this rank's contribution element count
+  void* gathered_ = nullptr;     ///< Gathered<T>* for iallgatherv_into
+  void (*complete_)(PendingOp&) = nullptr;  ///< typed movement + charge
+};
+
+/// One rank's endpoint of a simulated communicator. Default-constructed
+/// Comms are *invalid* (valid() is false); every collective, barrier, and
+/// split on an invalid Comm fails with a diagnostic instead of crashing.
+/// Obtain valid Comms from run_world or split(). Copies share the
+/// communicator state and the rank's meter, so they are interchangeable.
 class Comm {
  public:
   Comm() = default;  ///< invalid; assign from run_world / split
 
+  /// This rank's index in [0, size()).
   int rank() const { return rank_; }
+  /// Number of members; 0 for an invalid Comm.
   int size() const { return state_ ? state_->size : 0; }
+  /// False for a default-constructed Comm (no collective may be called).
   bool valid() const { return state_ != nullptr; }
 
   /// The calling rank's cost meter (shared across split communicators).
-  CostMeter& meter() const { return *meter_; }
+  CostMeter& meter() const {
+    check_valid("meter");
+    return *meter_;
+  }
 
-  /// Synchronize all members.
+  /// Synchronize all members (one barrier phase; charges nothing).
   void barrier();
+
+  /// Block until every member has completed (waited) every nonblocking op
+  /// posted so far on this communicator — the release point after which
+  /// the source buffers of those ops may be modified or freed. Unlike
+  /// barrier() this is not a phase: it costs a handful of atomic loads
+  /// when peers have already drained, and it charges nothing. The
+  /// double-buffered loops call it before reusing a broadcast source.
+  /// CAUTION: quiescing while an op that peers deliberately wait *later*
+  /// (e.g. a deferred gradient reduction) is outstanding deadlocks; use
+  /// quiesce_op to release one specific op instead.
+  void quiesce() const;
+
+  /// Block until every member has completed one specific op, identified
+  /// by the PendingOp::ticket() recorded at post time — the single-op
+  /// release form of quiesce. Waits only on that op's channel (channel
+  /// generations complete in order), so deliberately-still-pending ops
+  /// elsewhere cause no deadlock.
+  void quiesce_op(std::uint64_t ticket) const;
 
   /// Collective split into disjoint sub-communicators by color; ranks are
   /// ordered by (key, parent rank) within each color. Every member of this
-  /// communicator must call.
+  /// communicator must call. The sub-communicator shares this rank's meter
+  /// and the world's abort flag.
   Comm split(int color, int key) const;
 
   // ---- Collectives. `cat` selects the CostMeter category. ----
 
-  /// In-place broadcast from `root` to all members.
+  /// In-place broadcast from `root` to all members. Charges lg(P) latency
+  /// units and data.size() words to every rank (nothing when P == 1).
   template <typename T>
   void broadcast(std::span<T> data, int root, CommCategory cat) {
+    check_valid("broadcast");
     check_member(root);
     sync_sizes(data.size(), "broadcast");
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = data.data();
@@ -117,6 +348,7 @@ class Comm {
   template <typename T>
   void broadcast_from(std::span<const T> src, std::span<T> dst, int root,
                       CommCategory cat) {
+    check_valid("broadcast_from");
     check_member(root);
     const std::size_t n = rank_ == root ? src.size() : dst.size();
     sync_sizes(n, "broadcast_from");
@@ -133,25 +365,31 @@ class Comm {
   }
 
   /// In-place elementwise sum over all members; every rank ends with the
-  /// total. Cost: Rabenseifner (reduce-scatter + all-gather).
+  /// total. Cost: Rabenseifner (reduce-scatter + all-gather): 2 lg(P)
+  /// latency units and 2 n (P-1)/P words.
   template <typename T>
   void allreduce_sum(std::span<T> data, CommCategory cat) {
+    check_valid("allreduce_sum");
     reduce_impl(data, cat, /*is_max=*/false);
   }
 
-  /// In-place elementwise max over all members.
+  /// In-place elementwise max over all members. Charged like
+  /// allreduce_sum.
   template <typename T>
   void allreduce_max(std::span<T> data, CommCategory cat) {
+    check_valid("allreduce_max");
     reduce_impl(data, cat, /*is_max=*/true);
   }
 
   /// Reduce-scatter with sum: `contrib` (same length on every rank) is the
   /// full-length vector of partial sums; rank r receives the reduced slice
   /// [chunk_offset(r), chunk_offset(r)+out.size()) into `out`, where chunk
-  /// boundaries are the concatenation of every rank's out.size().
+  /// boundaries are the concatenation of every rank's out.size(). Charges
+  /// lg(P) latency units and total (P-1)/P words.
   template <typename T>
   void reduce_scatter_sum(std::span<const T> contrib, std::span<T> out,
                           CommCategory cat) {
+    check_valid("reduce_scatter_sum");
     const int p = size();
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = contrib.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = out.size();
@@ -181,14 +419,16 @@ class Comm {
   }
 
   /// All-gather of equal-size chunks: every rank contributes `mine`, and
-  /// receives the rank-ordered concatenation.
+  /// receives the rank-ordered concatenation. Charged like allgatherv.
   template <typename T>
   std::vector<T> allgather(std::span<const T> mine, CommCategory cat) {
+    check_valid("allgather");
     sync_sizes(mine.size(), "allgather");
     return allgatherv(mine, cat).data;
   }
 
-  /// All-gather of variable-size chunks.
+  /// All-gather of variable-size chunks. Charges lg(P) latency units and
+  /// the received words (everything but this rank's own chunk).
   template <typename T>
   Gathered<T> allgatherv(std::span<const T> mine, CommCategory cat) {
     Gathered<T> result;
@@ -198,10 +438,11 @@ class Comm {
 
   /// All-gather of variable-size chunks into a caller-owned Gathered whose
   /// storage is reused across calls (the allocation-free hot-path form).
-  /// `mine` must not alias `out.data`.
+  /// `mine` must not alias `out.data`. Charged like allgatherv.
   template <typename T>
   void allgatherv_into(std::span<const T> mine, Gathered<T>& out,
                        CommCategory cat) {
+    check_valid("allgatherv_into");
     const int p = size();
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = mine.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = mine.size();
@@ -227,9 +468,11 @@ class Comm {
 
   /// Pairwise exchange: send `send` to `peer` and receive its message.
   /// Both sides must name each other; peer == rank() is a local copy.
+  /// Charges 1 latency unit and the received words (nothing for self).
   template <typename T>
   std::vector<T> exchange(std::span<const T> send, int peer,
                           CommCategory cat) {
+    check_valid("exchange");
     check_member(peer);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = send.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = send.size();
@@ -249,9 +492,11 @@ class Comm {
   /// Permutation all-to-all: every rank sends one message to `dest`; the
   /// destinations across ranks must form a permutation (each rank receives
   /// exactly one message). This is the redistribution primitive of the 3D
-  /// distributed transpose. dest == rank() is a local copy.
+  /// distributed transpose. dest == rank() is a local copy. Charges 1
+  /// latency unit and the received words (nothing for self-delivery).
   template <typename T>
   std::vector<T> route(std::span<const T> send, int dest, CommCategory cat) {
+    check_valid("route");
     check_member(dest);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = send.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = send.size();
@@ -278,8 +523,11 @@ class Comm {
   }
 
   /// Gather to root (rank-ordered concatenation at root; empty elsewhere).
+  /// Charges lg(P) latency units; the root is charged the received words,
+  /// everyone else their sent words.
   template <typename T>
   Gathered<T> gather(std::span<const T> mine, int root, CommCategory cat) {
+    check_valid("gather");
     check_member(root);
     const int p = size();
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = mine.data();
@@ -309,15 +557,88 @@ class Comm {
     return result;
   }
 
+  // ---- Nonblocking collectives. Posts are nonblocking (no barrier
+  // phase); data moves and the meter is charged at PendingOp::wait(),
+  // with charges identical to the blocking forms. `charged = false`
+  // suppresses the automatic charge for callers that account the traffic
+  // themselves (e.g. an op split into chunks whose per-chunk integer
+  // charges would not sum to the unsplit op's). ----
+
+  /// Nonblocking broadcast_from: the root posts `src` (left untouched and
+  /// readable by peers until every rank has waited); every other rank
+  /// receives into `dst` at its own wait(). Charged like broadcast.
+  template <typename T>
+  PendingOp ibroadcast_from(std::span<const T> src, std::span<T> dst,
+                            int root, CommCategory cat, bool charged = true) {
+    check_valid("ibroadcast_from");
+    check_member(root);
+    const bool is_root = rank_ == root;
+    return post_async(detail::OpKind::kBcast,
+                      is_root ? static_cast<const void*>(src.data()) : nullptr,
+                      is_root ? src.size() : dst.size(), root, cat, charged,
+                      &PendingOp::complete_impl<T>, dst.data(), dst.size(),
+                      src.size(), nullptr);
+  }
+
+  /// Nonblocking reduce_scatter_sum (same chunking contract as the
+  /// blocking form). `out` must not alias any rank's `contrib`. Charged
+  /// like reduce_scatter_sum.
+  template <typename T>
+  PendingOp ireduce_scatter_sum(std::span<const T> contrib, std::span<T> out,
+                                CommCategory cat, bool charged = true) {
+    check_valid("ireduce_scatter_sum");
+    return post_async(detail::OpKind::kReduceScatter, contrib.data(),
+                      out.size(), /*root=*/0, cat, charged,
+                      &PendingOp::complete_impl<T>, out.data(), out.size(),
+                      contrib.size(), nullptr);
+  }
+
+  /// Nonblocking allgatherv_into. `out` (resized at wait) must outlive the
+  /// op and `mine` must not alias `out.data`. Charged like allgatherv.
+  template <typename T>
+  PendingOp iallgatherv_into(std::span<const T> mine, Gathered<T>& out,
+                             CommCategory cat, bool charged = true) {
+    check_valid("iallgatherv_into");
+    return post_async(detail::OpKind::kAllgatherv, mine.data(), mine.size(),
+                      /*root=*/0, cat, charged, &PendingOp::complete_impl<T>,
+                      nullptr, 0, mine.size(), &out);
+  }
+
+  /// Nonblocking *out-of-place* all-reduce sum: every rank posts `contrib`
+  /// (stable until all ranks waited) and receives the elementwise total
+  /// into `out` (same length, must not alias any contribution). The
+  /// out-of-place form is what allows peers to complete at different
+  /// times without a trailing rendezvous. Charged like allreduce_sum.
+  template <typename T>
+  PendingOp iallreduce_sum(std::span<const T> contrib, std::span<T> out,
+                           CommCategory cat, bool charged = true) {
+    check_valid("iallreduce_sum");
+    CAGNET_CHECK(contrib.size() == out.size(),
+                 "iallreduce_sum: contrib/out length mismatch");
+    return post_async(detail::OpKind::kAllreduce, contrib.data(),
+                      contrib.size(), /*root=*/0, cat, charged,
+                      &PendingOp::complete_impl<T>, out.data(), out.size(),
+                      contrib.size(), nullptr);
+  }
+
  private:
   friend void run_world(int, const std::function<void(Comm&)>&,
                         std::vector<CostMeter>*);
+  friend class PendingOp;
 
   Comm(std::shared_ptr<detail::CommState> state, int rank, CostMeter* meter)
       : state_(std::move(state)), rank_(rank), meter_(meter) {}
 
   void check_member(int r) const {
     CAGNET_CHECK(r >= 0 && r < size(), "rank out of range");
+  }
+
+  /// Diagnose use of a default-constructed (invalid) Comm.
+  void check_valid(const char* what) const {
+    CAGNET_CHECK(state_ != nullptr,
+                 std::string(what) +
+                     " on an invalid Comm (default-constructed; obtain one "
+                     "from run_world or split)");
   }
 
   /// One barrier phase with abort propagation. Const because it only
@@ -332,6 +653,14 @@ class Comm {
     meter_->add(cat, latency_units,
                 static_cast<double>(bytes) / sizeof(Real));
   }
+
+  /// Claim the next ticket, publish this rank's slot on its channel, and
+  /// hand back the armed PendingOp. Out-of-line (comm.cpp).
+  PendingOp post_async(detail::OpKind kind, const void* publish_ptr,
+                       std::size_t publish_len, int root, CommCategory cat,
+                       bool charged, void (*complete)(PendingOp&), void* out,
+                       std::size_t out_len, std::size_t src_len,
+                       void* gathered);
 
   template <typename T>
   void reduce_impl(std::span<T> data, CommCategory cat, bool is_max) {
@@ -373,9 +702,113 @@ class Comm {
   CostMeter* meter_ = nullptr;
 };
 
+template <typename T>
+void PendingOp::complete_impl(PendingOp& op) {
+  auto& ch = *op.state_->channels[op.ticket_ %
+                                  static_cast<std::uint64_t>(
+                                      detail::kAsyncChannels)];
+  const int p = op.state_->size;
+  if (op.kind_ == detail::OpKind::kBcast && op.rank_ == op.root_) {
+    // Passive root completion: peers may not have posted yet (wait()
+    // skipped the await), so validate nothing and charge from this
+    // rank's own published length — identical to the blocking charge.
+    if (p > 1) op.charge(ceil_log2(p), op.src_len_ * sizeof(T));
+    return;
+  }
+  for (int r = 0; r < p; ++r) {
+    CAGNET_CHECK(ch.kind[static_cast<std::size_t>(r)] == op.kind_ &&
+                     ch.root[static_cast<std::size_t>(r)] == op.root_,
+                 "nonblocking collective: ranks disagree on op order");
+  }
+  switch (op.kind_) {
+    case detail::OpKind::kBcast: {
+      const std::size_t n = ch.len[static_cast<std::size_t>(op.root_)];
+      for (int r = 0; r < p; ++r) {
+        CAGNET_CHECK(ch.len[static_cast<std::size_t>(r)] == n,
+                     "ibroadcast_from: ranks disagree on element count");
+      }
+      if (n > 0) {
+        std::memcpy(op.out_, ch.ptr[static_cast<std::size_t>(op.root_)],
+                    n * sizeof(T));
+      }
+      if (p > 1) op.charge(ceil_log2(p), n * sizeof(T));
+      break;
+    }
+    case detail::OpKind::kReduceScatter: {
+      std::size_t offset = 0;
+      std::size_t total = 0;
+      for (int r = 0; r < p; ++r) {
+        if (r == op.rank_) offset = total;
+        total += ch.len[static_cast<std::size_t>(r)];
+      }
+      CAGNET_CHECK(op.src_len_ == total,
+                   "ireduce_scatter: contribution length != sum of outputs");
+      T* out = static_cast<T*>(op.out_);
+      std::fill(out, out + op.out_len_, T{});
+      for (int r = 0; r < p; ++r) {
+        const T* src =
+            static_cast<const T*>(ch.ptr[static_cast<std::size_t>(r)]) +
+            offset;
+        for (std::size_t i = 0; i < op.out_len_; ++i) out[i] += src[i];
+      }
+      op.charge(ceil_log2(p),
+                total * sizeof(T) * (p - 1) /
+                    static_cast<std::size_t>(std::max(p, 1)));
+      break;
+    }
+    case detail::OpKind::kAllgatherv: {
+      auto& out = *static_cast<Gathered<T>*>(op.gathered_);
+      out.offsets.resize(static_cast<std::size_t>(p) + 1);
+      out.offsets[0] = 0;
+      for (int r = 0; r < p; ++r) {
+        out.offsets[static_cast<std::size_t>(r) + 1] =
+            out.offsets[static_cast<std::size_t>(r)] +
+            ch.len[static_cast<std::size_t>(r)];
+      }
+      out.data.resize(out.offsets.back());
+      for (int r = 0; r < p; ++r) {
+        const auto len = ch.len[static_cast<std::size_t>(r)];
+        if (len == 0) continue;
+        std::memcpy(out.data.data() +
+                        out.offsets[static_cast<std::size_t>(r)],
+                    ch.ptr[static_cast<std::size_t>(r)], len * sizeof(T));
+      }
+      op.charge(ceil_log2(p), (out.data.size() - op.src_len_) * sizeof(T));
+      break;
+    }
+    case detail::OpKind::kAllreduce: {
+      const std::size_t n = op.out_len_;
+      for (int r = 0; r < p; ++r) {
+        CAGNET_CHECK(ch.len[static_cast<std::size_t>(r)] == n,
+                     "iallreduce_sum: ranks disagree on element count");
+      }
+      T* out = static_cast<T*>(op.out_);
+      for (std::size_t i = 0; i < n; ++i) {
+        T acc = static_cast<const T*>(ch.ptr[0])[i];
+        for (int r = 1; r < p; ++r) {
+          acc += static_cast<const T*>(ch.ptr[static_cast<std::size_t>(r)])[i];
+        }
+        out[i] = acc;
+      }
+      op.charge(2.0 * ceil_log2(p),
+                2 * n * sizeof(T) * (p - 1) /
+                    static_cast<std::size_t>(std::max(p, 1)));
+      break;
+    }
+    case detail::OpKind::kNone:
+      CAGNET_CHECK(false, "completing an unarmed PendingOp");
+  }
+}
+
 /// Launch a world of `p` ranks, each running `fn(comm)` on its own thread.
-/// Rethrows the first rank exception after joining all threads. If
-/// `meters_out` is non-null it receives each rank's final CostMeter.
+/// Rethrows the first rank exception after joining all threads. Peers
+/// blocked in *nonblocking* waits (on any communicator in the split tree)
+/// or in the *world's* barrier phases are released by the abort machinery
+/// and unwind; a peer parked in a blocking collective's barrier phase on
+/// a split sub-communicator is not reachable (std::barrier can only be
+/// dropped by a participant) — a pre-existing limitation of the blocking
+/// layer. If `meters_out` is non-null it receives each rank's final
+/// CostMeter.
 void run_world(int p, const std::function<void(Comm&)>& fn,
                std::vector<CostMeter>* meters_out = nullptr);
 

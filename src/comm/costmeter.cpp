@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/util/error.hpp"
+
 namespace cagnet {
 
 const char* comm_category_name(CommCategory c) {
@@ -67,11 +69,38 @@ double CostMeter::modeled_seconds(const MachineModel& m) const {
   return total;
 }
 
+void CostMeter::begin_overlap_region() {
+  CAGNET_CHECK(!region_open_, "overlap regions may not nest");
+  region_lat_mark_ = latency_;
+  region_words_mark_ = words_;
+  region_open_ = true;
+}
+
+void CostMeter::end_overlap_region(const MachineModel& m,
+                                   double compute_seconds) {
+  CAGNET_CHECK(region_open_, "end_overlap_region without begin");
+  double comm_seconds = 0;
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    if (static_cast<CommCategory>(i) == CommCategory::kControl) continue;
+    comm_seconds += m.alpha * (latency_[i] - region_lat_mark_[i]) +
+                    m.beta * (words_[i] - region_words_mark_[i]);
+  }
+  overlap_serialized_ += comm_seconds + compute_seconds;
+  overlap_overlapped_ += std::max(comm_seconds, compute_seconds);
+  overlap_regions_ += 1;
+  region_open_ = false;
+}
+
 void CostMeter::merge_max(const CostMeter& other) {
   for (std::size_t i = 0; i < kNumCategories; ++i) {
     latency_[i] = std::max(latency_[i], other.latency_[i]);
     words_[i] = std::max(words_[i], other.words_[i]);
   }
+  overlap_serialized_ = std::max(overlap_serialized_,
+                                 other.overlap_serialized_);
+  overlap_overlapped_ = std::max(overlap_overlapped_,
+                                 other.overlap_overlapped_);
+  overlap_regions_ = std::max(overlap_regions_, other.overlap_regions_);
 }
 
 void CostMeter::merge_sum(const CostMeter& other) {
@@ -79,6 +108,9 @@ void CostMeter::merge_sum(const CostMeter& other) {
     latency_[i] += other.latency_[i];
     words_[i] += other.words_[i];
   }
+  overlap_serialized_ += other.overlap_serialized_;
+  overlap_overlapped_ += other.overlap_overlapped_;
+  overlap_regions_ += other.overlap_regions_;
 }
 
 void CostMeter::subtract(const CostMeter& other) {
@@ -86,6 +118,9 @@ void CostMeter::subtract(const CostMeter& other) {
     latency_[i] -= other.latency_[i];
     words_[i] -= other.words_[i];
   }
+  overlap_serialized_ -= other.overlap_serialized_;
+  overlap_overlapped_ -= other.overlap_overlapped_;
+  overlap_regions_ -= other.overlap_regions_;
 }
 
 std::string CostMeter::to_string() const {

@@ -46,6 +46,47 @@ class CostMeter {
   /// Sum of modeled seconds over all metered categories.
   double modeled_seconds(const MachineModel& m) const;
 
+  // ---- Overlap accounting (nonblocking runtime) ----
+  //
+  // An *overlapped region* is one compute block that ran while previously
+  // posted nonblocking collectives were in flight. The runtime charges
+  // words/latency identically whether or not overlap is on — volumes are
+  // the paper's measurements and never change — but for each region the
+  // meter additionally records the region's modeled comm seconds c (the
+  // alpha-beta value of the charges attributed to it) and compute seconds
+  // w, accumulating both the serialized reading c + w and the overlapped
+  // reading max(c, w). The difference is the modeled time the overlap
+  // hides; EpochStats::modeled_seconds_overlap subtracts it.
+
+  /// Open a region: charges added until end_overlap_region are attributed
+  /// to it. Regions may not nest.
+  void begin_overlap_region();
+
+  /// Close the open region, folding its charge delta with `m` and pairing
+  /// it against `compute_seconds` of modeled local-kernel work.
+  void end_overlap_region(const MachineModel& m, double compute_seconds);
+
+  /// Sum over regions of comm + compute (the no-overlap reading).
+  double overlap_serialized_seconds() const { return overlap_serialized_; }
+  /// Sum over regions of max(comm, compute) (the overlapped reading).
+  double overlap_overlapped_seconds() const { return overlap_overlapped_; }
+  /// Modeled seconds hidden by overlap: serialized - overlapped (>= 0).
+  double overlap_saved_seconds() const {
+    return overlap_serialized_ - overlap_overlapped_;
+  }
+  /// Number of regions recorded (a double so cross-rank reductions can
+  /// serialize it alongside the other totals).
+  double overlap_regions() const { return overlap_regions_; }
+
+  /// Rebuild the overlap totals from serialized values (cross-rank
+  /// reductions; see EpochStats::reduce_max).
+  void restore_overlap_totals(double serialized, double overlapped,
+                              double regions) {
+    overlap_serialized_ = serialized;
+    overlap_overlapped_ = overlapped;
+    overlap_regions_ = regions;
+  }
+
   void clear() { *this = CostMeter{}; }
 
   /// Component-wise max: bulk-synchronous epochs are paced by the rank with
@@ -63,6 +104,16 @@ class CostMeter {
  private:
   std::array<double, kNumCategories> latency_ = {};
   std::array<double, kNumCategories> words_ = {};
+
+  // Overlap totals (merged/subtracted like the charge arrays) and the
+  // transient open-region marks (snapshot of the charge arrays; never
+  // merged).
+  double overlap_serialized_ = 0;
+  double overlap_overlapped_ = 0;
+  double overlap_regions_ = 0;
+  bool region_open_ = false;
+  std::array<double, kNumCategories> region_lat_mark_ = {};
+  std::array<double, kNumCategories> region_words_mark_ = {};
 };
 
 }  // namespace cagnet

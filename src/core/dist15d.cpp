@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/dense/gemm.hpp"
 #include "src/sparse/spmm_kernel.hpp"
 #include "src/util/error.hpp"
 
@@ -31,6 +32,13 @@ Algebra15D::Algebra15D(const DistProblem& problem, Comm world,
 
 void Algebra15D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
   const Index f = h.cols();
+  if (dist::overlap_enabled() && c_ > 1) {
+    // Release point for the previous layer's deferred team reduction:
+    // team peers read this rank's T chunks at their waits, and `t` is
+    // rewritten below. Readers drained a whole layer ago.
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    team_.quiesce();
+  }
   t.resize(local_rows(), f);
   t.set_zero();
 
@@ -38,34 +46,147 @@ void Algebra15D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
   // the broadcast volume of the 1D algorithm divided by c. The stage root
   // broadcasts straight from h (slice ranks are ordered by group, so the
   // slice root of stage j is group j's member).
-  for (int j = t_; j < groups_; j += c_) {
+  std::vector<int> stages;
+  for (int j = t_; j < groups_; j += c_) stages.push_back(j);
+  const auto stage_rows = [&](int j) {
     const auto [r0, r1] = block_range(n_, groups_, j);
-    const Matrix* hj = nullptr;
-    {
-      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-      hj = dist::broadcast_dense_stage(h, hj_recv_, r1 - r0, f, j, slice_,
-                                       CommCategory::kDense);
+    return r1 - r0;
+  };
+  const auto spmm_stage = [&](int j, const Matrix* hj) {
+    ScopedPhase scope(stats.profiler, Phase::kSpmm);
+    const Csr& a = at_stripe_.at(j);
+    a.spmm(*hj, t, /*accumulate=*/true);
+    stats.work.add_spmm(machine(), static_cast<double>(a.nnz()),
+                        static_cast<double>(f), dist::block_degree(a));
+  };
+
+  // A team member whose stripe is empty (groups < c) posts no stages; the
+  // emptiness is uniform across its slice, so the branch stays collective.
+  const bool overlap =
+      dist::overlap_enabled() && slice_.size() > 1 && !stages.empty();
+  if (!overlap) {
+    for (int j : stages) {
+      const Matrix* hj = nullptr;
+      {
+        ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+        hj = dist::broadcast_dense_stage(h, hj_recv_, stage_rows(j), f, j,
+                                         slice_, CommCategory::kDense);
+      }
+      spmm_stage(j, hj);
     }
-    {
-      ScopedPhase scope(stats.profiler, Phase::kSpmm);
-      const Csr& a = at_stripe_.at(j);
-      a.spmm(*hj, t, /*accumulate=*/true);
-      stats.work.add_spmm(machine(), static_cast<double>(a.nnz()),
-                          static_cast<double>(f), dist::block_degree(a));
-    }
+  } else {
+    // Overlapped: the next stripe stage's H panel is in flight while this
+    // stage's SpMM accumulates (H is stable for the whole epoch).
+    dist::overlapped_dense_stages(
+        static_cast<int>(stages.size()),
+        [&](int s, dist::PendingDenseStage& dn, Matrix& recv) {
+          const int j = stages[static_cast<std::size_t>(s)];
+          dn.post(h, recv, stage_rows(j), f, j, slice_,
+                  CommCategory::kDense);
+        },
+        [&](int s, const Matrix* hj) {
+          spmm_stage(stages[static_cast<std::size_t>(s)], hj);
+        },
+        hj_recv_, hj_recv2_, world_.meter(), stats.work, machine(),
+        stats.profiler);
   }
 
   // Team all-reduce completes the contraction and leaves T replicated
   // across the c team members (the 1.5D replication cost in flight).
-  {
+  if (c_ == 1) return;
+  if (!dist::overlap_enabled()) {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
     team_.allreduce_sum(t.flat(), CommCategory::kDense);
+    return;
   }
+  // Overlap mode: defer the reduction as row-chunked nonblocking ops; the
+  // times_weight override drains them interleaved with its GEMM. Chunk
+  // charges telescope over cumulative bytes so their sum is bitwise the
+  // blocking all-reduce charge (per-chunk integer division would not be).
+  ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+  const Index rows = t.rows();
+  t_reduced_.resize(rows, f);
+  const int chunks = static_cast<int>(
+      std::min<Index>(4, std::max<Index>(rows, 1)));
+  deferred_.ops.clear();
+  deferred_.rows.clear();
+  deferred_.charges.clear();
+  const auto cum_bytes = [&](Index upto_rows) {
+    const auto elems = static_cast<std::size_t>(upto_rows * f);
+    return 2 * elems * sizeof(Real) * static_cast<std::size_t>(c_ - 1) /
+           static_cast<std::size_t>(c_);
+  };
+  for (int i = 0; i < chunks; ++i) {
+    const auto [r0, r1] = block_range(rows, chunks, i);
+    const auto n = static_cast<std::size_t>((r1 - r0) * f);
+    deferred_.rows.push_back({r0, r1});
+    deferred_.charges.push_back(
+        {i == 0 ? 2.0 * ceil_log2(c_) : 0.0,
+         static_cast<double>(cum_bytes(r1) - cum_bytes(r0)) /
+             sizeof(Real)});
+    deferred_.ops.push_back(team_.iallreduce_sum(
+        std::span<const Real>(t.data() + r0 * f, n),
+        std::span<Real>(t_reduced_.data() + r0 * f, n),
+        CommCategory::kDense, /*charged=*/false));
+  }
+  deferred_.active = true;
+}
+
+void Algebra15D::times_weight(const Matrix& t, const Matrix& w, Matrix& z,
+                              EpochStats& stats) {
+  if (!deferred_.active) {
+    DistSpmmAlgebra::times_weight(t, w, z, stats);
+    return;
+  }
+  deferred_.active = false;
+  const Index f_in = w.rows();
+  const Index f_out = w.cols();
+  CAGNET_CHECK(t_reduced_.rows() == t.rows() && t.cols() == f_in,
+               "times_weight: deferred reduction does not match T");
+  z.resize(t.rows(), f_out);
+  dist::OverlapScope region(world_.meter(), stats.work, machine());
+  for (std::size_t i = 0; i < deferred_.ops.size(); ++i) {
+    const auto [r0, r1] = deferred_.rows[i];
+    {
+      // The manual charge lands here — inside the wait window — so the
+      // overlap accounting attributes it to the region it overlapped.
+      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+      world_.meter().add(CommCategory::kDense, deferred_.charges[i].first,
+                         deferred_.charges[i].second);
+      deferred_.ops[i].wait();
+    }
+    region.close();
+    region.open();
+    {
+      ScopedPhase scope(stats.profiler, Phase::kMisc);
+      t_reduced_.block_into(r0, 0, r1 - r0, f_in, t_chunk_);
+      z_chunk_.resize(r1 - r0, f_out);
+      gemm(Trans::kNo, Trans::kNo, Real{1}, t_chunk_, w, Real{0}, z_chunk_);
+      std::copy(z_chunk_.flat().begin(), z_chunk_.flat().end(),
+                z.data() + r0 * f_out);
+      stats.work.add_gemm(machine(), 2.0 * static_cast<double>(r1 - r0) *
+                                         static_cast<double>(f_in) *
+                                         static_cast<double>(f_out));
+    }
+  }
+  region.close();
+  // Source-release contract: team peers may still be reading this rank's
+  // T chunks; spmm_at quiesces the team before T is next rewritten.
 }
 
 void Algebra15D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   const Index f = g.cols();
 
+  if (dist::overlap_enabled()) {
+    // Release points: slice peers read this rank's u_partial_ (previous
+    // layer's reduce-scatter) and team peers read u (previous layer's
+    // replica broadcast); both buffers are rewritten below. The slice
+    // release is bounded to that single op — anything broader would wait
+    // on the deferred gradient reductions, which peers finish only later.
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    if (has_u_release_) slice_.quiesce_op(u_release_ticket_);
+    team_.quiesce();
+  }
   // Outer product restricted to this stripe: partial U over the rows
   // R_j, j ≡ t (mod c), stacked in ascending-j order. The pieces are
   // contiguous row ranges of u_partial_, so the kernel writes straight
@@ -96,16 +217,34 @@ void Algebra15D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   // Reduce-scatter within the slice: slice rank j' keeps U[R_j'] when
   // j' ≡ t (mod c), nothing otherwise (chunk order is ascending j, which
   // is ascending slice rank). The keeper's chunk lands directly in u.
+  // Then a team broadcast from the member holding this group's block:
+  // group g's reduced block landed on team member g mod c (the keeper).
+  // In overlap mode both use the nonblocking forms — identical charges,
+  // no trailing rendezvous (the sources' release is the quiesce above).
   const bool keeper = (g_ % c_) == t_;
   u.resize(local_rows(), f);
+  if (dist::overlap_enabled()) {
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    PendingOp reduce_op = slice_.ireduce_scatter_sum(
+        std::span<const Real>(u_partial_.flat()),
+        keeper ? u.flat() : std::span<Real>{}, CommCategory::kDense);
+    u_release_ticket_ = reduce_op.ticket();
+    has_u_release_ = true;
+    reduce_op.wait();
+    const std::span<const Real> src =
+        keeper ? std::span<const Real>(u.flat()) : std::span<const Real>{};
+    team_
+        .ibroadcast_from(src, keeper ? std::span<Real>{} : u.flat(),
+                         g_ % c_, CommCategory::kDense)
+        .wait();
+    return;
+  }
   {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
     slice_.reduce_scatter_sum(std::span<const Real>(u_partial_.flat()),
                               keeper ? u.flat() : std::span<Real>{},
                               CommCategory::kDense);
   }
-  // Team broadcast from the member holding this group's block: group g's
-  // reduced block landed on team member g mod c (the keeper).
   {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
     if (keeper) {
@@ -126,6 +265,22 @@ void Algebra15D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
   // traffic).
   dist::allreduce_weight_gradient(y_partial, f_in, f_out, slice_,
                                   stats.profiler, y_full);
+}
+
+void Algebra15D::begin_reduce_gradients(Matrix& y_partial, Index f_in,
+                                        Index f_out, Matrix& y_full,
+                                        EpochStats& stats) {
+  if (!dist::overlap_enabled() || slice_.size() == 1) {
+    reduce_gradients(y_partial, f_in, f_out, y_full, stats);
+    return;
+  }
+  dist::begin_allreduce_weight_gradient(y_partial, f_in, f_out, slice_,
+                                        stats.profiler, grad_pending_,
+                                        y_full);
+}
+
+void Algebra15D::finish_gradients(EpochStats& stats) {
+  dist::finish_allreduce_weight_gradient(stats.profiler, grad_pending_);
 }
 
 Dist15D::Dist15D(const DistProblem& problem, GnnConfig config, Comm world,

@@ -46,8 +46,24 @@ class Algebra15D final : public DistSpmmAlgebra {
 
   void spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) override;
   void spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) override;
+
+  /// With overlap enabled, spmm_at defers the team (replica) all-reduce of
+  /// T as row-chunked nonblocking ops, and this override interleaves their
+  /// waits with the local Z = T W GEMM chunk by chunk — the reduction of
+  /// chunk c+1 is in flight while chunk c multiplies. Results and metered
+  /// charges are bitwise identical to the blocking form.
+  void times_weight(const Matrix& t, const Matrix& w, Matrix& z,
+                    EpochStats& stats) override;
+
   void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
                         Matrix& y_full, EpochStats& stats) override;
+  void begin_reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                              Matrix& y_full, EpochStats& stats) override;
+  void finish_gradients(EpochStats& stats) override;
+  void drain() noexcept override {
+    dist::drain_comm(slice_);
+    dist::drain_comm(team_);
+  }
 
   int replication() const { return c_; }
   int groups() const { return groups_; }
@@ -77,7 +93,26 @@ class Algebra15D final : public DistSpmmAlgebra {
   std::map<int, Csr> a_stripe_;
 
   Matrix hj_recv_;    ///< broadcast-stage receive buffer (reused)
+  Matrix hj_recv2_;   ///< double-buffer partner (overlapped prefetch)
   Matrix u_partial_;  ///< stacked stripe outer-product partial (reused)
+
+  /// Deferred team (replica) all-reduce of T, posted by spmm_at in overlap
+  /// mode and drained chunk-by-chunk in times_weight. The chunk charges
+  /// telescope (cumulative-bytes differences) so their sum is bitwise the
+  /// blocking all-reduce charge for any team size.
+  struct DeferredTeamReduce {
+    bool active = false;
+    std::vector<PendingOp> ops;                       ///< one per row chunk
+    std::vector<std::pair<Index, Index>> rows;        ///< chunk row ranges
+    std::vector<std::pair<double, double>> charges;   ///< (lat, words)
+  };
+  DeferredTeamReduce deferred_;
+  dist::PendingGradReduce grad_pending_;  ///< deferred Y reductions
+  std::uint64_t u_release_ticket_ = 0;  ///< last u reduce-scatter (release)
+  bool has_u_release_ = false;
+  Matrix t_reduced_;   ///< out-of-place reduced T (reused)
+  Matrix t_chunk_;     ///< reduced-T row chunk staged for the GEMM (reused)
+  Matrix z_chunk_;     ///< per-chunk GEMM output (reused)
 };
 
 /// The 1.5D trainer: the shared engine driven by Algebra15D.

@@ -32,28 +32,55 @@ void Algebra1D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
 
   // Algorithm 1: for j = 1..p, broadcast H_j and accumulate A^T_ij H_j.
   // The stage root broadcasts straight from h; everyone else receives
-  // into the reused stage buffer.
-  for (int j = 0; j < p; ++j) {
+  // into the reused stage buffers.
+  const auto stage_rows = [&](int j) {
     const auto [r0, r1] = block_range(n_, p, j);
-    const Matrix* hj = nullptr;
-    {
-      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-      hj = dist::broadcast_dense_stage(h, hj_recv_, r1 - r0, f, j, world_,
-                                       CommCategory::kDense);
+    return r1 - r0;
+  };
+  const auto spmm_stage = [&](int j, const Matrix* hj) {
+    ScopedPhase scope(stats.profiler, Phase::kSpmm);
+    const Csr& a = at_blocks_[static_cast<std::size_t>(j)];
+    a.spmm(*hj, t, /*accumulate=*/true);
+    stats.work.add_spmm(machine(), static_cast<double>(a.nnz()),
+                        static_cast<double>(f), dist::block_degree(a));
+  };
+
+  if (!dist::overlap_enabled() || p == 1) {
+    for (int j = 0; j < p; ++j) {
+      const Matrix* hj = nullptr;
+      {
+        ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+        hj = dist::broadcast_dense_stage(h, hj_recv_, stage_rows(j), f, j,
+                                         world_, CommCategory::kDense);
+      }
+      spmm_stage(j, hj);
     }
-    {
-      ScopedPhase scope(stats.profiler, Phase::kSpmm);
-      const Csr& a = at_blocks_[static_cast<std::size_t>(j)];
-      a.spmm(*hj, t, /*accumulate=*/true);
-      stats.work.add_spmm(machine(), static_cast<double>(a.nnz()),
-                          static_cast<double>(f), dist::block_degree(a));
-    }
+    return;
   }
+
+  // Overlapped: stage j+1's H panel is in flight while stage j's SpMM
+  // accumulates. H is stable for the whole epoch, so late peer reads of
+  // the final stage need no extra release point.
+  dist::overlapped_dense_stages(
+      p,
+      [&](int j, dist::PendingDenseStage& dn, Matrix& recv) {
+        dn.post(h, recv, stage_rows(j), f, j, world_, CommCategory::kDense);
+      },
+      spmm_stage, hj_recv_, hj_recv2_, world_.meter(), stats.work,
+      machine(), stats.profiler);
 }
 
 void Algebra1D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   const Index f = g.cols();
 
+  if (dist::overlap_enabled()) {
+    // Release point for the previous layer's reduce-scatter: peers read
+    // this rank's u_partial_ at their waits, and it is rewritten below.
+    // Bounded to that single op — anything broader would wait on the
+    // deferred gradient reductions, which peers finish only after this.
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    if (has_u_release_) world_.quiesce_op(u_release_ticket_);
+  }
   // 1D outer product: U_partial = A(:, my rows) * G_i, a full n x f
   // low-rank partial (the O(nf) intermediate of Section IV-A.3) ...
   u_partial_.resize(n_, f);
@@ -64,12 +91,22 @@ void Algebra1D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
                         static_cast<double>(f),
                         dist::block_degree(a_col_block_));
   }
-  // ... reduce-scattered back to block rows.
+  // ... reduce-scattered back to block rows. The nonblocking form skips
+  // the trailing rendezvous (u_partial_'s release is the quiesce above).
   u.resize(local_rows(), f);
   {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-    world_.reduce_scatter_sum(std::span<const Real>(u_partial_.flat()),
-                              u.flat(), CommCategory::kDense);
+    if (dist::overlap_enabled()) {
+      PendingOp op = world_.ireduce_scatter_sum(
+          std::span<const Real>(u_partial_.flat()), u.flat(),
+          CommCategory::kDense);
+      u_release_ticket_ = op.ticket();
+      has_u_release_ = true;
+      op.wait();
+    } else {
+      world_.reduce_scatter_sum(std::span<const Real>(u_partial_.flat()),
+                                u.flat(), CommCategory::kDense);
+    }
   }
 }
 
@@ -79,6 +116,22 @@ void Algebra1D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
   // product" of Section IV-A.4 finishes with an f x f all-reduce.
   dist::allreduce_weight_gradient(y_partial, f_in, f_out, world_,
                                   stats.profiler, y_full);
+}
+
+void Algebra1D::begin_reduce_gradients(Matrix& y_partial, Index f_in,
+                                       Index f_out, Matrix& y_full,
+                                       EpochStats& stats) {
+  if (!dist::overlap_enabled() || world_.size() == 1) {
+    reduce_gradients(y_partial, f_in, f_out, y_full, stats);
+    return;
+  }
+  dist::begin_allreduce_weight_gradient(y_partial, f_in, f_out, world_,
+                                        stats.profiler, grad_pending_,
+                                        y_full);
+}
+
+void Algebra1D::finish_gradients(EpochStats& stats) {
+  dist::finish_allreduce_weight_gradient(stats.profiler, grad_pending_);
 }
 
 Dist1D::Dist1D(const DistProblem& problem, GnnConfig config, Comm world,

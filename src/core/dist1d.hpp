@@ -43,6 +43,10 @@ class Algebra1D final : public DistSpmmAlgebra {
   void spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) override;
   void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
                         Matrix& y_full, EpochStats& stats) override;
+  void begin_reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                              Matrix& y_full, EpochStats& stats) override;
+  void finish_gradients(EpochStats& stats) override;
+  void drain() noexcept override { dist::drain_comm(world_); }
 
  protected:
   Comm& gather_comm() override { return world_; }
@@ -61,7 +65,11 @@ class Algebra1D final : public DistSpmmAlgebra {
   Csr a_col_block_;
 
   Matrix hj_recv_;    ///< broadcast-stage receive buffer (reused)
+  Matrix hj_recv2_;   ///< double-buffer partner (overlapped prefetch)
   Matrix u_partial_;  ///< O(nf) outer-product partial (reused)
+  dist::PendingGradReduce grad_pending_;  ///< deferred Y reductions
+  std::uint64_t u_release_ticket_ = 0;  ///< last u reduce-scatter (release)
+  bool has_u_release_ = false;
 };
 
 /// The 1D trainer: the shared engine driven by Algebra1D.

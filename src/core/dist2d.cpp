@@ -19,58 +19,28 @@ void Algebra2D::summa_spmm(const Csr& my_sparse,
                            dist::SparseStageCache& cache,
                            const Matrix& my_dense, Matrix& t,
                            EpochStats& stats) {
+  // Stage k: A-block (i,k) travels along process row i; dense block (k,j)
+  // travels along process column j. The shared loop double-buffers both
+  // when overlap is enabled (stage k+1 in flight behind stage k's SpMM)
+  // and replays the cached sparse charges in cached epochs.
   const int q = grid_.pr;
+  if (dist::overlap_enabled()) {
+    // Release point for this rank's earlier row-comm sources (partial-
+    // SUMMA T panels, feature-row gathers): their readers drained a whole
+    // layer ago, and `t` (their backing buffer in the forward pass) is
+    // rewritten below.
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    grid_.row.quiesce();
+  }
   t.resize(local_rows(), my_dense.cols());
   t.set_zero();
-
-  const bool use_cache = cache.ready && dist::epoch_cache_enabled();
-  if (use_cache) {
-    // The adjacency blocks are epoch-invariant: replay the recorded
-    // epoch-1 sparse charges instead of re-broadcasting identical bytes.
-    ScopedPhase scope(stats.profiler, Phase::kSparseComm);
-    grid_.world.meter().merge_sum(cache.charges);
-  } else {
-    cache.charges.clear();
-    cache.blocks.resize(static_cast<std::size_t>(q));
-    cache.own_stage.assign(static_cast<std::size_t>(q), 0);
-  }
-
-  for (int k = 0; k < q; ++k) {
-    // Stage k: A-block (i,k) travels along process row i; dense block
-    // (k,j) travels along process column j.
-    const Csr* a = nullptr;
-    if (use_cache) {
-      a = cache.own_stage[static_cast<std::size_t>(k)]
-              ? &my_sparse
-              : &cache.blocks[static_cast<std::size_t>(k)];
-    } else {
-      ScopedPhase scope(stats.profiler, Phase::kSparseComm);
-      CostMeter before = grid_.world.meter();
-      a = dist::broadcast_csr(grid_.j == k ? &my_sparse : nullptr,
-                              cache.blocks[static_cast<std::size_t>(k)], k,
-                              grid_.row, CommCategory::kSparse);
-      CostMeter delta = grid_.world.meter();
-      delta.subtract(before);
-      cache.charges.merge_sum(delta);
-      cache.own_stage[static_cast<std::size_t>(k)] = a == &my_sparse;
-    }
-    const auto [k_lo, k_hi] = block_range(n_, q, k);
-    const Matrix* d = nullptr;
-    {
-      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-      d = dist::broadcast_dense_stage(my_dense, ws_.stage_recv, k_hi - k_lo,
-                                      my_dense.cols(), k, grid_.col,
-                                      CommCategory::kDense);
-    }
-    {
-      ScopedPhase scope(stats.profiler, Phase::kSpmm);
-      a->spmm(*d, t, /*accumulate=*/true);
-      stats.work.add_spmm(machine(), static_cast<double>(a->nnz()),
-                          static_cast<double>(my_dense.cols()),
-                          dist::block_degree(*a));
-    }
-  }
-  cache.ready = dist::epoch_cache_enabled();
+  dist::summa_stage_loop(
+      my_sparse, cache, grid_.row, my_dense, grid_.col,
+      [&](int k) {
+        const auto [k_lo, k_hi] = block_range(n_, q, k);
+        return k_hi - k_lo;
+      },
+      q, t, machine(), stats, ws_);
 }
 
 void Algebra2D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
@@ -103,6 +73,23 @@ void Algebra2D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
   // keep Y fully replicated (IV-C.4).
   dist::assemble_weight_gradient(y_partial, f_in, f_out, grid_.pc, grid_.col,
                                  grid_.row, stats.profiler, ws_, y_full);
+}
+
+void Algebra2D::begin_reduce_gradients(Matrix& y_partial, Index f_in,
+                                       Index f_out, Matrix& y_full,
+                                       EpochStats& stats) {
+  if (!dist::overlap_enabled()) {
+    reduce_gradients(y_partial, f_in, f_out, y_full, stats);
+    return;
+  }
+  dist::begin_assemble_weight_gradient(y_partial, f_in, f_out, grid_.col,
+                                       stats.profiler, grad_pending_,
+                                       y_full);
+}
+
+void Algebra2D::finish_gradients(EpochStats& stats) {
+  dist::finish_assemble_weight_gradient(grid_.pc, grid_.row,
+                                        stats.profiler, grad_pending_);
 }
 
 void Algebra2D::begin_backward(EpochStats& stats) {

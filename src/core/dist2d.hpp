@@ -58,12 +58,20 @@ class Algebra2D final : public DistSpmmAlgebra {
                            EpochStats& stats) override;
   void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
                         Matrix& y_full, EpochStats& stats) override;
+  void begin_reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                              Matrix& y_full, EpochStats& stats) override;
+  void finish_gradients(EpochStats& stats) override;
 
   /// Distributed transpose A^T -> A (and back): swap blocks across the
   /// diagonal and transpose locally (the paper's "trpose" phase, charged
   /// twice per epoch).
   void begin_backward(EpochStats& stats) override;
   void end_backward(EpochStats& stats) override;
+
+  void drain() noexcept override {
+    dist::drain_comm(grid_.row);
+    dist::drain_comm(grid_.col);
+  }
 
   int grid_dim() const { return grid_.pr; }
 
@@ -92,6 +100,7 @@ class Algebra2D final : public DistSpmmAlgebra {
                   ///< and kept across epochs while the cache is enabled
 
   dist::DistWorkspace ws_;           ///< reused dense/staging buffers
+  dist::PendingGradReduce grad_pending_;  ///< deferred Y reductions
   dist::SparseStageCache at_cache_;  ///< forward-SUMMA received A^T blocks
   dist::SparseStageCache a_cache_;   ///< backward-SUMMA received A blocks
   dist::TransposeCache trpose_cache_;

@@ -28,62 +28,49 @@ void Algebra3D::split3d_spmm(const Csr& my_sparse,
   const Index coarse_rows = coarse_hi_ - coarse_lo_;
   const Index w = my_dense.cols();
   // The pre-reduction partial: (n/q x f/q), the P^(1/3)-replicated
-  // intermediate of Section IV-D.1.
+  // intermediate of Section IV-D.1. The shared loop double-buffers the
+  // per-layer SUMMA stages when overlap is enabled and replays the cached
+  // sparse charges in cached epochs.
+  if (dist::overlap_enabled()) {
+    // Release points for this rank's earlier sources: fiber peers read
+    // t_partial_ (previous reduce-scatter), row peers read the partial-
+    // SUMMA T panels and gathered feature rows — all rewritten below or
+    // by the engine buffers backing them. Readers drained a whole layer
+    // ago, so this is a handful of atomic loads.
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    grid_.fiber.quiesce();
+    grid_.row.quiesce();
+  }
   t_partial_.resize(coarse_rows, w);
   t_partial_.set_zero();
-
-  const bool use_cache = cache.ready && dist::epoch_cache_enabled();
-  if (use_cache) {
-    // Epoch-invariant adjacency: replay the recorded epoch-1 sparse
-    // charges instead of re-broadcasting identical bytes.
-    ScopedPhase scope(stats.profiler, Phase::kSparseComm);
-    grid_.world.meter().merge_sum(cache.charges);
-  } else {
-    cache.charges.clear();
-    cache.blocks.resize(static_cast<std::size_t>(q));
-    cache.own_stage.assign(static_cast<std::size_t>(q), 0);
-  }
-
-  for (int s = 0; s < q; ++s) {
-    const Csr* a = nullptr;
-    if (use_cache) {
-      a = cache.own_stage[static_cast<std::size_t>(s)]
-              ? &my_sparse
-              : &cache.blocks[static_cast<std::size_t>(s)];
-    } else {
-      ScopedPhase scope(stats.profiler, Phase::kSparseComm);
-      CostMeter before = grid_.world.meter();
-      a = dist::broadcast_csr(grid_.j == s ? &my_sparse : nullptr,
-                              cache.blocks[static_cast<std::size_t>(s)], s,
-                              grid_.row, CommCategory::kSparse);
-      CostMeter delta = grid_.world.meter();
-      delta.subtract(before);
-      cache.charges.merge_sum(delta);
-      cache.own_stage[static_cast<std::size_t>(s)] = a == &my_sparse;
-    }
-    const auto [d_lo, d_hi] = fine_range(n_, q, s, grid_.k);
-    const Matrix* d = nullptr;
-    {
-      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-      d = dist::broadcast_dense_stage(my_dense, ws_.stage_recv, d_hi - d_lo,
-                                      w, s, grid_.col, CommCategory::kDense);
-    }
-    {
-      ScopedPhase scope(stats.profiler, Phase::kSpmm);
-      a->spmm(*d, t_partial_, /*accumulate=*/true);
-      stats.work.add_spmm(machine(), static_cast<double>(a->nnz()),
-                          static_cast<double>(w), dist::block_degree(*a));
-    }
-  }
-  cache.ready = dist::epoch_cache_enabled();
+  dist::summa_stage_loop(
+      my_sparse, cache, grid_.row, my_dense, grid_.col,
+      [&](int s) {
+        const auto [d_lo, d_hi] = fine_range(n_, q, s, grid_.k);
+        return d_hi - d_lo;
+      },
+      q, t_partial_, machine(), stats, ws_);
 
   // Fiber reduce-scatter: sum layer partials, splitting C_i into its fine
-  // slabs F_{i,kk}; fiber rank kk keeps slab kk.
+  // slabs F_{i,kk}; fiber rank kk keeps slab kk. In overlap mode the
+  // nonblocking form computes this rank's slab as soon as all partials
+  // are posted and skips the trailing rendezvous — the release of
+  // t_partial_ is deferred to the quiesce at the next call — so the rest
+  // of the layer (partial SUMMA, gathers) proceeds without waiting for
+  // fiber stragglers.
   out.resize(fine_hi_ - fine_lo_, w);
   {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-    grid_.fiber.reduce_scatter_sum(std::span<const Real>(t_partial_.flat()),
-                                   out.flat(), CommCategory::kDense);
+    if (dist::overlap_enabled()) {
+      grid_.fiber
+          .ireduce_scatter_sum(std::span<const Real>(t_partial_.flat()),
+                               out.flat(), CommCategory::kDense)
+          .wait();
+    } else {
+      grid_.fiber.reduce_scatter_sum(
+          std::span<const Real>(t_partial_.flat()), out.flat(),
+          CommCategory::kDense);
+    }
   }
 }
 
@@ -148,6 +135,23 @@ void Algebra3D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
   // slice), then row all-gather to replicate Y (IV-D.4).
   dist::assemble_weight_gradient(y_partial, f_in, f_out, grid_.q, jplane_,
                                  grid_.row, stats.profiler, ws_, y_full);
+}
+
+void Algebra3D::begin_reduce_gradients(Matrix& y_partial, Index f_in,
+                                       Index f_out, Matrix& y_full,
+                                       EpochStats& stats) {
+  if (!dist::overlap_enabled()) {
+    reduce_gradients(y_partial, f_in, f_out, y_full, stats);
+    return;
+  }
+  dist::begin_assemble_weight_gradient(y_partial, f_in, f_out, jplane_,
+                                       stats.profiler, grad_pending_,
+                                       y_full);
+}
+
+void Algebra3D::finish_gradients(EpochStats& stats) {
+  dist::finish_assemble_weight_gradient(grid_.q, grid_.row,
+                                        stats.profiler, grad_pending_);
 }
 
 void Algebra3D::begin_backward(EpochStats& stats) {

@@ -56,10 +56,20 @@ class Algebra3D final : public DistSpmmAlgebra {
                            EpochStats& stats) override;
   void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
                         Matrix& y_full, EpochStats& stats) override;
+  void begin_reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
+                              Matrix& y_full, EpochStats& stats) override;
+  void finish_gradients(EpochStats& stats) override;
 
   /// 3D distributed transpose A^T -> A (and back).
   void begin_backward(EpochStats& stats) override;
   void end_backward(EpochStats& stats) override;
+
+  void drain() noexcept override {
+    dist::drain_comm(grid_.row);
+    dist::drain_comm(grid_.col);
+    dist::drain_comm(grid_.fiber);
+    dist::drain_comm(jplane_);
+  }
 
   int grid_dim() const { return grid_.q; }
 
@@ -92,6 +102,7 @@ class Algebra3D final : public DistSpmmAlgebra {
                   ///< and kept across epochs while the cache is enabled
 
   Matrix t_partial_;                 ///< P^(1/3)-replicated partial (reused)
+  dist::PendingGradReduce grad_pending_;  ///< deferred Y reductions
   dist::DistWorkspace ws_;           ///< reused dense/staging buffers
   dist::SparseStageCache at_cache_;  ///< forward received A^T blocks
   dist::SparseStageCache a_cache_;   ///< backward received A blocks

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <utility>
 
 #include "src/dense/gemm.hpp"
@@ -28,7 +30,7 @@ EpochStats EpochStats::reduce_max(const EpochStats& mine, Comm& comm) {
   constexpr std::size_t kPhases = Profiler::kNumPhases;
   constexpr std::size_t kCats = CostMeter::kNumCategories;
   std::vector<double> payload;
-  payload.reserve(2 + kPhases + 2 * kCats + 4);
+  payload.reserve(2 + kPhases + 2 * kCats + 3 + 4);
   payload.push_back(mine.result.loss);
   payload.push_back(mine.result.accuracy);
   for (std::size_t i = 0; i < kPhases; ++i) {
@@ -39,6 +41,9 @@ EpochStats EpochStats::reduce_max(const EpochStats& mine, Comm& comm) {
     payload.push_back(mine.comm.latency_units(cat));
     payload.push_back(mine.comm.words(cat));
   }
+  payload.push_back(mine.comm.overlap_serialized_seconds());
+  payload.push_back(mine.comm.overlap_overlapped_seconds());
+  payload.push_back(mine.comm.overlap_regions());
   payload.push_back(mine.work.spmm_seconds());
   payload.push_back(mine.work.gemm_seconds());
   payload.push_back(mine.work.spmm_flops());
@@ -59,6 +64,9 @@ EpochStats EpochStats::reduce_max(const EpochStats& mine, Comm& comm) {
     const double words = payload[k++];
     out.comm.add(cat, lat, words);
   }
+  out.comm.restore_overlap_totals(payload[k], payload[k + 1],
+                                  payload[k + 2]);
+  k += 3;
   out.work = WorkMeter::from_values(payload[k], payload[k + 1],
                                     payload[k + 2], payload[k + 3]);
   return out;
@@ -69,14 +77,39 @@ namespace dist {
 namespace {
 /// Not atomic on purpose: flip only between run_world invocations.
 bool g_epoch_cache_enabled = true;
+
+bool overlap_default_from_env() {
+  const char* v = std::getenv("CAGNET_OVERLAP");
+  if (v == nullptr) return true;
+  const std::string s(v);
+  return !(s == "0" || s == "off" || s == "OFF" || s == "false" ||
+           s == "FALSE");
+}
+
+/// Same discipline as the epoch cache: flip only between run_world
+/// invocations. Preset once from CAGNET_OVERLAP.
+bool g_overlap_enabled = overlap_default_from_env();
 }  // namespace
 
 bool epoch_cache_enabled() { return g_epoch_cache_enabled; }
 void set_epoch_cache_enabled(bool on) { g_epoch_cache_enabled = on; }
 
+bool overlap_enabled() { return g_overlap_enabled; }
+void set_overlap_enabled(bool on) { g_overlap_enabled = on; }
+
+void drain_comm(const Comm& comm) noexcept {
+  if (!comm.valid()) return;
+  try {
+    comm.quiesce();
+  } catch (...) {
+    // Aborted world: peers were released by the abort flag.
+  }
+}
+
 EpochResult reduce_loss_accuracy(const Matrix& local_log_probs, Index row_lo,
                                  const std::vector<Index>& labels,
-                                 Index labeled_count, Comm& comm) {
+                                 Index labeled_count, Comm& comm,
+                                 std::array<double, 4>* scratch) {
   double loss_sum = 0;
   double hits = 0;
   for (Index r = 0; r < local_log_probs.rows(); ++r) {
@@ -89,7 +122,20 @@ EpochResult reduce_loss_accuracy(const Matrix& local_log_probs, Index row_lo,
     if (pred == label) hits += 1;
   }
   std::array<double, 2> acc = {loss_sum, hits};
-  comm.allreduce_sum(std::span<double>(acc), CommCategory::kControl);
+  if (scratch != nullptr) {
+    // Nonblocking (overlap-mode) form: one lock-free rendezvous instead
+    // of four barrier phases. The caller owns the scratch lifetime and
+    // quiesces `comm` before reusing it.
+    (*scratch)[0] = acc[0];
+    (*scratch)[1] = acc[1];
+    comm.iallreduce_sum(std::span<const double>(scratch->data(), 2),
+                        std::span<double>(scratch->data() + 2, 2),
+                        CommCategory::kControl)
+        .wait();
+    acc = {(*scratch)[2], (*scratch)[3]};
+  } else {
+    comm.allreduce_sum(std::span<double>(acc), CommCategory::kControl);
+  }
   EpochResult result;
   result.loss = labeled_count > 0 ? acc[0] / static_cast<double>(labeled_count)
                                   : 0.0;
@@ -143,6 +189,261 @@ void allreduce_weight_gradient(Matrix& y_partial, Index f_in, Index f_out,
   comm.allreduce_sum(y_full.flat(), CommCategory::kDense);
 }
 
+void PendingDenseStage::post(const Matrix& mine, Matrix& recv, Index rows,
+                             Index cols, int root, Comm& comm,
+                             CommCategory cat) {
+  if (comm.rank() == root) {
+    CAGNET_CHECK(mine.rows() == rows && mine.cols() == cols,
+                 "PendingDenseStage: root block shape mismatch");
+    op_ = comm.ibroadcast_from(std::span<const Real>(mine.flat()),
+                               std::span<Real>{}, root, cat);
+    result_ = &mine;
+    return;
+  }
+  recv.resize(rows, cols);
+  op_ = comm.ibroadcast_from(std::span<const Real>{}, recv.flat(), root, cat);
+  result_ = &recv;
+}
+
+const Matrix* PendingDenseStage::wait() {
+  CAGNET_CHECK(result_ != nullptr, "PendingDenseStage: wait before post");
+  op_.wait();
+  const Matrix* result = result_;
+  result_ = nullptr;
+  return result;
+}
+
+void PendingCsrBcast::post_header(const Csr* mine, Csr& recv,
+                                  std::array<Index, 3>& header, int root,
+                                  Comm& comm, CommCategory cat) {
+  CAGNET_CHECK(stage_ == 0, "PendingCsrBcast: previous stage not waited");
+  const bool is_root = comm.rank() == root;
+  CAGNET_CHECK(is_root == (mine != nullptr),
+               "PendingCsrBcast: exactly the root must supply a block");
+  mine_ = mine;
+  recv_ = &recv;
+  comm_ = &comm;
+  cat_ = cat;
+  root_ = root;
+  header_ = &header;
+  if (is_root) {
+    header = {mine->rows(), mine->cols(), mine->nnz()};
+    header_op_ = comm.ibroadcast_from(std::span<const Index>(header),
+                                      std::span<Index>{}, root, cat);
+  } else {
+    header_op_ = comm.ibroadcast_from(std::span<const Index>{},
+                                      std::span<Index>(header), root, cat);
+  }
+  stage_ = 1;
+}
+
+void PendingCsrBcast::post_parts() {
+  CAGNET_CHECK(stage_ == 1, "PendingCsrBcast: post_parts without header");
+  header_op_.wait();
+  if (mine_ != nullptr) {
+    // The root publishes straight from its block's arrays — no staging
+    // copy, and the caller keeps using `mine` (its cache slot is left
+    // untouched).
+    parts_[0] = comm_->ibroadcast_from(mine_->row_ptr(), std::span<Index>{},
+                                       root_, cat_);
+    parts_[1] = comm_->ibroadcast_from(mine_->col_idx(), std::span<Index>{},
+                                       root_, cat_);
+    parts_[2] = comm_->ibroadcast_from(std::span<const Real>(mine_->values()),
+                                       std::span<Real>{}, root_, cat_);
+  } else {
+    recv_->resize_parts((*header_)[0], (*header_)[1], (*header_)[2]);
+    parts_[0] = comm_->ibroadcast_from(std::span<const Index>{},
+                                       recv_->row_ptr_mut(), root_, cat_);
+    parts_[1] = comm_->ibroadcast_from(std::span<const Index>{},
+                                       recv_->col_idx_mut(), root_, cat_);
+    parts_[2] = comm_->ibroadcast_from(std::span<const Real>{},
+                                       recv_->values(), root_, cat_);
+  }
+  stage_ = 2;
+}
+
+const Csr* PendingCsrBcast::wait() {
+  CAGNET_CHECK(stage_ == 2, "PendingCsrBcast: wait without post_parts");
+  for (PendingOp& op : parts_) op.wait();
+  stage_ = 0;
+  return mine_ != nullptr ? mine_ : recv_;
+}
+
+void overlapped_dense_stages(
+    int stages,
+    const std::function<void(int, PendingDenseStage&, Matrix&)>& post_stage,
+    const std::function<void(int, const Matrix*)>& compute_stage,
+    Matrix& recv0, Matrix& recv1, CostMeter& meter, const WorkMeter& work,
+    const MachineModel& machine, Profiler& profiler) {
+  PendingDenseStage dn[2];
+  Matrix* recv[2] = {&recv0, &recv1};
+  {
+    ScopedPhase scope(profiler, Phase::kDenseComm);
+    post_stage(0, dn[0], *recv[0]);
+  }
+  OverlapScope region(meter, work, machine);
+  for (int s = 0; s < stages; ++s) {
+    const int cur = s & 1;
+    const int nxt = 1 - cur;
+    const Matrix* block = nullptr;
+    {
+      ScopedPhase scope(profiler, Phase::kDenseComm);
+      block = dn[cur].wait();
+    }
+    region.close();  // stage s's arrival was in flight behind compute s-1
+    if (s + 1 < stages) {
+      ScopedPhase scope(profiler, Phase::kDenseComm);
+      post_stage(s + 1, dn[nxt], *recv[nxt]);
+    }
+    region.open();
+    compute_stage(s, block);
+  }
+  region.close();
+}
+
+void summa_stage_loop(const Csr& my_sparse, SparseStageCache& cache,
+                      Comm& sparse_comm, const Matrix& my_dense,
+                      Comm& dense_comm,
+                      const std::function<Index(int)>& stage_rows,
+                      int stages, Matrix& acc, const MachineModel& machine,
+                      EpochStats& stats, DistWorkspace& ws) {
+  const Index w = my_dense.cols();
+  CostMeter& meter = sparse_comm.meter();
+  const bool use_cache = cache.ready && epoch_cache_enabled();
+  if (use_cache) {
+    // The adjacency blocks are epoch-invariant: replay the recorded
+    // epoch-1 sparse charges instead of re-broadcasting identical bytes.
+    // Replayed (bulk) charges stay outside the overlap regions — only
+    // traffic that was actually in flight behind a compute is attributed.
+    ScopedPhase scope(stats.profiler, Phase::kSparseComm);
+    meter.merge_sum(cache.charges);
+  } else {
+    cache.charges.clear();
+    cache.blocks.resize(static_cast<std::size_t>(stages));
+    cache.own_stage.assign(static_cast<std::size_t>(stages), 0);
+    cache.headers.assign(static_cast<std::size_t>(stages), {0, 0, 0});
+  }
+
+  const auto spmm_stage = [&](const Csr* a, const Matrix* d) {
+    ScopedPhase scope(stats.profiler, Phase::kSpmm);
+    a->spmm(*d, acc, /*accumulate=*/true);
+    stats.work.add_spmm(machine, static_cast<double>(a->nnz()),
+                        static_cast<double>(w), block_degree(*a));
+  };
+  const auto cached_block = [&](int s) {
+    return cache.own_stage[static_cast<std::size_t>(s)]
+               ? &my_sparse
+               : &cache.blocks[static_cast<std::size_t>(s)];
+  };
+
+  if (!overlap_enabled() || stages == 1) {
+    // Blocking (synchronous) loop: stage s's blocks arrive, then stage s
+    // computes — each stage's communication is fully latency-exposed.
+    for (int s = 0; s < stages; ++s) {
+      const Csr* a = nullptr;
+      if (use_cache) {
+        a = cached_block(s);
+      } else {
+        ScopedPhase scope(stats.profiler, Phase::kSparseComm);
+        CostMeter before = meter;
+        a = broadcast_csr(sparse_comm.rank() == s ? &my_sparse : nullptr,
+                          cache.blocks[static_cast<std::size_t>(s)], s,
+                          sparse_comm, CommCategory::kSparse);
+        CostMeter delta = meter;
+        delta.subtract(before);
+        cache.charges.merge_sum(delta);
+        cache.own_stage[static_cast<std::size_t>(s)] = a == &my_sparse;
+      }
+      const Matrix* d = nullptr;
+      {
+        ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+        d = broadcast_dense_stage(my_dense, ws.stage_recv, stage_rows(s), w,
+                                  s, dense_comm, CommCategory::kDense);
+      }
+      spmm_stage(a, d);
+    }
+    cache.ready = epoch_cache_enabled();
+    return;
+  }
+
+  // Overlapped loop: stage s+1's sparse payloads and dense panel are in
+  // flight while stage s's SpMM runs; the CSR header travels one stage
+  // further ahead so the payloads can be sized and posted on time. The
+  // charge order per category is identical to the blocking loop (header s,
+  // payloads s, header s+1, ...), so metered totals are bitwise equal.
+  const bool live_sparse = !use_cache;
+  const auto sparse_section = [&](auto&& fn) {
+    ScopedPhase scope(stats.profiler, Phase::kSparseComm);
+    CostMeter before = meter;
+    fn();
+    CostMeter delta = meter;
+    delta.subtract(before);
+    cache.charges.merge_sum(delta);
+  };
+  const auto root_block = [&](int s) {
+    return sparse_comm.rank() == s ? &my_sparse : nullptr;
+  };
+
+  PendingCsrBcast sp[2];
+  PendingDenseStage dn[2];
+  Matrix* recv[2] = {&ws.stage_recv, &ws.stage_recv2};
+  if (live_sparse) {
+    sparse_section([&] {
+      sp[0].post_header(root_block(0), cache.blocks[0], cache.headers[0], 0,
+                        sparse_comm, CommCategory::kSparse);
+      sp[1].post_header(root_block(1), cache.blocks[1], cache.headers[1], 1,
+                        sparse_comm, CommCategory::kSparse);
+      sp[0].post_parts();
+    });
+  }
+  {
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    dn[0].post(my_dense, *recv[0], stage_rows(0), w, 0, dense_comm,
+               CommCategory::kDense);
+  }
+
+  OverlapScope region(meter, stats.work, machine);
+  for (int s = 0; s < stages; ++s) {
+    const int cur = s & 1;
+    const int nxt = 1 - cur;
+    const Csr* a = nullptr;
+    if (use_cache) {
+      a = cached_block(s);
+    } else {
+      sparse_section([&] {
+        a = sp[cur].wait();
+        cache.own_stage[static_cast<std::size_t>(s)] = a == &my_sparse;
+      });
+    }
+    const Matrix* d = nullptr;
+    {
+      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+      d = dn[cur].wait();
+    }
+    region.close();  // stage s's arrivals were in flight behind compute s-1
+    if (s + 1 < stages) {
+      if (live_sparse) {
+        sparse_section([&] {
+          if (s + 2 < stages) {
+            sp[cur].post_header(root_block(s + 2),
+                                cache.blocks[static_cast<std::size_t>(s + 2)],
+                                cache.headers[static_cast<std::size_t>(s + 2)],
+                                s + 2, sparse_comm, CommCategory::kSparse);
+          }
+          sp[nxt].post_parts();
+        });
+      }
+      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+      dn[nxt].post(my_dense, *recv[nxt], stage_rows(s + 1), w, s + 1,
+                   dense_comm, CommCategory::kDense);
+    }
+    region.open();
+    spmm_stage(a, d);
+  }
+  region.close();
+  cache.ready = epoch_cache_enabled();
+}
+
 const Csr* broadcast_csr(const Csr* mine, Csr& recv, int root, Comm& comm,
                          CommCategory cat) {
   const bool is_root = comm.rank() == root;
@@ -192,32 +493,67 @@ void partial_summa_times_weight(const Matrix& t, const Matrix& w, int parts,
   const auto [fo0, fo1] = block_range(f_out, parts, my_col);
   z.resize(local_rows, fo1 - fo0);
   z.set_zero();
-  for (int m = 0; m < parts; ++m) {
+
+  const auto gemm_stage = [&](int m, const Matrix* t_m) {
+    ScopedPhase scope(stats.profiler, Phase::kMisc);
     const auto [fm0, fm1] = block_range(f_in, parts, m);
-    const Matrix* t_m = nullptr;
-    {
-      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
-      t_m = broadcast_dense_stage(t, ws.stage_recv, local_rows, fm1 - fm0,
-                                  m, row_comm, CommCategory::kDense);
+    w.block_into(fm0, fo0, fm1 - fm0, fo1 - fo0, ws.w_block);
+    gemm(Trans::kNo, Trans::kNo, Real{1}, *t_m, ws.w_block, Real{1}, z);
+    stats.work.add_gemm(machine, 2.0 * static_cast<double>(local_rows) *
+                                     static_cast<double>(fm1 - fm0) *
+                                     static_cast<double>(fo1 - fo0));
+  };
+  const auto stage_cols = [&](int m) {
+    const auto [fm0, fm1] = block_range(f_in, parts, m);
+    return fm1 - fm0;
+  };
+
+  if (!overlap_enabled() || parts == 1) {
+    for (int m = 0; m < parts; ++m) {
+      const Matrix* t_m = nullptr;
+      {
+        ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+        t_m = broadcast_dense_stage(t, ws.stage_recv, local_rows,
+                                    stage_cols(m), m, row_comm,
+                                    CommCategory::kDense);
+      }
+      gemm_stage(m, t_m);
     }
-    {
-      ScopedPhase scope(stats.profiler, Phase::kMisc);
-      w.block_into(fm0, fo0, fm1 - fm0, fo1 - fo0, ws.w_block);
-      gemm(Trans::kNo, Trans::kNo, Real{1}, *t_m, ws.w_block, Real{1}, z);
-      stats.work.add_gemm(machine, 2.0 * static_cast<double>(local_rows) *
-                                       static_cast<double>(fm1 - fm0) *
-                                       static_cast<double>(fo1 - fo0));
-    }
+    return;
   }
+
+  // Overlapped: the stage-m+1 T panel is in flight while the stage-m GEMM
+  // accumulates. Source-release contract: peers may still be copying this
+  // rank's T panels after we return; the caller quiesces row_comm before
+  // T is next rewritten (the 2D/3D algebras do it at their stage-loop
+  // entry, where peers have long drained — off the critical path).
+  overlapped_dense_stages(
+      parts,
+      [&](int m, PendingDenseStage& dn, Matrix& recv) {
+        dn.post(t, recv, local_rows, stage_cols(m), m, row_comm,
+                CommCategory::kDense);
+      },
+      gemm_stage, ws.stage_recv, ws.stage_recv2, row_comm.meter(),
+      stats.work, machine, stats.profiler);
 }
 
 void allgather_feature_rows(const Matrix& local, Index full_cols, int parts,
                             Comm& row_comm, Profiler& profiler,
                             DistWorkspace& ws, Matrix& full) {
   {
+    // In overlap mode the nonblocking form (posted and waited in place)
+    // replaces the blocking one: same movement and identical charge, but
+    // a single lock-free rendezvous instead of two barrier phases.
     ScopedPhase scope(profiler, Phase::kDenseComm);
-    row_comm.allgatherv_into(std::span<const Real>(local.flat()),
-                             ws.gathered, CommCategory::kDense);
+    if (overlap_enabled()) {
+      row_comm
+          .iallgatherv_into(std::span<const Real>(local.flat()), ws.gathered,
+                            CommCategory::kDense)
+          .wait();
+    } else {
+      row_comm.allgatherv_into(std::span<const Real>(local.flat()),
+                               ws.gathered, CommCategory::kDense);
+    }
   }
   full.resize(local.rows(), full_cols);
   for (int jj = 0; jj < parts; ++jj) {
@@ -238,6 +574,11 @@ void assemble_weight_gradient(Matrix& y_slice, Index f_in, Index f_out,
                               int parts, Comm& reduce_comm, Comm& row_comm,
                               Profiler& profiler, DistWorkspace& ws,
                               Matrix& y) {
+  // Always the blocking form: in overlap mode the engine routes gradient
+  // assembly through begin_/finish_assemble_weight_gradient instead,
+  // whose per-layer staging gives every nonblocking source a stable
+  // lifetime (a workspace-backed nonblocking variant here would race a
+  // lagging row peer against the next call's buffer resize).
   {
     ScopedPhase scope(profiler, Phase::kDenseComm);
     reduce_comm.allreduce_sum(y_slice.flat(), CommCategory::kDense);
@@ -255,6 +596,106 @@ void assemble_weight_gradient(Matrix& y_slice, Index f_in, Index f_out,
                  "assemble_weight_gradient: slice size mismatch");
     std::copy(chunk.begin(), chunk.end(), y.data() + r0 * f_out);
   }
+}
+
+namespace {
+
+/// Grow-once access to pending-reduction slot `i`.
+template <typename T>
+T& pending_slot(std::vector<T>& v, std::size_t i) {
+  if (v.size() <= i) v.resize(i + 1);
+  return v[i];
+}
+
+}  // namespace
+
+void begin_allreduce_weight_gradient(Matrix& y_partial, Index f_in,
+                                     Index f_out, Comm& comm,
+                                     Profiler& profiler,
+                                     PendingGradReduce& pending,
+                                     Matrix& y_full) {
+  CAGNET_CHECK(y_partial.rows() == f_in && y_partial.cols() == f_out,
+               "reduce_gradients: unexpected partial shape");
+  ScopedPhase scope(profiler, Phase::kDenseComm);
+  if (pending.count == 0) {
+    // Release point for last epoch's staged partials (peers read them at
+    // their finish waits); long drained by now.
+    comm.quiesce();
+  }
+  const std::size_t i = pending.count++;
+  Matrix& src = pending_slot(pending.src, i);
+  src.resize(f_in, f_out);
+  std::copy(y_partial.flat().begin(), y_partial.flat().end(),
+            src.flat().begin());
+  y_full.resize(f_in, f_out);
+  pending_slot(pending.ops, i) = comm.iallreduce_sum(
+      std::span<const Real>(src.flat()), y_full.flat(),
+      CommCategory::kDense);
+}
+
+void finish_allreduce_weight_gradient(Profiler& profiler,
+                                      PendingGradReduce& pending) {
+  ScopedPhase scope(profiler, Phase::kDenseComm);
+  for (std::size_t i = 0; i < pending.count; ++i) pending.ops[i].wait();
+  pending.count = 0;
+}
+
+void begin_assemble_weight_gradient(Matrix& y_slice, Index f_in,
+                                    Index f_out, Comm& reduce_comm,
+                                    Profiler& profiler,
+                                    PendingGradReduce& pending,
+                                    Matrix& y_full) {
+  ScopedPhase scope(profiler, Phase::kDenseComm);
+  if (pending.count == 0) reduce_comm.quiesce();  // release last epoch's
+  const std::size_t i = pending.count++;
+  Matrix& src = pending_slot(pending.src, i);
+  src.resize(y_slice.rows(), y_slice.cols());
+  std::copy(y_slice.flat().begin(), y_slice.flat().end(),
+            src.flat().begin());
+  Matrix& reduced = pending_slot(pending.reduced, i);
+  reduced.resize(y_slice.rows(), y_slice.cols());
+  pending_slot(pending.ops, i) = reduce_comm.iallreduce_sum(
+      std::span<const Real>(src.flat()), reduced.flat(),
+      CommCategory::kDense);
+  pending_slot(pending.targets, i) = &y_full;
+  pending_slot(pending.dims, i) = {f_in, f_out};
+}
+
+void finish_assemble_weight_gradient(int parts, Comm& row_comm,
+                                     Profiler& profiler,
+                                     PendingGradReduce& pending) {
+  // Complete each layer's reduction and launch its slice all-gather
+  // before touching the next, so later layers' gathers are in flight
+  // while earlier layers unpack.
+  {
+    ScopedPhase scope(profiler, Phase::kDenseComm);
+    for (std::size_t i = 0; i < pending.count; ++i) {
+      pending.ops[i].wait();
+      auto& gathered = pending_slot(pending.gathered, i);
+      if (!gathered) gathered = std::make_unique<Gathered<Real>>();
+      pending_slot(pending.gather_ops, i) = row_comm.iallgatherv_into(
+          std::span<const Real>(pending.reduced[i].flat()), *gathered,
+          CommCategory::kDense);
+    }
+  }
+  for (std::size_t i = 0; i < pending.count; ++i) {
+    {
+      ScopedPhase scope(profiler, Phase::kDenseComm);
+      pending.gather_ops[i].wait();
+    }
+    const auto [f_in, f_out] = pending.dims[i];
+    Matrix& y = *pending.targets[i];
+    y.resize(f_in, f_out);
+    for (int jj = 0; jj < parts; ++jj) {
+      const auto [r0, r1] = block_range(f_in, parts, jj);
+      const auto chunk = pending.gathered[i]->chunk(jj);
+      CAGNET_CHECK(chunk.size() ==
+                       static_cast<std::size_t>((r1 - r0) * f_out),
+                   "finish_assemble_weight_gradient: slice size mismatch");
+      std::copy(chunk.begin(), chunk.end(), y.data() + r0 * f_out);
+    }
+  }
+  pending.count = 0;
 }
 
 Csr route_csr(const Csr& mine, int dest, Comm& comm, CommCategory cat) {

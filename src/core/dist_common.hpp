@@ -1,6 +1,8 @@
 // Shared machinery of the distributed GNN trainers (1D / 1.5D / 2D / 3D).
 #pragma once
 
+#include <array>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -35,9 +37,18 @@ struct EpochStats {
   WorkMeter work;       ///< modeled local-kernel seconds (this rank)
 
   /// Modeled epoch seconds on the target machine: communication under
-  /// alpha-beta plus modeled local kernels.
+  /// alpha-beta plus modeled local kernels, with every phase serialized
+  /// (the paper's bulk-synchronous reading).
   double modeled_seconds(const MachineModel& m) const {
     return comm.modeled_seconds(m) + work.total_seconds();
+  }
+
+  /// Modeled epoch seconds when each overlapped region pays
+  /// max(comm, compute) instead of comm + compute (see CostMeter's overlap
+  /// accounting). Equals modeled_seconds when nothing was overlapped.
+  /// Note: the per-region fold uses the machine the run was recorded with.
+  double modeled_seconds_overlap(const MachineModel& m) const {
+    return modeled_seconds(m) - comm.overlap_saved_seconds();
   }
 
   /// Collective: component-wise max over ranks (bulk-synchronous epochs
@@ -81,11 +92,26 @@ namespace dist {
 bool epoch_cache_enabled();
 void set_epoch_cache_enabled(bool on);
 
+/// Process-global switch for compute/communication overlap (default on;
+/// the CAGNET_OVERLAP env var, read once at startup, can preset it — "0",
+/// "off", or "false" disable). When on, the SUMMA-style loops
+/// double-buffer their stage broadcasts through the nonblocking layer and
+/// the 1.5D replica reduction is overlapped with the next local multiply.
+/// Losses, embeddings, and metered words/latency are bitwise identical in
+/// both modes (tests/dist_test.cpp asserts it); only wall time and the
+/// overlap accounting change. Not per-trainer state: flip it only between
+/// run_world invocations.
+bool overlap_enabled();
+void set_overlap_enabled(bool on);
+
 /// Reusable dense/staging buffers for the shared SUMMA helpers. One per
 /// algebra instance; after the first epoch the hot path stops allocating.
 /// The helpers never nest, so sharing the buffers between them is safe.
 struct DistWorkspace {
   Matrix stage_recv;        ///< per-stage dense broadcast receive buffer
+  Matrix stage_recv2;       ///< double-buffer partner of stage_recv (the
+                            ///< overlapped loops receive stage k+1 here
+                            ///< while stage k is still being consumed)
   Matrix w_block;           ///< partial-SUMMA weight sub-block
   Gathered<Real> gathered;  ///< all-gather staging
 };
@@ -103,6 +129,12 @@ struct SparseStageCache {
   bool ready = false;
   std::vector<Csr> blocks;      ///< per stage; unused when own_stage[k]
   std::vector<char> own_stage;  ///< stage roots keep using their own block
+  /// Per-stage (rows, cols, nnz) header staging for the nonblocking CSR
+  /// broadcasts: headers must outlive the loop (peers read a stage root's
+  /// header at their own pace), so they live here rather than on the
+  /// loop's stack. Rewritten only by the next uncached epoch, behind the
+  /// stage-loop entry quiesce.
+  std::vector<std::array<Index, 3>> headers;
   CostMeter charges;            ///< epoch-1 sparse charges to replay
 };
 
@@ -115,12 +147,22 @@ struct TransposeCache {
   CostMeter end_charges;
 };
 
+/// quiesce() a communicator without propagating abort errors — the
+/// building block of DistSpmmAlgebra::drain overrides (no-op on invalid
+/// Comms, so never-initialized sub-communicators are safe to pass).
+void drain_comm(const Comm& comm) noexcept;
+
 /// Global mean NLL loss and accuracy from a local row block of output
 /// log-probabilities. `row_lo` is the first global row of the block.
 /// Reduces (loss_sum, hits, labeled) across ranks as control traffic.
+/// In overlap mode pass `scratch` — persistent storage (e.g. engine-owned)
+/// for the nonblocking reduction's (src, dst) pairs — and quiesce `comm`
+/// before the next call overwrites it; with scratch == nullptr the
+/// reduction is the blocking all-reduce. Charges are identical.
 EpochResult reduce_loss_accuracy(const Matrix& local_log_probs, Index row_lo,
                                  const std::vector<Index>& labels,
-                                 Index labeled_count, Comm& comm);
+                                 Index labeled_count, Comm& comm,
+                                 std::array<double, 4>* scratch = nullptr);
 
 /// dL/d(H^L) for the local row block under global-mean NLL.
 Matrix local_nll_gradient(const Matrix& local_log_probs, Index row_lo,
@@ -147,6 +189,132 @@ const Csr* broadcast_csr(const Csr* mine, Csr& recv, int root, Comm& comm,
 const Matrix* broadcast_dense_stage(const Matrix& mine, Matrix& recv,
                                     Index rows, Index cols, int root,
                                     Comm& comm, CommCategory cat);
+
+/// Nonblocking counterpart of broadcast_dense_stage: post() ships the
+/// stage without a staging copy and without blocking; wait() completes the
+/// receive and returns the usable block (the root's own `mine`, or
+/// `recv`). Charges are identical to the blocking form, applied at wait.
+/// `mine` (root) and `recv` (everyone else) must stay valid and unmodified
+/// until every rank of `comm` has waited.
+class PendingDenseStage {
+ public:
+  void post(const Matrix& mine, Matrix& recv, Index rows, Index cols,
+            int root, Comm& comm, CommCategory cat);
+  const Matrix* wait();
+
+ private:
+  PendingOp op_;
+  const Matrix* result_ = nullptr;
+};
+
+/// Nonblocking counterpart of broadcast_csr, pipelined in two steps
+/// because the receivers cannot size their buffers until the (rows, cols,
+/// nnz) header lands: post_header() ships the header; post_parts() —
+/// which first completes the header — sizes `recv` and posts the
+/// row_ptr/col_idx/values payloads; wait() completes them and returns the
+/// usable block (the root's `mine`, or `recv`). The SUMMA loops post the
+/// header two stages ahead and the payloads one stage ahead, so the bulk
+/// arrays are always in flight behind a whole local SpMM. Charges are
+/// identical to broadcast_csr, applied as each piece is waited.
+class PendingCsrBcast {
+ public:
+  /// `mine` non-null exactly on the root; `recv` is the receive block
+  /// whose storage is reused (roots may pass their own cache slot — it is
+  /// left untouched); `header` is caller-owned (rows, cols, nnz) staging
+  /// that must stay valid until the communicator's release point — stack
+  /// storage is NOT enough, since the root's wait is passive and peers
+  /// read the header at their own pace (SparseStageCache::headers is the
+  /// loop's stable slot for it).
+  void post_header(const Csr* mine, Csr& recv, std::array<Index, 3>& header,
+                   int root, Comm& comm, CommCategory cat);
+  /// Complete the header, size the receive buffers, post the payloads.
+  void post_parts();
+  /// Complete the payloads; returns the usable block.
+  const Csr* wait();
+
+ private:
+  std::array<Index, 3>* header_ = nullptr;  ///< caller-owned staging
+  PendingOp header_op_;
+  PendingOp parts_[3];
+  const Csr* mine_ = nullptr;
+  Csr* recv_ = nullptr;
+  Comm* comm_ = nullptr;
+  CommCategory cat_ = CommCategory::kSparse;
+  int root_ = 0;
+  int stage_ = 0;  ///< 0 idle, 1 header posted, 2 payloads posted
+};
+
+/// Bookkeeping for CostMeter's overlap accounting in the double-buffered
+/// loops: open() marks the start of one overlapped compute block, close()
+/// ends it, pairing the modeled local-kernel seconds recorded by `work`
+/// in between against the comm charged to `meter` in the same window.
+/// The loops call close() right after the waits of stage k+1 (whose
+/// charges are the comm that was in flight) and open() right before the
+/// stage-k+1 compute, so each region is exactly one stage of overlap.
+class OverlapScope {
+ public:
+  OverlapScope(CostMeter& meter, const WorkMeter& work,
+               const MachineModel& machine)
+      : meter_(meter), work_(work), machine_(machine) {}
+  ~OverlapScope() { close(); }
+
+  OverlapScope(const OverlapScope&) = delete;
+  OverlapScope& operator=(const OverlapScope&) = delete;
+
+  void open() {
+    meter_.begin_overlap_region();
+    work_mark_ = work_.total_seconds();
+    open_ = true;
+  }
+  void close() {
+    if (!open_) return;
+    meter_.end_overlap_region(machine_, work_.total_seconds() - work_mark_);
+    open_ = false;
+  }
+
+ private:
+  CostMeter& meter_;
+  const WorkMeter& work_;
+  MachineModel machine_;
+  double work_mark_ = 0;
+  bool open_ = false;
+};
+
+/// The generic dense double-buffer pipeline behind every overlapped
+/// broadcast-stage loop: posts stage 0, then for each stage waits its
+/// panel, closes the overlap region (so the charges of the waits are
+/// paired with the previous stage's compute), posts stage s+1 into the
+/// other receive buffer, reopens the region, and runs `compute_stage`.
+/// `post_stage(s, dn, recv)` must post stage s's broadcast on `dn`
+/// receiving into `recv`; `compute_stage(s, block)` consumes the stage.
+/// Keeping the close/post/open ordering in one place keeps the overlap
+/// accounting invariant from drifting between the loops. (The 2D/3D
+/// summa_stage_loop keeps its own interleaved variant because sparse
+/// pipelining is threaded through the same iteration.)
+void overlapped_dense_stages(
+    int stages,
+    const std::function<void(int, PendingDenseStage&, Matrix&)>& post_stage,
+    const std::function<void(int, const Matrix*)>& compute_stage,
+    Matrix& recv0, Matrix& recv1, CostMeter& meter, const WorkMeter& work,
+    const MachineModel& machine, Profiler& profiler);
+
+/// The shared SUMMA accumulation loop of the 2D and 3D algebras: for each
+/// stage s, the stage-root's sparse block travels along `sparse_comm`
+/// (kSparse; received into and cached by `cache`, replayed from it in
+/// cached epochs) and the stage-root's dense block — (stage_rows(s) x
+/// my_dense.cols()), root s — travels along `dense_comm` (kDense); the
+/// local SpMM accumulates into `acc`. With overlap enabled, stage s+1's
+/// sparse payloads and dense panel are posted through the nonblocking
+/// layer before stage s's SpMM runs (the CSR header travels two stages
+/// ahead), cached blocks are served from the same buffers the prefetch
+/// lands in, and every stage is recorded as one overlap region. Metered
+/// charges are identical in both modes, in the same per-category order.
+void summa_stage_loop(const Csr& my_sparse, SparseStageCache& cache,
+                      Comm& sparse_comm, const Matrix& my_dense,
+                      Comm& dense_comm,
+                      const std::function<Index(int)>& stage_rows,
+                      int stages, Matrix& acc, const MachineModel& machine,
+                      EpochStats& stats, DistWorkspace& ws);
 
 /// Complete a rows-whole weight gradient: move the (f_in x f_out) local
 /// partial into `y_full` (buffer swap, no copy) and all-reduce it over
@@ -181,6 +349,50 @@ void assemble_weight_gradient(Matrix& y_slice, Index f_in, Index f_out,
                               int parts, Comm& reduce_comm, Comm& row_comm,
                               Profiler& profiler, DistWorkspace& ws,
                               Matrix& y);
+
+/// Per-epoch state of the deferred (overlap-mode) gradient reductions:
+/// one entry per layer, all storage reused across epochs. The begin_/
+/// finish_ helpers below implement DistSpmmAlgebra::begin_reduce_gradients
+/// / finish_gradients for the two layout families, so the reductions are
+/// in flight behind the remaining backward layers.
+struct PendingGradReduce {
+  std::vector<Matrix> src;                 ///< staged partials (per layer)
+  std::vector<Matrix> reduced;             ///< slice-family reduce targets
+  /// Slice-family gather staging. unique_ptr: in-flight gathers hold the
+  /// slot's address, which must survive the vector growing more slots.
+  std::vector<std::unique_ptr<Gathered<Real>>> gathered;
+  std::vector<PendingOp> ops;              ///< in-flight reductions
+  std::vector<PendingOp> gather_ops;       ///< slice-family gathers
+  std::vector<Matrix*> targets;            ///< y_full per layer
+  std::vector<std::pair<Index, Index>> dims;  ///< (f_in, f_out) per layer
+  std::size_t count = 0;                   ///< layers posted this epoch
+};
+
+/// Rows-whole family (1D / 1.5D) deferred gradient reduction: stage a
+/// copy of `y_partial` (releasing it immediately) and post its
+/// nonblocking all-reduce straight into `y_full`; the finish form waits
+/// every posted op. Charges are identical to allreduce_weight_gradient.
+void begin_allreduce_weight_gradient(Matrix& y_partial, Index f_in,
+                                     Index f_out, Comm& comm,
+                                     Profiler& profiler,
+                                     PendingGradReduce& pending,
+                                     Matrix& y_full);
+void finish_allreduce_weight_gradient(Profiler& profiler,
+                                      PendingGradReduce& pending);
+
+/// Slice family (2D / 3D) deferred gradient assembly: stage a copy of
+/// `y_slice` and post its nonblocking sum over `reduce_comm`; the finish
+/// form completes each reduction, all-gathers the reduced slices along
+/// `row_comm`, and unpacks into the recorded y_full targets. Charges are
+/// identical to assemble_weight_gradient.
+void begin_assemble_weight_gradient(Matrix& y_slice, Index f_in,
+                                    Index f_out, Comm& reduce_comm,
+                                    Profiler& profiler,
+                                    PendingGradReduce& pending,
+                                    Matrix& y_full);
+void finish_assemble_weight_gradient(int parts, Comm& row_comm,
+                                     Profiler& profiler,
+                                     PendingGradReduce& pending);
 
 /// Partial SUMMA Z = T W with W replicated: only T moves, broadcast along
 /// `row_comm` (`parts` ranks; this rank is column `my_col` and contributes

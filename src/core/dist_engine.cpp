@@ -41,6 +41,14 @@ Matrix DistSpmmAlgebra::gather_output(const Matrix& output_rows, Index n) {
   return full;
 }
 
+DistEngine::~DistEngine() {
+  if (algebra_ == nullptr) return;
+  // Peers may still be reading this engine's loss scratch (world) or the
+  // algebra's broadcast sources; release both before the buffers die.
+  algebra_->drain();
+  dist::drain_comm(algebra_->world());
+}
+
 DistEngine::DistEngine(const DistProblem& problem, GnnConfig config,
                        std::unique_ptr<DistSpmmAlgebra> algebra)
     : problem_(problem), config_(std::move(config)),
@@ -154,9 +162,9 @@ void DistEngine::backward() {
                                static_cast<double>(fi1 - fi0) *
                                static_cast<double>(f_out));
     }
-    algebra_->reduce_gradients(y_buf_, f_in, f_out,
-                               gradients_[static_cast<std::size_t>(l - 1)],
-                               stats_);
+    algebra_->begin_reduce_gradients(
+        y_buf_, f_in, f_out, gradients_[static_cast<std::size_t>(l - 1)],
+        stats_);
 
     if (l > 1) {
       // G^(l-1) = (U (W^l)^T) ⊙ relu'(Z^(l-1)); only the local feature
@@ -183,6 +191,9 @@ void DistEngine::backward() {
   }
 
   algebra_->end_backward(stats_);
+  // Deferred (overlap-mode) gradient reductions complete here, having
+  // flown behind the backward recurrence; the optimizer step needs them.
+  algebra_->finish_gradients(stats_);
 }
 
 void DistEngine::step() {
@@ -195,13 +206,22 @@ EpochResult DistEngine::train_epoch() {
   const CostMeter before = world.meter();
   stats_ = EpochStats{};
 
+  const bool overlap = dist::overlap_enabled() && world.size() > 1;
+  if (overlap) {
+    // Release point for the previous epoch's nonblocking loss reduction:
+    // peers read this rank's loss scratch at their waits, and it is
+    // rewritten below. A handful of atomic loads when already drained.
+    world.quiesce();
+  }
+
   forward();
   // Replicas hold identical output rows; only the primary copies
   // contribute loss terms to the global reduction.
   const Matrix empty(0, config_.dims.back());
   stats_.result = dist::reduce_loss_accuracy(
       algebra_->owns_loss_rows() ? output_rows_ : empty, algebra_->row_lo(),
-      problem_.graph->labels, problem_.labeled_count, world);
+      problem_.graph->labels, problem_.labeled_count, world,
+      overlap ? &loss_scratch_ : nullptr);
   backward();
   step();
 

@@ -12,6 +12,7 @@
 // one algebra subclass plus a registry entry (algebra_registry.hpp).
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -40,20 +41,25 @@ class DistSpmmAlgebra {
   DistSpmmAlgebra(const DistSpmmAlgebra&) = delete;
   DistSpmmAlgebra& operator=(const DistSpmmAlgebra&) = delete;
 
-  /// Registry / display name ("1d", "2d", ...).
+  /// Registry / display name ("1d", "2d", ...). Purely local.
   virtual const char* name() const = 0;
 
-  /// The world communicator (loss reduction, stats, meter deltas).
+  /// The world communicator (loss reduction, stats, meter deltas). The
+  /// returned Comm's meter carries every charge this algebra makes, since
+  /// meters are shared across split sub-communicators.
   virtual Comm& world() = 0;
 
-  /// Target machine for modeled local-kernel work.
+  /// Target machine for modeled local-kernel work and for folding overlap
+  /// regions (CostMeter overlap accounting). Purely local.
   const MachineModel& machine() const { return machine_; }
 
-  // ---- Local layout ----
+  // ---- Local layout (all purely local queries) ----
 
-  /// Global row range [row_lo, row_hi) of this rank's H/G/Z blocks.
+  /// First global row of this rank's H/G/Z blocks.
   virtual Index row_lo() const = 0;
+  /// One past the last global row of this rank's H/G/Z blocks.
   virtual Index row_hi() const = 0;
+  /// Row count of this rank's H/G/Z blocks.
   Index local_rows() const { return row_hi() - row_lo(); }
 
   /// Column range [c0, c1) of an f-wide feature dimension stored locally.
@@ -80,48 +86,90 @@ class DistSpmmAlgebra {
   // must not alias inputs.
 
   /// Forward propagation T = A^T H: `h` is the local block of H^(l-1),
-  /// `t` receives the local block of T in the same layout.
+  /// `t` receives the local block of T in the same layout. Collective.
+  /// Charges: the family's broadcast/reduction stages — kSparse for
+  /// adjacency blocks (2D/3D SUMMA stages; replayed from the epoch cache
+  /// after epoch 1), kDense for activation panels and the completing
+  /// reductions. With overlap enabled, stage k+1's blocks are in flight
+  /// behind stage k's local SpMM, and (1.5D) the team reduction of T may
+  /// be left pending for times_weight to drain — charges and results are
+  /// bitwise identical either way.
   virtual void spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) = 0;
 
   /// Backward propagation U = A G: `g` is the local block of G^l, `u`
   /// receives the local block of U. Called between begin_backward() and
-  /// end_backward() (the 2D/3D families materialize A there).
+  /// end_backward() (the 2D/3D families materialize A there). Collective;
+  /// charges like spmm_at (on the transposed-adjacency blocks).
   virtual void spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) = 0;
 
   /// Z = T W with W replicated: `t` is the local block of T, `z` receives
   /// the local block of Z. Default: purely local GEMM (rows-whole
-  /// layouts); the 2D/3D families override with their partial-SUMMA row
-  /// broadcasts.
+  /// layouts; charges nothing); the 2D/3D families override with their
+  /// partial-SUMMA row broadcasts (kDense), and 1.5D overrides in overlap
+  /// mode to drain the deferred team reduction of T chunk-by-chunk behind
+  /// the GEMM. Collective whenever communication is involved.
   virtual void times_weight(const Matrix& t, const Matrix& w, Matrix& z,
                             EpochStats& stats);
 
   /// Assemble full rows (local_rows x f) from the local feature slice —
   /// the row-wise all-gather forced by log-softmax's row dependence and
   /// reused for the weight-gradient operand. Default: identity copy
-  /// (rows-whole layouts move nothing; the engine skips the call).
+  /// (rows-whole layouts move nothing; the engine skips the call). The
+  /// 2D/3D overrides are collective over the process row and charge
+  /// kDense for the received slices.
   virtual void gather_feature_rows(const Matrix& local, Index f,
                                    Matrix& full, EpochStats& stats);
 
   /// Complete the weight gradient Y^l = (H^(l-1))^T (A G^l): `y_partial`
   /// is this rank's partial (feat_slice(f_in) width x f_out), consumed as
   /// reduction scratch; `y_full` receives the fully replicated
-  /// (f_in x f_out) gradient on every rank.
+  /// (f_in x f_out) gradient on every rank. Collective; charges kDense
+  /// for the all-reduce (and, 2D/3D, the slice all-gather).
   virtual void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
                                 Matrix& y_full, EpochStats& stats) = 0;
 
+  /// Overlap-mode split of reduce_gradients: begin posts the reduction of
+  /// this layer's partial through the nonblocking layer (staging a copy,
+  /// so `y_partial` is released immediately) and returns; finish — called
+  /// once per epoch, after the backward recurrence — completes every
+  /// posted reduction into its `y_full`. The reductions are therefore in
+  /// flight behind the remaining backward layers' compute. Charges are
+  /// identical to reduce_gradients (every charge value is an integer
+  /// count of bytes over the 8-byte word — an exactly-representable
+  /// dyadic — so per-category sums are order-independent and bitwise
+  /// equal). Default: synchronous fallback (begin == reduce_gradients,
+  /// finish == no-op), which is also the blocking-mode behavior.
+  virtual void begin_reduce_gradients(Matrix& y_partial, Index f_in,
+                                      Index f_out, Matrix& y_full,
+                                      EpochStats& stats) {
+    reduce_gradients(y_partial, f_in, f_out, y_full, stats);
+  }
+  virtual void finish_gradients(EpochStats& stats) { (void)stats; }
+
   /// Assemble the full (n x f) output on every rank from the full-row local
-  /// output block (control traffic; parity tests and inference). Default:
-  /// rank-ordered all-gather over gather_comm().
+  /// output block (parity tests and inference). Default: rank-ordered
+  /// all-gather over gather_comm(), charged as kControl so it never
+  /// perturbs the modeled training volumes. Collective.
   virtual Matrix gather_output(const Matrix& output_rows, Index n);
 
   // ---- Epoch hooks ----
 
   /// Called before the backward recurrence; the 2D/3D families run their
-  /// distributed transpose A^T -> A here (the paper's "trpose" phase).
+  /// distributed transpose A^T -> A here (the paper's "trpose" phase,
+  /// charged as kTranspose; replayed from the transpose cache after
+  /// epoch 1). Collective for those families, a local no-op by default.
   virtual void begin_backward(EpochStats& stats) { (void)stats; }
 
-  /// Called after the backward recurrence; undoes begin_backward().
+  /// Called after the backward recurrence; undoes begin_backward()
+  /// (charged/replayed symmetrically). Collective for the transpose
+  /// families, a local no-op by default.
   virtual void end_backward(EpochStats& stats) { (void)stats; }
+
+  /// Release every nonblocking-collective source peers may still be
+  /// reading (quiesce this algebra's communicators, swallowing abort
+  /// errors). The engine destructor calls it before the activation
+  /// buffers those peers read from are freed; charges nothing.
+  virtual void drain() noexcept {}
 
  protected:
   /// Communicator whose rank-ordered all-gather of full-row output blocks
@@ -143,17 +191,42 @@ class DistEngine : public DistTrainer {
   DistEngine(const DistProblem& problem, GnnConfig config,
              std::unique_ptr<DistSpmmAlgebra> algebra);
 
+  /// Drains the algebra's pending nonblocking reads (see
+  /// DistSpmmAlgebra::drain) before the activation buffers are freed.
+  ~DistEngine() override;
+
+  /// One full-batch epoch (forward, loss, backward, SGD step). Collective
+  /// over the algebra's world; the returned loss/accuracy are already
+  /// globally reduced (the reduction itself is charged as kControl).
+  /// last_epoch_stats().comm afterwards holds this rank's per-epoch meter
+  /// delta, including the overlap-accounting totals.
   EpochResult train_epoch() override;
+
+  /// Stats of the most recent epoch (this rank's view). Purely local.
   const EpochStats& last_epoch_stats() const override { return stats_; }
+
+  /// Collective: the most recent epoch's stats max-reduced over the world
+  /// (bulk-synchronous epochs are paced by the slowest rank); the
+  /// reduction travels as kControl.
   EpochStats reduce_epoch_stats() const override;
+
+  /// Collective: assemble the full (n x f) output log-probability matrix
+  /// on every rank (kControl traffic; parity tests and inference).
   Matrix gather_output() override;
+
+  /// Replicated weight matrices (bitwise identical on every rank by
+  /// construction). Purely local.
   const std::vector<Matrix>& weights() const override { return weights_; }
 
+  /// Training configuration (identical on every rank). Purely local.
   const GnnConfig& config() const { return config_; }
+  /// The partitioning strategy driving this engine. Purely local access;
+  /// calling algebra methods directly re-enters the collective contract.
   DistSpmmAlgebra& algebra() { return *algebra_; }
   const DistSpmmAlgebra& algebra() const { return *algebra_; }
 
   /// Full rows of this rank's block of H^L (valid after an epoch).
+  /// Purely local.
   const Matrix& local_output() const { return output_rows_; }
 
  private:
@@ -183,6 +256,10 @@ class DistEngine : public DistTrainer {
   Matrix dh_buf_;      ///< U (W^l)^T before the ReLU mask
   Matrix y_buf_;       ///< weight-gradient slice partial
   Matrix w_rows_buf_;  ///< feat-sliced rows of W for the G recurrence
+
+  /// Persistent (src, dst) pairs of the overlap-mode nonblocking loss
+  /// reduction; released by the quiesce at the next epoch's start.
+  std::array<double, 4> loss_scratch_ = {};
 
   EpochStats stats_;
 };

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "src/comm/comm.hpp"
@@ -565,6 +567,450 @@ TEST(RootDirectBroadcast, DeliversRootDataAndChargesLikeBroadcast) {
     EXPECT_EQ(got.latency_units(CommCategory::kDense),
               want.latency_units(CommCategory::kDense));
   }
+}
+
+// ---- Invalid-communicator diagnostics ----
+// A default-constructed Comm is invalid; every collective must fail with a
+// clear Error instead of dereferencing null state (regression for the
+// formerly undiagnosed `Comm() = default` misuse).
+
+TEST(InvalidComm, CollectivesFailWithDiagnostic) {
+  Comm comm;  // default-constructed: invalid
+  ASSERT_FALSE(comm.valid());
+  ASSERT_EQ(comm.size(), 0);
+  std::vector<Real> data(4, 1.0);
+  Gathered<Real> gathered;
+  EXPECT_THROW(comm.barrier(), Error);
+  EXPECT_THROW(comm.meter(), Error);
+  EXPECT_THROW(comm.quiesce(), Error);
+  EXPECT_THROW(comm.split(0, 0), Error);
+  EXPECT_THROW(comm.broadcast(std::span<Real>(data), 0,
+                              CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.broadcast_from(std::span<const Real>(data),
+                                   std::span<Real>{}, 0,
+                                   CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.allreduce_sum(std::span<Real>(data),
+                                  CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.allreduce_max(std::span<Real>(data),
+                                  CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.reduce_scatter_sum(std::span<const Real>(data),
+                                       std::span<Real>(data),
+                                       CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.allgather(std::span<const Real>(data),
+                              CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.allgatherv_into(std::span<const Real>(data), gathered,
+                                    CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.exchange(std::span<const Real>(data), 0,
+                             CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.route(std::span<const Real>(data), 0,
+                          CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.gather(std::span<const Real>(data), 0,
+                           CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.ibroadcast_from(std::span<const Real>(data),
+                                    std::span<Real>{}, 0,
+                                    CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.ireduce_scatter_sum(std::span<const Real>(data),
+                                        std::span<Real>(data),
+                                        CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.iallgatherv_into(std::span<const Real>(data), gathered,
+                                     CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.iallreduce_sum(std::span<const Real>(data),
+                                   std::span<Real>(data),
+                                   CommCategory::kDense),
+               Error);
+  try {
+    comm.barrier();
+    FAIL() << "barrier on invalid Comm did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invalid Comm"), std::string::npos);
+  }
+}
+
+// ---- Nonblocking collectives ----
+
+TEST(Nonblocking, BroadcastDeliversAndChargesLikeBlocking) {
+  const int p = 4;
+  std::vector<CostMeter> meters;
+  run_world(
+      p,
+      [&](Comm& comm) {
+        const int root = 2;
+        std::vector<Real> src;
+        std::vector<Real> dst(31, -1);
+        if (comm.rank() == root) {
+          src.resize(31);
+          for (std::size_t i = 0; i < src.size(); ++i) {
+            src[i] = static_cast<Real>(i) * 0.25;
+          }
+        }
+        PendingOp op = comm.ibroadcast_from(std::span<const Real>(src),
+                                            std::span<Real>(dst), root,
+                                            CommCategory::kDense);
+        EXPECT_TRUE(op.pending());
+        op.wait();
+        EXPECT_FALSE(op.pending());
+        op.wait();  // idempotent
+        if (comm.rank() != root) {
+          for (std::size_t i = 0; i < dst.size(); ++i) {
+            ASSERT_DOUBLE_EQ(dst[i], static_cast<Real>(i) * 0.25);
+          }
+        }
+        comm.quiesce();  // src may be released now
+      },
+      &meters);
+  // Identical charge to the blocking broadcast: lg 4 = 2 latency units,
+  // 31 words, on every rank.
+  for (const auto& m : meters) {
+    EXPECT_DOUBLE_EQ(m.latency_units(CommCategory::kDense), 2.0);
+    EXPECT_DOUBLE_EQ(m.words(CommCategory::kDense), 31.0);
+  }
+}
+
+TEST(Nonblocking, OutOfOrderWaitsComplete) {
+  run_world(3, [](Comm& comm) {
+    std::vector<Real> src1, src2;
+    std::vector<Real> dst1(8, -1), dst2(5, -1);
+    if (comm.rank() == 0) {
+      src1.assign(8, 10.0);
+      src2.assign(5, 20.0);
+    }
+    PendingOp op1 = comm.ibroadcast_from(std::span<const Real>(src1),
+                                         std::span<Real>(dst1), 0,
+                                         CommCategory::kDense);
+    PendingOp op2 = comm.ibroadcast_from(std::span<const Real>(src2),
+                                         std::span<Real>(dst2), 0,
+                                         CommCategory::kDense);
+    // Waits in reverse posting order must both complete.
+    op2.wait();
+    op1.wait();
+    if (comm.rank() != 0) {
+      for (Real v : dst1) ASSERT_DOUBLE_EQ(v, 10.0);
+      for (Real v : dst2) ASSERT_DOUBLE_EQ(v, 20.0);
+    }
+    comm.quiesce();
+  });
+}
+
+TEST(Nonblocking, PostedButUnwaitedOpCompletesOnDestruction) {
+  std::vector<CostMeter> meters;
+  run_world(
+      2,
+      [&](Comm& comm) {
+        std::vector<Real> src;
+        std::vector<Real> dst(6, -1);
+        if (comm.rank() == 0) src.assign(6, 7.5);
+        {
+          PendingOp op = comm.ibroadcast_from(std::span<const Real>(src),
+                                              std::span<Real>(dst), 0,
+                                              CommCategory::kDense);
+          // Dropped without wait(): the destructor must complete it.
+        }
+        if (comm.rank() == 1) {
+          for (Real v : dst) ASSERT_DOUBLE_EQ(v, 7.5);
+        }
+        comm.quiesce();
+      },
+      &meters);
+  // The charge is applied by the destructor's implicit wait.
+  for (const auto& m : meters) {
+    EXPECT_DOUBLE_EQ(m.words(CommCategory::kDense), 6.0);
+  }
+}
+
+TEST(Nonblocking, ReduceScatterMatchesBlocking) {
+  const int p = 3;
+  std::vector<CostMeter> meters, blocking_meters;
+  std::vector<std::vector<Real>> outs(p), blocking_outs(p);
+  run_world(
+      p,
+      [&](Comm& comm) {
+        std::vector<Real> contrib(9);
+        for (std::size_t i = 0; i < contrib.size(); ++i) {
+          contrib[i] = static_cast<Real>(i + comm.rank());
+        }
+        std::vector<Real> out(static_cast<std::size_t>(comm.rank()) + 2);
+        PendingOp op = comm.ireduce_scatter_sum(
+            std::span<const Real>(contrib), std::span<Real>(out),
+            CommCategory::kDense);
+        op.wait();
+        comm.quiesce();
+        outs[static_cast<std::size_t>(comm.rank())] = out;
+      },
+      &meters);
+  run_world(
+      p,
+      [&](Comm& comm) {
+        std::vector<Real> contrib(9);
+        for (std::size_t i = 0; i < contrib.size(); ++i) {
+          contrib[i] = static_cast<Real>(i + comm.rank());
+        }
+        std::vector<Real> out(static_cast<std::size_t>(comm.rank()) + 2);
+        comm.reduce_scatter_sum(std::span<const Real>(contrib),
+                                std::span<Real>(out), CommCategory::kDense);
+        blocking_outs[static_cast<std::size_t>(comm.rank())] = out;
+      },
+      &blocking_meters);
+  for (int r = 0; r < p; ++r) {
+    ASSERT_EQ(outs[static_cast<std::size_t>(r)],
+              blocking_outs[static_cast<std::size_t>(r)]);
+    EXPECT_EQ(meters[static_cast<std::size_t>(r)].words(CommCategory::kDense),
+              blocking_meters[static_cast<std::size_t>(r)].words(
+                  CommCategory::kDense));
+    EXPECT_EQ(meters[static_cast<std::size_t>(r)].latency_units(
+                  CommCategory::kDense),
+              blocking_meters[static_cast<std::size_t>(r)].latency_units(
+                  CommCategory::kDense));
+  }
+}
+
+TEST(Nonblocking, AllgathervMatchesBlocking) {
+  const int p = 4;
+  std::vector<CostMeter> meters, blocking_meters;
+  run_world(
+      p,
+      [&](Comm& comm) {
+        std::vector<Index> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                                static_cast<Index>(comm.rank()));
+        Gathered<Index> out;
+        comm.iallgatherv_into(std::span<const Index>(mine), out,
+                              CommCategory::kDense)
+            .wait();
+        comm.quiesce();
+        ASSERT_EQ(out.offsets.size(), static_cast<std::size_t>(p) + 1);
+        for (int r = 0; r < p; ++r) {
+          const auto chunk = out.chunk(r);
+          ASSERT_EQ(chunk.size(), static_cast<std::size_t>(r) + 1);
+          for (Index v : chunk) ASSERT_EQ(v, static_cast<Index>(r));
+        }
+      },
+      &meters);
+  run_world(
+      p,
+      [&](Comm& comm) {
+        std::vector<Index> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                                static_cast<Index>(comm.rank()));
+        comm.allgatherv(std::span<const Index>(mine), CommCategory::kDense);
+      },
+      &blocking_meters);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(meters[static_cast<std::size_t>(r)].words(CommCategory::kDense),
+              blocking_meters[static_cast<std::size_t>(r)].words(
+                  CommCategory::kDense));
+  }
+}
+
+TEST(Nonblocking, AllreduceSumMatchesBlockingBitwise) {
+  const int p = 4;
+  std::vector<CostMeter> meters, blocking_meters;
+  std::vector<std::vector<Real>> outs(p), blocking_outs(p);
+  const auto contrib_for = [](int rank) {
+    std::vector<Real> c(17);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      c[i] = std::sin(static_cast<Real>(i) * (rank + 1));  // non-trivial FP
+    }
+    return c;
+  };
+  run_world(
+      p,
+      [&](Comm& comm) {
+        const std::vector<Real> contrib = contrib_for(comm.rank());
+        std::vector<Real> out(contrib.size());
+        comm.iallreduce_sum(std::span<const Real>(contrib),
+                            std::span<Real>(out), CommCategory::kDense)
+            .wait();
+        comm.quiesce();
+        outs[static_cast<std::size_t>(comm.rank())] = out;
+      },
+      &meters);
+  run_world(
+      p,
+      [&](Comm& comm) {
+        std::vector<Real> data = contrib_for(comm.rank());
+        comm.allreduce_sum(std::span<Real>(data), CommCategory::kDense);
+        blocking_outs[static_cast<std::size_t>(comm.rank())] = data;
+      },
+      &blocking_meters);
+  for (int r = 0; r < p; ++r) {
+    // Bitwise equality: the nonblocking reduction uses the same
+    // rank-ascending element order as the blocking one.
+    ASSERT_EQ(outs[static_cast<std::size_t>(r)],
+              blocking_outs[static_cast<std::size_t>(r)]);
+    EXPECT_EQ(meters[static_cast<std::size_t>(r)].words(CommCategory::kDense),
+              blocking_meters[static_cast<std::size_t>(r)].words(
+                  CommCategory::kDense));
+    EXPECT_EQ(meters[static_cast<std::size_t>(r)].latency_units(
+                  CommCategory::kDense),
+              blocking_meters[static_cast<std::size_t>(r)].latency_units(
+                  CommCategory::kDense));
+  }
+}
+
+TEST(Nonblocking, ComputeBetweenPostAndWaitSeesNoInterference) {
+  // The advertised pattern: post, run an unrelated *blocking* collective
+  // plus local compute, then wait. The pending op must be unaffected.
+  run_world(3, [](Comm& comm) {
+    std::vector<Real> src;
+    std::vector<Real> dst(12, -1);
+    if (comm.rank() == 1) src.assign(12, 3.0);
+    PendingOp op = comm.ibroadcast_from(std::span<const Real>(src),
+                                        std::span<Real>(dst), 1,
+                                        CommCategory::kDense);
+    std::vector<Real> unrelated = {static_cast<Real>(comm.rank())};
+    comm.allreduce_sum(std::span<Real>(unrelated), CommCategory::kControl);
+    ASSERT_DOUBLE_EQ(unrelated[0], 3.0);  // 0 + 1 + 2
+    op.wait();
+    if (comm.rank() != 1) {
+      for (Real v : dst) ASSERT_DOUBLE_EQ(v, 3.0);
+    }
+    comm.quiesce();
+  });
+}
+
+TEST(Nonblocking, TooManyOutstandingOpsDiagnosed) {
+  EXPECT_THROW(
+      run_world(2,
+                [](Comm& comm) {
+                  std::vector<Real> src(2, 1.0);
+                  std::vector<Real> dst(2, 0.0);
+                  std::vector<PendingOp> ops;
+                  for (int i = 0; i < 17; ++i) {  // cap is 16 in flight
+                    ops.push_back(comm.ibroadcast_from(
+                        std::span<const Real>(src), std::span<Real>(dst), 0,
+                        CommCategory::kDense));
+                  }
+                }),
+      Error);
+}
+
+TEST(Nonblocking, RankFailureReleasesPendingWaiters) {
+  // Rank 2 fails before posting; the other ranks block in wait() and must
+  // be released by the abort flag instead of deadlocking.
+  EXPECT_THROW(
+      run_world(3,
+                [](Comm& comm) {
+                  if (comm.rank() == 2) throw Error("injected failure");
+                  std::vector<Real> src(4, 1.0);
+                  std::vector<Real> dst(4, 0.0);
+                  const std::span<const Real> src_span =
+                      comm.rank() == 0 ? std::span<const Real>(src)
+                                       : std::span<const Real>{};
+                  PendingOp op = comm.ibroadcast_from(
+                      src_span, std::span<Real>(dst), 0,
+                      CommCategory::kDense);
+                  op.wait();
+                }),
+      Error);
+}
+
+TEST(Nonblocking, ChannelsRecycleAcrossManyOps) {
+  // More ops than channels (16) exercises the generation-based recycling.
+  run_world(2, [](Comm& comm) {
+    std::vector<Real> src(3);
+    std::vector<Real> dst(3, -1);
+    for (int round = 0; round < 50; ++round) {
+      if (comm.rank() == 0) {
+        src.assign(3, static_cast<Real>(round));
+      }
+      PendingOp op = comm.ibroadcast_from(
+          comm.rank() == 0 ? std::span<const Real>(src)
+                           : std::span<const Real>{},
+          comm.rank() == 0 ? std::span<Real>{} : std::span<Real>(dst), 0,
+          CommCategory::kControl);
+      op.wait();
+      comm.quiesce();
+      if (comm.rank() == 1) {
+        for (Real v : dst) ASSERT_DOUBLE_EQ(v, static_cast<Real>(round));
+      }
+    }
+  });
+}
+
+TEST(Nonblocking, QuiesceReleasesSourcesForReuse) {
+  // The documented release discipline: after quiesce(), every rank has
+  // completed every posted op, so a broadcast source may be rewritten.
+  run_world(3, [](Comm& comm) {
+    std::vector<Real> src(5);
+    std::vector<Real> dst(5, -1);
+    for (int round = 0; round < 3; ++round) {
+      if (comm.rank() == 0) src.assign(5, static_cast<Real>(round + 1));
+      PendingOp op = comm.ibroadcast_from(
+          comm.rank() == 0 ? std::span<const Real>(src)
+                           : std::span<const Real>{},
+          comm.rank() == 0 ? std::span<Real>{} : std::span<Real>(dst), 0,
+          CommCategory::kControl);
+      const std::uint64_t ticket = op.ticket();
+      op.wait();
+      if (comm.rank() != 0) {
+        for (Real v : dst) ASSERT_DOUBLE_EQ(v, static_cast<Real>(round + 1));
+      }
+      // Single-op release: equivalent to quiesce() here, but would not
+      // wait on deliberately-pending later ops.
+      comm.quiesce_op(ticket);
+    }
+    comm.quiesce();  // full drain is idempotent
+  });
+}
+
+// ---- Overlap accounting on the CostMeter ----
+
+TEST(OverlapAccounting, RegionRecordsMaxOfCommAndCompute) {
+  const MachineModel m = MachineModel::summit();
+  CostMeter meter;
+  // Region 1: comm-heavy. 1e9 words at beta seconds/word dominates.
+  meter.begin_overlap_region();
+  meter.add(CommCategory::kDense, 0.0, 1e9);
+  const double comm1 = m.beta * 1e9;
+  meter.end_overlap_region(m, /*compute_seconds=*/0.001);
+  // Region 2: compute-heavy.
+  meter.begin_overlap_region();
+  meter.add(CommCategory::kDense, 0.0, 10.0);
+  const double comm2 = m.beta * 10.0;
+  meter.end_overlap_region(m, /*compute_seconds=*/0.5);
+  EXPECT_DOUBLE_EQ(meter.overlap_regions(), 2.0);
+  EXPECT_DOUBLE_EQ(meter.overlap_serialized_seconds(),
+                   comm1 + 0.001 + comm2 + 0.5);
+  EXPECT_DOUBLE_EQ(meter.overlap_overlapped_seconds(),
+                   std::max(comm1, 0.001) + std::max(comm2, 0.5));
+  EXPECT_GT(meter.overlap_saved_seconds(), 0.0);
+  // Control traffic stays excluded from the region's comm seconds.
+  CostMeter control_only;
+  control_only.begin_overlap_region();
+  control_only.add(CommCategory::kControl, 5.0, 5e9);
+  control_only.end_overlap_region(m, 0.25);
+  EXPECT_DOUBLE_EQ(control_only.overlap_serialized_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(control_only.overlap_overlapped_seconds(), 0.25);
+}
+
+TEST(OverlapAccounting, TotalsSurviveSubtractAndMerge) {
+  const MachineModel m = MachineModel::summit();
+  CostMeter a;
+  a.begin_overlap_region();
+  a.add(CommCategory::kDense, 2.0, 100.0);
+  a.end_overlap_region(m, 0.5);
+  CostMeter before;  // empty baseline
+  CostMeter delta = a;
+  delta.subtract(before);
+  EXPECT_DOUBLE_EQ(delta.overlap_serialized_seconds(),
+                   a.overlap_serialized_seconds());
+  CostMeter merged;
+  merged.merge_max(a);
+  EXPECT_DOUBLE_EQ(merged.overlap_overlapped_seconds(),
+                   a.overlap_overlapped_seconds());
+  merged.merge_sum(a);
+  EXPECT_DOUBLE_EQ(merged.overlap_regions(), 2.0 * a.overlap_regions());
 }
 
 TEST(AllgathervInto, ReusesStorageAcrossCalls) {

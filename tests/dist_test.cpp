@@ -496,6 +496,144 @@ TEST_P(RandomizedDifferential, AllFamiliesMatchSerial) {
 INSTANTIATE_TEST_SUITE_P(Trials, RandomizedDifferential,
                          ::testing::Range(0, 8));
 
+// ---- Overlap mode vs blocking mode ----
+// With CAGNET_OVERLAP=1 the SUMMA-style loops double-buffer their stage
+// broadcasts and the 1.5D replica reduction is drained behind the Z = T W
+// GEMM, but losses, embeddings, weights, and metered words/latency must be
+// *bitwise* identical to blocking mode for every algebra and world size —
+// overlap may only move wall time, never results or modeled volumes.
+
+struct OverlapRun {
+  std::vector<Real> losses;
+  std::vector<Matrix> weights;
+  Matrix output;
+  std::vector<std::vector<double>> epoch_meters;  // rank 0, per epoch
+  double overlap_regions = 0;
+  double overlap_saved = 0;
+};
+
+OverlapRun run_for_overlap_compare(const std::string& algebra,
+                                   const DistProblem& problem,
+                                   const GnnConfig& config, int p,
+                                   int epochs) {
+  OverlapRun run;
+  std::mutex mutex;
+  run_world(p, [&](Comm& world) {
+    auto trainer = make_dist_trainer(algebra, problem, config, world);
+    std::vector<Real> losses;
+    std::vector<std::vector<double>> meters;
+    for (int e = 0; e < epochs; ++e) {
+      losses.push_back(trainer->train_epoch().loss);
+      const CostMeter& m = trainer->last_epoch_stats().comm;
+      std::vector<double> row;
+      for (std::size_t c = 0; c < CostMeter::kNumCategories; ++c) {
+        const auto cat = static_cast<CommCategory>(c);
+        row.push_back(m.latency_units(cat));
+        row.push_back(m.words(cat));
+      }
+      meters.push_back(std::move(row));
+    }
+    Matrix out = trainer->gather_output();
+    if (world.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      const CostMeter& m = trainer->last_epoch_stats().comm;
+      run.losses = std::move(losses);
+      run.weights = trainer->weights();
+      run.output = std::move(out);
+      run.epoch_meters = std::move(meters);
+      run.overlap_regions = m.overlap_regions();
+      run.overlap_saved = m.overlap_saved_seconds();
+    }
+  });
+  return run;
+}
+
+TEST(OverlapParity, BitwiseIdenticalToBlockingAcrossAlgebras) {
+  const Graph g = test_graph(96, 10, 4, 77);
+  const DistProblem problem = DistProblem::prepare(g);
+  GnnConfig config = GnnConfig::three_layer(10, 4, 8);
+  const int epochs = 3;
+  const bool was_enabled = dist::overlap_enabled();
+
+  for (const auto& [algebra, p] :
+       {std::pair<std::string, int>{"1d", 4},
+        {"1.5d-c2", 4},
+        {"1.5d-c2", 8},
+        {"1.5d-c4", 4},
+        {"2d", 4},
+        {"2d", 9},
+        {"3d", 8}}) {
+    dist::set_overlap_enabled(true);
+    const OverlapRun overlapped =
+        run_for_overlap_compare(algebra, problem, config, p, epochs);
+    dist::set_overlap_enabled(false);
+    const OverlapRun blocking =
+        run_for_overlap_compare(algebra, problem, config, p, epochs);
+
+    const std::string label = algebra + " p=" + std::to_string(p);
+    ASSERT_EQ(overlapped.losses.size(), blocking.losses.size()) << label;
+    for (std::size_t e = 0; e < overlapped.losses.size(); ++e) {
+      EXPECT_EQ(overlapped.losses[e], blocking.losses[e])
+          << label << " loss, epoch " << e;
+    }
+    ASSERT_EQ(overlapped.weights.size(), blocking.weights.size()) << label;
+    for (std::size_t l = 0; l < overlapped.weights.size(); ++l) {
+      EXPECT_LE(Matrix::max_abs_diff(overlapped.weights[l],
+                                     blocking.weights[l]),
+                Real{0})
+          << label << " weights, layer " << l;
+    }
+    EXPECT_LE(Matrix::max_abs_diff(overlapped.output, blocking.output),
+              Real{0})
+        << label << " output";
+    // Metered words and latency units: bitwise equal per epoch/category.
+    ASSERT_EQ(overlapped.epoch_meters.size(), blocking.epoch_meters.size());
+    for (std::size_t e = 0; e < overlapped.epoch_meters.size(); ++e) {
+      for (std::size_t i = 0; i < overlapped.epoch_meters[e].size(); ++i) {
+        EXPECT_EQ(overlapped.epoch_meters[e][i], blocking.epoch_meters[e][i])
+            << label << " epoch " << e << " meter slot " << i;
+      }
+    }
+    // Overlap mode actually recorded overlapped regions (p > 1 SUMMA-style
+    // loops always have at least one per layer); blocking recorded none.
+    EXPECT_GT(overlapped.overlap_regions, 0.0) << label;
+    EXPECT_GE(overlapped.overlap_saved, 0.0) << label;
+    EXPECT_DOUBLE_EQ(blocking.overlap_regions, 0.0) << label;
+  }
+  dist::set_overlap_enabled(was_enabled);
+}
+
+TEST(OverlapParity, CachedEpochsStillReplayExactlyUnderOverlap) {
+  // Epoch cache x overlap: cached blocks are served from the prefetch
+  // buffers and the replayed charges must still match the uncached path
+  // bitwise while overlap is on.
+  const Graph g = test_graph(80, 8, 3, 78);
+  const DistProblem problem = DistProblem::prepare(g);
+  GnnConfig config = GnnConfig::three_layer(8, 3, 6);
+  const bool was_enabled = dist::overlap_enabled();
+  dist::set_overlap_enabled(true);
+  for (const auto& [algebra, p] :
+       {std::pair<std::string, int>{"2d", 4}, {"3d", 8}}) {
+    dist::set_epoch_cache_enabled(true);
+    const OverlapRun cached =
+        run_for_overlap_compare(algebra, problem, config, p, 3);
+    dist::set_epoch_cache_enabled(false);
+    const OverlapRun uncached =
+        run_for_overlap_compare(algebra, problem, config, p, 3);
+    dist::set_epoch_cache_enabled(true);
+    for (std::size_t e = 0; e < cached.epoch_meters.size(); ++e) {
+      for (std::size_t i = 0; i < cached.epoch_meters[e].size(); ++i) {
+        EXPECT_EQ(cached.epoch_meters[e][i], uncached.epoch_meters[e][i])
+            << algebra << " epoch " << e << " slot " << i;
+      }
+    }
+    for (std::size_t e = 0; e < cached.losses.size(); ++e) {
+      EXPECT_EQ(cached.losses[e], uncached.losses[e]) << algebra;
+    }
+  }
+  dist::set_overlap_enabled(was_enabled);
+}
+
 TEST(DistStats, ProfilerCoversAllPhasesFor2D) {
   const Graph g = test_graph(81, 8, 4, 50);
   GnnConfig config = GnnConfig::three_layer(8, 4, 8);

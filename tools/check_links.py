@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Validates every markdown link in the tracked top-level documents:
+  - relative file links must point at files that exist in the repo;
+  - intra-document anchors (#heading) must match a heading in the target;
+  - http(s) URLs are only syntax-checked (CI must not depend on the
+    network), and bare fragments like [text]() are rejected.
+
+Exit status is the number of broken links (0 == all good). Run from the
+repository root:  python3 tools/check_links.py [files...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "CHANGES.md",
+    "ROADMAP.md",
+    "PAPER.md",
+    "PAPERS.md",
+]
+
+LINK_RE = re.compile(r"(?<!\!)\[(?P<text>[^\]]+)\]\((?P<target>[^)\s]*)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*$", re.MULTILINE)
+
+
+def anchor_of(title: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    slug = title.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"[\s]+", "-", slug)
+
+
+def headings(path: Path) -> set:
+    return {anchor_of(m.group("title"))
+            for m in HEADING_RE.finditer(path.read_text(encoding="utf-8"))}
+
+
+def check_file(path: Path, root: Path) -> list:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group("target")
+        where = f"{path}: [{match.group('text')}]({target})"
+        if target.startswith(("http://", "https://")):
+            continue  # syntax ok; no network in CI
+        if target == "":
+            problems.append(f"{where}: empty link target")
+            continue
+        if target.startswith("#"):
+            if anchor_of(target[1:]) not in headings(path):
+                problems.append(f"{where}: no such heading in this file")
+            continue
+        file_part, _, fragment = target.partition("#")
+        dest = (path.parent / file_part).resolve()
+        try:
+            dest.relative_to(root)
+        except ValueError:
+            problems.append(f"{where}: points outside the repository")
+            continue
+        if not dest.exists():
+            problems.append(f"{where}: file does not exist")
+            continue
+        if fragment and dest.suffix == ".md":
+            if anchor_of(fragment) not in headings(dest):
+                problems.append(f"{where}: no heading '{fragment}' in "
+                                f"{file_part}")
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    names = sys.argv[1:] or DEFAULT_DOCS
+    problems = []
+    checked = 0
+    for name in names:
+        path = (root / name).resolve()
+        if not path.exists():
+            # CHANGES.md etc. are expected; anything listed must exist.
+            problems.append(f"{name}: document missing")
+            continue
+        checked += 1
+        problems.extend(check_file(path, root))
+    for p in problems:
+        print(f"BROKEN: {p}", file=sys.stderr)
+    print(f"checked {checked} documents, {len(problems)} broken links")
+    return min(len(problems), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
