@@ -25,7 +25,7 @@ void closed_form_table(const DatasetSpec& spec) {
   std::printf("%6s %12s %12s %12s %12s %10s %12s\n", "P", "1D", "1.5D(c=4)",
               "2D", "3D", "2D/1D", "5/sqrt(P)");
   for (long p : {4L, 16L, 36L, 64L, 100L, 256L, 1024L, 4096L}) {
-    const CostInputs in = CostInputs::with_random_edgecut(
+    const CostInputs in = CostInputs::from_random(
         static_cast<double>(spec.vertices), static_cast<double>(spec.edges),
         static_cast<double>(spec.features), static_cast<int>(p), 3);
     const double w1 = cost_1d(in).words;
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
           trainer.reduce_epoch_stats();
       if (world.rank() == 0) metered = s.comm.words(CommCategory::kDense);
     });
-    const CostInputs in = CostInputs::with_random_edgecut(
+    const CostInputs in = CostInputs::from_random(
         n, nnz, favg, static_cast<int>(p), 3);
     const double predicted = cost_1d(in).words;
     std::printf("%-5s %4ld %14.3e %14.3e %8.3f\n", "1D", p, metered,
@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
       });
       return out;
     }();
-    const CostInputs in = CostInputs::with_random_edgecut(
+    const CostInputs in = CostInputs::from_random(
         n, nnz, favg, static_cast<int>(p), 3);
     // The 2D closed form's dense part: 8nf/sqrt(P) + f^2 per layer.
     const double rp = std::sqrt(static_cast<double>(p));

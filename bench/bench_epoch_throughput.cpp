@@ -17,6 +17,16 @@
 //   --threads 1,8      thread budgets to sweep (default 1,<hardware>)
 //   --seconds S        measurement budget per configuration (default 1.0)
 //   --epochs N         cap on measured epochs per configuration
+//   --partition NAME   partitioner from the registry (block/random/
+//                      greedy-bfs; default CAGNET_PARTITION or "block") —
+//                      non-block choices re-prepare the problem per world
+//                      size with partition-aware row blocks
+//   --halo 0|1         sparsity-aware halo exchange for the 1D/1.5D
+//                      families (default CAGNET_HALO); halo_words and
+//                      max_remote_rows land in the JSON
+//   --graph rmat|planted  topology (planted = community-structured, the
+//                      regime where a locality partitioner pays)
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <span>
@@ -38,11 +48,18 @@ struct BenchConfig {
   int world = 1;
 };
 
-Graph make_graph(Index n, Index degree, Index f, Index classes) {
+Graph make_graph(const std::string& topology, Index n, Index degree, Index f,
+                 Index classes) {
   Rng rng(2024);
   Graph g;
   g.name = "epoch-throughput";
-  g.adjacency = gcn_normalize(rmat(n, n * degree, rng), /*symmetrize=*/true);
+  Coo coo = topology == "planted"
+                ? planted_partition(n, std::max<Index>(n / 48, 2),
+                                    0.8 * static_cast<double>(degree),
+                                    0.2 * static_cast<double>(degree), rng,
+                                    /*hub_fraction=*/0.0)
+                : rmat(n, n * degree, rng);
+  g.adjacency = gcn_normalize(std::move(coo), /*symmetrize=*/true);
   g.features = Matrix(n, f);
   g.features.fill_uniform(rng, -1, 1);
   g.num_classes = classes;
@@ -108,23 +125,44 @@ int run(int argc, char** argv) {
   std::vector<long> thread_counts = args.get_int_list(
       "threads", {1, static_cast<long>(thread_budget())});
 
-  const Graph graph = make_graph(n, degree, f, classes);
+  const std::string partition =
+      args.get("partition", default_partitioner_name());
+  if (find_partitioner(partition) == nullptr) {
+    std::fprintf(stderr, "unknown partitioner: %s\n", partition.c_str());
+    return 1;
+  }
+  const bool halo =
+      args.get_int("halo", dist::halo_enabled() ? 1 : 0) != 0;
+  dist::set_halo_enabled(halo);
+  const std::string topology = args.get("graph", "rmat");
+
+  const Graph graph = make_graph(topology, n, degree, f, classes);
   const DistProblem problem = DistProblem::prepare(graph);
   GnnConfig gnn = GnnConfig::three_layer(f, classes, hidden);
 
   for (const BenchConfig& config : configs) {
+    // Partition-aware runs relabel the problem per world size so the row
+    // blocks follow the partitioner's (possibly uneven) parts. Halo runs
+    // prepare even the block layout (bitwise identical training) so the
+    // JSON's max_remote_rows records the real edgecut, not zero.
+    const bool per_world = partition != "block" || halo;
+    const DistProblem partitioned =
+        per_world ? DistProblem::prepare(graph, config.world, partition)
+                  : DistProblem{};
+    const DistProblem& active = per_world ? partitioned : problem;
     for (long threads : thread_counts) {
       override_thread_budget(static_cast<int>(threads));
       double warm_seconds = 0;
       double measured_seconds = 0;
       long epochs = 0;
       double dense_words = 0, sparse_words = 0, trpose_words = 0;
+      double halo_words = 0;
       double latency_units = 0;
       double overlap_regions = 0, overlap_saved = 0;
       double phase_seconds[Profiler::kNumPhases] = {};
       run_world(config.world, [&](Comm& world) {
         auto trainer =
-            make_dist_trainer(config.algebra, problem, gnn, world);
+            make_dist_trainer(config.algebra, active, gnn, world);
         WallTimer warm;
         trainer->train_epoch();  // warm-up: caches fill, buffers size
         world.barrier();
@@ -178,6 +216,7 @@ int run(int argc, char** argv) {
           dense_words = stats.comm.words(CommCategory::kDense);
           sparse_words = stats.comm.words(CommCategory::kSparse);
           trpose_words = stats.comm.words(CommCategory::kTranspose);
+          halo_words = stats.comm.words(CommCategory::kHalo);
           latency_units = stats.comm.total_latency_units();
           overlap_regions = stats.comm.overlap_regions();
           overlap_saved = stats.comm.overlap_saved_seconds();
@@ -196,7 +235,9 @@ int run(int argc, char** argv) {
           "\"f\":%lld,\"hidden\":%lld,\"epochs\":%ld,\"seconds\":%.4f,"
           "\"warmup_seconds\":%.4f,\"epochs_per_sec\":%.3f,"
           "\"dense_words\":%.1f,\"sparse_words\":%.1f,"
-          "\"transpose_words\":%.1f,\"latency_units\":%.1f,"
+          "\"transpose_words\":%.1f,\"halo_words\":%.1f,"
+          "\"partition\":\"%s\",\"halo\":%d,\"max_remote_rows\":%lld,"
+          "\"latency_units\":%.1f,"
           "\"overlap\":%d,\"overlap_regions\":%.0f,"
           "\"overlap_saved_modeled_s\":%.6f,"
           "\"phase_misc\":%.5f,\"phase_trpose\":%.5f,\"phase_dcomm\":%.5f,"
@@ -205,7 +246,9 @@ int run(int argc, char** argv) {
           static_cast<long long>(n), static_cast<long long>(degree),
           static_cast<long long>(f), static_cast<long long>(hidden), epochs,
           measured_seconds, warm_seconds, eps, dense_words, sparse_words,
-          trpose_words, latency_units, dist::overlap_enabled() ? 1 : 0,
+          trpose_words, halo_words, partition.c_str(), halo ? 1 : 0,
+          static_cast<long long>(active.edgecut.max_remote_rows_per_part),
+          latency_units, dist::overlap_enabled() ? 1 : 0,
           overlap_regions, overlap_saved, phase_seconds[0],
           phase_seconds[1], phase_seconds[2], phase_seconds[3],
           phase_seconds[4]);

@@ -131,7 +131,7 @@ PendingOp Comm::post_async(detail::OpKind kind, const void* publish_ptr,
                            CommCategory cat, bool charged,
                            void (*complete)(PendingOp&), void* out,
                            std::size_t out_len, std::size_t src_len,
-                           void* gathered) {
+                           void* gathered, const void* publish_ptr2) {
   auto& st = *state_;
   const auto rank = static_cast<std::size_t>(rank_);
   CAGNET_CHECK(
@@ -149,6 +149,7 @@ PendingOp Comm::post_async(detail::OpKind kind, const void* publish_ptr,
                         static_cast<std::uint64_t>(st.size) * gen,
                         st.hub->aborted);
   ch.ptr[rank] = publish_ptr;
+  ch.ptr2[rank] = publish_ptr2;
   ch.len[rank] = publish_len;
   ch.kind[rank] = kind;
   ch.root[rank] = root;
@@ -213,9 +214,9 @@ Comm Comm::split(int color, int key) const {
   CAGNET_CHECK(valid(), "split on an invalid communicator");
   auto& st = *state_;
 
-  if (rank_ == 0) st.split_ctx = new SplitContext();
+  if (rank_ == 0) st.split_ctx = std::make_shared<SplitContext>();
   phase();
-  auto* ctx = static_cast<SplitContext*>(st.split_ctx);
+  auto* ctx = static_cast<SplitContext*>(st.split_ctx.get());
   {
     std::lock_guard<std::mutex> lock(ctx->mutex);
     ctx->groups[color].push_back({key, rank_});
@@ -246,10 +247,7 @@ Comm Comm::split(int color, int key) const {
     new_state = ctx->states.at(color);
   }
   phase();
-  if (rank_ == 0) {
-    delete ctx;
-    st.split_ctx = nullptr;
-  }
+  if (rank_ == 0) st.split_ctx.reset();
   return Comm(std::move(new_state), new_rank, meter_);
 }
 

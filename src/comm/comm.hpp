@@ -58,6 +58,7 @@ enum class OpKind : std::uint8_t {
   kReduceScatter,
   kAllgatherv,
   kAllreduce,
+  kAlltoallv,
 };
 
 /// Rendezvous state of one nonblocking-collective channel. Channels are
@@ -71,6 +72,7 @@ enum class OpKind : std::uint8_t {
 struct AsyncChannel {
   explicit AsyncChannel(int n)
       : ptr(static_cast<std::size_t>(n), nullptr),
+        ptr2(static_cast<std::size_t>(n), nullptr),
         len(static_cast<std::size_t>(n), 0),
         kind(static_cast<std::size_t>(n), OpKind::kNone),
         root(static_cast<std::size_t>(n), -1) {}
@@ -83,6 +85,8 @@ struct AsyncChannel {
   /// order makes a missed wake a cycle, hence impossible.
   std::atomic<int> waiters{0};
   std::vector<const void*> ptr;  ///< per-rank published source
+  std::vector<const void*> ptr2; ///< secondary publication (alltoallv: the
+                                 ///< per-destination offsets array)
   std::vector<std::size_t> len;  ///< per-rank published element count
   std::vector<OpKind> kind;      ///< per-rank op kind (order validation)
   std::vector<int> root;         ///< per-rank root (order validation)
@@ -114,6 +118,7 @@ struct AbortHub {
 struct CommState {
   CommState(int n, std::shared_ptr<AbortHub> abort_hub)
       : size(n), gate(n), slot_ptr(static_cast<std::size_t>(n), nullptr),
+        slot_ptr2(static_cast<std::size_t>(n), nullptr),
         slot_len(static_cast<std::size_t>(n), 0),
         slot_dest(static_cast<std::size_t>(n), -1),
         next_ticket(static_cast<std::size_t>(n), 0),
@@ -128,6 +133,7 @@ struct CommState {
   const int size;
   std::barrier<> gate;
   std::vector<const void*> slot_ptr;
+  std::vector<const void*> slot_ptr2; // alltoallv per-destination offsets
   std::vector<std::size_t> slot_len;  // element counts, payload-defined units
   std::vector<int> slot_dest;         // route() destination per rank
   std::vector<unsigned char> scratch; // reduction workspace (rank 0 resizes)
@@ -135,7 +141,11 @@ struct CommState {
   std::vector<std::uint64_t> next_ticket;  // per rank; owner-written only
   std::vector<int> outstanding;            // per-rank posted-unwaited count
   std::mutex mutex;
-  void* split_ctx = nullptr;          // transient, owned by split()
+  /// Transient rendezvous of an in-flight split(). Owned here (not by the
+  /// splitting ranks) so a rank failure mid-split cannot leak it: it is
+  /// released at the split's final phase, by the next split, or with this
+  /// state.
+  std::shared_ptr<void> split_ctx;
   /// Shared with every communicator split off this one, so a rank failure
   /// anywhere in the world also unblocks nonblocking waits on
   /// sub-communicators.
@@ -175,6 +185,46 @@ struct Gathered {
                 offsets[static_cast<std::size_t>(r)]};
   }
 };
+
+namespace detail {
+
+/// Shared unpack of the blocking and nonblocking alltoallv: computes the
+/// per-source offsets from each rank's published (send, offsets) pair,
+/// copies this rank's chunks into `out`, and returns the self-chunk
+/// element count (which the charge excludes). One copy keeps the two
+/// paths' movement and charge arithmetic in lockstep.
+template <typename T>
+std::size_t alltoallv_unpack(int p, int rank,
+                             const std::vector<const void*>& ptr,
+                             const std::vector<const void*>& ptr2,
+                             Gathered<T>& out) {
+  const auto me = static_cast<std::size_t>(rank);
+  out.offsets.resize(static_cast<std::size_t>(p) + 1);
+  out.offsets[0] = 0;
+  std::size_t self_chunk = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto* offs =
+        static_cast<const std::size_t*>(ptr2[static_cast<std::size_t>(r)]);
+    const std::size_t len = offs[me + 1] - offs[me];
+    if (r == rank) self_chunk = len;
+    out.offsets[static_cast<std::size_t>(r) + 1] =
+        out.offsets[static_cast<std::size_t>(r)] + len;
+  }
+  out.data.resize(out.offsets.back());
+  for (int r = 0; r < p; ++r) {
+    const auto* offs =
+        static_cast<const std::size_t*>(ptr2[static_cast<std::size_t>(r)]);
+    const std::size_t len = offs[me + 1] - offs[me];
+    if (len == 0) continue;
+    std::memcpy(out.data.data() + out.offsets[static_cast<std::size_t>(r)],
+                static_cast<const T*>(ptr[static_cast<std::size_t>(r)]) +
+                    offs[me],
+                len * sizeof(T));
+  }
+  return self_chunk;
+}
+
+}  // namespace detail
 
 /// Handle to a posted-but-possibly-incomplete nonblocking collective.
 /// Move-only. wait() blocks until every member has posted the matching op,
@@ -330,7 +380,7 @@ class Comm {
     sync_sizes(data.size(), "broadcast");
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = data.data();
     phase();
-    if (rank_ != root) {
+    if (rank_ != root && !data.empty()) {
       std::memcpy(data.data(),
                   state_->slot_ptr[static_cast<std::size_t>(root)],
                   data.size() * sizeof(T));
@@ -522,6 +572,31 @@ class Comm {
     return recv;
   }
 
+  /// Individualized all-to-all with variable chunk sizes: `send` holds this
+  /// rank's outgoing data split per destination by `send_offsets` (size()+1
+  /// monotone element offsets; destination d's chunk is
+  /// [send_offsets[d], send_offsets[d+1])). Every rank receives the
+  /// rank-ordered concatenation of the chunks addressed to it into `out`
+  /// (storage reused). This is the request-and-send primitive of the
+  /// sparsity-aware halo exchange (Section IV-A.8). Charges P-1 latency
+  /// units and the received words (everything but the self chunk).
+  template <typename T>
+  void alltoallv_into(std::span<const T> send,
+                      std::span<const std::size_t> send_offsets,
+                      Gathered<T>& out, CommCategory cat) {
+    check_valid("alltoallv_into");
+    check_offsets(send.size(), send_offsets, "alltoallv_into");
+    const int p = size();
+    state_->slot_ptr[static_cast<std::size_t>(rank_)] = send.data();
+    state_->slot_ptr2[static_cast<std::size_t>(rank_)] = send_offsets.data();
+    phase();
+    const std::size_t self_chunk = detail::alltoallv_unpack<T>(
+        p, rank_, state_->slot_ptr, state_->slot_ptr2, out);
+    phase();
+    charge(cat, p > 1 ? static_cast<double>(p - 1) : 0.0,
+           (out.data.size() - self_chunk) * sizeof(T));
+  }
+
   /// Gather to root (rank-ordered concatenation at root; empty elsewhere).
   /// Charges lg(P) latency units; the root is charged the received words,
   /// everyone else their sent words.
@@ -621,6 +696,22 @@ class Comm {
                       contrib.size(), nullptr);
   }
 
+  /// Nonblocking alltoallv_into. `send` AND `send_offsets` must stay valid
+  /// and unmodified until every rank has waited (peers read both at their
+  /// own waits); `out` (resized at wait) must outlive the op and must not
+  /// alias any rank's send buffer. Charged like alltoallv_into.
+  template <typename T>
+  PendingOp ialltoallv_into(std::span<const T> send,
+                            std::span<const std::size_t> send_offsets,
+                            Gathered<T>& out, CommCategory cat,
+                            bool charged = true) {
+    check_valid("ialltoallv_into");
+    check_offsets(send.size(), send_offsets, "ialltoallv_into");
+    return post_async(detail::OpKind::kAlltoallv, send.data(), send.size(),
+                      /*root=*/0, cat, charged, &PendingOp::complete_impl<T>,
+                      nullptr, 0, send.size(), &out, send_offsets.data());
+  }
+
  private:
   friend void run_world(int, const std::function<void(Comm&)>&,
                         std::vector<CostMeter>*);
@@ -649,6 +740,21 @@ class Comm {
   /// collectives (cheap, and catches the classic SUMMA off-by-one).
   void sync_sizes(std::size_t n, const char* what) const;
 
+  /// Purely local alltoallv offsets validation: size()+1 monotone entries
+  /// spanning exactly the send buffer.
+  void check_offsets(std::size_t send_len,
+                     std::span<const std::size_t> offsets,
+                     const char* what) const {
+    CAGNET_CHECK(offsets.size() == static_cast<std::size_t>(size()) + 1,
+                 std::string(what) + ": offsets must have size()+1 entries");
+    CAGNET_CHECK(offsets.front() == 0 && offsets.back() == send_len,
+                 std::string(what) + ": offsets must span the send buffer");
+    for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+      CAGNET_CHECK(offsets[i] <= offsets[i + 1],
+                   std::string(what) + ": offsets must be monotone");
+    }
+  }
+
   void charge(CommCategory cat, double latency_units, std::size_t bytes) {
     meter_->add(cat, latency_units,
                 static_cast<double>(bytes) / sizeof(Real));
@@ -660,7 +766,7 @@ class Comm {
                        std::size_t publish_len, int root, CommCategory cat,
                        bool charged, void (*complete)(PendingOp&), void* out,
                        std::size_t out_len, std::size_t src_len,
-                       void* gathered);
+                       void* gathered, const void* publish_ptr2 = nullptr);
 
   template <typename T>
   void reduce_impl(std::span<T> data, CommCategory cat, bool is_max) {
@@ -691,7 +797,9 @@ class Comm {
     }
     phase();
     // All-gather step: everyone copies the full reduced vector.
-    std::memcpy(data.data(), scratch, data.size() * sizeof(T));
+    if (!data.empty()) {
+      std::memcpy(data.data(), scratch, data.size() * sizeof(T));
+    }
     phase();
     charge(cat, 2.0 * ceil_log2(p),
            2 * data.size() * sizeof(T) * (p - 1) / std::max(p, 1));
@@ -793,6 +901,14 @@ void PendingOp::complete_impl(PendingOp& op) {
       op.charge(2.0 * ceil_log2(p),
                 2 * n * sizeof(T) * (p - 1) /
                     static_cast<std::size_t>(std::max(p, 1)));
+      break;
+    }
+    case detail::OpKind::kAlltoallv: {
+      auto& out = *static_cast<Gathered<T>*>(op.gathered_);
+      const std::size_t self_chunk = detail::alltoallv_unpack<T>(
+          p, op.rank_, ch.ptr, ch.ptr2, out);
+      op.charge(p > 1 ? static_cast<double>(p - 1) : 0.0,
+                (out.data.size() - self_chunk) * sizeof(T));
       break;
     }
     case detail::OpKind::kNone:

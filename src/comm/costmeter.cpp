@@ -15,6 +15,8 @@ const char* comm_category_name(CommCategory c) {
       return "sparse";
     case CommCategory::kTranspose:
       return "trpose";
+    case CommCategory::kHalo:
+      return "halo";
     case CommCategory::kControl:
       return "control";
     case CommCategory::kCount:

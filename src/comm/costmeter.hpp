@@ -19,6 +19,8 @@ enum class CommCategory : std::size_t {
   kDense = 0,   ///< activations, gradients, intermediate dense products
   kSparse,      ///< adjacency submatrices (SUMMA broadcasts of A)
   kTranspose,   ///< distributed transpose traffic
+  kHalo,        ///< demand-driven halo rows (the 1D family's sparsity-aware
+                ///< forward exchange; edgecut_P(A) * f words per layer)
   kControl,     ///< harness/bookkeeping traffic, excluded from modeled time
   kCount
 };

@@ -11,8 +11,8 @@ namespace {
 double lg(double p) { return p <= 1 ? 0.0 : std::log2(p); }
 }  // namespace
 
-CostInputs CostInputs::with_random_edgecut(double n, double nnz, double f,
-                                           int p, int layers) {
+CostInputs CostInputs::from_random(double n, double nnz, double f, int p,
+                                   int layers) {
   CostInputs in;
   in.n = n;
   in.nnz = nnz;
@@ -20,6 +20,14 @@ CostInputs CostInputs::with_random_edgecut(double n, double nnz, double f,
   in.p = p;
   in.layers = layers;
   in.edgecut = p > 0 ? n * (p - 1) / p : 0.0;
+  return in;
+}
+
+CostInputs CostInputs::from_partition(const EdgeCutStats& cut, double n,
+                                      double nnz, double f, int p,
+                                      int layers) {
+  CostInputs in = from_random(n, nnz, f, p, layers);
+  in.edgecut = static_cast<double>(cut.max_remote_rows_per_part);
   return in;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/comm/machine.hpp"
+#include "src/graph/partition.hpp"
 #include "src/util/types.hpp"
 
 namespace cagnet {
@@ -23,9 +24,16 @@ struct CostInputs {
   int p = 1;           ///< processes
   int layers = 1;      ///< L
 
-  /// Inputs with the random-partitioning edgecut bound n(P-1)/P.
-  static CostInputs with_random_edgecut(double n, double nnz, double f, int p,
-                                        int layers);
+  /// Inputs with the random-partitioning edgecut bound n(P-1)/P (what
+  /// Algorithm 1's dense broadcasts realize).
+  static CostInputs from_random(double n, double nnz, double f, int p,
+                                int layers);
+
+  /// Inputs with a *measured* edgecut_P(A) — the max distinct remote rows
+  /// any process receives under an actual partition (Section IV-A.8) —
+  /// so predicted and metered volumes agree for partitioned halo runs.
+  static CostInputs from_partition(const EdgeCutStats& cut, double n,
+                                   double nnz, double f, int p, int layers);
 };
 
 /// A latency/bandwidth pair in alpha-units and words.

@@ -1,6 +1,7 @@
 #include "src/core/dist15d.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "src/dense/gemm.hpp"
 #include "src/sparse/spmm_kernel.hpp"
@@ -20,13 +21,31 @@ Algebra15D::Algebra15D(const DistProblem& problem, Comm world,
   slice_ = world_.split(/*color=*/t_, /*key=*/g_);
 
   n_ = problem.graph->num_vertices();
-  std::tie(row_lo_, row_hi_) = block_range(n_, groups_, g_);
+  row_starts_ = dist::row_starts(problem, groups_);
+  row_lo_ = row_starts_[static_cast<std::size_t>(g_)];
+  row_hi_ = row_starts_[static_cast<std::size_t>(g_) + 1];
 
   for (int j = t_; j < groups_; j += c_) {
-    const auto [c0, c1] = block_range(n_, groups_, j);
-    Csr block = problem.at.block(row_lo_, row_hi_, c0, c1);
+    Csr block = problem.at.block(row_lo_, row_hi_,
+                                 row_starts_[static_cast<std::size_t>(j)],
+                                 row_starts_[static_cast<std::size_t>(j) + 1]);
     a_stripe_[j] = block.transposed();
     at_stripe_[j] = std::move(block);
+  }
+
+  // Halo mode (forward only for this family): exchange, over the slice,
+  // exactly the remote H rows the stripe blocks touch. Off-stripe slice
+  // peers hold rows this rank never reads (their stages do not exist),
+  // so the plan requests nothing from them.
+  use_halo_ = dist::halo_enabled() && groups_ > 1;
+  if (use_halo_) {
+    dist::build_halo_plan(
+        [&](int j) {
+          const auto it = at_stripe_.find(j);
+          return it != at_stripe_.end() ? &it->second : nullptr;
+        },
+        g_, [&](int j) { return row_starts_[static_cast<std::size_t>(j)]; },
+        slice_, halo_);
   }
 }
 
@@ -49,8 +68,8 @@ void Algebra15D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
   std::vector<int> stages;
   for (int j = t_; j < groups_; j += c_) stages.push_back(j);
   const auto stage_rows = [&](int j) {
-    const auto [r0, r1] = block_range(n_, groups_, j);
-    return r1 - r0;
+    return row_starts_[static_cast<std::size_t>(j) + 1] -
+           row_starts_[static_cast<std::size_t>(j)];
   };
   const auto spmm_stage = [&](int j, const Matrix* hj) {
     ScopedPhase scope(stats.profiler, Phase::kSpmm);
@@ -60,11 +79,20 @@ void Algebra15D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
                         static_cast<double>(f), dist::block_degree(a));
   };
 
-  // A team member whose stripe is empty (groups < c) posts no stages; the
-  // emptiness is uniform across its slice, so the branch stays collective.
-  const bool overlap =
-      dist::overlap_enabled() && slice_.size() > 1 && !stages.empty();
-  if (!overlap) {
+  if (use_halo_) {
+    // Stripe-restricted request-and-send (kHalo words; see dist1d.cpp):
+    // same j-ascending accumulation as the broadcast stages, so the
+    // stripe partial of T is bitwise identical.
+    dist::halo_exchange_rows(
+        h, std::span<const Index>(halo_.send_rows),
+        std::span<const std::size_t>(halo_.send_row_offsets), slice_, halo_,
+        CommCategory::kHalo, stats.profiler);
+    for (int j : stages) {
+      dist::halo_spmm_stage(j, g_, j == g_ ? &at_stripe_.at(j) : nullptr,
+                            h, halo_, t, machine(), stats);
+    }
+  } else if (!(dist::overlap_enabled() && slice_.size() > 1 &&
+               !stages.empty())) {
     for (int j : stages) {
       const Matrix* hj = nullptr;
       {
@@ -193,8 +221,8 @@ void Algebra15D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   // into the stacked buffer.
   Index stripe_rows = 0;
   for (int j = t_; j < groups_; j += c_) {
-    const auto [r0, r1] = block_range(n_, groups_, j);
-    stripe_rows += r1 - r0;
+    stripe_rows += row_starts_[static_cast<std::size_t>(j) + 1] -
+                   row_starts_[static_cast<std::size_t>(j)];
   }
   u_partial_.resize(stripe_rows, f);
   {

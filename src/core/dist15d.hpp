@@ -67,6 +67,9 @@ class Algebra15D final : public DistSpmmAlgebra {
 
   int replication() const { return c_; }
   int groups() const { return groups_; }
+  /// True when the sparsity-aware halo exchange replaces the stripe
+  /// broadcasts (dist::halo_enabled() at construction and G > 1).
+  bool halo_active() const { return use_halo_; }
 
  protected:
   /// Slices hold identical replicas; slice ranks are ordered by group,
@@ -85,6 +88,12 @@ class Algebra15D final : public DistSpmmAlgebra {
 
   Index n_ = 0;
   Index row_lo_ = 0, row_hi_ = 0;  ///< R_g
+  /// Partition-aware group boundaries (G+1): the DistProblem partition's
+  /// offsets when it was prepared for G parts, even block_range otherwise.
+  std::vector<Index> row_starts_;
+
+  bool use_halo_ = false;  ///< sparsity-aware stripe exchange (forward)
+  dist::HaloPlan halo_;    ///< over the slice; built once, replayed
 
   /// at_stripe_[j] for j ≡ t (mod c): A^T[R_g, R_j].
   std::map<int, Csr> at_stripe_;

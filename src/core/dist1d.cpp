@@ -11,17 +11,32 @@ Algebra1D::Algebra1D(const DistProblem& problem, Comm world,
     : DistSpmmAlgebra(machine), world_(std::move(world)) {
   n_ = problem.graph->num_vertices();
   const int p = world_.size();
-  std::tie(row_lo_, row_hi_) = block_range(n_, p, world_.rank());
+  row_starts_ = dist::row_starts(problem, p);
+  row_lo_ = row_starts_[static_cast<std::size_t>(world_.rank())];
+  row_hi_ = row_starts_[static_cast<std::size_t>(world_.rank()) + 1];
 
   // A^T block row, pre-split into the P column blocks of Algorithm 1.
   at_blocks_.reserve(static_cast<std::size_t>(p));
   for (int j = 0; j < p; ++j) {
-    const auto [c0, c1] = block_range(n_, p, j);
-    at_blocks_.push_back(problem.at.block(row_lo_, row_hi_, c0, c1));
+    at_blocks_.push_back(problem.at.block(
+        row_lo_, row_hi_, row_starts_[static_cast<std::size_t>(j)],
+        row_starts_[static_cast<std::size_t>(j) + 1]));
   }
   // Column block of A for the backward outer product: A(:, lo:hi) is the
   // transpose of this rank's A^T block row.
   a_col_block_ = problem.at.block(row_lo_, row_hi_, 0, n_).transposed();
+
+  // Halo mode: precompute, from the A^T block sparsity, exactly which
+  // remote H rows this rank needs (and, via the plan's request exchange,
+  // which of its rows each peer needs). Built once; replayed every layer.
+  use_halo_ = dist::halo_enabled() && p > 1;
+  if (use_halo_) {
+    dist::build_halo_plan(
+        [&](int j) { return &at_blocks_[static_cast<std::size_t>(j)]; },
+        world_.rank(),
+        [&](int j) { return row_starts_[static_cast<std::size_t>(j)]; },
+        world_, halo_);
+  }
 }
 
 void Algebra1D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
@@ -34,8 +49,8 @@ void Algebra1D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
   // The stage root broadcasts straight from h; everyone else receives
   // into the reused stage buffers.
   const auto stage_rows = [&](int j) {
-    const auto [r0, r1] = block_range(n_, p, j);
-    return r1 - r0;
+    return row_starts_[static_cast<std::size_t>(j) + 1] -
+           row_starts_[static_cast<std::size_t>(j)];
   };
   const auto spmm_stage = [&](int j, const Matrix* hj) {
     ScopedPhase scope(stats.profiler, Phase::kSpmm);
@@ -44,6 +59,25 @@ void Algebra1D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
     stats.work.add_spmm(machine(), static_cast<double>(a.nnz()),
                         static_cast<double>(f), dist::block_degree(a));
   };
+
+  if (use_halo_) {
+    // IV-A.8 request-and-send: exchange exactly the needed remote rows
+    // (edgecut_P(A) * f words, metered as kHalo), then run the same
+    // j-ascending accumulation against the compacted blocks — per-element
+    // sums are identical ordered sums of identical products, so T is
+    // bitwise the broadcast path's.
+    dist::halo_exchange_rows(
+        h, std::span<const Index>(halo_.send_rows),
+        std::span<const std::size_t>(halo_.send_row_offsets), world_, halo_,
+        CommCategory::kHalo, stats.profiler);
+    const Csr& self_block =
+        at_blocks_[static_cast<std::size_t>(world_.rank())];
+    for (int j = 0; j < p; ++j) {
+      dist::halo_spmm_stage(j, world_.rank(), &self_block, h, halo_, t,
+                            machine(), stats);
+    }
+    return;
+  }
 
   if (!dist::overlap_enabled() || p == 1) {
     for (int j = 0; j < p; ++j) {
@@ -72,6 +106,11 @@ void Algebra1D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
 
 void Algebra1D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   const Index f = g.cols();
+
+  if (use_halo_) {
+    spmm_a_halo(g, u, stats);
+    return;
+  }
 
   if (dist::overlap_enabled()) {
     // Release point for the previous layer's reduce-scatter: peers read
@@ -106,6 +145,58 @@ void Algebra1D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
     } else {
       world_.reduce_scatter_sum(std::span<const Real>(u_partial_.flat()),
                                 u.flat(), CommCategory::kDense);
+    }
+  }
+}
+
+void Algebra1D::spmm_a_halo(const Matrix& g, Matrix& u, EpochStats& stats) {
+  const int p = world_.size();
+  const Index f = g.cols();
+  // Same O(nf) outer product as the broadcast path ...
+  u_partial_.resize(n_, f);
+  {
+    ScopedPhase scope(stats.profiler, Phase::kSpmm);
+    a_col_block_.spmm(g, u_partial_, /*accumulate=*/false);
+    stats.work.add_spmm(machine(), static_cast<double>(a_col_block_.nnz()),
+                        static_cast<double>(f),
+                        dist::block_degree(a_col_block_));
+  }
+  // ... but only the structurally nonzero remote rows travel: the rows
+  // rank i contributes to rank j are exactly the rows i *needs from* j
+  // forward (A^T(rows_i, v) != 0 <=> A(v, rows_i) != 0), so the plan is
+  // its own mirror — contributions pack along need-rows and land on
+  // send-rows.
+  dist::halo_exchange_rows(
+      u_partial_, std::span<const Index>(halo_.need_rows_global),
+      std::span<const std::size_t>(halo_.recv_row_offsets), world_, halo_,
+      CommCategory::kDense, stats.profiler);
+  // Rank-ascending accumulation, the reduce-scatter's exact order (the
+  // rows it skips are exact +0.0 contributions), so U is bitwise the
+  // broadcast path's.
+  u.resize(local_rows(), f);
+  u.set_zero();
+  {
+    ScopedPhase scope(stats.profiler, Phase::kMisc);
+    for (int r = 0; r < p; ++r) {
+      if (r == world_.rank()) {
+        const Real* src = u_partial_.data() + row_lo_ * f;
+        Real* dst = u.data();
+        const Index len = local_rows() * f;
+        for (Index k = 0; k < len; ++k) dst[k] += src[k];
+        continue;
+      }
+      const std::size_t base =
+          halo_.recv.offsets[static_cast<std::size_t>(r)];
+      const std::size_t k0 =
+          halo_.send_row_offsets[static_cast<std::size_t>(r)];
+      const std::size_t k1 =
+          halo_.send_row_offsets[static_cast<std::size_t>(r) + 1];
+      for (std::size_t k = k0; k < k1; ++k) {
+        const Real* src =
+            halo_.recv.data.data() + base + (k - k0) * static_cast<std::size_t>(f);
+        Real* dst = u.data() + halo_.send_rows[k] * f;
+        for (Index c = 0; c < f; ++c) dst[c] += src[c];
+      }
     }
   }
 }

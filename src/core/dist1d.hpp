@@ -16,6 +16,16 @@
 // broadcast-based bound; Algorithm 1 broadcasts rather than doing
 // individualized request-and-send, exactly as the paper argues in IV-A.8).
 //
+// Halo mode (CAGNET_HALO / dist::set_halo_enabled) implements the IV-A.8
+// request-and-send instead: a HaloPlan built once from the local A^T
+// sparsity exchanges exactly the remote H rows each rank needs (kHalo,
+// edgecut_P(A) * f words per layer) and the backward outer product sends
+// only its structurally nonzero contribution rows — with losses and
+// weights bitwise identical to the broadcast path. Row-block boundaries
+// follow the DistProblem partition when its part count is P
+// (partition-aware layout), so a locality partitioner shrinks the
+// exchanged halo.
+//
 // Only the distributed algebra lives here; the training loop itself is the
 // shared DistEngine (see dist_engine.hpp).
 #pragma once
@@ -41,6 +51,9 @@ class Algebra1D final : public DistSpmmAlgebra {
 
   void spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) override;
   void spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) override;
+  /// True when the sparsity-aware halo exchange replaces the broadcasts
+  /// (dist::halo_enabled() at construction and P > 1). Purely local.
+  bool halo_active() const { return use_halo_; }
   void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
                         Matrix& y_full, EpochStats& stats) override;
   void begin_reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
@@ -52,17 +65,25 @@ class Algebra1D final : public DistSpmmAlgebra {
   Comm& gather_comm() override { return world_; }
 
  private:
+  void spmm_a_halo(const Matrix& g, Matrix& u, EpochStats& stats);
+
   Comm world_;
 
   Index n_ = 0;
   Index row_lo_ = 0;
   Index row_hi_ = 0;
+  /// Partition-aware block boundaries (P+1): the DistProblem partition's
+  /// offsets when it was prepared for P parts, even block_range otherwise.
+  std::vector<Index> row_starts_;
 
   /// at_blocks_[j] = A^T(rows of this rank, rows of rank j): the j-th
   /// summand of Algorithm 1's accumulation loop.
   std::vector<Csr> at_blocks_;
   /// A(:, local rows) as CSR (n x local_rows): the outer-product operand.
   Csr a_col_block_;
+
+  bool use_halo_ = false;  ///< sparsity-aware exchange instead of broadcasts
+  dist::HaloPlan halo_;    ///< built once, replayed every epoch/layer
 
   Matrix hj_recv_;    ///< broadcast-stage receive buffer (reused)
   Matrix hj_recv2_;   ///< double-buffer partner (overlapped prefetch)

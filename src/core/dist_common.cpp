@@ -9,6 +9,7 @@
 
 #include "src/dense/gemm.hpp"
 #include "src/dense/ops.hpp"
+#include "src/sparse/spmm_kernel.hpp"
 #include "src/util/error.hpp"
 
 namespace cagnet {
@@ -18,6 +19,56 @@ DistProblem DistProblem::prepare(const Graph& graph) {
   p.graph = &graph;
   p.at = graph.adjacency.transposed();
   for (Index label : graph.labels) {
+    if (label >= 0) ++p.labeled_count;
+  }
+  return p;
+}
+
+DistProblem DistProblem::prepare(const Graph& graph, int parts,
+                                 const std::string& partitioner,
+                                 std::uint64_t seed) {
+  const PartitionerSpec* spec = find_partitioner(partitioner);
+  CAGNET_CHECK(spec != nullptr, "unknown partitioner: " + partitioner);
+  Partition part = spec->make(graph.adjacency, parts, seed);
+
+  DistProblem p;
+  p.partitioner = partitioner;
+  if (partitioner == "block") {
+    // Contiguous already: no relabeling, identical training to the
+    // identity form (part_offsets reproduce block_range exactly).
+    p.graph = &graph;
+    p.partition = std::move(part);
+  } else {
+    const std::vector<Index> perm = partition_permutation(part);
+    const Index n = graph.num_vertices();
+    auto owned = std::make_shared<Graph>();
+    owned->name = graph.name + "+" + partitioner;
+    owned->num_classes = graph.num_classes;
+    owned->adjacency = graph.adjacency.permuted(
+        std::span<const Index>(perm));
+    owned->features = Matrix(graph.features.rows(), graph.features.cols());
+    owned->labels.resize(graph.labels.size());
+    Partition sorted;
+    sorted.parts = part.parts;
+    sorted.owner.resize(static_cast<std::size_t>(n));
+    for (Index r = 0; r < n; ++r) {
+      const Index v = perm[static_cast<std::size_t>(r)];
+      std::copy(graph.features.row(v).begin(), graph.features.row(v).end(),
+                owned->features.row(r).begin());
+      owned->labels[static_cast<std::size_t>(r)] =
+          graph.labels[static_cast<std::size_t>(v)];
+      sorted.owner[static_cast<std::size_t>(r)] =
+          part.owner[static_cast<std::size_t>(v)];
+    }
+    p.partition = std::move(sorted);
+    p.perm = perm;
+    p.owned_graph_ = owned;
+    p.graph = p.owned_graph_.get();
+  }
+  p.part_offsets = partition_offsets(p.partition);
+  p.edgecut = edge_cut(p.graph->adjacency, p.partition);
+  p.at = p.graph->adjacency.transposed();
+  for (Index label : p.graph->labels) {
     if (label >= 0) ++p.labeled_count;
   }
   return p;
@@ -89,6 +140,18 @@ bool overlap_default_from_env() {
 /// Same discipline as the epoch cache: flip only between run_world
 /// invocations. Preset once from CAGNET_OVERLAP.
 bool g_overlap_enabled = overlap_default_from_env();
+
+bool halo_default_from_env() {
+  const char* v = std::getenv("CAGNET_HALO");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "on" || s == "ON" || s == "true" || s == "TRUE";
+}
+
+/// Same discipline again: flip only between run_world invocations.
+/// Preset once from CAGNET_HALO (default off — Algorithm 1's broadcasts
+/// remain the reference semantics; see DESIGN.md).
+bool g_halo_enabled = halo_default_from_env();
 }  // namespace
 
 bool epoch_cache_enabled() { return g_epoch_cache_enabled; }
@@ -96,6 +159,9 @@ void set_epoch_cache_enabled(bool on) { g_epoch_cache_enabled = on; }
 
 bool overlap_enabled() { return g_overlap_enabled; }
 void set_overlap_enabled(bool on) { g_overlap_enabled = on; }
+
+bool halo_enabled() { return g_halo_enabled; }
+void set_halo_enabled(bool on) { g_halo_enabled = on; }
 
 void drain_comm(const Comm& comm) noexcept {
   if (!comm.valid()) return;
@@ -696,6 +762,141 @@ void finish_assemble_weight_gradient(int parts, Comm& row_comm,
     }
   }
   pending.count = 0;
+}
+
+std::vector<Index> row_starts(const DistProblem& problem, int parts) {
+  std::vector<Index> starts(static_cast<std::size_t>(parts) + 1);
+  for (int j = 0; j < parts; ++j) {
+    starts[static_cast<std::size_t>(j)] = problem.row_range(parts, j).first;
+  }
+  starts[static_cast<std::size_t>(parts)] = problem.graph->num_vertices();
+  return starts;
+}
+
+void build_halo_plan(const std::function<const Csr*(int)>& block_of,
+                     int self, const std::function<Index(int)>& peer_row_lo,
+                     Comm& comm, HaloPlan& plan) {
+  const int p = comm.size();
+  plan.blocks.assign(static_cast<std::size_t>(p), Csr{});
+  plan.need_rows.clear();
+  plan.need_rows_global.clear();
+  plan.recv_row_offsets.assign(static_cast<std::size_t>(p) + 1, 0);
+
+  std::vector<char> seen;
+  std::vector<Index> new_col;
+  std::vector<Index> need;
+  for (int j = 0; j < p; ++j) {
+    plan.recv_row_offsets[static_cast<std::size_t>(j) + 1] =
+        plan.recv_row_offsets[static_cast<std::size_t>(j)];
+    if (j == self) continue;
+    const Csr* block = block_of(j);
+    if (block == nullptr) continue;
+    // Distinct peer-local columns the block touches, ascending: the exact
+    // remote rows Section IV-A defines edgecut_P(A) over.
+    seen.assign(static_cast<std::size_t>(block->cols()), 0);
+    for (Index c : block->col_idx()) seen[static_cast<std::size_t>(c)] = 1;
+    new_col.assign(static_cast<std::size_t>(block->cols()), Index{-1});
+    need.clear();
+    for (Index c = 0; c < block->cols(); ++c) {
+      if (!seen[static_cast<std::size_t>(c)]) continue;
+      new_col[static_cast<std::size_t>(c)] =
+          static_cast<Index>(need.size());
+      need.push_back(c);
+    }
+    plan.blocks[static_cast<std::size_t>(j)] = block->with_remapped_columns(
+        std::span<const Index>(new_col), static_cast<Index>(need.size()));
+    for (Index c : need) {
+      plan.need_rows.push_back(c);
+      plan.need_rows_global.push_back(peer_row_lo(j) + c);
+    }
+    plan.recv_row_offsets[static_cast<std::size_t>(j) + 1] =
+        plan.need_rows.size();
+  }
+
+  // The one-time index request-and-send: every rank learns which of its
+  // rows each peer needs. Setup traffic, charged as kControl so the
+  // per-epoch halo volume stays exactly edgecut * f.
+  Gathered<Index> requested;
+  comm.alltoallv_into(std::span<const Index>(plan.need_rows),
+                      std::span<const std::size_t>(plan.recv_row_offsets),
+                      requested, CommCategory::kControl);
+  plan.send_rows.assign(requested.data.begin(), requested.data.end());
+  plan.send_row_offsets = requested.offsets;
+  plan.send_elem_offsets.assign(static_cast<std::size_t>(p) + 1, 0);
+  plan.has_release = false;
+  plan.ready = true;
+}
+
+void halo_exchange_rows(const Matrix& src, std::span<const Index> rows,
+                        std::span<const std::size_t> row_offsets, Comm& comm,
+                        HaloPlan& plan, CommCategory cat,
+                        Profiler& profiler) {
+  CAGNET_CHECK(plan.ready, "halo_exchange_rows: plan not built");
+  const Index f = src.cols();
+  const int p = comm.size();
+  if (overlap_enabled() && plan.has_release) {
+    // Release point for the previous exchange: peers read this rank's
+    // pack buffer and offsets at their waits, and both are rewritten
+    // below. Peers drained within the same collective call a layer ago.
+    ScopedPhase scope(profiler, Phase::kDenseComm);
+    comm.quiesce_op(plan.release_ticket);
+    plan.has_release = false;
+  }
+  {
+    ScopedPhase scope(profiler, Phase::kMisc);
+    plan.send_buf.resize(static_cast<Index>(rows.size()), f);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const Real* from = src.data() + rows[k] * f;
+      std::copy(from, from + f, plan.send_buf.data() + static_cast<Index>(k) * f);
+    }
+    plan.send_elem_offsets.resize(static_cast<std::size_t>(p) + 1);
+    for (std::size_t j = 0; j <= static_cast<std::size_t>(p); ++j) {
+      plan.send_elem_offsets[j] =
+          row_offsets[j] * static_cast<std::size_t>(f);
+    }
+  }
+  ScopedPhase scope(profiler, Phase::kDenseComm);
+  if (overlap_enabled()) {
+    // Single lock-free rendezvous instead of two barrier phases; the
+    // recorded ticket is the next exchange's release point. Charges are
+    // identical to the blocking form.
+    PendingOp op = comm.ialltoallv_into(
+        std::span<const Real>(plan.send_buf.flat()),
+        std::span<const std::size_t>(plan.send_elem_offsets), plan.recv,
+        cat);
+    plan.release_ticket = op.ticket();
+    plan.has_release = true;
+    op.wait();
+  } else {
+    comm.alltoallv_into(std::span<const Real>(plan.send_buf.flat()),
+                        std::span<const std::size_t>(plan.send_elem_offsets),
+                        plan.recv, cat);
+  }
+}
+
+void halo_spmm_stage(int j, int self, const Csr* self_block,
+                     const Matrix& h, const HaloPlan& plan, Matrix& t,
+                     const MachineModel& machine, EpochStats& stats) {
+  const Index f = h.cols();
+  if (j == self) {
+    CAGNET_CHECK(self_block != nullptr,
+                 "halo_spmm_stage: self stage needs the rank's own block");
+    ScopedPhase scope(stats.profiler, Phase::kSpmm);
+    self_block->spmm(h, t, /*accumulate=*/true);
+    stats.work.add_spmm(machine, static_cast<double>(self_block->nnz()),
+                        static_cast<double>(f), block_degree(*self_block));
+    return;
+  }
+  const Csr& a = plan.blocks[static_cast<std::size_t>(j)];
+  if (a.nnz() == 0) return;
+  ScopedPhase scope(stats.profiler, Phase::kSpmm);
+  spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
+                        a.values().data(),
+                        plan.recv.data.data() +
+                            plan.recv.offsets[static_cast<std::size_t>(j)],
+                        f, t.data(), /*accumulate=*/true);
+  stats.work.add_spmm(machine, static_cast<double>(a.nnz()),
+                      static_cast<double>(f), block_degree(a));
 }
 
 Csr route_csr(const Csr& mine, int dest, Comm& comm, CommCategory cat) {

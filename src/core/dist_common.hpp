@@ -11,6 +11,7 @@
 #include "src/comm/machine.hpp"
 #include "src/gnn/model.hpp"
 #include "src/graph/graph.hpp"
+#include "src/graph/partition.hpp"
 #include "src/util/profiler.hpp"
 
 namespace cagnet {
@@ -21,12 +22,61 @@ namespace cagnet {
 /// extracts only its own blocks in its trainer constructor, mirroring a
 /// real distributed loader. A^T is materialized once here rather than per
 /// rank (the paper's implementation likewise prepares both orientations).
+///
+/// Partition-aware form: `prepare(graph, parts, partitioner)` runs a
+/// registered partitioner (src/graph/partition.hpp) and relabels the
+/// problem once — adjacency, features, and labels are permuted so every
+/// part is a contiguous row block — before any rank extracts its blocks.
+/// Every algebra therefore trains on the permuted problem transparently;
+/// the engine un-permutes gather_output() so callers always see original
+/// vertex order. The block boundaries follow the (generally uneven) part
+/// sizes via row_range(); algebras whose part count differs from the
+/// partition's fall back to even block_range splits of the permuted order.
 struct DistProblem {
-  const Graph* graph = nullptr;
+  const Graph* graph = nullptr;  ///< the (possibly permuted) training graph
   Csr at;  ///< A^T (paper keeps A and A^T distinguishable for directedness)
   Index labeled_count = 0;
 
+  // ---- Partition-aware layout (empty / identity when prepared without a
+  // partitioner) ----
+  std::string partitioner = "block";
+  Partition partition;             ///< owners in permuted order (sorted)
+  std::vector<Index> part_offsets; ///< parts+1 row prefix; empty = even blocks
+  std::vector<Index> perm;         ///< permuted row r = original vertex
+                                   ///< perm[r]; empty = identity
+  EdgeCutStats edgecut;            ///< of `partition` on the training graph
+
+  /// Identity layout (the paper's default block distribution).
   static DistProblem prepare(const Graph& graph);
+
+  /// Partitioned layout: run the named registered partitioner for `parts`
+  /// parts, permute the problem part-contiguously, and record the
+  /// edge-cut statistics the halo path and the cost model consume. The
+  /// "block" partitioner keeps the original vertex order (no permutation)
+  /// and trains bitwise identically to the identity form.
+  static DistProblem prepare(const Graph& graph, int parts,
+                             const std::string& partitioner,
+                             std::uint64_t seed = 12345);
+
+  /// True when part boundaries (possibly uneven) are recorded.
+  bool partitioned() const { return !part_offsets.empty(); }
+
+  /// Row range of block `idx` of `parts`: the partition's own (uneven)
+  /// boundaries when its part count matches `parts`, the even block_range
+  /// otherwise. The 1D family queries with parts = P, the 1.5D family
+  /// with parts = G = P / c.
+  std::pair<Index, Index> row_range(int parts, int idx) const {
+    if (static_cast<int>(part_offsets.size()) == parts + 1) {
+      return {part_offsets[static_cast<std::size_t>(idx)],
+              part_offsets[static_cast<std::size_t>(idx) + 1]};
+    }
+    return block_range(graph->num_vertices(), parts, idx);
+  }
+
+ private:
+  /// Owning storage of the permuted graph (aliased by `graph`); shared so
+  /// DistProblem remains cheaply copyable.
+  std::shared_ptr<const Graph> owned_graph_;
 };
 
 /// Per-epoch instrumentation, mirroring what Figs. 2-3 report.
@@ -104,6 +154,21 @@ void set_epoch_cache_enabled(bool on);
 bool overlap_enabled();
 void set_overlap_enabled(bool on);
 
+/// Process-global switch for the sparsity-aware halo exchange of the 1D /
+/// 1.5D families (default off; the CAGNET_HALO env var, read once at
+/// startup, can preset it — "1", "on", or "true" enable). When on, the
+/// rows-whole forward SpMM replaces Algorithm 1's P dense broadcast
+/// stages with an individualized request-and-send of exactly the remote
+/// H rows the local A^T sparsity touches (metered as kHalo:
+/// edgecut_P(A) * f words instead of n(P-1)/P * f), and the 1D backward
+/// replaces its O(nf) reduce-scatter with the symmetric contribution
+/// exchange. Losses, weights, and accuracy are bitwise identical to the
+/// broadcast path (tests/halo_test.cpp asserts it); only the metered
+/// volume drops. Not per-trainer state: flip it only between run_world
+/// invocations.
+bool halo_enabled();
+void set_halo_enabled(bool on);
+
 /// Reusable dense/staging buffers for the shared SUMMA helpers. One per
 /// algebra instance; after the first epoch the hot path stops allocating.
 /// The helpers never nest, so sharing the buffers between them is safe.
@@ -151,6 +216,91 @@ struct TransposeCache {
 /// building block of DistSpmmAlgebra::drain overrides (no-op on invalid
 /// Comms, so never-initialized sub-communicators are safe to pass).
 void drain_comm(const Comm& comm) noexcept;
+
+/// Demand-driven halo exchange plan of the rows-whole (1D / 1.5D)
+/// families, built once per algebra from the local A^T sparsity and
+/// cached across epochs and layers (the analogue of the SUMMA epoch
+/// cache). Lifecycle:
+///
+///   1. *Build* (collective, constructor time): each rank scans its A^T
+///      blocks for the distinct peer-local columns they touch (`need`),
+///      compacts each block to those columns (Csr::with_remapped_columns),
+///      and runs one index alltoallv so every rank learns which of its
+///      rows each peer requests (`send`). The index exchange is one-time
+///      setup, charged as kControl.
+///   2. *Epoch replay*: every forward layer packs the `send` rows of H
+///      and alltoallv's them (kHalo; edgecut words). The 1D backward
+///      reuses the same plan mirrored — contributions travel along
+///      need-rows and land on send-rows. Nothing is rebuilt; the staging
+///      buffers are reused allocation-free.
+///   3. *Release*: in overlap mode the exchange posts through
+///      ialltoallv_into and records its ticket; the next exchange
+///      quiesces that single op before overwriting the pack buffer and
+///      offsets (peers read both at their own waits). Blocking mode needs
+///      no release (barrier phases separate the accesses).
+struct HaloPlan {
+  bool ready = false;
+  /// Forward receives: rows obtained from each source, ascending peer
+  /// order. need_rows are peer-local row indices; need_rows_global adds
+  /// the peer row offsets (indices into an n-row matrix, the backward
+  /// pack addressing).
+  std::vector<std::size_t> recv_row_offsets;  ///< P+1
+  std::vector<Index> need_rows;
+  std::vector<Index> need_rows_global;
+  /// Forward sends: this rank's local row indices each destination
+  /// requested.
+  std::vector<std::size_t> send_row_offsets;  ///< P+1
+  std::vector<Index> send_rows;
+  /// Column-compacted A^T blocks (self and absent peers left empty; the
+  /// self stage multiplies the rank's own uncompacted block against H).
+  std::vector<Csr> blocks;
+  // Reused exchange staging (see the release discipline above).
+  Matrix send_buf;
+  Gathered<Real> recv;
+  std::vector<std::size_t> send_elem_offsets;  ///< P+1, rebuilt per exchange
+  std::uint64_t release_ticket = 0;
+  bool has_release = false;
+};
+
+/// The (parts+1) partition-aware block boundaries of `problem` for a
+/// family splitting rows into `parts` blocks (DistProblem::row_range
+/// semantics: the partition's own offsets when aligned, even block_range
+/// otherwise). Shared by the 1D (parts = P) and 1.5D (parts = G)
+/// constructors.
+std::vector<Index> row_starts(const DistProblem& problem, int parts);
+
+/// Build `plan` from this rank's A^T blocks: `block_of(j)` returns the
+/// (local_rows x peer_rows(j)) block of peer j's columns, or nullptr when
+/// no rows are needed from j (1.5D off-stripe peers); `self` is this
+/// rank's index in `comm` (its own block is never exchanged);
+/// `peer_row_lo(j)` is peer j's first global row. Collective over `comm`;
+/// the index request-and-send is charged as kControl.
+void build_halo_plan(const std::function<const Csr*(int)>& block_of,
+                     int self, const std::function<Index(int)>& peer_row_lo,
+                     Comm& comm, HaloPlan& plan);
+
+/// Exchange the rows of `src` listed in (`rows`, `row_offsets`) — the
+/// plan's send side for the forward direction, its need side (global) for
+/// the backward direction. Received rows land in plan.recv, row-major and
+/// f-wide, sources ascending. In overlap mode the exchange is a single
+/// nonblocking rendezvous whose ticket is recorded for the next
+/// exchange's release; charges are identical either way, applied to
+/// `cat`.
+void halo_exchange_rows(const Matrix& src, std::span<const Index> rows,
+                        std::span<const std::size_t> row_offsets, Comm& comm,
+                        HaloPlan& plan, CommCategory cat,
+                        Profiler& profiler);
+
+/// One stage of the halo-path forward SpMM, accumulating into `t`: the
+/// self stage (j == self) multiplies the rank's own uncompacted block
+/// (`self_block`, may be null otherwise) against `h`; remote stages
+/// multiply the plan's compacted block against the received compact
+/// rows. Stage order and per-element accumulation match the broadcast
+/// loops exactly, so T stays bitwise identical. Shared by the 1D and
+/// 1.5D stage loops.
+void halo_spmm_stage(int j, int self, const Csr* self_block,
+                     const Matrix& h, const HaloPlan& plan, Matrix& t,
+                     const MachineModel& machine, EpochStats& stats);
 
 /// Global mean NLL loss and accuracy from a local row block of output
 /// log-probabilities. `row_lo` is the first global row of the block.

@@ -235,7 +235,19 @@ EpochStats DistEngine::reduce_epoch_stats() const {
 }
 
 Matrix DistEngine::gather_output() {
-  return algebra_->gather_output(output_rows_, problem_.graph->num_vertices());
+  Matrix full =
+      algebra_->gather_output(output_rows_, problem_.graph->num_vertices());
+  if (problem_.perm.empty()) return full;
+  // Partition-aware runs train on the permuted problem; hand callers the
+  // original vertex order back (permuted row r is original vertex
+  // perm[r]).
+  Matrix original(full.rows(), full.cols());
+  for (Index r = 0; r < full.rows(); ++r) {
+    const Index v = problem_.perm[static_cast<std::size_t>(r)];
+    std::copy(full.row(r).begin(), full.row(r).end(),
+              original.row(v).begin());
+  }
+  return original;
 }
 
 }  // namespace cagnet

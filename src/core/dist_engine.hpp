@@ -211,7 +211,9 @@ class DistEngine : public DistTrainer {
   EpochStats reduce_epoch_stats() const override;
 
   /// Collective: assemble the full (n x f) output log-probability matrix
-  /// on every rank (kControl traffic; parity tests and inference).
+  /// on every rank (kControl traffic; parity tests and inference). For a
+  /// partitioned problem the rows are un-permuted back to original vertex
+  /// order, so callers never see the internal relabeling.
   Matrix gather_output() override;
 
   /// Replicated weight matrices (bitwise identical on every rank by

@@ -1,6 +1,7 @@
 #include "src/graph/partition.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <deque>
 #include <numeric>
 #include <sstream>
@@ -189,6 +190,67 @@ std::string to_string(const EdgeCutStats& s) {
      << " max_cut_per_part=" << s.max_cut_edges_per_part
      << " max_remote_rows=" << s.max_remote_rows_per_part;
   return os.str();
+}
+
+std::vector<Index> partition_offsets(const Partition& partition) {
+  std::vector<Index> offsets(static_cast<std::size_t>(partition.parts) + 1,
+                             0);
+  for (Index o : partition.owner) {
+    ++offsets[static_cast<std::size_t>(o) + 1];
+  }
+  for (std::size_t q = 1; q < offsets.size(); ++q) {
+    offsets[q] += offsets[q - 1];
+  }
+  return offsets;
+}
+
+std::vector<Index> partition_permutation(const Partition& partition) {
+  // Stable counting sort by owner: cursor[q] walks part q's output range.
+  std::vector<Index> cursor = partition_offsets(partition);
+  std::vector<Index> perm(partition.owner.size());
+  for (Index v = 0; v < partition.size(); ++v) {
+    const Index q = partition.owner[static_cast<std::size_t>(v)];
+    perm[static_cast<std::size_t>(cursor[static_cast<std::size_t>(q)]++)] = v;
+  }
+  return perm;
+}
+
+const std::vector<PartitionerSpec>& partitioner_registry() {
+  static const std::vector<PartitionerSpec> registry = [] {
+    std::vector<PartitionerSpec> specs;
+    specs.push_back({"block", [](const Csr& a, int parts, std::uint64_t) {
+                       return block_partition(a.rows(), parts);
+                     }});
+    specs.push_back({"random", [](const Csr& a, int parts,
+                                  std::uint64_t seed) {
+                       Rng rng(seed);
+                       return random_partition(a.rows(), parts, rng);
+                     }});
+    specs.push_back({"greedy-bfs", [](const Csr& a, int parts,
+                                      std::uint64_t) {
+                       return greedy_bfs_partition(a, parts);
+                     }});
+    return specs;
+  }();
+  return registry;
+}
+
+const PartitionerSpec* find_partitioner(const std::string& name) {
+  for (const PartitionerSpec& spec : partitioner_registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+const std::string& default_partitioner_name() {
+  static const std::string name = [] {
+    const char* v = std::getenv("CAGNET_PARTITION");
+    if (v != nullptr && find_partitioner(v) != nullptr) {
+      return std::string(v);
+    }
+    return std::string("block");
+  }();
+  return name;
 }
 
 }  // namespace cagnet

@@ -7,6 +7,7 @@
 // greedy BFS grower (see DESIGN.md, Substitutions).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,5 +53,38 @@ struct EdgeCutStats {
 EdgeCutStats edge_cut(const Csr& a, const Partition& partition);
 
 std::string to_string(const EdgeCutStats& s);
+
+/// Per-part vertex counts of `partition` as a prefix-sum offsets vector
+/// (parts+1 entries): part q owns offsets[q] .. offsets[q+1] vertices once
+/// the vertices are relabeled part-contiguously (sorted_by_part).
+std::vector<Index> partition_offsets(const Partition& partition);
+
+/// The part-contiguous relabeling induced by a partition: perm[r] is the
+/// original vertex at permuted position r, with vertices ordered by
+/// (owner, original index) — a stable counting sort, so the relabeling is
+/// deterministic. Applying it makes every part a contiguous row block
+/// whose boundaries are partition_offsets.
+std::vector<Index> partition_permutation(const Partition& partition);
+
+/// Named partitioner: builds a Partition of `a`'s rows into `parts`.
+/// `seed` feeds the randomized partitioners and is ignored by the
+/// deterministic ones.
+struct PartitionerSpec {
+  std::string name;
+  std::function<Partition(const Csr& a, int parts, std::uint64_t seed)> make;
+};
+
+/// All registered partitioners: "block" (contiguous ranges, the paper's
+/// default layout), "random" (random balanced blocks), "greedy-bfs" (the
+/// METIS stand-in). New partitioners are one entry here; DistProblem,
+/// the benches, and the HaloParity tests pick them up by name.
+const std::vector<PartitionerSpec>& partitioner_registry();
+
+/// Lookup by name; nullptr when unknown.
+const PartitionerSpec* find_partitioner(const std::string& name);
+
+/// The CAGNET_PARTITION environment selection (read once at startup;
+/// defaults to "block" when unset or unknown).
+const std::string& default_partitioner_name();
 
 }  // namespace cagnet

@@ -127,6 +127,56 @@ Csr Csr::transposed() const {
   return out;
 }
 
+Csr Csr::permuted(std::span<const Index> perm) const {
+  CAGNET_CHECK(rows_ == cols_, "permuted expects a square matrix");
+  CAGNET_CHECK(static_cast<Index>(perm.size()) == rows_,
+               "permuted: permutation size mismatch");
+  std::vector<Index> iperm(static_cast<std::size_t>(rows_));
+  for (Index r = 0; r < rows_; ++r) {
+    iperm[static_cast<std::size_t>(perm[static_cast<std::size_t>(r)])] = r;
+  }
+  Csr out(rows_, cols_);
+  out.col_idx_.resize(col_idx_.size());
+  out.vals_.resize(vals_.size());
+  std::vector<std::pair<Index, Real>> row;
+  Index q = 0;
+  for (Index r = 0; r < rows_; ++r) {
+    const Index old = perm[static_cast<std::size_t>(r)];
+    row.clear();
+    for (Index p = row_ptr_[old]; p < row_ptr_[old + 1]; ++p) {
+      row.push_back({iperm[static_cast<std::size_t>(
+                         col_idx_[static_cast<std::size_t>(p)])],
+                     vals_[static_cast<std::size_t>(p)]});
+    }
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [c, v] : row) {
+      out.col_idx_[static_cast<std::size_t>(q)] = c;
+      out.vals_[static_cast<std::size_t>(q)] = v;
+      ++q;
+    }
+    out.row_ptr_[static_cast<std::size_t>(r) + 1] = q;
+  }
+  return out;
+}
+
+Csr Csr::with_remapped_columns(std::span<const Index> new_col,
+                               Index new_cols) const {
+  CAGNET_CHECK(static_cast<Index>(new_col.size()) == cols_,
+               "with_remapped_columns: map size mismatch");
+  Csr out(rows_, new_cols);
+  out.row_ptr_ = row_ptr_;
+  out.vals_ = vals_;
+  out.col_idx_.resize(col_idx_.size());
+  for (std::size_t p = 0; p < col_idx_.size(); ++p) {
+    const Index mapped = new_col[static_cast<std::size_t>(col_idx_[p])];
+    CAGNET_CHECK(mapped >= 0 && mapped < new_cols,
+                 "with_remapped_columns: structural column left unmapped");
+    out.col_idx_[p] = mapped;
+  }
+  return out;
+}
+
 Csr Csr::block(Index r0, Index r1, Index c0, Index c1) const {
   CAGNET_CHECK(0 <= r0 && r0 <= r1 && r1 <= rows_, "bad block row range");
   CAGNET_CHECK(0 <= c0 && c0 <= c1 && c1 <= cols_, "bad block col range");

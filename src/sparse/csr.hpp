@@ -62,6 +62,21 @@ class Csr {
   /// Structural + numerical transpose (counting sort; O(nnz + n)).
   Csr transposed() const;
 
+  /// Symmetric relabeling of a square matrix: new(r, c) = old(perm[r],
+  /// perm[c]), where perm[r] is the old index at new position r (a
+  /// bijection). This is the partition-induced vertex permutation applied
+  /// to the adjacency; columns are re-sorted within each row.
+  Csr permuted(std::span<const Index> perm) const;
+
+  /// Column compaction: new_col[c] gives each old column's new index, or
+  /// -1 for columns guaranteed structurally empty. The map must be
+  /// strictly increasing on the mapped columns (so sortedness is
+  /// preserved); the result has `new_cols` columns and identical rows,
+  /// row_ptr, and values. This builds the halo-compacted A^T blocks whose
+  /// dense operand holds only the received remote rows.
+  Csr with_remapped_columns(std::span<const Index> new_col,
+                            Index new_cols) const;
+
   /// Extract the sub-matrix rows [r0, r1) x cols [c0, c1) with indices
   /// rebased to the block origin. This is the grid-blocking primitive used
   /// by the 1D/2D/3D data distributions.

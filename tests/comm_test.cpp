@@ -1033,5 +1033,156 @@ TEST(AllgathervInto, ReusesStorageAcrossCalls) {
   });
 }
 
+// ---- alltoallv: the halo-exchange primitive ----
+
+/// Each rank sends `dest + 1` copies of the value 100*rank + dest to every
+/// destination; every receive is fully checkable.
+TEST(Alltoallv, MovesEveryChunkToItsDestination) {
+  const int p = 4;
+  run_world(p, [&](Comm& comm) {
+    std::vector<Real> send;
+    std::vector<std::size_t> offsets = {0};
+    for (int d = 0; d < p; ++d) {
+      for (int k = 0; k <= d; ++k) {
+        send.push_back(static_cast<Real>(100 * comm.rank() + d));
+      }
+      offsets.push_back(send.size());
+    }
+    Gathered<Real> out;
+    comm.alltoallv_into(std::span<const Real>(send),
+                        std::span<const std::size_t>(offsets), out,
+                        CommCategory::kDense);
+    ASSERT_EQ(out.offsets.size(), static_cast<std::size_t>(p) + 1);
+    for (int r = 0; r < p; ++r) {
+      const auto chunk = out.chunk(r);
+      ASSERT_EQ(chunk.size(), static_cast<std::size_t>(comm.rank()) + 1);
+      for (Real v : chunk) {
+        ASSERT_DOUBLE_EQ(v, static_cast<Real>(100 * r + comm.rank()));
+      }
+    }
+  });
+}
+
+TEST(Alltoallv, EmptyChunksAndSelfOnlyAreSafe) {
+  run_world(3, [&](Comm& comm) {
+    // Only the self chunk is populated: nothing should travel or charge.
+    std::vector<Real> send(2, static_cast<Real>(comm.rank()));
+    std::vector<std::size_t> offsets(4, 0);
+    for (int d = comm.rank(); d < 3; ++d) offsets[static_cast<std::size_t>(d) + 1] = 2;
+    const CostMeter before = comm.meter();
+    Gathered<Real> out;
+    comm.alltoallv_into(std::span<const Real>(send),
+                        std::span<const std::size_t>(offsets), out,
+                        CommCategory::kDense);
+    CostMeter delta = comm.meter();
+    delta.subtract(before);
+    ASSERT_EQ(out.chunk(comm.rank()).size(), 2u);
+    ASSERT_DOUBLE_EQ(delta.words(CommCategory::kDense), 0.0);
+  });
+}
+
+TEST(Alltoallv, NonblockingMatchesBlockingAndChargesBitwise) {
+  const int p = 4;
+  std::vector<CostMeter> blocking_meters;
+  std::vector<CostMeter> nonblocking_meters;
+  std::vector<std::vector<Real>> blocking_data(p);
+  std::vector<std::vector<Real>> nonblocking_data(p);
+  const auto payload = [&](Comm& comm, std::vector<Real>& send,
+                           std::vector<std::size_t>& offsets) {
+    offsets = {0};
+    for (int d = 0; d < p; ++d) {
+      for (int k = 0; k < (comm.rank() + d) % 3; ++k) {
+        send.push_back(static_cast<Real>(comm.rank() * 10 + d + k));
+      }
+      offsets.push_back(send.size());
+    }
+  };
+  run_world(p, [&](Comm& comm) {
+    std::vector<Real> send;
+    std::vector<std::size_t> offsets;
+    payload(comm, send, offsets);
+    Gathered<Real> out;
+    comm.alltoallv_into(std::span<const Real>(send),
+                        std::span<const std::size_t>(offsets), out,
+                        CommCategory::kHalo);
+    blocking_data[static_cast<std::size_t>(comm.rank())] = out.data;
+  }, &blocking_meters);
+  run_world(p, [&](Comm& comm) {
+    std::vector<Real> send;
+    std::vector<std::size_t> offsets;
+    payload(comm, send, offsets);
+    Gathered<Real> out;
+    PendingOp op = comm.ialltoallv_into(
+        std::span<const Real>(send), std::span<const std::size_t>(offsets),
+        out, CommCategory::kHalo);
+    EXPECT_TRUE(op.pending());
+    op.wait();
+    comm.quiesce();  // release send/offsets before they go out of scope
+    nonblocking_data[static_cast<std::size_t>(comm.rank())] = out.data;
+  }, &nonblocking_meters);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(blocking_data[static_cast<std::size_t>(r)],
+              nonblocking_data[static_cast<std::size_t>(r)]);
+    EXPECT_EQ(blocking_meters[static_cast<std::size_t>(r)].words(
+                  CommCategory::kHalo),
+              nonblocking_meters[static_cast<std::size_t>(r)].words(
+                  CommCategory::kHalo));
+    EXPECT_EQ(blocking_meters[static_cast<std::size_t>(r)].latency_units(
+                  CommCategory::kHalo),
+              nonblocking_meters[static_cast<std::size_t>(r)].latency_units(
+                  CommCategory::kHalo));
+  }
+}
+
+TEST(Alltoallv, ChargesReceivedWordsExcludingSelf) {
+  const int p = 3;
+  run_world(p, [&](Comm& comm) {
+    // Every rank sends 5 elements to every destination (self included).
+    std::vector<Real> send(5 * static_cast<std::size_t>(p), 1.0);
+    std::vector<std::size_t> offsets;
+    for (int d = 0; d <= p; ++d) offsets.push_back(5 * static_cast<std::size_t>(d));
+    const CostMeter before = comm.meter();
+    Gathered<Real> out;
+    comm.alltoallv_into(std::span<const Real>(send),
+                        std::span<const std::size_t>(offsets), out,
+                        CommCategory::kDense);
+    CostMeter delta = comm.meter();
+    delta.subtract(before);
+    EXPECT_DOUBLE_EQ(delta.words(CommCategory::kDense),
+                     static_cast<double>(5 * (p - 1)));
+    EXPECT_DOUBLE_EQ(delta.latency_units(CommCategory::kDense),
+                     static_cast<double>(p - 1));
+  });
+}
+
+TEST(Alltoallv, BadOffsetsDiagnosed) {
+  EXPECT_THROW(run_world(1,
+                         [&](Comm& comm) {
+                           std::vector<Real> send(3, 1.0);
+                           std::vector<std::size_t> offsets = {0, 2};  // != 3
+                           Gathered<Real> out;
+                           comm.alltoallv_into(
+                               std::span<const Real>(send),
+                               std::span<const std::size_t>(offsets), out,
+                               CommCategory::kDense);
+                         }),
+               Error);
+}
+
+TEST(Alltoallv, InvalidCommDiagnosed) {
+  Comm comm;
+  std::vector<Real> send(1, 1.0);
+  std::vector<std::size_t> offsets = {0, 1};
+  Gathered<Real> out;
+  EXPECT_THROW(comm.alltoallv_into(std::span<const Real>(send),
+                                   std::span<const std::size_t>(offsets), out,
+                                   CommCategory::kDense),
+               Error);
+  EXPECT_THROW(comm.ialltoallv_into(std::span<const Real>(send),
+                                    std::span<const std::size_t>(offsets),
+                                    out, CommCategory::kDense),
+               Error);
+}
+
 }  // namespace
 }  // namespace cagnet

@@ -15,12 +15,12 @@ CostInputs paper_like_inputs(int p) {
   // Section IV-C.5's simplification regime: nnz ≈ n f, f << n.
   const double n = 1e6;
   const double f = 128;
-  return CostInputs::with_random_edgecut(n, n * f, f, p, /*layers=*/3);
+  return CostInputs::from_random(n, n * f, f, p, /*layers=*/3);
 }
 
 TEST(CostModel, RandomEdgecutBound) {
   const CostInputs in =
-      CostInputs::with_random_edgecut(1000, 8000, 16, 8, 3);
+      CostInputs::from_random(1000, 8000, 16, 8, 3);
   EXPECT_DOUBLE_EQ(in.edgecut, 1000.0 * 7 / 8);
 }
 
@@ -188,6 +188,28 @@ TEST(CostModel, SecondsCombineAlphaBeta) {
   m.beta = 0.5;
   const CommCost c = {3.0, 10.0};
   EXPECT_DOUBLE_EQ(c.seconds(m), 2.0 * 3.0 + 0.5 * 10.0);
+}
+
+TEST(CostModel, FromPartitionUsesMeasuredEdgecut) {
+  EdgeCutStats cut;
+  cut.total_cut_edges = 5000;
+  cut.max_cut_edges_per_part = 900;
+  cut.max_remote_rows_per_part = 123;
+  const CostInputs measured =
+      CostInputs::from_partition(cut, 1000, 8000, 16, 8, 3);
+  EXPECT_DOUBLE_EQ(measured.edgecut, 123.0);
+  // Every other field matches the random-bound inputs.
+  const CostInputs bound = CostInputs::from_random(1000, 8000, 16, 8, 3);
+  EXPECT_DOUBLE_EQ(measured.n, bound.n);
+  EXPECT_DOUBLE_EQ(measured.nnz, bound.nnz);
+  EXPECT_DOUBLE_EQ(measured.f, bound.f);
+  EXPECT_EQ(measured.p, bound.p);
+  EXPECT_EQ(measured.layers, bound.layers);
+  // A measured edgecut below the bound yields a cheaper 1D prediction —
+  // the IV-A.8 payoff the halo path realizes.
+  EXPECT_LT(cost_1d(measured).words, cost_1d(bound).words);
+  EXPECT_DOUBLE_EQ(cost_1d(measured).words - cost_1d(bound).words,
+                   3.0 * (123.0 - bound.edgecut) * 16.0);
 }
 
 TEST(CostModel, AlgorithmNames) {

@@ -337,6 +337,10 @@ INSTANTIATE_TEST_SUITE_P(Kinds, OptimizerParity,
 // ---- Metered traffic vs the Section IV closed forms ----
 
 TEST(DistMeter, OneDDenseWordsMatchClosedForm) {
+  // This is a broadcast-path (Algorithm 1) bound: pin the halo exchange
+  // off so a CAGNET_HALO=1 environment cannot reroute the dense words.
+  const bool halo_was = dist::halo_enabled();
+  dist::set_halo_enabled(false);
   const Index n = 96;
   const Index f = 8;  // uniform width keeps the formula exact
   const Graph g = test_graph(n, f, 4, 45);
@@ -353,11 +357,12 @@ TEST(DistMeter, OneDDenseWordsMatchClosedForm) {
   // all-reduce ~2*f^2*(p-1)/p. The closed form L*(edgecut*f + n*f + f^2)
   // with edgecut = n(p-1)/p should agree within ~35% (layer-width taper and
   // the meter charging the root its own block).
-  const CostInputs in = CostInputs::with_random_edgecut(
+  const CostInputs in = CostInputs::from_random(
       static_cast<double>(n), 0.0, static_cast<double>(f), p, L);
   const double predicted = cost_1d(in).words;
   EXPECT_GT(dense_words, 0.5 * predicted);
   EXPECT_LT(dense_words, 1.6 * predicted);
+  dist::set_halo_enabled(halo_was);
 }
 
 TEST(DistMeter, TwoDDenseWordsScaleWithSqrtP) {
@@ -554,6 +559,12 @@ TEST(OverlapParity, BitwiseIdenticalToBlockingAcrossAlgebras) {
   GnnConfig config = GnnConfig::three_layer(10, 4, 8);
   const int epochs = 3;
   const bool was_enabled = dist::overlap_enabled();
+  // The overlap-regions assertions below are about the double-buffered
+  // broadcast loops; pin the halo exchange off so a CAGNET_HALO=1
+  // environment cannot replace them (halo x overlap parity is covered by
+  // tests/halo_test.cpp).
+  const bool halo_was = dist::halo_enabled();
+  dist::set_halo_enabled(false);
 
   for (const auto& [algebra, p] :
        {std::pair<std::string, int>{"1d", 4},
@@ -601,6 +612,7 @@ TEST(OverlapParity, BitwiseIdenticalToBlockingAcrossAlgebras) {
     EXPECT_DOUBLE_EQ(blocking.overlap_regions, 0.0) << label;
   }
   dist::set_overlap_enabled(was_enabled);
+  dist::set_halo_enabled(halo_was);
 }
 
 TEST(OverlapParity, CachedEpochsStillReplayExactlyUnderOverlap) {

@@ -11,6 +11,7 @@
 #include "src/graph/partition.hpp"
 #include "src/sparse/generate.hpp"
 #include "src/sparse/stats.hpp"
+#include "src/util/parallel.hpp"
 
 namespace cagnet {
 namespace {
@@ -176,6 +177,127 @@ TEST(Partition, GreedyBeatsRandomOnTotalCut) {
   const auto s_random = edge_cut(a, random);
   const auto s_greedy = edge_cut(a, greedy);
   EXPECT_LT(s_greedy.total_cut_edges, s_random.total_cut_edges);
+}
+
+TEST(Partition, RegistryCoversAllPartitioners) {
+  for (const char* name : {"block", "random", "greedy-bfs"}) {
+    EXPECT_NE(find_partitioner(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_partitioner("metis"), nullptr);
+  // CAGNET_PARTITION is unset in the test environment: the default holds.
+  EXPECT_NE(find_partitioner(default_partitioner_name()), nullptr);
+}
+
+TEST(Partition, RegistryPartitionersCoverAndBalance) {
+  Rng rng(12);
+  const Csr a = Csr::from_coo(erdos_renyi(400, 5, rng));
+  for (const PartitionerSpec& spec : partitioner_registry()) {
+    const Partition p = spec.make(a, 8, 99);
+    ASSERT_EQ(p.size(), 400) << spec.name;
+    ASSERT_EQ(p.parts, 8) << spec.name;
+    std::vector<Index> counts(8, 0);
+    for (Index o : p.owner) {
+      ASSERT_GE(o, 0) << spec.name;
+      ASSERT_LT(o, 8) << spec.name;
+      ++counts[static_cast<std::size_t>(o)];
+    }
+    // Balance: no part above the greedy slack ceiling (the loosest bound
+    // of the three partitioners); none empty on a connected-ish graph.
+    for (Index c : counts) {
+      EXPECT_LE(c, static_cast<Index>(1.03 * 50 + 1)) << spec.name;
+      EXPECT_GT(c, 0) << spec.name;
+    }
+  }
+}
+
+TEST(Partition, GreedyDeterministicAcrossThreadBudgets) {
+  Rng rng(13);
+  Coo coo = rmat(1200, 14000, rng);
+  coo.symmetrize();
+  const Csr a = Csr::from_coo(coo);
+  override_thread_budget(1);
+  const Partition serial = greedy_bfs_partition(a, 9);
+  override_thread_budget(8);
+  const Partition threaded = greedy_bfs_partition(a, 9);
+  override_thread_budget(0);
+  EXPECT_EQ(serial.owner, threaded.owner);
+}
+
+TEST(Partition, OffsetsAndPermutationAreConsistent) {
+  Rng rng(14);
+  const Csr a = Csr::from_coo(erdos_renyi(300, 4, rng));
+  const Partition p = greedy_bfs_partition(a, 5);
+  const std::vector<Index> offsets = partition_offsets(p);
+  ASSERT_EQ(offsets.size(), 6u);
+  EXPECT_EQ(offsets.front(), 0);
+  EXPECT_EQ(offsets.back(), 300);
+  const std::vector<Index> perm = partition_permutation(p);
+  // Bijection ...
+  std::set<Index> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 300u);
+  // ... that sorts owners part-contiguously with original order preserved
+  // inside each part (stable).
+  for (std::size_t r = 0; r + 1 < perm.size(); ++r) {
+    const Index ow_r = p.owner[static_cast<std::size_t>(perm[r])];
+    const Index ow_n = p.owner[static_cast<std::size_t>(perm[r + 1])];
+    EXPECT_LE(ow_r, ow_n);
+    if (ow_r == ow_n) EXPECT_LT(perm[r], perm[r + 1]);
+  }
+  for (int q = 0; q < 5; ++q) {
+    for (Index r = offsets[static_cast<std::size_t>(q)];
+         r < offsets[static_cast<std::size_t>(q) + 1]; ++r) {
+      EXPECT_EQ(p.owner[static_cast<std::size_t>(perm[static_cast<std::size_t>(r)])], q);
+    }
+  }
+}
+
+TEST(Partition, PermutedCsrMatchesRelabeledDense) {
+  Rng rng(15);
+  const Csr a = Csr::from_coo(erdos_renyi(40, 3, rng));
+  Rng prng(16);
+  const Partition p = random_partition(40, 4, prng);
+  const std::vector<Index> perm = partition_permutation(p);
+  const Csr permuted = a.permuted(std::span<const Index>(perm));
+  const Matrix d = a.to_dense();
+  const Matrix pd = permuted.to_dense();
+  for (Index r = 0; r < 40; ++r) {
+    for (Index c = 0; c < 40; ++c) {
+      EXPECT_EQ(pd(r, c), d(perm[static_cast<std::size_t>(r)],
+                            perm[static_cast<std::size_t>(c)]));
+    }
+  }
+  // Edge-cut statistics are invariant under the induced relabeling.
+  Partition sorted;
+  sorted.parts = p.parts;
+  sorted.owner.resize(40);
+  for (Index r = 0; r < 40; ++r) {
+    sorted.owner[static_cast<std::size_t>(r)] =
+        p.owner[static_cast<std::size_t>(perm[static_cast<std::size_t>(r)])];
+  }
+  const EdgeCutStats before = edge_cut(a, p);
+  const EdgeCutStats after = edge_cut(permuted, sorted);
+  EXPECT_EQ(before.total_cut_edges, after.total_cut_edges);
+  EXPECT_EQ(before.max_cut_edges_per_part, after.max_cut_edges_per_part);
+  EXPECT_EQ(before.max_remote_rows_per_part, after.max_remote_rows_per_part);
+}
+
+TEST(Partition, RemappedColumnsPreserveStructure) {
+  Coo coo(3, 6);
+  coo.add(0, 1, 2.0);
+  coo.add(0, 4, 3.0);
+  coo.add(2, 4, 5.0);
+  const Csr a = Csr::from_coo(coo);
+  // Columns {1, 4} compact to {0, 1}.
+  const std::vector<Index> map = {-1, 0, -1, -1, 1, -1};
+  const Csr compact =
+      a.with_remapped_columns(std::span<const Index>(map), 2);
+  EXPECT_EQ(compact.rows(), 3);
+  EXPECT_EQ(compact.cols(), 2);
+  EXPECT_EQ(compact.nnz(), 3);
+  const Matrix d = compact.to_dense();
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(0, 1), 3.0);
+  EXPECT_EQ(d(2, 1), 5.0);
 }
 
 TEST(Datasets, TableSixSpecsMatchPaper) {

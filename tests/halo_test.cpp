@@ -1,0 +1,322 @@
+// Partition-aware layouts and the sparsity-aware halo exchange.
+//
+// The HaloParity suite is the contract of dist::set_halo_enabled: for every
+// rows-whole algebra, world size, partitioner, and CAGNET_OVERLAP mode, the
+// halo path must reproduce the broadcast path's losses, accuracy, weights,
+// and embeddings *bitwise* while metering strictly less traffic. The exact
+// words test pins the acceptance claim of Section IV-A.8: on a
+// community-structured graph the 1D halo volume equals
+// max_remote_rows_per_part * f exactly and beats the broadcast bound by a
+// wide factor under the greedy-BFS partitioner. The serial-parity tests
+// verify the partition/permutation contract end to end (relabel once,
+// train permuted, un-permute on output).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/algebra_registry.hpp"
+#include "src/core/costmodel.hpp"
+#include "src/gnn/serial_trainer.hpp"
+#include "src/graph/datasets.hpp"
+#include "src/sparse/generate.hpp"
+
+namespace cagnet {
+namespace {
+
+constexpr Real kParityTol = 1e-8;
+
+/// Community-structured graph (no hubs): the regime where a locality
+/// partitioner shrinks the halo.
+Graph community_graph(Index n, Index communities, Index f, Index classes,
+                      std::uint64_t seed, double intra = 10.0,
+                      double inter = 1.0) {
+  Rng rng(seed);
+  Graph g;
+  g.name = "halo-test";
+  Coo coo = planted_partition(n, communities, intra, inter, rng,
+                              /*hub_fraction=*/0.0);
+  g.adjacency = gcn_normalize(std::move(coo), /*symmetrize=*/true);
+  g.features = Matrix(n, f);
+  g.features.fill_uniform(rng, -1, 1);
+  g.num_classes = classes;
+  g.labels.resize(static_cast<std::size_t>(n));
+  for (auto& label : g.labels) {
+    label = static_cast<Index>(
+        rng.next_below(static_cast<std::uint64_t>(classes)));
+  }
+  return g;
+}
+
+struct HaloRun {
+  std::vector<Real> losses;
+  std::vector<Real> accuracies;
+  std::vector<Matrix> weights;
+  Matrix output;          // gathered, un-permuted
+  EpochStats stats;       // max-reduced, final epoch
+};
+
+HaloRun run_trainer(const std::string& algebra, const DistProblem& problem,
+                    const GnnConfig& config, int p, int epochs) {
+  HaloRun run;
+  std::mutex mutex;
+  run_world(p, [&](Comm& world) {
+    auto trainer = make_dist_trainer(algebra, problem, config, world);
+    std::vector<Real> losses;
+    std::vector<Real> accuracies;
+    for (int e = 0; e < epochs; ++e) {
+      const EpochResult r = trainer->train_epoch();
+      losses.push_back(r.loss);
+      accuracies.push_back(r.accuracy);
+    }
+    const EpochStats reduced = trainer->reduce_epoch_stats();
+    Matrix out = trainer->gather_output();
+    if (world.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      run.losses = std::move(losses);
+      run.accuracies = std::move(accuracies);
+      run.weights = trainer->weights();
+      run.output = std::move(out);
+      run.stats = reduced;
+    }
+  });
+  return run;
+}
+
+/// Flip both runtime toggles around a body, restoring them afterwards.
+class ToggleGuard {
+ public:
+  ToggleGuard()
+      : overlap_(dist::overlap_enabled()), halo_(dist::halo_enabled()) {}
+  ~ToggleGuard() {
+    dist::set_overlap_enabled(overlap_);
+    dist::set_halo_enabled(halo_);
+  }
+
+ private:
+  bool overlap_;
+  bool halo_;
+};
+
+// ---- HaloParity: broadcast vs halo, bitwise, across the matrix of
+// algebras x world sizes x partitioners x overlap modes ----
+
+struct HaloCase {
+  std::string algebra;
+  int p = 0;
+  int partition_parts = 0;  ///< parts the DistProblem is prepared for
+};
+
+std::vector<HaloCase> halo_cases() {
+  // Partition parts aligned with the algebra's row-block count (P for 1D,
+  // G = P/c for 1.5D) exercise the partition-aware boundaries; the final
+  // 1.5D case deliberately misaligns them to cover the block_range
+  // fallback on the permuted problem.
+  return {
+      {"1d", 4, 4},       {"1d", 7, 7},      {"1.5d-c2", 8, 4},
+      {"1.5d-c4", 8, 2},  {"1.5d-c2", 4, 4},
+  };
+}
+
+class HaloParity
+    : public ::testing::TestWithParam<std::tuple<HaloCase, std::string>> {};
+
+TEST_P(HaloParity, BitwiseMatchesBroadcastPath) {
+  const auto [c, partitioner] = GetParam();
+  const Graph g = community_graph(252, 12, 10, 4, 91);
+  GnnConfig config = GnnConfig::three_layer(10, 4, 8);
+  config.learning_rate = 0.1;
+  const int epochs = 3;
+  const DistProblem problem =
+      DistProblem::prepare(g, c.partition_parts, partitioner);
+
+  ToggleGuard guard;
+  for (bool overlap : {true, false}) {
+    dist::set_overlap_enabled(overlap);
+    dist::set_halo_enabled(false);
+    const HaloRun bcast =
+        run_trainer(c.algebra, problem, config, c.p, epochs);
+    dist::set_halo_enabled(true);
+    const HaloRun halo =
+        run_trainer(c.algebra, problem, config, c.p, epochs);
+
+    const std::string label = c.algebra + " p=" + std::to_string(c.p) +
+                              " " + partitioner +
+                              (overlap ? " overlap" : " blocking");
+    ASSERT_EQ(halo.losses.size(), bcast.losses.size()) << label;
+    for (std::size_t e = 0; e < halo.losses.size(); ++e) {
+      EXPECT_EQ(halo.losses[e], bcast.losses[e]) << label << " epoch " << e;
+      EXPECT_EQ(halo.accuracies[e], bcast.accuracies[e])
+          << label << " epoch " << e;
+    }
+    ASSERT_EQ(halo.weights.size(), bcast.weights.size()) << label;
+    for (std::size_t l = 0; l < halo.weights.size(); ++l) {
+      EXPECT_LE(Matrix::max_abs_diff(halo.weights[l], bcast.weights[l]),
+                Real{0})
+          << label << " weights layer " << l;
+    }
+    EXPECT_LE(Matrix::max_abs_diff(halo.output, bcast.output), Real{0})
+        << label << " output";
+
+    // The halo path moves its forward traffic as kHalo and strictly less
+    // dense data; the broadcast path never charges kHalo.
+    EXPECT_GT(halo.stats.comm.words(CommCategory::kHalo), 0.0) << label;
+    EXPECT_DOUBLE_EQ(bcast.stats.comm.words(CommCategory::kHalo), 0.0)
+        << label;
+    EXPECT_LT(halo.stats.comm.words(CommCategory::kDense),
+              bcast.stats.comm.words(CommCategory::kDense))
+        << label;
+    // The halo never moves more than the broadcasts; under a random
+    // partition it can tie exactly (every remote row is touched).
+    EXPECT_LE(halo.stats.comm.total_words(), bcast.stats.comm.total_words())
+        << label;
+  }
+}
+
+std::string halo_case_name(
+    const ::testing::TestParamInfo<std::tuple<HaloCase, std::string>>&
+        info) {
+  const auto& [c, partitioner] = info.param;
+  std::string name = c.algebra + "_p" + std::to_string(c.p) + "_parts" +
+                     std::to_string(c.partition_parts) + "_" + partitioner;
+  for (char& ch : name) {
+    if (ch == '.' || ch == '-') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, HaloParity,
+    ::testing::Combine(::testing::ValuesIn(halo_cases()),
+                       ::testing::Values("block", "random", "greedy-bfs")),
+    halo_case_name);
+
+// ---- The acceptance claim: exact edgecut volume and the >= 3x win ----
+
+TEST(HaloWords, ExactEdgecutVolumeAndReductionAtP16) {
+  // Planted-partition graph at P=16 under the greedy-BFS partitioner: the
+  // 1D halo path's metered kHalo words must equal
+  // max_remote_rows_per_part * (sum of layer input widths) *exactly*, and
+  // the total metered volume must be >= 3x below the broadcast path's.
+  const int p = 16;
+  const Graph g = community_graph(640, 16, 16, 8, 92, /*intra=*/12.0,
+                                  /*inter=*/1.0);
+  GnnConfig config = GnnConfig::three_layer(16, 8, 16);
+  const DistProblem problem = DistProblem::prepare(g, p, "greedy-bfs");
+
+  Index sum_f_in = 0;
+  for (std::size_t l = 0; l + 1 < config.dims.size(); ++l) {
+    sum_f_in += config.dims[l];
+  }
+
+  ToggleGuard guard;
+  dist::set_halo_enabled(true);
+  const HaloRun halo = run_trainer("1d", problem, config, p, 2);
+  dist::set_halo_enabled(false);
+  const HaloRun bcast = run_trainer("1d", problem, config, p, 2);
+
+  const double expected =
+      static_cast<double>(problem.edgecut.max_remote_rows_per_part) *
+      static_cast<double>(sum_f_in);
+  EXPECT_EQ(halo.stats.comm.words(CommCategory::kHalo), expected);
+  EXPECT_GE(bcast.stats.comm.total_words(),
+            3.0 * halo.stats.comm.total_words());
+  // Bitwise training parity holds at this scale too.
+  for (std::size_t e = 0; e < halo.losses.size(); ++e) {
+    EXPECT_EQ(halo.losses[e], bcast.losses[e]);
+  }
+  // The measured edgecut feeds the closed forms: predicted 1D words under
+  // from_partition bound the metered halo volume tightly from the same
+  // statistic.
+  const CostInputs measured = CostInputs::from_partition(
+      problem.edgecut, static_cast<double>(g.num_vertices()),
+      static_cast<double>(g.num_edges()), static_cast<double>(sum_f_in) / 3.0,
+      p, 3);
+  EXPECT_GT(cost_1d_symmetric(measured).words, expected);
+}
+
+// ---- Partition/permutation contract: permuted training, original-order
+// output, serial parity for every family ----
+
+TEST(PartitionedTraining, AllFamiliesMatchSerialUnderEveryPartitioner) {
+  const Graph g = community_graph(180, 9, 8, 3, 93);
+  GnnConfig config = GnnConfig::three_layer(8, 3, 6);
+  const int epochs = 3;
+
+  SerialTrainer serial(g, config);
+  std::vector<Real> serial_losses;
+  for (int e = 0; e < epochs; ++e) {
+    serial_losses.push_back(serial.train_epoch().loss);
+  }
+  const Matrix& serial_out = serial.activations().back();
+
+  ToggleGuard guard;
+  dist::set_halo_enabled(true);  // 2D/3D ignore the toggle; 1D/1.5D use it
+  for (const std::string partitioner : {"random", "greedy-bfs"}) {
+    for (const auto& [algebra, p] : {std::pair<std::string, int>{"1d", 5},
+                                     {"1.5d-c2", 6},
+                                     {"2d", 4},
+                                     {"3d", 8}}) {
+      const DistProblem problem = DistProblem::prepare(g, p, partitioner);
+      const HaloRun dist = run_trainer(algebra, problem, config, p, epochs);
+      const std::string label = algebra + " p=" + std::to_string(p) + " " +
+                                partitioner;
+      for (int e = 0; e < epochs; ++e) {
+        EXPECT_NEAR(dist.losses[static_cast<std::size_t>(e)],
+                    serial_losses[static_cast<std::size_t>(e)], kParityTol)
+            << label << " epoch " << e;
+      }
+      EXPECT_LE(Matrix::max_abs_diff(dist.output, serial_out), kParityTol)
+          << label;
+    }
+  }
+}
+
+TEST(PartitionedTraining, BlockPartitionerIsBitwiseIdentity) {
+  // Preparing with the "block" partitioner must train bitwise identically
+  // to the unpartitioned prepare (offsets reproduce block_range exactly,
+  // no permutation).
+  const Graph g = community_graph(120, 6, 6, 3, 94);
+  const GnnConfig config = GnnConfig::three_layer(6, 3, 5);
+  const DistProblem plain = DistProblem::prepare(g);
+  const DistProblem blocked = DistProblem::prepare(g, 4, "block");
+  EXPECT_TRUE(blocked.partitioned());
+  EXPECT_TRUE(blocked.perm.empty());
+
+  const HaloRun a = run_trainer("1d", plain, config, 4, 2);
+  const HaloRun b = run_trainer("1d", blocked, config, 4, 2);
+  for (std::size_t e = 0; e < a.losses.size(); ++e) {
+    EXPECT_EQ(a.losses[e], b.losses[e]);
+  }
+  EXPECT_LE(Matrix::max_abs_diff(a.output, b.output), Real{0});
+}
+
+TEST(PartitionedTraining, RowRangeFollowsPartitionOffsetsWhenAligned) {
+  const Graph g = community_graph(100, 5, 6, 3, 95);
+  const DistProblem problem = DistProblem::prepare(g, 5, "greedy-bfs");
+  ASSERT_TRUE(problem.partitioned());
+  // Aligned query: ranges tile [0, n) along the partition's own offsets.
+  Index covered = 0;
+  for (int q = 0; q < 5; ++q) {
+    const auto [lo, hi] = problem.row_range(5, q);
+    EXPECT_EQ(lo, covered);
+    EXPECT_LE(lo, hi);
+    covered = hi;
+    EXPECT_EQ(hi, problem.part_offsets[static_cast<std::size_t>(q) + 1]);
+  }
+  EXPECT_EQ(covered, g.num_vertices());
+  // Misaligned query falls back to even blocks of the permuted order.
+  const auto [lo3, hi3] = problem.row_range(3, 1);
+  const auto [bl3, bh3] = block_range(g.num_vertices(), 3, 1);
+  EXPECT_EQ(lo3, bl3);
+  EXPECT_EQ(hi3, bh3);
+}
+
+TEST(PartitionedTraining, UnknownPartitionerThrows) {
+  const Graph g = community_graph(60, 3, 4, 2, 96);
+  EXPECT_THROW(DistProblem::prepare(g, 4, "metis"), Error);
+}
+
+}  // namespace
+}  // namespace cagnet
