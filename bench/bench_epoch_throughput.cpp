@@ -14,6 +14,8 @@
 //   --f, --hidden      feature/hidden widths (default 32/32)
 //   --algebras 2d,3d   comma-separated registry names (default: all four
 //                      families at representative sizes)
+//   --worlds 4,8       restrict the registry world sizes swept per algebra
+//                      (only meaningful with --algebras)
 //   --threads 1,8      thread budgets to sweep (default 1,<hardware>)
 //   --seconds S        measurement budget per configuration (default 1.0)
 //   --epochs N         cap on measured epochs per configuration
@@ -21,11 +23,17 @@
 //                      greedy-bfs; default CAGNET_PARTITION or "block") —
 //                      non-block choices re-prepare the problem per world
 //                      size with partition-aware row blocks
-//   --halo 0|1         sparsity-aware halo exchange for the 1D/1.5D
+//   --halo 0|1|0,1     sparsity-aware halo exchange for the 1D/1.5D
 //                      families (default CAGNET_HALO); halo_words and
-//                      max_remote_rows land in the JSON
+//                      max_remote_rows land in the JSON. A list runs the
+//                      modes back-to-back per configuration, so the
+//                      halo-vs-broadcast eps comparison is not skewed by
+//                      cross-invocation load drift
 //   --graph rmat|planted  topology (planted = community-structured, the
 //                      regime where a locality partitioner pays)
+//   --communities C    planted communities (default n/48)
+//   --inter-frac X     planted fraction of degree crossing communities
+//                      (default 0.2; smaller = stronger locality)
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -49,16 +57,18 @@ struct BenchConfig {
 };
 
 Graph make_graph(const std::string& topology, Index n, Index degree, Index f,
-                 Index classes) {
+                 Index classes, Index communities, double inter_frac) {
   Rng rng(2024);
   Graph g;
   g.name = "epoch-throughput";
-  Coo coo = topology == "planted"
-                ? planted_partition(n, std::max<Index>(n / 48, 2),
-                                    0.8 * static_cast<double>(degree),
-                                    0.2 * static_cast<double>(degree), rng,
-                                    /*hub_fraction=*/0.0)
-                : rmat(n, n * degree, rng);
+  Coo coo =
+      topology == "planted"
+          ? planted_partition(
+                n, communities,
+                (1.0 - inter_frac) * static_cast<double>(degree),
+                inter_frac * static_cast<double>(degree), rng,
+                /*hub_fraction=*/0.0)
+          : rmat(n, n * degree, rng);
   g.adjacency = gcn_normalize(std::move(coo), /*symmetrize=*/true);
   g.features = Matrix(n, f);
   g.features.fill_uniform(rng, -1, 1);
@@ -85,6 +95,12 @@ int run(int argc, char** argv) {
   const long max_epochs = args.get_int("epochs", smoke ? 6 : 1000);
 
   std::vector<BenchConfig> configs;
+  const std::vector<long> world_filter = args.get_int_list("worlds", {});
+  const auto world_selected = [&](int p) {
+    if (world_filter.empty()) return true;
+    return std::find(world_filter.begin(), world_filter.end(),
+                     static_cast<long>(p)) != world_filter.end();
+  };
   if (args.has("algebras")) {
     for (const std::string& name :
          [&] {
@@ -107,7 +123,7 @@ int run(int argc, char** argv) {
         return 1;
       }
       for (int p : spec->world_sizes) {
-        if (p <= 27) configs.push_back({name, p});
+        if (p <= 27 && world_selected(p)) configs.push_back({name, p});
       }
     }
   } else {
@@ -131,12 +147,18 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "unknown partitioner: %s\n", partition.c_str());
     return 1;
   }
-  const bool halo =
-      args.get_int("halo", dist::halo_enabled() ? 1 : 0) != 0;
-  dist::set_halo_enabled(halo);
+  const std::vector<long> halo_modes = args.get_int_list(
+      "halo", {dist::halo_enabled() ? 1L : 0L});
+  const bool any_halo =
+      std::find(halo_modes.begin(), halo_modes.end(), 1L) !=
+      halo_modes.end();
   const std::string topology = args.get("graph", "rmat");
+  const Index communities =
+      args.get_int("communities", std::max<Index>(n / 48, 2));
+  const double inter_frac = args.get_double("inter-frac", 0.2);
 
-  const Graph graph = make_graph(topology, n, degree, f, classes);
+  const Graph graph =
+      make_graph(topology, n, degree, f, classes, communities, inter_frac);
   const DistProblem problem = DistProblem::prepare(graph);
   GnnConfig gnn = GnnConfig::three_layer(f, classes, hidden);
 
@@ -145,12 +167,22 @@ int run(int argc, char** argv) {
     // blocks follow the partitioner's (possibly uneven) parts. Halo runs
     // prepare even the block layout (bitwise identical training) so the
     // JSON's max_remote_rows records the real edgecut, not zero.
-    const bool per_world = partition != "block" || halo;
+    const bool per_world = partition != "block" || any_halo;
     const DistProblem partitioned =
         per_world ? DistProblem::prepare(graph, config.world, partition)
                   : DistProblem{};
     const DistProblem& active = per_world ? partitioned : problem;
+    // Only the rows-whole families consume the halo toggle; sweeping the
+    // modes for 2D/3D would just emit duplicate rows whose eps delta is
+    // run-to-run noise mislabeled as a halo effect.
+    const bool halo_toggleable = config.algebra.rfind("1", 0) == 0;
+    const std::vector<long> single_mode = {halo_modes.front()};
+    const std::vector<long>& swept_modes =
+        halo_toggleable ? halo_modes : single_mode;
     for (long threads : thread_counts) {
+    for (long halo_mode : swept_modes) {
+      const bool halo = halo_mode != 0;
+      dist::set_halo_enabled(halo);
       override_thread_budget(static_cast<int>(threads));
       double warm_seconds = 0;
       double measured_seconds = 0;
@@ -241,7 +273,8 @@ int run(int argc, char** argv) {
           "\"overlap\":%d,\"overlap_regions\":%.0f,"
           "\"overlap_saved_modeled_s\":%.6f,"
           "\"phase_misc\":%.5f,\"phase_trpose\":%.5f,\"phase_dcomm\":%.5f,"
-          "\"phase_scomm\":%.5f,\"phase_spmm\":%.5f}\n",
+          "\"phase_scomm\":%.5f,\"phase_spmm\":%.5f,"
+          "\"phase_hpack\":%.5f}\n",
           config.algebra.c_str(), config.world, threads,
           static_cast<long long>(n), static_cast<long long>(degree),
           static_cast<long long>(f), static_cast<long long>(hidden), epochs,
@@ -251,8 +284,9 @@ int run(int argc, char** argv) {
           latency_units, dist::overlap_enabled() ? 1 : 0,
           overlap_regions, overlap_saved, phase_seconds[0],
           phase_seconds[1], phase_seconds[2], phase_seconds[3],
-          phase_seconds[4]);
+          phase_seconds[4], phase_seconds[5]);
       std::fflush(stdout);
+    }
     }
   }
   return 0;

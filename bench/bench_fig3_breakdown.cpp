@@ -23,10 +23,15 @@ int main(int argc, char** argv) {
 
   std::printf("=== Fig. 3: per-epoch breakdown of the 2D implementation "
               "(modeled Summit seconds) ===\n\n");
-  std::printf("%-9s %5s %10s %10s %10s %10s %10s %10s\n", "dataset", "P",
-              "misc", "trpose", "dcomm", "scomm", "spmm", "total");
+  // The halo column is the kHalo category's modeled seconds: zero for the
+  // 2D family (which has no halo path), but reported so a run of this
+  // breakdown under a halo-enabled algebra cannot silently fold
+  // demand-driven exchange traffic into another column.
+  std::printf("%-9s %5s %10s %10s %10s %10s %10s %10s %10s\n", "dataset",
+              "P", "misc", "trpose", "dcomm", "scomm", "halo", "spmm",
+              "total");
   std::printf("----------------------------------------------------------------"
-              "--------------\n");
+              "-------------------------\n");
 
   for (const char* name : {"amazon", "reddit", "protein"}) {
     const bench::ScaledDataset g = bench::load_scaled(name, args);
@@ -42,10 +47,13 @@ int main(int argc, char** argv) {
           s.comm, summit, CommCategory::kDense, denom);
       const double scomm = bench::extrapolated_seconds(
           s.comm, summit, CommCategory::kSparse, denom);
+      const double halo = bench::extrapolated_seconds(
+          s.comm, summit, CommCategory::kHalo, denom);
       const double spmm = s.work.spmm_seconds() * denom;
-      std::printf("%-9s %5ld %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
-                  name, p, misc, trpose, dcomm, scomm, spmm,
-                  misc + trpose + dcomm + scomm + spmm);
+      std::printf("%-9s %5ld %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f "
+                  "%10.4f\n",
+                  name, p, misc, trpose, dcomm, scomm, halo, spmm,
+                  misc + trpose + dcomm + scomm + halo + spmm);
     }
     // Paper's headline per-dataset scaling observations.
     const EpochStats& first = points.front().stats;
@@ -64,7 +72,9 @@ int main(int argc, char** argv) {
              bench::extrapolated_seconds(s.comm, summit,
                                          CommCategory::kSparse, denom) +
              bench::extrapolated_seconds(s.comm, summit,
-                                         CommCategory::kTranspose, denom);
+                                         CommCategory::kTranspose, denom) +
+             bench::extrapolated_seconds(s.comm, summit,
+                                         CommCategory::kHalo, denom);
     };
     const double comm_ratio = total_comm(first) / total_comm(final);
     std::printf("  -> %s: dcomm %d->%d: %.2fx | spmm: %.2fx | total comm: "

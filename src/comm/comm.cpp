@@ -36,6 +36,10 @@ void AbortHub::poison() {
       channel->posted.notify_all();
       channel->finished.fetch_add(1, std::memory_order_release);
       channel->finished.notify_all();
+      for (auto& by : channel->posted_by) {
+        by.fetch_add(1, std::memory_order_release);
+        by.notify_all();
+      }
     }
   }
 }
@@ -153,6 +157,9 @@ PendingOp Comm::post_async(detail::OpKind kind, const void* publish_ptr,
   ch.len[rank] = publish_len;
   ch.kind[rank] = kind;
   ch.root[rank] = root;
+  // Per-rank counter first: a per-source drainer that sees it also sees
+  // the slot writes above (release/acquire through the counter).
+  detail::bump_counter(ch.posted_by[rank], ch.waiters);
   detail::bump_counter(ch.posted, ch.waiters);
   st.outstanding[rank]++;
 
@@ -185,9 +192,15 @@ void PendingOp::wait() {
   // peers' posts, so stage roots never stall on stragglers. Its source —
   // like every op source — stays readable until the communicator's
   // release point (quiesce / quiesce_op / a blocking rendezvous).
+  // Per-source-drain alltoallvs likewise skip the aggregate await: their
+  // completer awaits exactly the sources still undrained, so a rank that
+  // drained or skipped every source never stalls on peers it needs
+  // nothing from.
   const bool passive_root =
       kind_ == detail::OpKind::kBcast && rank_ == root_;
-  if (!passive_root) {
+  const bool per_source_drain =
+      kind_ == detail::OpKind::kAlltoallv && gathered_ == nullptr;
+  if (!passive_root && !per_source_drain) {
     detail::await_counter(ch.posted, ch.waiters,
                           static_cast<std::uint64_t>(st.size) * (gen + 1),
                           st.hub->aborted);

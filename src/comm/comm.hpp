@@ -71,7 +71,8 @@ enum class OpKind : std::uint8_t {
 /// never races with a straggling reader.
 struct AsyncChannel {
   explicit AsyncChannel(int n)
-      : ptr(static_cast<std::size_t>(n), nullptr),
+      : posted_by(static_cast<std::size_t>(n)),
+        ptr(static_cast<std::size_t>(n), nullptr),
         ptr2(static_cast<std::size_t>(n), nullptr),
         len(static_cast<std::size_t>(n), 0),
         kind(static_cast<std::size_t>(n), OpKind::kNone),
@@ -79,6 +80,12 @@ struct AsyncChannel {
 
   std::atomic<std::uint64_t> posted{0};
   std::atomic<std::uint64_t> finished{0};
+  /// Per-rank cumulative post counts (posted == sum of these). They give
+  /// the per-source drain of an alltoallv something finer to await than
+  /// "everyone has posted": rank r's slots for generation G are readable
+  /// once posted_by[r] reaches G+1, so a drainer can consume source r's
+  /// chunk while slower ranks are still computing toward their posts.
+  std::vector<std::atomic<std::uint64_t>> posted_by;
   /// Parked-waiter count gating the notify syscalls: posters bump their
   /// counter (seq_cst) and notify only when this is nonzero; waiters
   /// advertise themselves (seq_cst) before parking. The seq_cst total
@@ -258,6 +265,7 @@ class PendingOp {
       out_len_ = other.out_len_;
       src_len_ = other.src_len_;
       gathered_ = other.gathered_;
+      drained_mask_ = other.drained_mask_;
       complete_ = other.complete_;
       other.state_.reset();
       other.complete_ = nullptr;
@@ -282,6 +290,73 @@ class PendingOp {
   /// the meter, release the channel. No-op when not pending.
   void wait();
 
+  // ---- Per-source drain (alltoallv-post ops only; see
+  // Comm::ialltoallv_post). ----
+
+  /// Block until `src` alone has posted the matching alltoallv, then
+  /// return a read-only view of the chunk it addressed to this rank —
+  /// straight into src's send buffer, no staging copy. Charges 1 latency
+  /// unit + the chunk's words (nothing for src == rank(), mirroring the
+  /// blocking form's self-chunk exclusion), so draining every source sums
+  /// bitwise to the blocking alltoallv_into charge. Call at most once per
+  /// source; the view stays readable until this communicator's release
+  /// point for the op (quiesce / quiesce_op), exactly like any posted
+  /// source. Worlds wider than 64 ranks are diagnosed (the drain ledger
+  /// is a 64-bit mask).
+  template <typename T>
+  std::span<const T> await_source(int src) {
+    CAGNET_CHECK(pending(), "await_source on a non-pending op");
+    CAGNET_CHECK(kind_ == detail::OpKind::kAlltoallv && gathered_ == nullptr,
+                 "await_source: op was not posted with ialltoallv_post");
+    CAGNET_CHECK(src >= 0 && src < state_->size,
+                 "await_source: source rank out of range");
+    CAGNET_CHECK(src < 64, "await_source: drain supports at most 64 ranks");
+    CAGNET_CHECK((drained_mask_ & (std::uint64_t{1} << src)) == 0,
+                 "await_source: source already drained");
+    auto& ch = *state_->channels[ticket_ %
+                                 static_cast<std::uint64_t>(
+                                     detail::kAsyncChannels)];
+    const std::uint64_t gen =
+        ticket_ / static_cast<std::uint64_t>(detail::kAsyncChannels);
+    if (src != rank_) {
+      detail::await_counter(ch.posted_by[static_cast<std::size_t>(src)],
+                            ch.waiters, gen + 1, state_->hub->aborted);
+    }
+    CAGNET_CHECK(ch.kind[static_cast<std::size_t>(src)] == kind_ &&
+                     ch.root[static_cast<std::size_t>(src)] == root_,
+                 "nonblocking collective: ranks disagree on op order");
+    const auto* offs = static_cast<const std::size_t*>(
+        ch.ptr2[static_cast<std::size_t>(src)]);
+    const auto me = static_cast<std::size_t>(rank_);
+    const std::size_t lo = offs[me];
+    const std::size_t n = offs[me + 1] - lo;
+    if (src != rank_) charge(1.0, n * sizeof(T));
+    drained_mask_ |= std::uint64_t{1} << src;
+    return {static_cast<const T*>(ch.ptr[static_cast<std::size_t>(src)]) + lo,
+            n};
+  }
+
+  /// Caller-certified empty chunk: charge the per-source latency unit and
+  /// mark `src` drained WITHOUT awaiting its post or reading its slots.
+  /// Use when the exchange plan guarantees src addressed nothing to this
+  /// rank (both sides derive chunk sizes from the same plan): there is
+  /// nothing to read, so there is no reason to couple this rank's
+  /// progress to that peer's schedule. Safe because publication slots are
+  /// per-rank and the counters cumulative — the skipped peer's eventual
+  /// post conflicts with nothing. Charges still telescope bitwise to the
+  /// blocking form's (1 latency unit, zero words).
+  void skip_source(int src) {
+    CAGNET_CHECK(pending(), "skip_source on a non-pending op");
+    CAGNET_CHECK(kind_ == detail::OpKind::kAlltoallv && gathered_ == nullptr,
+                 "skip_source: op was not posted with ialltoallv_post");
+    CAGNET_CHECK(src >= 0 && src < state_->size && src < 64,
+                 "skip_source: source rank out of range");
+    CAGNET_CHECK((drained_mask_ & (std::uint64_t{1} << src)) == 0,
+                 "skip_source: source already drained");
+    if (src != rank_) charge(1.0, 0);
+    drained_mask_ |= std::uint64_t{1} << src;
+  }
+
  private:
   friend class Comm;
 
@@ -305,6 +380,35 @@ class PendingOp {
   template <typename T>
   static void complete_impl(PendingOp& op);
 
+  /// Completion of an ialltoallv_post op: await + charge whatever sources
+  /// the caller did not drain (no data is copied — an undrained chunk was
+  /// abandoned), then release the channel via the shared wait() epilogue.
+  /// Makes wait()/destruction equivalent to a full drain charge-wise.
+  template <typename T>
+  static void complete_drain_impl(PendingOp& op) {
+    auto& ch = *op.state_->channels[op.ticket_ %
+                                    static_cast<std::uint64_t>(
+                                        detail::kAsyncChannels)];
+    const std::uint64_t gen =
+        op.ticket_ / static_cast<std::uint64_t>(detail::kAsyncChannels);
+    const int p = op.state_->size;
+    for (int r = 0; r < p; ++r) {
+      if (r == op.rank_ ||
+          (op.drained_mask_ & (std::uint64_t{1} << r)) != 0) {
+        continue;
+      }
+      detail::await_counter(ch.posted_by[static_cast<std::size_t>(r)],
+                            ch.waiters, gen + 1, op.state_->hub->aborted);
+      CAGNET_CHECK(ch.kind[static_cast<std::size_t>(r)] == op.kind_ &&
+                       ch.root[static_cast<std::size_t>(r)] == op.root_,
+                   "nonblocking collective: ranks disagree on op order");
+      const auto* offs = static_cast<const std::size_t*>(
+          ch.ptr2[static_cast<std::size_t>(r)]);
+      const auto me = static_cast<std::size_t>(op.rank_);
+      op.charge(1.0, (offs[me + 1] - offs[me]) * sizeof(T));
+    }
+  }
+
   std::shared_ptr<detail::CommState> state_;
   int rank_ = 0;
   CostMeter* meter_ = nullptr;
@@ -317,6 +421,7 @@ class PendingOp {
   std::size_t out_len_ = 0;      ///< destination element count
   std::size_t src_len_ = 0;      ///< this rank's contribution element count
   void* gathered_ = nullptr;     ///< Gathered<T>* for iallgatherv_into
+  std::uint64_t drained_mask_ = 0;  ///< await_source ledger (bit per rank)
   void (*complete_)(PendingOp&) = nullptr;  ///< typed movement + charge
 };
 
@@ -710,6 +815,31 @@ class Comm {
     return post_async(detail::OpKind::kAlltoallv, send.data(), send.size(),
                       /*root=*/0, cat, charged, &PendingOp::complete_impl<T>,
                       nullptr, 0, send.size(), &out, send_offsets.data());
+  }
+
+  /// Nonblocking alltoallv without a gathered destination, made for
+  /// per-source draining: the caller pulls each peer's chunk with
+  /// PendingOp::await_source — zero-copy views into the peers' send
+  /// buffers, available as soon as *that* peer has posted — and the final
+  /// wait() awaits + charges any sources left undrained, so total charges
+  /// are bitwise the blocking alltoallv_into's regardless of how many
+  /// chunks the caller consumed. `send` and `send_offsets` obey the same
+  /// lifetime contract as ialltoallv_into. This is the halo pipeline's
+  /// primitive (remote rows are multiplied as they land; see
+  /// dist_common.cpp). At most 64 ranks (the drain ledger is a bitmask).
+  template <typename T>
+  PendingOp ialltoallv_post(std::span<const T> send,
+                            std::span<const std::size_t> send_offsets,
+                            CommCategory cat, bool charged = true) {
+    check_valid("ialltoallv_post");
+    check_offsets(send.size(), send_offsets, "ialltoallv_post");
+    CAGNET_CHECK(size() <= 64,
+                 "ialltoallv_post: per-source drain supports at most 64 "
+                 "ranks; use ialltoallv_into");
+    return post_async(detail::OpKind::kAlltoallv, send.data(), send.size(),
+                      /*root=*/0, cat, charged,
+                      &PendingOp::complete_drain_impl<T>, nullptr, 0,
+                      send.size(), nullptr, send_offsets.data());
   }
 
  private:

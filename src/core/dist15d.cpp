@@ -1,6 +1,7 @@
 #include "src/core/dist15d.hpp"
 
 #include <algorithm>
+#include <array>
 #include <vector>
 
 #include "src/dense/gemm.hpp"
@@ -46,6 +47,38 @@ Algebra15D::Algebra15D(const DistProblem& problem, Comm world,
         },
         g_, [&](int j) { return row_starts_[static_cast<std::size_t>(j)]; },
         slice_, halo_);
+
+    // Backward mirror, stacked: u_partial_ stacks the stripe blocks in
+    // ascending-j order, so the contribution rows for peer j pack from
+    // stacked_base[j] + peer-local row.
+    std::vector<Index> stacked_base(static_cast<std::size_t>(groups_), 0);
+    Index cursor = 0;
+    for (int j = t_; j < groups_; j += c_) {
+      stacked_base[static_cast<std::size_t>(j)] = cursor;
+      cursor += row_starts_[static_cast<std::size_t>(j) + 1] -
+                row_starts_[static_cast<std::size_t>(j)];
+    }
+    const Index stripe_rows = cursor;
+    self_stacked_row0_ =
+        (g_ % c_) == t_ ? stacked_base[static_cast<std::size_t>(g_)] : 0;
+    bwd_pack_rows_.reserve(halo_.need_rows.size());
+    for (int j = 0; j < groups_; ++j) {
+      for (std::size_t k = halo_.recv_row_offsets[static_cast<std::size_t>(j)];
+           k < halo_.recv_row_offsets[static_cast<std::size_t>(j) + 1]; ++k) {
+        bwd_pack_rows_.push_back(stacked_base[static_cast<std::size_t>(j)] +
+                                 halo_.need_rows[k]);
+      }
+    }
+    // Gate the backward exchange on profitability: it lands per-peer
+    // contribution rows (send_rows, the forward mirror) instead of the
+    // reduce-scatter's pre-reduced stripe_rows*(G-1)/G chunk, so under a
+    // poor partition the busiest rank could move (and pack/scatter) more
+    // than the reduce-scatter charges.
+    use_bwd_halo_ = dist::halo_backward_profitable(
+        halo_.send_rows.size(),
+        static_cast<double>(stripe_rows) *
+            static_cast<double>(groups_ - 1) / static_cast<double>(groups_),
+        slice_);
   }
 }
 
@@ -80,17 +113,15 @@ void Algebra15D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
   };
 
   if (use_halo_) {
-    // Stripe-restricted request-and-send (kHalo words; see dist1d.cpp):
-    // same j-ascending accumulation as the broadcast stages, so the
+    // Stripe-restricted request-and-send (kHalo words; see dist1d.cpp),
+    // pipelined: the self stage (when this group's block is on the
+    // stripe) runs while remote rows are in flight, and each remote
+    // stage drains its peer's rows as they land — in the same
+    // j-ascending accumulation order as the broadcast stages, so the
     // stripe partial of T is bitwise identical.
-    dist::halo_exchange_rows(
-        h, std::span<const Index>(halo_.send_rows),
-        std::span<const std::size_t>(halo_.send_row_offsets), slice_, halo_,
-        CommCategory::kHalo, stats.profiler);
-    for (int j : stages) {
-      dist::halo_spmm_stage(j, g_, j == g_ ? &at_stripe_.at(j) : nullptr,
-                            h, halo_, t, machine(), stats);
-    }
+    dist::halo_spmm_pipeline(
+        h, (g_ % c_) == t_ ? &at_stripe_.at(g_) : nullptr, g_, slice_,
+        halo_, CommCategory::kHalo, machine(), stats, t);
   } else if (!(dist::overlap_enabled() && slice_.size() > 1 &&
                !stages.empty())) {
     for (int j : stages) {
@@ -207,10 +238,11 @@ void Algebra15D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
 
   if (dist::overlap_enabled()) {
     // Release points: slice peers read this rank's u_partial_ (previous
-    // layer's reduce-scatter) and team peers read u (previous layer's
-    // replica broadcast); both buffers are rewritten below. The slice
-    // release is bounded to that single op — anything broader would wait
-    // on the deferred gradient reductions, which peers finish only later.
+    // layer's reduce-scatter; the halo backward manages its own pack
+    // staging instead) and team peers read u (previous layer's replica
+    // broadcast); both buffers are rewritten below. The slice release is
+    // bounded to that single op — anything broader would wait on the
+    // deferred gradient reductions, which peers finish only later.
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
     if (has_u_release_) slice_.quiesce_op(u_release_ticket_);
     team_.quiesce();
@@ -242,6 +274,41 @@ void Algebra15D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
     }
   }
 
+  const bool keeper = (g_ % c_) == t_;
+  u.resize(local_rows(), f);
+
+  if (use_bwd_halo_) {
+    // Mirrored contribution exchange instead of the slice reduce-scatter
+    // (the 1D backward's discipline, stripe-stacked): only the
+    // structurally nonzero contribution rows travel, landing on keepers
+    // in rank-ascending order — bitwise the reduce-scatter's sums (the
+    // rows it skips are exact +0.0 terms). Non-keepers contribute rows
+    // and receive nothing; their u arrives with the team broadcast below.
+    dist::halo_exchange_contributions(
+        u_partial_, std::span<const Index>(bwd_pack_rows_),
+        std::span<const std::size_t>(halo_.recv_row_offsets),
+        /*self_partial=*/keeper, self_stacked_row0_,
+        std::span<const Index>(halo_.send_rows),
+        std::span<const std::size_t>(halo_.send_row_offsets), g_, slice_,
+        halo_, CommCategory::kDense, machine(), stats, u);
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    if (dist::overlap_enabled()) {
+      const std::span<const Real> src =
+          keeper ? std::span<const Real>(u.flat()) : std::span<const Real>{};
+      team_
+          .ibroadcast_from(src, keeper ? std::span<Real>{} : u.flat(),
+                           g_ % c_, CommCategory::kDense)
+          .wait();
+    } else if (keeper) {
+      team_.broadcast_from(std::span<const Real>(u.flat()),
+                           std::span<Real>{}, g_ % c_, CommCategory::kDense);
+    } else {
+      team_.broadcast_from(std::span<const Real>{}, u.flat(), g_ % c_,
+                           CommCategory::kDense);
+    }
+    return;
+  }
+
   // Reduce-scatter within the slice: slice rank j' keeps U[R_j'] when
   // j' ≡ t (mod c), nothing otherwise (chunk order is ascending j, which
   // is ascending slice rank). The keeper's chunk lands directly in u.
@@ -249,8 +316,6 @@ void Algebra15D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   // group g's reduced block landed on team member g mod c (the keeper).
   // In overlap mode both use the nonblocking forms — identical charges,
   // no trailing rendezvous (the sources' release is the quiesce above).
-  const bool keeper = (g_ % c_) == t_;
-  u.resize(local_rows(), f);
   if (dist::overlap_enabled()) {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
     PendingOp reduce_op = slice_.ireduce_scatter_sum(

@@ -70,6 +70,13 @@ class Algebra15D final : public DistSpmmAlgebra {
   /// True when the sparsity-aware halo exchange replaces the stripe
   /// broadcasts (dist::halo_enabled() at construction and G > 1).
   bool halo_active() const { return use_halo_; }
+  /// True when the backward slice reduce-scatter is also replaced by the
+  /// mirrored contribution exchange. Gated at construction: the exchange
+  /// moves per-peer contribution rows rather than pre-reduced chunks, so
+  /// it only wins when the slice-wide worst-case landed volume stays
+  /// within the reduce-scatter's charge (a locality partitioner regime;
+  /// a random partition keeps the reduce-scatter).
+  bool backward_halo_active() const { return use_bwd_halo_; }
 
  protected:
   /// Slices hold identical replicas; slice ranks are ordered by group,
@@ -93,7 +100,13 @@ class Algebra15D final : public DistSpmmAlgebra {
   std::vector<Index> row_starts_;
 
   bool use_halo_ = false;  ///< sparsity-aware stripe exchange (forward)
+  bool use_bwd_halo_ = false;  ///< mirrored contribution exchange (backward)
   dist::HaloPlan halo_;    ///< over the slice; built once, replayed
+  /// Backward pack addressing: the plan's need_rows remapped into the
+  /// stacked stripe layout of u_partial_ (stacked block base of peer j +
+  /// peer-local row), built once alongside the plan.
+  std::vector<Index> bwd_pack_rows_;
+  Index self_stacked_row0_ = 0;  ///< stacked base of this group's block
 
   /// at_stripe_[j] for j ≡ t (mod c): A^T[R_g, R_j].
   std::map<int, Csr> at_stripe_;

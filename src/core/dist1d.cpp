@@ -36,6 +36,15 @@ Algebra1D::Algebra1D(const DistProblem& problem, Comm world,
         world_.rank(),
         [&](int j) { return row_starts_[static_cast<std::size_t>(j)]; },
         world_, halo_);
+    // The backward contribution exchange only replaces the reduce-scatter
+    // when the structural sparsity actually shrinks it; under a poor
+    // partition nearly every row travels anyway and the per-row
+    // pack/scatter-add loses to the reduce-scatter's contiguous sums.
+    use_bwd_halo_ = dist::halo_backward_profitable(
+        halo_.send_rows.size(),
+        static_cast<double>(n_) * static_cast<double>(p - 1) /
+            static_cast<double>(p),
+        world_);
   }
 }
 
@@ -61,21 +70,16 @@ void Algebra1D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
   };
 
   if (use_halo_) {
-    // IV-A.8 request-and-send: exchange exactly the needed remote rows
-    // (edgecut_P(A) * f words, metered as kHalo), then run the same
-    // j-ascending accumulation against the compacted blocks — per-element
-    // sums are identical ordered sums of identical products, so T is
-    // bitwise the broadcast path's.
-    dist::halo_exchange_rows(
-        h, std::span<const Index>(halo_.send_rows),
-        std::span<const std::size_t>(halo_.send_row_offsets), world_, halo_,
-        CommCategory::kHalo, stats.profiler);
-    const Csr& self_block =
-        at_blocks_[static_cast<std::size_t>(world_.rank())];
-    for (int j = 0; j < p; ++j) {
-      dist::halo_spmm_stage(j, world_.rank(), &self_block, h, halo_, t,
-                            machine(), stats);
-    }
+    // IV-A.8 request-and-send, pipelined: the exchange of exactly the
+    // needed remote rows (edgecut_P(A) * f words, metered as kHalo) is
+    // posted, the self-block SpMM runs while remote rows are in flight,
+    // and each peer's compacted stage drains its rows as they land — in
+    // the same j-ascending accumulation order, so T is bitwise the
+    // broadcast path's.
+    dist::halo_spmm_pipeline(
+        h, &at_blocks_[static_cast<std::size_t>(world_.rank())],
+        world_.rank(), world_, halo_, CommCategory::kHalo, machine(), stats,
+        t);
     return;
   }
 
@@ -107,7 +111,7 @@ void Algebra1D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {
 void Algebra1D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   const Index f = g.cols();
 
-  if (use_halo_) {
+  if (use_halo_ && use_bwd_halo_) {
     spmm_a_halo(g, u, stats);
     return;
   }
@@ -150,7 +154,6 @@ void Algebra1D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
 }
 
 void Algebra1D::spmm_a_halo(const Matrix& g, Matrix& u, EpochStats& stats) {
-  const int p = world_.size();
   const Index f = g.cols();
   // Same O(nf) outer product as the broadcast path ...
   u_partial_.resize(n_, f);
@@ -165,40 +168,15 @@ void Algebra1D::spmm_a_halo(const Matrix& g, Matrix& u, EpochStats& stats) {
   // rank i contributes to rank j are exactly the rows i *needs from* j
   // forward (A^T(rows_i, v) != 0 <=> A(v, rows_i) != 0), so the plan is
   // its own mirror — contributions pack along need-rows and land on
-  // send-rows.
-  dist::halo_exchange_rows(
-      u_partial_, std::span<const Index>(halo_.need_rows_global),
-      std::span<const std::size_t>(halo_.recv_row_offsets), world_, halo_,
-      CommCategory::kDense, stats.profiler);
-  // Rank-ascending accumulation, the reduce-scatter's exact order (the
-  // rows it skips are exact +0.0 contributions), so U is bitwise the
-  // broadcast path's.
+  // send-rows, drained and accumulated peer by peer as they arrive.
   u.resize(local_rows(), f);
-  u.set_zero();
-  {
-    ScopedPhase scope(stats.profiler, Phase::kMisc);
-    for (int r = 0; r < p; ++r) {
-      if (r == world_.rank()) {
-        const Real* src = u_partial_.data() + row_lo_ * f;
-        Real* dst = u.data();
-        const Index len = local_rows() * f;
-        for (Index k = 0; k < len; ++k) dst[k] += src[k];
-        continue;
-      }
-      const std::size_t base =
-          halo_.recv.offsets[static_cast<std::size_t>(r)];
-      const std::size_t k0 =
-          halo_.send_row_offsets[static_cast<std::size_t>(r)];
-      const std::size_t k1 =
-          halo_.send_row_offsets[static_cast<std::size_t>(r) + 1];
-      for (std::size_t k = k0; k < k1; ++k) {
-        const Real* src =
-            halo_.recv.data.data() + base + (k - k0) * static_cast<std::size_t>(f);
-        Real* dst = u.data() + halo_.send_rows[k] * f;
-        for (Index c = 0; c < f; ++c) dst[c] += src[c];
-      }
-    }
-  }
+  dist::halo_exchange_contributions(
+      u_partial_, std::span<const Index>(halo_.need_rows_global),
+      std::span<const std::size_t>(halo_.recv_row_offsets),
+      /*self_partial=*/true, row_lo_,
+      std::span<const Index>(halo_.send_rows),
+      std::span<const std::size_t>(halo_.send_row_offsets), world_.rank(),
+      world_, halo_, CommCategory::kDense, machine(), stats, u);
 }
 
 void Algebra1D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,

@@ -19,12 +19,15 @@
 // Halo mode (CAGNET_HALO / dist::set_halo_enabled) implements the IV-A.8
 // request-and-send instead: a HaloPlan built once from the local A^T
 // sparsity exchanges exactly the remote H rows each rank needs (kHalo,
-// edgecut_P(A) * f words per layer) and the backward outer product sends
-// only its structurally nonzero contribution rows — with losses and
-// weights bitwise identical to the broadcast path. Row-block boundaries
-// follow the DistProblem partition when its part count is P
-// (partition-aware layout), so a locality partitioner shrinks the
-// exchanged halo.
+// edgecut_P(A) * f words per layer), pipelined behind the stage SpMMs in
+// overlap mode (the self block multiplies while remote rows are in
+// flight; each peer's rows are drained zero-copy as they land), and the
+// backward outer product sends only its structurally nonzero
+// contribution rows when the halo_backward_profitable gate passes (a
+// random partition keeps the reduce-scatter) — with losses and weights
+// bitwise identical to the broadcast path. Row-block boundaries follow
+// the DistProblem partition when its part count is P (partition-aware
+// layout), so a locality partitioner shrinks the exchanged halo.
 //
 // Only the distributed algebra lives here; the training loop itself is the
 // shared DistEngine (see dist_engine.hpp).
@@ -54,6 +57,10 @@ class Algebra1D final : public DistSpmmAlgebra {
   /// True when the sparsity-aware halo exchange replaces the broadcasts
   /// (dist::halo_enabled() at construction and P > 1). Purely local.
   bool halo_active() const { return use_halo_; }
+  /// True when the backward reduce-scatter is also replaced by the
+  /// mirrored contribution exchange (halo mode and the
+  /// dist::halo_backward_profitable gate passed at construction).
+  bool backward_halo_active() const { return use_halo_ && use_bwd_halo_; }
   void reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
                         Matrix& y_full, EpochStats& stats) override;
   void begin_reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
@@ -83,6 +90,7 @@ class Algebra1D final : public DistSpmmAlgebra {
   Csr a_col_block_;
 
   bool use_halo_ = false;  ///< sparsity-aware exchange instead of broadcasts
+  bool use_bwd_halo_ = false;  ///< backward contribution exchange (gated)
   dist::HaloPlan halo_;    ///< built once, replayed every epoch/layer
 
   Matrix hj_recv_;    ///< broadcast-stage receive buffer (reused)

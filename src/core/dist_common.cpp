@@ -11,6 +11,7 @@
 #include "src/dense/ops.hpp"
 #include "src/sparse/spmm_kernel.hpp"
 #include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
 
 namespace cagnet {
 
@@ -822,81 +823,258 @@ void build_halo_plan(const std::function<const Csr*(int)>& block_of,
                       requested, CommCategory::kControl);
   plan.send_rows.assign(requested.data.begin(), requested.data.end());
   plan.send_row_offsets = requested.offsets;
-  plan.send_elem_offsets.assign(static_cast<std::size_t>(p) + 1, 0);
-  plan.has_release = false;
+  for (HaloPlan::PackBuf& buf : plan.pack) {
+    buf.send_elem_offsets.assign(static_cast<std::size_t>(p) + 1, 0);
+    buf.has_release = false;
+  }
+  plan.next_pack = 0;
   plan.ready = true;
 }
 
-void halo_exchange_rows(const Matrix& src, std::span<const Index> rows,
-                        std::span<const std::size_t> row_offsets, Comm& comm,
-                        HaloPlan& plan, CommCategory cat,
-                        Profiler& profiler) {
-  CAGNET_CHECK(plan.ready, "halo_exchange_rows: plan not built");
+namespace {
+
+/// One peer drain of a pipelined halo exchange, the protocol shared by
+/// the forward and backward sweeps: provably-empty chunks are
+/// skip_source'd (no rendezvous), anything else is awaited zero-copy and
+/// size-checked against the plan; the overlap region is closed (pairing
+/// the drained charges with the compute that just ran) and reopened for
+/// the next stage. Blocking mode reads the already-exchanged chunk from
+/// plan.recv. Returns the peer's rows, or nullptr when nothing landed.
+const Real* drain_halo_peer(PendingOp& op, const HaloPlan& plan, int peer,
+                            std::size_t expected_elems, bool pipelined,
+                            OverlapScope& region, Profiler& profiler) {
+  if (!pipelined) {
+    return plan.recv.data.data() +
+           plan.recv.offsets[static_cast<std::size_t>(peer)];
+  }
+  const Real* rows = nullptr;
+  {
+    ScopedPhase scope(profiler, Phase::kDenseComm);
+    if (expected_elems == 0) {
+      op.skip_source(peer);
+    } else {
+      const std::span<const Real> chunk = op.await_source<Real>(peer);
+      CAGNET_CHECK(chunk.size() == expected_elems,
+                   "halo drain: unexpected chunk size");
+      rows = chunk.data();
+    }
+  }
+  region.close();
+  region.open();
+  return rows;
+}
+
+/// Threaded row gather: copy `rows` of `src` (f-wide) into `dst`
+/// row-major. Chunks write disjoint destination rows, so every chunk
+/// count is bitwise-identical.
+void pack_rows_threaded(const Matrix& src, std::span<const Index> rows,
+                        Index f, Real* dst) {
+  const auto n = static_cast<Index>(rows.size());
+  parallel_for(n,
+               plan_chunks(static_cast<double>(n) * static_cast<double>(f),
+                           kMinElemsPerChunk, n),
+               [&](Index lo, Index hi) {
+                 for (Index k = lo; k < hi; ++k) {
+                   const Real* from =
+                       src.data() + rows[static_cast<std::size_t>(k)] * f;
+                   std::copy(from, from + f, dst + k * f);
+                 }
+               });
+}
+
+}  // namespace
+
+bool halo_backward_profitable(std::size_t landed_rows, double rs_rows,
+                              Comm& comm) {
+  std::array<double, 1> landed = {static_cast<double>(landed_rows)};
+  comm.allreduce_max(std::span<double>(landed), CommCategory::kControl);
+  return landed[0] <= 0.5 * rs_rows;
+}
+
+PendingOp halo_exchange_begin(const Matrix& src, std::span<const Index> rows,
+                              std::span<const std::size_t> row_offsets,
+                              Comm& comm, HaloPlan& plan, CommCategory cat,
+                              Profiler& profiler) {
+  CAGNET_CHECK(plan.ready, "halo_exchange_begin: plan not built");
   const Index f = src.cols();
   const int p = comm.size();
-  if (overlap_enabled() && plan.has_release) {
-    // Release point for the previous exchange: peers read this rank's
-    // pack buffer and offsets at their waits, and both are rewritten
-    // below. Peers drained within the same collective call a layer ago.
+  HaloPlan::PackBuf& buf =
+      plan.pack[static_cast<std::size_t>(plan.next_pack)];
+  plan.next_pack ^= 1;
+  if (buf.has_release) {
+    // Release point for the op that used this buffer: it is two exchanges
+    // stale, so peers drained it a whole layer ago — a handful of atomic
+    // loads, off the critical path (the reason the staging is
+    // double-buffered at all).
     ScopedPhase scope(profiler, Phase::kDenseComm);
-    comm.quiesce_op(plan.release_ticket);
-    plan.has_release = false;
+    comm.quiesce_op(buf.release_ticket);
+    buf.has_release = false;
   }
   {
-    ScopedPhase scope(profiler, Phase::kMisc);
-    plan.send_buf.resize(static_cast<Index>(rows.size()), f);
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-      const Real* from = src.data() + rows[k] * f;
-      std::copy(from, from + f, plan.send_buf.data() + static_cast<Index>(k) * f);
-    }
-    plan.send_elem_offsets.resize(static_cast<std::size_t>(p) + 1);
+    ScopedPhase scope(profiler, Phase::kHaloPack);
+    buf.send_buf.resize(static_cast<Index>(rows.size()), f);
+    pack_rows_threaded(src, rows, f, buf.send_buf.data());
+    buf.send_elem_offsets.resize(static_cast<std::size_t>(p) + 1);
     for (std::size_t j = 0; j <= static_cast<std::size_t>(p); ++j) {
-      plan.send_elem_offsets[j] =
+      buf.send_elem_offsets[j] =
           row_offsets[j] * static_cast<std::size_t>(f);
     }
   }
   ScopedPhase scope(profiler, Phase::kDenseComm);
   if (overlap_enabled()) {
-    // Single lock-free rendezvous instead of two barrier phases; the
-    // recorded ticket is the next exchange's release point. Charges are
-    // identical to the blocking form.
-    PendingOp op = comm.ialltoallv_into(
-        std::span<const Real>(plan.send_buf.flat()),
-        std::span<const std::size_t>(plan.send_elem_offsets), plan.recv,
-        cat);
-    plan.release_ticket = op.ticket();
-    plan.has_release = true;
-    op.wait();
-  } else {
-    comm.alltoallv_into(std::span<const Real>(plan.send_buf.flat()),
-                        std::span<const std::size_t>(plan.send_elem_offsets),
-                        plan.recv, cat);
+    // Post-only: the caller drains each peer's chunk exactly when the
+    // stage that consumes it runs, and wait()s the op once all stages are
+    // done. Charges (applied per drain) sum bitwise to the blocking
+    // form's.
+    PendingOp op = comm.ialltoallv_post(
+        std::span<const Real>(buf.send_buf.flat()),
+        std::span<const std::size_t>(buf.send_elem_offsets), cat);
+    buf.release_ticket = op.ticket();
+    buf.has_release = true;
+    return op;
+  }
+  comm.alltoallv_into(std::span<const Real>(buf.send_buf.flat()),
+                      std::span<const std::size_t>(buf.send_elem_offsets),
+                      plan.recv, cat);
+  return PendingOp{};
+}
+
+void halo_spmm_pipeline(const Matrix& h, const Csr* self_block, int self,
+                        Comm& comm, HaloPlan& plan, CommCategory cat,
+                        const MachineModel& machine, EpochStats& stats,
+                        Matrix& t) {
+  PendingOp op = halo_exchange_begin(
+      h, std::span<const Index>(plan.send_rows),
+      std::span<const std::size_t>(plan.send_row_offsets), comm, plan, cat,
+      stats.profiler);
+  const int p = comm.size();
+  const Index f = h.cols();
+  const bool pipelined = op.pending();
+  // Ascending stage order is the broadcast loops' accumulation order;
+  // keeping it makes every per-element sum an identical ordered sum of
+  // identical products, so T stays bitwise the broadcast path's. Each
+  // drain closes one overlap region: stage j's rows were in flight while
+  // the stages before j multiplied — including the self stage, whose
+  // SpMM is the pipeline's headline overlap, so the region opens before
+  // the sweep.
+  OverlapScope region(comm.meter(), stats.work, machine);
+  if (pipelined) region.open();
+  for (int j = 0; j < p; ++j) {
+    if (j == self) {
+      if (self_block != nullptr) {
+        ScopedPhase scope(stats.profiler, Phase::kSpmm);
+        self_block->spmm(h, t, /*accumulate=*/true);
+        stats.work.add_spmm(machine, static_cast<double>(self_block->nnz()),
+                            static_cast<double>(f),
+                            block_degree(*self_block));
+      }
+      continue;
+    }
+    const std::size_t expect =
+        (plan.recv_row_offsets[static_cast<std::size_t>(j) + 1] -
+         plan.recv_row_offsets[static_cast<std::size_t>(j)]) *
+        static_cast<std::size_t>(f);
+    const Real* rows_j = drain_halo_peer(op, plan, j, expect, pipelined,
+                                         region, stats.profiler);
+    const Csr& a = plan.blocks[static_cast<std::size_t>(j)];
+    if (a.nnz() == 0) continue;
+    ScopedPhase scope(stats.profiler, Phase::kSpmm);
+    spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
+                          a.values().data(), rows_j, f, t.data(),
+                          /*accumulate=*/true);
+    stats.work.add_spmm(machine, static_cast<double>(a.nnz()),
+                        static_cast<double>(f), block_degree(a));
+  }
+  region.close();
+  if (pipelined) {
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    op.wait();  // every source drained; this just releases the channel
   }
 }
 
-void halo_spmm_stage(int j, int self, const Csr* self_block,
-                     const Matrix& h, const HaloPlan& plan, Matrix& t,
-                     const MachineModel& machine, EpochStats& stats) {
-  const Index f = h.cols();
-  if (j == self) {
-    CAGNET_CHECK(self_block != nullptr,
-                 "halo_spmm_stage: self stage needs the rank's own block");
-    ScopedPhase scope(stats.profiler, Phase::kSpmm);
-    self_block->spmm(h, t, /*accumulate=*/true);
-    stats.work.add_spmm(machine, static_cast<double>(self_block->nnz()),
-                        static_cast<double>(f), block_degree(*self_block));
+void halo_exchange_contributions(
+    const Matrix& partial, std::span<const Index> pack_rows,
+    std::span<const std::size_t> pack_row_offsets, bool self_partial,
+    Index self_row0, std::span<const Index> land_rows,
+    std::span<const std::size_t> land_row_offsets, int self, Comm& comm,
+    HaloPlan& plan, CommCategory cat, const MachineModel& machine,
+    EpochStats& stats, Matrix& u) {
+  PendingOp op = halo_exchange_begin(partial, pack_rows, pack_row_offsets,
+                                     comm, plan, cat, stats.profiler);
+  const int p = comm.size();
+  const Index f = partial.cols();
+  const bool pipelined = op.pending();
+  // A rank that accumulates nothing (a 1.5D non-keeper: no self term and
+  // every land chunk empty — its u arrives whole with the team broadcast)
+  // only owes the drain bookkeeping: skip every source without touching u
+  // or coupling to any peer's schedule.
+  if (!self_partial &&
+      land_row_offsets[static_cast<std::size_t>(p)] ==
+          land_row_offsets[0]) {
+    if (pipelined) {
+      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+      for (int r = 0; r < p; ++r) {
+        if (r != self) op.skip_source(r);
+      }
+      op.wait();
+    }
     return;
   }
-  const Csr& a = plan.blocks[static_cast<std::size_t>(j)];
-  if (a.nnz() == 0) return;
-  ScopedPhase scope(stats.profiler, Phase::kSpmm);
-  spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
-                        a.values().data(),
-                        plan.recv.data.data() +
-                            plan.recv.offsets[static_cast<std::size_t>(j)],
-                        f, t.data(), /*accumulate=*/true);
-  stats.work.add_spmm(machine, static_cast<double>(a.nnz()),
-                      static_cast<double>(f), block_degree(a));
+  {
+    ScopedPhase scope(stats.profiler, Phase::kHaloPack);
+    u.set_zero();
+  }
+  // Rank-ascending accumulation, the reduce-scatter's exact per-element
+  // order (rows a peer did not send are exact +0.0 contributions), so U
+  // is bitwise the broadcast path's. The region opens before the sweep
+  // so the first drain's charges pair with the accumulation that
+  // precedes it.
+  OverlapScope region(comm.meter(), stats.work, machine);
+  if (pipelined) region.open();
+  for (int r = 0; r < p; ++r) {
+    if (r == self) {
+      if (self_partial) {
+        ScopedPhase scope(stats.profiler, Phase::kHaloPack);
+        const Real* src = partial.data() + self_row0 * f;
+        Real* dst = u.data();
+        const Index len = u.rows() * f;
+        parallel_for(len,
+                     plan_chunks(static_cast<double>(len), kMinElemsPerChunk,
+                                 len),
+                     [&](Index lo, Index hi) {
+                       for (Index k = lo; k < hi; ++k) dst[k] += src[k];
+                     });
+      }
+      continue;
+    }
+    const std::size_t k0 = land_row_offsets[static_cast<std::size_t>(r)];
+    const std::size_t k1 = land_row_offsets[static_cast<std::size_t>(r) + 1];
+    const Real* src =
+        drain_halo_peer(op, plan, r, (k1 - k0) * static_cast<std::size_t>(f),
+                        pipelined, region, stats.profiler);
+    if (k0 == k1) continue;
+    // Scatter-add this peer's landed rows (distinct within a peer, so
+    // row chunks write disjoint outputs and threading is deterministic).
+    ScopedPhase scope(stats.profiler, Phase::kHaloPack);
+    const auto rows_n = static_cast<Index>(k1 - k0);
+    parallel_for(
+        rows_n,
+        plan_chunks(static_cast<double>(rows_n) * static_cast<double>(f),
+                    kMinElemsPerChunk, rows_n),
+        [&](Index lo, Index hi) {
+          for (Index k = lo; k < hi; ++k) {
+            const Real* s = src + k * f;
+            Real* d = u.data() +
+                      land_rows[k0 + static_cast<std::size_t>(k)] * f;
+            for (Index c = 0; c < f; ++c) d[c] += s[c];
+          }
+        });
+  }
+  region.close();
+  if (pipelined) {
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    op.wait();  // every source drained; this just releases the channel
+  }
 }
 
 Csr route_csr(const Csr& mine, int dest, Comm& comm, CommCategory cat) {

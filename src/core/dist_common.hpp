@@ -160,12 +160,14 @@ void set_overlap_enabled(bool on);
 /// rows-whole forward SpMM replaces Algorithm 1's P dense broadcast
 /// stages with an individualized request-and-send of exactly the remote
 /// H rows the local A^T sparsity touches (metered as kHalo:
-/// edgecut_P(A) * f words instead of n(P-1)/P * f), and the 1D backward
-/// replaces its O(nf) reduce-scatter with the symmetric contribution
-/// exchange. Losses, weights, and accuracy are bitwise identical to the
-/// broadcast path (tests/halo_test.cpp asserts it); only the metered
-/// volume drops. Not per-trainer state: flip it only between run_world
-/// invocations.
+/// edgecut_P(A) * f words instead of n(P-1)/P * f), pipelined behind the
+/// stage SpMMs in overlap mode (per-source drains; see
+/// halo_spmm_pipeline), and the 1D / 1.5D backwards replace their
+/// reduce-scatters with the symmetric contribution exchange when the
+/// halo_backward_profitable gate passes. Losses, weights, and accuracy
+/// are bitwise identical to the broadcast path (tests/halo_test.cpp
+/// asserts it); only the metered volume drops. Not per-trainer state:
+/// flip it only between run_world invocations.
 bool halo_enabled();
 void set_halo_enabled(bool on);
 
@@ -229,20 +231,27 @@ void drain_comm(const Comm& comm) noexcept;
 ///      rows each peer requests (`send`). The index exchange is one-time
 ///      setup, charged as kControl.
 ///   2. *Epoch replay*: every forward layer packs the `send` rows of H
-///      and alltoallv's them (kHalo; edgecut words). The 1D backward
-///      reuses the same plan mirrored — contributions travel along
-///      need-rows and land on send-rows. Nothing is rebuilt; the staging
-///      buffers are reused allocation-free.
-///   3. *Release*: in overlap mode the exchange posts through
-///      ialltoallv_into and records its ticket; the next exchange
-///      quiesces that single op before overwriting the pack buffer and
-///      offsets (peers read both at their own waits). Blocking mode needs
-///      no release (barrier phases separate the accesses).
+///      (threaded on the persistent pool, Phase::kHaloPack) and exchanges
+///      them (kHalo; edgecut words). The backward reuses the same plan
+///      mirrored — contributions travel along need-rows and land on
+///      send-rows. Nothing is rebuilt; the staging buffers are reused
+///      allocation-free.
+///   3. *Pipeline + release*: in overlap mode the exchange posts through
+///      ialltoallv_post and each peer's rows are drained — zero-copy,
+///      straight from the peer's pack buffer — exactly when the stage
+///      that multiplies them runs (PendingOp::await_source), so the
+///      self-block SpMM and every earlier stage execute while later
+///      peers' rows are still in flight. Pack staging is double-buffered:
+///      exchange k packs into buffer k % 2 after quiescing the op that
+///      used that buffer two exchanges ago (quiesce_op) — a release peers
+///      finished a whole layer earlier, off the critical path. Blocking
+///      mode needs no release (barrier phases separate the accesses) and
+///      keeps the one-shot alltoallv_into.
 struct HaloPlan {
   bool ready = false;
   /// Forward receives: rows obtained from each source, ascending peer
   /// order. need_rows are peer-local row indices; need_rows_global adds
-  /// the peer row offsets (indices into an n-row matrix, the backward
+  /// the peer row offsets (indices into an n-row matrix, the 1D backward
   /// pack addressing).
   std::vector<std::size_t> recv_row_offsets;  ///< P+1
   std::vector<Index> need_rows;
@@ -254,12 +263,19 @@ struct HaloPlan {
   /// Column-compacted A^T blocks (self and absent peers left empty; the
   /// self stage multiplies the rank's own uncompacted block against H).
   std::vector<Csr> blocks;
-  // Reused exchange staging (see the release discipline above).
-  Matrix send_buf;
-  Gathered<Real> recv;
-  std::vector<std::size_t> send_elem_offsets;  ///< P+1, rebuilt per exchange
-  std::uint64_t release_ticket = 0;
-  bool has_release = false;
+  /// One half of the double-buffered pack staging (see the release
+  /// discipline above). Peers read send_buf and send_elem_offsets at
+  /// their own drains, so a buffer may be rewritten only after its
+  /// recorded op is globally finished.
+  struct PackBuf {
+    Matrix send_buf;
+    std::vector<std::size_t> send_elem_offsets;  ///< P+1, rebuilt per use
+    std::uint64_t release_ticket = 0;
+    bool has_release = false;
+  };
+  std::array<PackBuf, 2> pack;
+  int next_pack = 0;          ///< which PackBuf the next exchange claims
+  Gathered<Real> recv;        ///< blocking-mode receive staging
 };
 
 /// The (parts+1) partition-aware block boundaries of `problem` for a
@@ -279,28 +295,67 @@ void build_halo_plan(const std::function<const Csr*(int)>& block_of,
                      int self, const std::function<Index(int)>& peer_row_lo,
                      Comm& comm, HaloPlan& plan);
 
-/// Exchange the rows of `src` listed in (`rows`, `row_offsets`) — the
-/// plan's send side for the forward direction, its need side (global) for
-/// the backward direction. Received rows land in plan.recv, row-major and
-/// f-wide, sources ascending. In overlap mode the exchange is a single
-/// nonblocking rendezvous whose ticket is recorded for the next
-/// exchange's release; charges are identical either way, applied to
-/// `cat`.
-void halo_exchange_rows(const Matrix& src, std::span<const Index> rows,
-                        std::span<const std::size_t> row_offsets, Comm& comm,
-                        HaloPlan& plan, CommCategory cat,
-                        Profiler& profiler);
+/// Collective profitability gate of the mirrored backward contribution
+/// exchange: the exchange lands per-peer contribution rows (the plan's
+/// send side) instead of a pre-reduced chunk, paying pack + scatter-add
+/// host work per landed row — a win only when the structural sparsity
+/// actually shrinks the volume. Returns true when the busiest rank's
+/// landed rows stay under half the reduce-scatter's per-rank row charge
+/// (`rs_rows`), max-reduced over `comm` so the decision is rank-uniform
+/// (collective order depends on it). One-time setup traffic (kControl).
+bool halo_backward_profitable(std::size_t landed_rows, double rs_rows,
+                              Comm& comm);
 
-/// One stage of the halo-path forward SpMM, accumulating into `t`: the
-/// self stage (j == self) multiplies the rank's own uncompacted block
-/// (`self_block`, may be null otherwise) against `h`; remote stages
-/// multiply the plan's compacted block against the received compact
-/// rows. Stage order and per-element accumulation match the broadcast
-/// loops exactly, so T stays bitwise identical. Shared by the 1D and
-/// 1.5D stage loops.
-void halo_spmm_stage(int j, int self, const Csr* self_block,
-                     const Matrix& h, const HaloPlan& plan, Matrix& t,
-                     const MachineModel& machine, EpochStats& stats);
+/// Begin one halo exchange: claim the plan's next pack buffer (quiescing
+/// the op that last used it — two exchanges stale, so the release has
+/// left the critical path), pack the rows of `src` listed in (`rows`,
+/// `row_offsets`) on the persistent pool (Phase::kHaloPack), and ship
+/// them. In overlap mode the exchange is posted through ialltoallv_post
+/// and the returned pending op is the drain handle (per-source zero-copy
+/// views; the caller must wait() it after draining). In blocking mode the
+/// exchange completes here into plan.recv and the returned op is empty.
+/// Charges are identical either way, applied to `cat`.
+PendingOp halo_exchange_begin(const Matrix& src, std::span<const Index> rows,
+                              std::span<const std::size_t> row_offsets,
+                              Comm& comm, HaloPlan& plan, CommCategory cat,
+                              Profiler& profiler);
+
+/// The pipelined halo forward of the rows-whole families: one exchange of
+/// the plan's send rows of `h` plus the stage sweep, accumulating into
+/// `t` in ascending peer order — bitwise the broadcast loops'
+/// accumulation. The self stage (j == self) multiplies the rank's own
+/// uncompacted block (`self_block`; null when this rank's block is not a
+/// stage, as for 1.5D non-keepers) against `h` and waits on nothing;
+/// each remote stage drains exactly its peer's packed rows as they land
+/// (overlap mode: zero-copy from the peer's staging, charges applied at
+/// the drain) and multiplies the plan's compacted block. Every drain is
+/// recorded as one CostMeter overlap region paired against the previous
+/// stage's SpMM, so halo mode reports nonzero overlap_regions. Shared by
+/// the 1D (comm = world) and 1.5D (comm = slice) forwards.
+void halo_spmm_pipeline(const Matrix& h, const Csr* self_block, int self,
+                        Comm& comm, HaloPlan& plan, CommCategory cat,
+                        const MachineModel& machine, EpochStats& stats,
+                        Matrix& t);
+
+/// The mirrored backward contribution exchange: pack `pack_rows` of
+/// `partial` (the structurally nonzero remote contribution rows), ship
+/// them along the plan, and accumulate into `u` in ascending peer order —
+/// bitwise the reduce-scatter it replaces (skipped rows are exact +0.0
+/// terms). The self term adds `partial` rows [self_row0, self_row0 +
+/// u.rows()) when `self_partial` is true (1D always; 1.5D only on
+/// keepers); remote peers' landed rows scatter-add onto `land_rows`
+/// (chunked by `land_row_offsets`), threaded on the pool — rows within a
+/// peer are distinct, so chunked writes stay disjoint and deterministic.
+/// Overlap mode drains per peer with the same chunk-drain overlap
+/// accounting as the forward. Shared by the 1D (full plan mirror) and
+/// 1.5D (stripe-stacked pack rows) backwards.
+void halo_exchange_contributions(
+    const Matrix& partial, std::span<const Index> pack_rows,
+    std::span<const std::size_t> pack_row_offsets, bool self_partial,
+    Index self_row0, std::span<const Index> land_rows,
+    std::span<const std::size_t> land_row_offsets, int self, Comm& comm,
+    HaloPlan& plan, CommCategory cat, const MachineModel& machine,
+    EpochStats& stats, Matrix& u);
 
 /// Global mean NLL loss and accuracy from a local row block of output
 /// log-probabilities. `row_lo` is the first global row of the block.

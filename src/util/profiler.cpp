@@ -17,6 +17,8 @@ const char* phase_name(Phase p) {
       return "scomm";
     case Phase::kSpmm:
       return "spmm";
+    case Phase::kHaloPack:
+      return "hpack";
     case Phase::kCount:
       break;
   }

@@ -15,13 +15,18 @@
 
 namespace cagnet {
 
-/// Phases of one training epoch, in the paper's Fig. 3 vocabulary.
+/// Phases of one training epoch, in the paper's Fig. 3 vocabulary, plus
+/// the halo-pack phase the sparsity-aware exchange adds ("hpack": the
+/// host-side row pack/unpack of the demand-driven halo path — serialized
+/// staging work the paper's Fig. 3 has no slot for, reported separately
+/// so it cannot hide inside misc).
 enum class Phase : std::size_t {
   kMisc = 0,    ///< local GEMM, activations, optimizer, bookkeeping
   kTranspose,   ///< distributed transpose of the adjacency ("trpose")
   kDenseComm,   ///< dense-matrix collectives ("dcomm")
   kSparseComm,  ///< sparse-matrix collectives ("scomm")
   kSpmm,        ///< local sparse x dense multiplies
+  kHaloPack,    ///< halo-exchange row pack/unpack ("hpack")
   kCount
 };
 

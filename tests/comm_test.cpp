@@ -1134,6 +1134,153 @@ TEST(Alltoallv, NonblockingMatchesBlockingAndChargesBitwise) {
   }
 }
 
+TEST(Alltoallv, PerSourceDrainMatchesBlockingAndChargesBitwise) {
+  // ialltoallv_post + await_source: zero-copy views per source, in any
+  // order, with charges telescoping bitwise to the blocking form's.
+  const int p = 4;
+  std::vector<CostMeter> blocking_meters;
+  std::vector<CostMeter> drain_meters;
+  std::vector<std::vector<Real>> blocking_data(p);
+  std::vector<std::vector<Real>> drain_data(p);
+  const auto payload = [&](Comm& comm, std::vector<Real>& send,
+                           std::vector<std::size_t>& offsets) {
+    offsets = {0};
+    for (int d = 0; d < p; ++d) {
+      for (int k = 0; k < (comm.rank() + 2 * d) % 4; ++k) {
+        send.push_back(static_cast<Real>(comm.rank() * 100 + d * 10 + k));
+      }
+      offsets.push_back(send.size());
+    }
+  };
+  run_world(p, [&](Comm& comm) {
+    std::vector<Real> send;
+    std::vector<std::size_t> offsets;
+    payload(comm, send, offsets);
+    Gathered<Real> out;
+    comm.alltoallv_into(std::span<const Real>(send),
+                        std::span<const std::size_t>(offsets), out,
+                        CommCategory::kHalo);
+    blocking_data[static_cast<std::size_t>(comm.rank())] = out.data;
+  }, &blocking_meters);
+  run_world(p, [&](Comm& comm) {
+    std::vector<Real> send;
+    std::vector<std::size_t> offsets;
+    payload(comm, send, offsets);
+    PendingOp op = comm.ialltoallv_post(
+        std::span<const Real>(send), std::span<const std::size_t>(offsets),
+        CommCategory::kHalo);
+    EXPECT_TRUE(op.pending());
+    // Drain out of order: descending sources, self last — the assembled
+    // concatenation must still be the blocking result. Chunks the
+    // receiver can prove empty from the payload rule go through
+    // skip_source (no rendezvous), which must charge identically.
+    std::vector<std::vector<Real>> chunks(static_cast<std::size_t>(p));
+    for (int src = p - 1; src >= 0; --src) {
+      if (src == comm.rank()) continue;
+      if ((src + 2 * comm.rank()) % 4 == 0) {
+        op.skip_source(src);
+        continue;
+      }
+      const auto view = op.await_source<Real>(src);
+      chunks[static_cast<std::size_t>(src)].assign(view.begin(), view.end());
+    }
+    const auto self = op.await_source<Real>(comm.rank());
+    chunks[static_cast<std::size_t>(comm.rank())].assign(self.begin(),
+                                                         self.end());
+    op.wait();  // all drained: releases the channel, charges nothing more
+    comm.quiesce();  // release send/offsets before they go out of scope
+    auto& mine = drain_data[static_cast<std::size_t>(comm.rank())];
+    for (const auto& chunk : chunks) {
+      mine.insert(mine.end(), chunk.begin(), chunk.end());
+    }
+  }, &drain_meters);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(blocking_data[static_cast<std::size_t>(r)],
+              drain_data[static_cast<std::size_t>(r)]);
+    EXPECT_EQ(blocking_meters[static_cast<std::size_t>(r)].words(
+                  CommCategory::kHalo),
+              drain_meters[static_cast<std::size_t>(r)].words(
+                  CommCategory::kHalo));
+    EXPECT_EQ(blocking_meters[static_cast<std::size_t>(r)].latency_units(
+                  CommCategory::kHalo),
+              drain_meters[static_cast<std::size_t>(r)].latency_units(
+                  CommCategory::kHalo));
+  }
+}
+
+TEST(Alltoallv, AbandonedDrainStillChargesFullVolumeAtWait) {
+  // A drain op wait()ed (or destroyed) with sources left undrained must
+  // await and charge them — charge parity cannot depend on how many
+  // chunks the caller consumed.
+  const int p = 3;
+  std::vector<CostMeter> full_meters;
+  std::vector<CostMeter> abandoned_meters;
+  const auto payload = [&](std::vector<Real>& send,
+                           std::vector<std::size_t>& offsets) {
+    send.assign(2 * static_cast<std::size_t>(p), 1.5);
+    offsets.clear();
+    for (int d = 0; d <= p; ++d) {
+      offsets.push_back(2 * static_cast<std::size_t>(d));
+    }
+  };
+  run_world(p, [&](Comm& comm) {
+    std::vector<Real> send;
+    std::vector<std::size_t> offsets;
+    payload(send, offsets);
+    Gathered<Real> out;
+    comm.alltoallv_into(std::span<const Real>(send),
+                        std::span<const std::size_t>(offsets), out,
+                        CommCategory::kDense);
+  }, &full_meters);
+  run_world(p, [&](Comm& comm) {
+    std::vector<Real> send;
+    std::vector<std::size_t> offsets;
+    payload(send, offsets);
+    {
+      PendingOp op = comm.ialltoallv_post(
+          std::span<const Real>(send),
+          std::span<const std::size_t>(offsets), CommCategory::kDense);
+      // Drain only source 0, then let the handle complete itself.
+      op.await_source<Real>(0);
+    }
+    comm.quiesce();
+  }, &abandoned_meters);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(full_meters[static_cast<std::size_t>(r)].words(
+                  CommCategory::kDense),
+              abandoned_meters[static_cast<std::size_t>(r)].words(
+                  CommCategory::kDense));
+    EXPECT_EQ(full_meters[static_cast<std::size_t>(r)].latency_units(
+                  CommCategory::kDense),
+              abandoned_meters[static_cast<std::size_t>(r)].latency_units(
+                  CommCategory::kDense));
+  }
+}
+
+TEST(Alltoallv, DrainDiagnosesMisuse) {
+  run_world(2, [&](Comm& comm) {
+    std::vector<Real> send(2, 1.0);
+    std::vector<std::size_t> offsets = {0, 1, 2};
+    PendingOp op = comm.ialltoallv_post(
+        std::span<const Real>(send), std::span<const std::size_t>(offsets),
+        CommCategory::kDense);
+    op.await_source<Real>(1 - comm.rank());
+    EXPECT_THROW(op.await_source<Real>(1 - comm.rank()), Error);  // twice
+    EXPECT_THROW(op.skip_source(1 - comm.rank()), Error);  // already drained
+    EXPECT_THROW(op.await_source<Real>(7), Error);  // out of range
+    op.await_source<Real>(comm.rank());
+    op.wait();
+    // await_source on a non-drain op is diagnosed.
+    Gathered<Real> out;
+    PendingOp into = comm.ialltoallv_into(
+        std::span<const Real>(send), std::span<const std::size_t>(offsets),
+        out, CommCategory::kDense);
+    EXPECT_THROW(into.await_source<Real>(0), Error);
+    into.wait();
+    comm.quiesce();
+  });
+}
+
 TEST(Alltoallv, ChargesReceivedWordsExcludingSelf) {
   const int p = 3;
   run_world(p, [&](Comm& comm) {

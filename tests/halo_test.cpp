@@ -18,9 +18,12 @@
 
 #include "src/core/algebra_registry.hpp"
 #include "src/core/costmodel.hpp"
+#include "src/core/dist15d.hpp"
+#include "src/core/dist1d.hpp"
 #include "src/gnn/serial_trainer.hpp"
 #include "src/graph/datasets.hpp"
 #include "src/sparse/generate.hpp"
+#include "src/util/parallel.hpp"
 
 namespace cagnet {
 namespace {
@@ -191,6 +194,166 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(halo_cases()),
                        ::testing::Values("block", "random", "greedy-bfs")),
     halo_case_name);
+
+// ---- Pipelined-path parity: halo x overlap vs halo x blocking, bitwise,
+// across world sizes x partitioners x thread counts ----
+
+class HaloOverlapParity
+    : public ::testing::TestWithParam<std::tuple<HaloCase, std::string>> {};
+
+TEST_P(HaloOverlapParity, PipelinedPathBitwiseMatchesBlocking) {
+  const auto [c, partitioner] = GetParam();
+  const Graph g = community_graph(252, 12, 10, 4, 97);
+  GnnConfig config = GnnConfig::three_layer(10, 4, 8);
+  config.learning_rate = 0.1;
+  const int epochs = 3;
+  const DistProblem problem =
+      DistProblem::prepare(g, c.partition_parts, partitioner);
+
+  ToggleGuard guard;
+  dist::set_halo_enabled(true);
+  for (int threads : {1, 8}) {
+    override_thread_budget(threads);
+    dist::set_overlap_enabled(true);
+    const HaloRun pipelined =
+        run_trainer(c.algebra, problem, config, c.p, epochs);
+    dist::set_overlap_enabled(false);
+    const HaloRun blocking =
+        run_trainer(c.algebra, problem, config, c.p, epochs);
+    override_thread_budget(0);
+
+    const std::string label = c.algebra + " p=" + std::to_string(c.p) +
+                              " " + partitioner + " threads=" +
+                              std::to_string(threads);
+    ASSERT_EQ(pipelined.losses.size(), blocking.losses.size()) << label;
+    for (std::size_t e = 0; e < pipelined.losses.size(); ++e) {
+      EXPECT_EQ(pipelined.losses[e], blocking.losses[e])
+          << label << " epoch " << e;
+      EXPECT_EQ(pipelined.accuracies[e], blocking.accuracies[e])
+          << label << " epoch " << e;
+    }
+    ASSERT_EQ(pipelined.weights.size(), blocking.weights.size()) << label;
+    for (std::size_t l = 0; l < pipelined.weights.size(); ++l) {
+      EXPECT_LE(
+          Matrix::max_abs_diff(pipelined.weights[l], blocking.weights[l]),
+          Real{0})
+          << label << " weights layer " << l;
+    }
+    EXPECT_LE(Matrix::max_abs_diff(pipelined.output, blocking.output),
+              Real{0})
+        << label << " output";
+    // Metered words and latency: bitwise equal per category (the
+    // per-source drain charges must telescope to the blocking
+    // alltoallv's).
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(CommCategory::kCount); ++i) {
+      const auto cat = static_cast<CommCategory>(i);
+      EXPECT_EQ(pipelined.stats.comm.words(cat),
+                blocking.stats.comm.words(cat))
+          << label << " words " << comm_category_name(cat);
+      EXPECT_EQ(pipelined.stats.comm.latency_units(cat),
+                blocking.stats.comm.latency_units(cat))
+          << label << " latency " << comm_category_name(cat);
+    }
+    // The regression this PR fixes: the pipelined halo path must engage
+    // the overlap machinery (one region per drained peer stage), where it
+    // used to collapse to zero.
+    EXPECT_GT(pipelined.stats.comm.overlap_regions(), 0.0) << label;
+    EXPECT_GE(pipelined.stats.comm.overlap_saved_seconds(), 0.0) << label;
+    EXPECT_DOUBLE_EQ(blocking.stats.comm.overlap_regions(), 0.0) << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, HaloOverlapParity,
+    ::testing::Combine(::testing::ValuesIn(halo_cases()),
+                       ::testing::Values("block", "random", "greedy-bfs")),
+    halo_case_name);
+
+TEST(HaloOverlap, ThreadedPackParityOnLargePipelinedExchange) {
+  // Large enough that the pool pack/scatter actually splits into multiple
+  // chunks (rows * f beyond the per-chunk minimum): the threaded pipeline
+  // must stay bitwise the single-threaded blocking path.
+  const Graph g = community_graph(4096, 32, 32, 8, 98);
+  GnnConfig config = GnnConfig::three_layer(32, 8, 16);
+  const DistProblem problem = DistProblem::prepare(g, 4, "random");
+
+  ToggleGuard guard;
+  dist::set_halo_enabled(true);
+  dist::set_overlap_enabled(true);
+  override_thread_budget(8);
+  const HaloRun pipelined = run_trainer("1d", problem, config, 4, 2);
+  override_thread_budget(1);
+  dist::set_overlap_enabled(false);
+  const HaloRun blocking = run_trainer("1d", problem, config, 4, 2);
+  override_thread_budget(0);
+
+  for (std::size_t e = 0; e < pipelined.losses.size(); ++e) {
+    EXPECT_EQ(pipelined.losses[e], blocking.losses[e]) << "epoch " << e;
+  }
+  EXPECT_LE(Matrix::max_abs_diff(pipelined.output, blocking.output), Real{0});
+  EXPECT_GT(pipelined.stats.comm.overlap_regions(), 0.0);
+}
+
+// ---- The 1.5D backward contribution exchange ----
+
+TEST(HaloBackward15D, EngagesUnderLocalityPartitionAndGatesUnderRandom) {
+  const Graph g = community_graph(256, 16, 8, 4, 99, /*intra=*/12.0,
+                                  /*inter=*/0.5);
+  ToggleGuard guard;
+  dist::set_halo_enabled(true);
+  // Locality partition: the busiest rank's landed contribution rows stay
+  // far under the reduce-scatter charge, so the mirrored backward
+  // exchange must engage (this is the path the backward-parity cases in
+  // HaloParity/HaloOverlapParity then exercise).
+  {
+    const DistProblem problem = DistProblem::prepare(g, 4, "greedy-bfs");
+    run_world(8, [&](Comm& world) {
+      Algebra15D algebra(problem, world, 2, MachineModel::summit());
+      EXPECT_TRUE(algebra.halo_active());
+      EXPECT_TRUE(algebra.backward_halo_active());
+    });
+    run_world(8, [&](Comm& world) {
+      Algebra1D algebra(problem, world, MachineModel::summit());
+      EXPECT_TRUE(algebra.halo_active());
+    });
+  }
+  // Random partition: nearly every row travels anyway, so the gate must
+  // keep the reduce-scatter (the exchange would move more and pay
+  // pack/scatter work on top).
+  {
+    const DistProblem problem = DistProblem::prepare(g, 4, "random");
+    run_world(8, [&](Comm& world) {
+      Algebra15D algebra(problem, world, 2, MachineModel::summit());
+      EXPECT_TRUE(algebra.halo_active());
+      EXPECT_FALSE(algebra.backward_halo_active());
+    });
+  }
+}
+
+TEST(HaloBackward15D, BackwardExchangeShrinksDenseWordsVsReduceScatter) {
+  // With the backward exchange engaged, halo-mode kDense words must drop
+  // strictly below the broadcast path's (which reduce-scatters the full
+  // stripe) — not merely match it.
+  const Graph g = community_graph(256, 16, 8, 4, 100, /*intra=*/12.0,
+                                  /*inter=*/0.5);
+  GnnConfig config = GnnConfig::three_layer(8, 4, 6);
+  const DistProblem problem = DistProblem::prepare(g, 4, "greedy-bfs");
+
+  ToggleGuard guard;
+  dist::set_halo_enabled(true);
+  const HaloRun halo = run_trainer("1.5d-c2", problem, config, 8, 2);
+  dist::set_halo_enabled(false);
+  const HaloRun bcast = run_trainer("1.5d-c2", problem, config, 8, 2);
+
+  for (std::size_t e = 0; e < halo.losses.size(); ++e) {
+    EXPECT_EQ(halo.losses[e], bcast.losses[e]) << "epoch " << e;
+  }
+  EXPECT_LE(Matrix::max_abs_diff(halo.output, bcast.output), Real{0});
+  EXPECT_LT(halo.stats.comm.words(CommCategory::kDense),
+            bcast.stats.comm.words(CommCategory::kDense));
+  EXPECT_LE(halo.stats.comm.total_words(), bcast.stats.comm.total_words());
+}
 
 // ---- The acceptance claim: exact edgecut volume and the >= 3x win ----
 

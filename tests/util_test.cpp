@@ -138,6 +138,7 @@ TEST(Profiler, PhaseNamesMatchPaperFigure3) {
   EXPECT_STREQ(phase_name(Phase::kDenseComm), "dcomm");
   EXPECT_STREQ(phase_name(Phase::kSparseComm), "scomm");
   EXPECT_STREQ(phase_name(Phase::kSpmm), "spmm");
+  EXPECT_STREQ(phase_name(Phase::kHaloPack), "hpack");
 }
 
 TEST(Cli, ParsesSpaceAndEqualsForms) {

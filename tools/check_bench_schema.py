@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Schema check for the tracked bench JSON trajectory files.
+
+BENCH_EPOCH_THROUGHPUT.json accumulates one JSON object per line across
+PRs. Schema drift — a bench gaining a field without the tracked records
+being regenerated — makes the file lie by omission (e.g. older
+epoch_throughput records silently lacking halo_words/partition/halo, so a
+halo regression hides in rows that cannot express it). This check pins
+the full per-bench field set: every tracked record must carry every
+field its bench emits today.
+
+Run from the repo root (CI does):  python3 tools/check_bench_schema.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+TRACKED = Path(__file__).resolve().parent.parent / "BENCH_EPOCH_THROUGHPUT.json"
+
+# Full field set per bench type, matching the printf emitters in
+# bench/bench_epoch_throughput.cpp and bench/bench_partitioning_edgecut.cpp.
+SCHEMAS = {
+    "epoch_throughput": {
+        "bench", "algebra", "world", "threads", "n", "degree", "f",
+        "hidden", "epochs", "seconds", "warmup_seconds", "epochs_per_sec",
+        "dense_words", "sparse_words", "transpose_words", "halo_words",
+        "partition", "halo", "max_remote_rows", "latency_units", "overlap",
+        "overlap_regions", "overlap_saved_modeled_s", "phase_misc",
+        "phase_trpose", "phase_dcomm", "phase_scomm", "phase_spmm",
+        "phase_hpack",
+    },
+    "partition_edgecut_epoch": {
+        "bench", "partitioner", "world", "n", "f", "max_remote_rows",
+        "predicted_halo_words", "halo_words", "broadcast_total_words",
+        "halo_total_words", "words_reduction", "overlap",
+        "overlap_regions", "phase_hpack", "bcast_eps", "halo_eps",
+    },
+}
+
+
+def main() -> int:
+    if not TRACKED.exists():
+        print(f"missing tracked file: {TRACKED}", file=sys.stderr)
+        return 1
+    errors = []
+    for lineno, line in enumerate(TRACKED.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {lineno}: not valid JSON ({e})")
+            continue
+        bench = record.get("bench")
+        if bench not in SCHEMAS:
+            errors.append(f"line {lineno}: unknown bench type {bench!r}")
+            continue
+        expected = SCHEMAS[bench]
+        missing = expected - record.keys()
+        extra = record.keys() - expected
+        if missing:
+            errors.append(
+                f"line {lineno} ({bench}): missing fields "
+                f"{sorted(missing)} — regenerate the record with the "
+                f"current bench binary")
+        if extra:
+            errors.append(
+                f"line {lineno} ({bench}): unknown fields {sorted(extra)} "
+                f"— update SCHEMAS in tools/check_bench_schema.py alongside "
+                f"the bench emitter")
+    if errors:
+        print(f"{TRACKED.name}: schema drift detected", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"{TRACKED.name}: all records carry the full schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
