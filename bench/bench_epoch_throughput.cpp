@@ -34,6 +34,11 @@
 //   --communities C    planted communities (default n/48)
 //   --inter-frac X     planted fraction of degree crossing communities
 //                      (default 0.2; smaller = stronger locality)
+//   --compress M[,M]   lossy wire codecs to sweep (off/fp16/int8/1bit;
+//                      default CAGNET_COMPRESS). compressed_words in the
+//                      JSON is the metered post-compression volume in
+//                      Real-sized words — the words-on-wire actually paid
+//                      — and phase_cpack the codec pack/unpack seconds
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -41,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "src/comm/compress.hpp"
 #include "src/core/algebra_registry.hpp"
 #include "src/graph/graph.hpp"
 #include "src/sparse/generate.hpp"
@@ -55,6 +61,19 @@ struct BenchConfig {
   std::string algebra;
   int world = 1;
 };
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) names.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return names;
+}
 
 Graph make_graph(const std::string& topology, Index n, Index degree, Index f,
                  Index classes, Index communities, double inter_frac) {
@@ -102,21 +121,7 @@ int run(int argc, char** argv) {
                      static_cast<long>(p)) != world_filter.end();
   };
   if (args.has("algebras")) {
-    for (const std::string& name :
-         [&] {
-           std::vector<std::string> names;
-           std::string list = args.get("algebras", "");
-           std::size_t start = 0;
-           while (start <= list.size()) {
-             const std::size_t comma = list.find(',', start);
-             const std::size_t end =
-                 comma == std::string::npos ? list.size() : comma;
-             if (end > start) names.push_back(list.substr(start, end - start));
-             if (comma == std::string::npos) break;
-             start = comma + 1;
-           }
-           return names;
-         }()) {
+    for (const std::string& name : split_csv(args.get("algebras", ""))) {
       const AlgebraSpec* spec = find_algebra(name);
       if (spec == nullptr) {
         std::fprintf(stderr, "unknown algebra: %s\n", name.c_str());
@@ -152,6 +157,13 @@ int run(int argc, char** argv) {
   const bool any_halo =
       std::find(halo_modes.begin(), halo_modes.end(), 1L) !=
       halo_modes.end();
+  std::vector<CompressMode> compress_modes;
+  for (const std::string& name : split_csv(
+           args.get("compress", compress_mode_name(compress_mode())))) {
+    compress_modes.push_back(parse_compress_mode(name));
+  }
+  if (compress_modes.empty()) compress_modes.push_back(CompressMode::kOff);
+
   const std::string topology = args.get("graph", "rmat");
   const Index communities =
       args.get_int("communities", std::max<Index>(n / 48, 2));
@@ -181,14 +193,16 @@ int run(int argc, char** argv) {
         halo_toggleable ? halo_modes : single_mode;
     for (long threads : thread_counts) {
     for (long halo_mode : swept_modes) {
+    for (CompressMode cmode : compress_modes) {
       const bool halo = halo_mode != 0;
       dist::set_halo_enabled(halo);
+      set_compress_mode(cmode);
       override_thread_budget(static_cast<int>(threads));
       double warm_seconds = 0;
       double measured_seconds = 0;
       long epochs = 0;
       double dense_words = 0, sparse_words = 0, trpose_words = 0;
-      double halo_words = 0;
+      double halo_words = 0, compressed_words = 0;
       double latency_units = 0;
       double overlap_regions = 0, overlap_saved = 0;
       double phase_seconds[Profiler::kNumPhases] = {};
@@ -249,6 +263,7 @@ int run(int argc, char** argv) {
           sparse_words = stats.comm.words(CommCategory::kSparse);
           trpose_words = stats.comm.words(CommCategory::kTranspose);
           halo_words = stats.comm.words(CommCategory::kHalo);
+          compressed_words = stats.comm.words(CommCategory::kCompressed);
           latency_units = stats.comm.total_latency_units();
           overlap_regions = stats.comm.overlap_regions();
           overlap_saved = stats.comm.overlap_saved_seconds();
@@ -262,30 +277,34 @@ int run(int argc, char** argv) {
           measured_seconds > 0 ? static_cast<double>(epochs) / measured_seconds
                                : 0.0;
       std::printf(
-          "{\"bench\":\"epoch_throughput\",\"algebra\":\"%s\","
+          "{\"schema_version\":2,"
+          "\"bench\":\"epoch_throughput\",\"algebra\":\"%s\","
           "\"world\":%d,\"threads\":%ld,\"n\":%lld,\"degree\":%lld,"
           "\"f\":%lld,\"hidden\":%lld,\"epochs\":%ld,\"seconds\":%.4f,"
           "\"warmup_seconds\":%.4f,\"epochs_per_sec\":%.3f,"
           "\"dense_words\":%.1f,\"sparse_words\":%.1f,"
           "\"transpose_words\":%.1f,\"halo_words\":%.1f,"
+          "\"compress\":\"%s\",\"compressed_words\":%.1f,"
           "\"partition\":\"%s\",\"halo\":%d,\"max_remote_rows\":%lld,"
           "\"latency_units\":%.1f,"
           "\"overlap\":%d,\"overlap_regions\":%.0f,"
           "\"overlap_saved_modeled_s\":%.6f,"
           "\"phase_misc\":%.5f,\"phase_trpose\":%.5f,\"phase_dcomm\":%.5f,"
           "\"phase_scomm\":%.5f,\"phase_spmm\":%.5f,"
-          "\"phase_hpack\":%.5f}\n",
+          "\"phase_hpack\":%.5f,\"phase_cpack\":%.5f}\n",
           config.algebra.c_str(), config.world, threads,
           static_cast<long long>(n), static_cast<long long>(degree),
           static_cast<long long>(f), static_cast<long long>(hidden), epochs,
           measured_seconds, warm_seconds, eps, dense_words, sparse_words,
-          trpose_words, halo_words, partition.c_str(), halo ? 1 : 0,
+          trpose_words, halo_words, compress_mode_name(cmode),
+          compressed_words, partition.c_str(), halo ? 1 : 0,
           static_cast<long long>(active.edgecut.max_remote_rows_per_part),
           latency_units, dist::overlap_enabled() ? 1 : 0,
           overlap_regions, overlap_saved, phase_seconds[0],
           phase_seconds[1], phase_seconds[2], phase_seconds[3],
-          phase_seconds[4], phase_seconds[5]);
+          phase_seconds[4], phase_seconds[5], phase_seconds[6]);
       std::fflush(stdout);
+    }
     }
     }
   }

@@ -182,7 +182,8 @@ int main(int argc, char** argv) {
                   static_cast<long long>(
                       problem.edgecut.max_remote_rows_per_part),
                   halo_words, words[0], reduction, eps[0], eps[1]);
-      std::printf("{\"bench\":\"partition_edgecut_epoch\",\"partitioner\":"
+      std::printf("{\"schema_version\":2,"
+                  "\"bench\":\"partition_edgecut_epoch\",\"partitioner\":"
                   "\"%s\",\"world\":%d,\"n\":%lld,\"f\":%lld,"
                   "\"max_remote_rows\":%lld,\"predicted_halo_words\":%.0f,"
                   "\"halo_words\":%.0f,\"broadcast_total_words\":%.0f,"

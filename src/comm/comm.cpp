@@ -3,12 +3,30 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "src/util/parallel.hpp"
+#include "src/util/profiler.hpp"
 
 namespace cagnet {
+
+namespace {
+
+/// ScopedPhase over a nullable profiler: the compressed collectives time
+/// their codec and wait work only when the caller supplied one.
+class MaybePhase {
+ public:
+  MaybePhase(Profiler* profiler, Phase phase) {
+    if (profiler != nullptr) scope_.emplace(*profiler, phase);
+  }
+
+ private:
+  std::optional<ScopedPhase> scope_;
+};
+
+}  // namespace
 
 double ceil_log2(int p) {
   CAGNET_CHECK(p >= 1, "ceil_log2 of non-positive value");
@@ -262,6 +280,181 @@ Comm Comm::split(int color, int key) const {
   phase();
   if (rank_ == 0) st.split_ctx.reset();
   return Comm(std::move(new_state), new_rank, meter_);
+}
+
+void PendingCompressedReduce::wait() {
+  if (!pending()) return;
+  CompressBuf& buf = *buf_;
+  buf_ = nullptr;
+  {
+    MaybePhase scope(profiler_, Phase::kDenseComm);
+    op_.wait();
+  }
+  const int p = size_;
+  const std::size_t enc = encoded_size_bytes(mode_, n_);
+  MaybePhase scope(profiler_, Phase::kCompressPack);
+  if (!scatter_) {
+    for (int r = 0; r < p; ++r) {
+      CAGNET_CHECK(
+          buf.recv.chunk(r).size() == enc,
+          "iallreduce_sum_compressed: ranks disagree on element count");
+    }
+    // Decode-sum in ascending rank order (matching the exact all-reduce's
+    // per-element accumulation order), identically on every rank.
+    buf.scratch.resize(n_);
+    for (int r = 0; r < p; ++r) {
+      const std::uint8_t* bytes = buf.recv.chunk(r).data();
+      if (r == 0) {
+        compress_decode(mode_, bytes, n_, out_);
+      } else {
+        compress_decode(mode_, bytes, n_, buf.scratch.data());
+        for (std::size_t i = 0; i < n_; ++i) out_[i] += buf.scratch[i];
+      }
+    }
+    meter_->add(CommCategory::kCompressed, 2.0 * ceil_log2(p),
+                2.0 * static_cast<double>(enc) * (p - 1) / p / sizeof(Real));
+    return;
+  }
+  // Reduce-scatter wire format per rank: [u64 out-length][encoded full
+  // contribution]. The headers give every rank the chunk boundaries (the
+  // out sizes may differ per rank); each rank decodes only its own slice
+  // of every contribution.
+  std::size_t my_lo = 0;
+  std::size_t total_out = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto chunk = buf.recv.chunk(r);
+    CAGNET_CHECK(
+        chunk.size() == sizeof(std::uint64_t) + enc,
+        "ireduce_scatter_sum_compressed: ranks disagree on element count");
+    std::uint64_t out_len = 0;
+    std::memcpy(&out_len, chunk.data(), sizeof(out_len));
+    if (r == rank_) my_lo = total_out;
+    total_out += static_cast<std::size_t>(out_len);
+  }
+  CAGNET_CHECK(total_out == n_,
+               "reduce_scatter: contribution length != sum of outputs");
+  // Zero, then accumulate ranks ascending — the exact form's order.
+  std::fill(out_, out_ + out_len_, Real{0});
+  buf.scratch.resize(out_len_);
+  for (int r = 0; r < p; ++r) {
+    compress_decode_range(mode_,
+                          buf.recv.chunk(r).data() + sizeof(std::uint64_t),
+                          n_, my_lo, my_lo + out_len_, buf.scratch.data());
+    for (std::size_t i = 0; i < out_len_; ++i) out_[i] += buf.scratch[i];
+  }
+  meter_->add(CommCategory::kCompressed, ceil_log2(p),
+              static_cast<double>(buf.recv.data.size()) * (p - 1) / p /
+                  sizeof(Real));
+}
+
+PendingCompressedReduce Comm::iallreduce_sum_compressed(
+    std::span<const Real> contrib, std::span<Real> out, CompressMode mode,
+    CompressBuf& buf, Profiler* profiler) {
+  check_valid("iallreduce_sum_compressed");
+  CAGNET_CHECK(mode != CompressMode::kOff,
+               "iallreduce_sum_compressed: mode must be a lossy codec (use "
+               "iallreduce_sum for exact traffic)");
+  CAGNET_CHECK(contrib.size() == out.size(),
+               "iallreduce_sum_compressed: contrib/out length mismatch");
+  rebind_compress_buf(buf, contrib.size());
+  PendingCompressedReduce op;
+  op.meter_ = meter_;
+  op.profiler_ = profiler;
+  op.mode_ = mode;
+  op.out_ = out.data();
+  op.out_len_ = out.size();
+  op.n_ = contrib.size();
+  op.rank_ = rank_;
+  op.size_ = size();
+  if (size() == 1) {
+    if (!out.empty() && out.data() != contrib.data()) {
+      std::memcpy(out.data(), contrib.data(), out.size() * sizeof(Real));
+    }
+    return op;  // exact self-reduction; nothing pending, nothing charged
+  }
+  {
+    MaybePhase scope(profiler, Phase::kCompressPack);
+    buf.send.resize(encoded_size_bytes(mode, contrib.size()));
+    compress_encode(mode, contrib, buf.send.data(),
+                    buf.error_feedback ? &buf.residual : nullptr);
+  }
+  op.op_ = iallgatherv_into(std::span<const std::uint8_t>(buf.send),
+                            buf.recv, CommCategory::kCompressed,
+                            /*charged=*/false);
+  op.buf_ = &buf;
+  return op;
+}
+
+PendingCompressedReduce Comm::ireduce_scatter_sum_compressed(
+    std::span<const Real> contrib, std::span<Real> out, CompressMode mode,
+    CompressBuf& buf, Profiler* profiler) {
+  check_valid("ireduce_scatter_sum_compressed");
+  CAGNET_CHECK(mode != CompressMode::kOff,
+               "ireduce_scatter_sum_compressed: mode must be a lossy codec "
+               "(use ireduce_scatter_sum for exact traffic)");
+  rebind_compress_buf(buf, contrib.size());
+  PendingCompressedReduce op;
+  op.meter_ = meter_;
+  op.profiler_ = profiler;
+  op.mode_ = mode;
+  op.scatter_ = true;
+  op.out_ = out.data();
+  op.out_len_ = out.size();
+  op.n_ = contrib.size();
+  op.rank_ = rank_;
+  op.size_ = size();
+  if (size() == 1) {
+    CAGNET_CHECK(out.size() == contrib.size(),
+                 "reduce_scatter: contribution length != sum of outputs");
+    if (!out.empty() && out.data() != contrib.data()) {
+      std::memcpy(out.data(), contrib.data(), out.size() * sizeof(Real));
+    }
+    return op;
+  }
+  {
+    MaybePhase scope(profiler, Phase::kCompressPack);
+    const std::size_t enc = encoded_size_bytes(mode, contrib.size());
+    buf.send.resize(sizeof(std::uint64_t) + enc);
+    const std::uint64_t out_len = out.size();
+    std::memcpy(buf.send.data(), &out_len, sizeof(out_len));
+    compress_encode(mode, contrib, buf.send.data() + sizeof(std::uint64_t),
+                    buf.error_feedback ? &buf.residual : nullptr);
+  }
+  op.op_ = iallgatherv_into(std::span<const std::uint8_t>(buf.send),
+                            buf.recv, CommCategory::kCompressed,
+                            /*charged=*/false);
+  op.buf_ = &buf;
+  return op;
+}
+
+void Comm::allreduce_sum_compressed(std::span<Real> data, CompressMode mode,
+                                    CompressBuf& buf, Profiler* profiler) {
+  check_valid("allreduce_sum_compressed");
+  PendingCompressedReduce op = iallreduce_sum_compressed(
+      std::span<const Real>(data.data(), data.size()), data, mode, buf,
+      profiler);
+  if (!op.pending()) return;
+  const std::uint64_t ticket = op.ticket();
+  op.wait();
+  // Trailing release rendezvous: the blocking contract lets the caller
+  // rewrite buf.send (e.g. the next layer's encode) immediately, so wait
+  // until every peer has copied this one.
+  MaybePhase scope(profiler, Phase::kDenseComm);
+  quiesce_op(ticket);
+}
+
+void Comm::reduce_scatter_sum_compressed(std::span<const Real> contrib,
+                                         std::span<Real> out,
+                                         CompressMode mode, CompressBuf& buf,
+                                         Profiler* profiler) {
+  check_valid("reduce_scatter_sum_compressed");
+  PendingCompressedReduce op =
+      ireduce_scatter_sum_compressed(contrib, out, mode, buf, profiler);
+  if (!op.pending()) return;
+  const std::uint64_t ticket = op.ticket();
+  op.wait();
+  MaybePhase scope(profiler, Phase::kDenseComm);
+  quiesce_op(ticket);
 }
 
 void run_world(int p, const std::function<void(Comm&)>& fn,

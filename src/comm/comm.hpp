@@ -33,11 +33,15 @@
 #include <span>
 #include <vector>
 
+#include "src/comm/compress.hpp"
 #include "src/comm/costmeter.hpp"
 #include "src/util/error.hpp"
 #include "src/util/types.hpp"
 
 namespace cagnet {
+
+class Profiler;  // src/util/profiler.hpp; compressed collectives time
+                 // their codec work under Phase::kCompressPack
 
 /// ceil(log2(p)) with ceil_log2(1) == 0: the latency factor of a
 /// tree-structured collective.
@@ -191,6 +195,25 @@ struct Gathered {
             offsets[static_cast<std::size_t>(r) + 1] -
                 offsets[static_cast<std::size_t>(r)]};
   }
+};
+
+/// Reusable state of one compressed-collective stream: this rank's
+/// encoded wire bytes, the gathered peers' bytes, a decode scratch, and
+/// the optional error-feedback residual (see src/comm/compress.hpp).
+/// A buf is bound to a (communicator, element count) pair on first use;
+/// using it with a different communicator or length resets the residual,
+/// because feedback accumulated against other peers or another buffer
+/// shape would be meaningless noise (tests/comm_test.cpp asserts the
+/// reset). Reuse the same buf across rounds of the same reduction — that
+/// reuse is what carries the quantization error forward.
+struct CompressBuf {
+  std::vector<std::uint8_t> send;    ///< this rank's encoded wire bytes
+  Gathered<std::uint8_t> recv;       ///< peers' wire bytes (gathered)
+  std::vector<Real> residual;        ///< error-feedback carry
+  std::vector<Real> scratch;         ///< decode workspace
+  bool error_feedback = false;       ///< apply residual feedback on encode
+  const void* bound_comm = nullptr;  ///< identity of the bound communicator
+  std::size_t bound_n = 0;           ///< bound element count
 };
 
 namespace detail {
@@ -423,6 +446,85 @@ class PendingOp {
   void* gathered_ = nullptr;     ///< Gathered<T>* for iallgatherv_into
   std::uint64_t drained_mask_ = 0;  ///< await_source ledger (bit per rank)
   void (*complete_)(PendingOp&) = nullptr;  ///< typed movement + charge
+};
+
+/// Handle to a posted compressed reduction (iallreduce_sum_compressed /
+/// ireduce_scatter_sum_compressed). Move-only. wait() completes the
+/// underlying byte all-gather, decodes and sums this rank's result, and
+/// charges CommCategory::kCompressed with the actual post-compression
+/// bytes; codec time lands in Phase::kCompressPack when the posting call
+/// was given a profiler. Like any nonblocking source, the CompressBuf's
+/// send bytes stay readable by peers until the communicator's release
+/// point — record ticket() before wait() and release with
+/// Comm::quiesce_op (or a later Comm::quiesce). A handle destroyed while
+/// still pending completes itself first, like PendingOp.
+class PendingCompressedReduce {
+ public:
+  PendingCompressedReduce() = default;  ///< empty handle; pending() false
+
+  PendingCompressedReduce(PendingCompressedReduce&& other) noexcept {
+    *this = std::move(other);
+  }
+  PendingCompressedReduce& operator=(
+      PendingCompressedReduce&& other) noexcept {
+    if (this != &other) {
+      complete_for_destroy();
+      op_ = std::move(other.op_);
+      buf_ = other.buf_;
+      meter_ = other.meter_;
+      profiler_ = other.profiler_;
+      mode_ = other.mode_;
+      scatter_ = other.scatter_;
+      out_ = other.out_;
+      out_len_ = other.out_len_;
+      n_ = other.n_;
+      rank_ = other.rank_;
+      size_ = other.size_;
+      other.buf_ = nullptr;
+    }
+    return *this;
+  }
+
+  PendingCompressedReduce(const PendingCompressedReduce&) = delete;
+  PendingCompressedReduce& operator=(const PendingCompressedReduce&) = delete;
+
+  ~PendingCompressedReduce() { complete_for_destroy(); }
+
+  /// True between post and wait (false for the exact P == 1 fast path,
+  /// which completes at post time).
+  bool pending() const { return buf_ != nullptr; }
+
+  /// Posting-order ticket of the underlying byte gather (valid while
+  /// pending); record it before wait() to release the send bytes with
+  /// Comm::quiesce_op.
+  std::uint64_t ticket() const { return op_.ticket(); }
+
+  /// Complete: block for all posts, decode + sum, charge kCompressed.
+  void wait();  // comm.cpp
+
+ private:
+  friend class Comm;
+
+  void complete_for_destroy() noexcept {
+    if (!pending()) return;
+    try {
+      wait();
+    } catch (...) {
+      buf_ = nullptr;  // unwinding a failed world; nothing left to finish
+    }
+  }
+
+  PendingOp op_;
+  CompressBuf* buf_ = nullptr;
+  CostMeter* meter_ = nullptr;
+  Profiler* profiler_ = nullptr;
+  CompressMode mode_ = CompressMode::kOff;
+  bool scatter_ = false;
+  Real* out_ = nullptr;
+  std::size_t out_len_ = 0;
+  std::size_t n_ = 0;  ///< full contribution element count
+  int rank_ = 0;
+  int size_ = 0;
 };
 
 /// One rank's endpoint of a simulated communicator. Default-constructed
@@ -842,6 +944,52 @@ class Comm {
                       send.size(), nullptr, send_offsets.data());
   }
 
+  // ---- Compressed collectives (the CAGNET_COMPRESS paths). All charge
+  // CommCategory::kCompressed with the ACTUAL post-compression bytes
+  // (converted to Real-sized words, hence fractional values appear), and
+  // time codec work under Phase::kCompressPack when given a profiler —
+  // call sites must NOT wrap these in their own ScopedPhase. The lossy
+  // result is sum over ranks of decode(encode(contrib_r)), decoded in
+  // ascending rank order on every rank, so it is identical across ranks
+  // and bitwise reproducible for any thread count. P == 1 degenerates to
+  // the exact copy (no codec round-trip) and charges nothing, like the
+  // exact collectives. ----
+
+  /// Blocking in-place lossy all-reduce sum. Implemented as an all-gather
+  /// of encoded bytes plus a local decode-sum; returns after a trailing
+  /// release rendezvous, so `buf` may be reused immediately. Charges
+  /// 2 lg(P) latency units and 2 E (P-1)/P bytes, E the encoded size.
+  void allreduce_sum_compressed(std::span<Real> data, CompressMode mode,
+                                CompressBuf& buf,
+                                Profiler* profiler = nullptr);
+
+  /// Nonblocking out-of-place lossy all-reduce sum: `out` (same length as
+  /// `contrib`, or aliasing it exactly) receives the decoded total at
+  /// wait(). `contrib` is consumed at post time (the encode is the
+  /// staging copy); buf.send must stay unmodified until the op's release
+  /// point (quiesce / quiesce_op on ticket()).
+  PendingCompressedReduce iallreduce_sum_compressed(
+      std::span<const Real> contrib, std::span<Real> out, CompressMode mode,
+      CompressBuf& buf, Profiler* profiler = nullptr);
+
+  /// Blocking lossy reduce-scatter sum, same chunking contract as
+  /// reduce_scatter_sum (chunk boundaries are the concatenation of every
+  /// rank's out.size(), which may differ per rank — the 1.5D keeper-only
+  /// form). Wire format per rank: [u64 out-length header][encoded full
+  /// contribution]; every rank gathers all of them and decodes only its
+  /// own slice. Charges lg(P) latency units and the gathered bytes'
+  /// (P-1)/P (headers included — they are real wire bytes).
+  void reduce_scatter_sum_compressed(std::span<const Real> contrib,
+                                     std::span<Real> out, CompressMode mode,
+                                     CompressBuf& buf,
+                                     Profiler* profiler = nullptr);
+
+  /// Nonblocking form of reduce_scatter_sum_compressed; same contract as
+  /// iallreduce_sum_compressed regarding buf.send's lifetime.
+  PendingCompressedReduce ireduce_scatter_sum_compressed(
+      std::span<const Real> contrib, std::span<Real> out, CompressMode mode,
+      CompressBuf& buf, Profiler* profiler = nullptr);
+
  private:
   friend void run_world(int, const std::function<void(Comm&)>&,
                         std::vector<CostMeter>*);
@@ -888,6 +1036,17 @@ class Comm {
   void charge(CommCategory cat, double latency_units, std::size_t bytes) {
     meter_->add(cat, latency_units,
                 static_cast<double>(bytes) / sizeof(Real));
+  }
+
+  /// Bind `buf` to this communicator and element count; a change of
+  /// either resets the error-feedback residual (feedback accumulated on
+  /// another communicator or buffer shape must not leak into this one).
+  void rebind_compress_buf(CompressBuf& buf, std::size_t n) const {
+    if (buf.bound_comm != state_.get() || buf.bound_n != n) {
+      buf.residual.clear();
+      buf.bound_comm = state_.get();
+      buf.bound_n = n;
+    }
   }
 
   /// Claim the next ticket, publish this rank's slot on its channel, and

@@ -17,6 +17,8 @@ const char* comm_category_name(CommCategory c) {
       return "trpose";
     case CommCategory::kHalo:
       return "halo";
+    case CommCategory::kCompressed:
+      return "compressed";
     case CommCategory::kControl:
       return "control";
     case CommCategory::kCount:

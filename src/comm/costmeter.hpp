@@ -21,6 +21,8 @@ enum class CommCategory : std::size_t {
   kTranspose,   ///< distributed transpose traffic
   kHalo,        ///< demand-driven halo rows (the 1D family's sparsity-aware
                 ///< forward exchange; edgecut_P(A) * f words per layer)
+  kCompressed,  ///< lossy-codec payloads, metered at actual post-compression
+                ///< bytes (in Real-sized words, so fractional values appear)
   kControl,     ///< harness/bookkeeping traffic, excluded from modeled time
   kCount
 };

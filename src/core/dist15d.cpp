@@ -309,6 +309,51 @@ void Algebra15D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
     return;
   }
 
+  // Same pays-off gate as the 1D path: the compressed reduce-scatter is
+  // an all-gather of full encoded contributions, a win only when the
+  // codec ratio beats the slice size.
+  CompressMode rmode =
+      slice_.size() > 1 ? row_compress_mode() : CompressMode::kOff;
+  if (!reduce_scatter_compression_pays(rmode, u_partial_.flat().size(),
+                                       slice_.size())) {
+    rmode = CompressMode::kOff;
+  }
+  if (rmode != CompressMode::kOff) {
+    // Lossy-coded slice reduce-scatter (the op times itself); the exact
+    // team broadcast then replicates the keeper's decoded block, so all
+    // replicas stay bitwise identical.
+    if (dist::overlap_enabled()) {
+      PendingCompressedReduce op = slice_.ireduce_scatter_sum_compressed(
+          std::span<const Real>(u_partial_.flat()),
+          keeper ? u.flat() : std::span<Real>{}, rmode, u_cbuf_,
+          &stats.profiler);
+      u_release_ticket_ = op.ticket();
+      has_u_release_ = true;
+      op.wait();
+      ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+      const std::span<const Real> src =
+          keeper ? std::span<const Real>(u.flat()) : std::span<const Real>{};
+      team_
+          .ibroadcast_from(src, keeper ? std::span<Real>{} : u.flat(),
+                           g_ % c_, CommCategory::kDense)
+          .wait();
+      return;
+    }
+    slice_.reduce_scatter_sum_compressed(
+        std::span<const Real>(u_partial_.flat()),
+        keeper ? u.flat() : std::span<Real>{}, rmode, u_cbuf_,
+        &stats.profiler);
+    ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+    if (keeper) {
+      team_.broadcast_from(std::span<const Real>(u.flat()),
+                           std::span<Real>{}, g_ % c_, CommCategory::kDense);
+    } else {
+      team_.broadcast_from(std::span<const Real>{}, u.flat(), g_ % c_,
+                           CommCategory::kDense);
+    }
+    return;
+  }
+
   // Reduce-scatter within the slice: slice rank j' keeps U[R_j'] when
   // j' ≡ t (mod c), nothing otherwise (chunk order is ascending j, which
   // is ascending slice rank). The keeper's chunk lands directly in u.
@@ -357,7 +402,7 @@ void Algebra15D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
   // full sum independently, keeping Y replicated without cross-team
   // traffic).
   dist::allreduce_weight_gradient(y_partial, f_in, f_out, slice_,
-                                  stats.profiler, y_full);
+                                  stats.profiler, grad_pending_, y_full);
 }
 
 void Algebra15D::begin_reduce_gradients(Matrix& y_partial, Index f_in,

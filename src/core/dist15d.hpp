@@ -130,6 +130,9 @@ class Algebra15D final : public DistSpmmAlgebra {
   };
   DeferredTeamReduce deferred_;
   dist::PendingGradReduce grad_pending_;  ///< deferred Y reductions
+  /// Codec staging of the compressed slice reduce-scatter (row modes;
+  /// error feedback off — U is fresh each layer).
+  CompressBuf u_cbuf_;
   std::uint64_t u_release_ticket_ = 0;  ///< last u reduce-scatter (release)
   bool has_u_release_ = false;
   Matrix t_reduced_;   ///< out-of-place reduced T (reused)

@@ -137,6 +137,35 @@ void Algebra1D::spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) {
   // ... reduce-scattered back to block rows. The nonblocking form skips
   // the trailing rendezvous (u_partial_'s release is the quiesce above).
   u.resize(local_rows(), f);
+  // The compressed reduce-scatter gathers full encoded contributions, so
+  // it only pays at small worlds / high codec ratios; fall back to the
+  // exact wire when coding would inflate the bytes (fp16 always, int8
+  // beyond P ~ 7). The gate is rank-uniform: same (mode, n, P) everywhere.
+  CompressMode rmode =
+      world_.size() > 1 ? row_compress_mode() : CompressMode::kOff;
+  if (!reduce_scatter_compression_pays(rmode, u_partial_.flat().size(),
+                                       world_.size())) {
+    rmode = CompressMode::kOff;
+  }
+  if (rmode != CompressMode::kOff) {
+    // Lossy-coded U reduce-scatter (the op times itself). Overlap mode
+    // records the release ticket exactly like the exact path; the wait
+    // here only completes this rank's decode, peers drain later.
+    if (dist::overlap_enabled()) {
+      PendingCompressedReduce op =
+          world_.ireduce_scatter_sum_compressed(
+              std::span<const Real>(u_partial_.flat()), u.flat(), rmode,
+              u_cbuf_, &stats.profiler);
+      u_release_ticket_ = op.ticket();
+      has_u_release_ = true;
+      op.wait();
+    } else {
+      world_.reduce_scatter_sum_compressed(
+          std::span<const Real>(u_partial_.flat()), u.flat(), rmode,
+          u_cbuf_, &stats.profiler);
+    }
+    return;
+  }
   {
     ScopedPhase scope(stats.profiler, Phase::kDenseComm);
     if (dist::overlap_enabled()) {
@@ -184,7 +213,7 @@ void Algebra1D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
   // Rows whole: y_partial is already (f_in x f_out); the "small 1D outer
   // product" of Section IV-A.4 finishes with an f x f all-reduce.
   dist::allreduce_weight_gradient(y_partial, f_in, f_out, world_,
-                                  stats.profiler, y_full);
+                                  stats.profiler, grad_pending_, y_full);
 }
 
 void Algebra1D::begin_reduce_gradients(Matrix& y_partial, Index f_in,

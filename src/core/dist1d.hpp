@@ -97,6 +97,10 @@ class Algebra1D final : public DistSpmmAlgebra {
   Matrix hj_recv2_;   ///< double-buffer partner (overlapped prefetch)
   Matrix u_partial_;  ///< O(nf) outer-product partial (reused)
   dist::PendingGradReduce grad_pending_;  ///< deferred Y reductions
+  /// Codec staging of the compressed U reduce-scatter (CAGNET_COMPRESS
+  /// row modes). Error feedback stays off: U is a fresh activation
+  /// gradient each layer, not an accumulating signal.
+  CompressBuf u_cbuf_;
   std::uint64_t u_release_ticket_ = 0;  ///< last u reduce-scatter (release)
   bool has_u_release_ = false;
 };

@@ -72,7 +72,8 @@ void Algebra2D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
   // Column-wise reduction of the slice partials, then row all-gather to
   // keep Y fully replicated (IV-C.4).
   dist::assemble_weight_gradient(y_partial, f_in, f_out, grid_.pc, grid_.col,
-                                 grid_.row, stats.profiler, ws_, y_full);
+                                 grid_.row, stats.profiler, ws_,
+                                 grad_pending_, y_full);
 }
 
 void Algebra2D::begin_reduce_gradients(Matrix& y_partial, Index f_in,

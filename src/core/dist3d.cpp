@@ -134,7 +134,8 @@ void Algebra3D::reduce_gradients(Matrix& y_partial, Index f_in, Index f_out,
   // Reduction over the j-plane (all fine row blocks sharing this feature
   // slice), then row all-gather to replicate Y (IV-D.4).
   dist::assemble_weight_gradient(y_partial, f_in, f_out, grid_.q, jplane_,
-                                 grid_.row, stats.profiler, ws_, y_full);
+                                 grid_.row, stats.profiler, ws_,
+                                 grad_pending_, y_full);
 }
 
 void Algebra3D::begin_reduce_gradients(Matrix& y_partial, Index f_in,

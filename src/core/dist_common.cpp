@@ -248,10 +248,21 @@ const Matrix* broadcast_dense_stage(const Matrix& mine, Matrix& recv,
 
 void allreduce_weight_gradient(Matrix& y_partial, Index f_in, Index f_out,
                                Comm& comm, Profiler& profiler,
-                               Matrix& y_full) {
+                               PendingGradReduce& pending, Matrix& y_full) {
   CAGNET_CHECK(y_partial.rows() == f_in && y_partial.cols() == f_out,
                "reduce_gradients: unexpected partial shape");
   std::swap(y_partial, y_full);
+  const CompressMode gmode = gradient_compress_mode();
+  if (gmode != CompressMode::kOff) {
+    // Layer order is the call order, so ccount indexes this layer's
+    // residual slot; finish_gradients (called unconditionally per epoch)
+    // resets it. The op times itself (encode/decode under kCompressPack,
+    // wire under kDenseComm) — no outer ScopedPhase.
+    comm.allreduce_sum_compressed(y_full.flat(), gmode,
+                                  pending.compress_slot(pending.ccount++),
+                                  &profiler);
+    return;
+  }
   ScopedPhase scope(profiler, Phase::kDenseComm);
   comm.allreduce_sum(y_full.flat(), CommCategory::kDense);
 }
@@ -640,13 +651,21 @@ void allgather_feature_rows(const Matrix& local, Index full_cols, int parts,
 void assemble_weight_gradient(Matrix& y_slice, Index f_in, Index f_out,
                               int parts, Comm& reduce_comm, Comm& row_comm,
                               Profiler& profiler, DistWorkspace& ws,
-                              Matrix& y) {
+                              PendingGradReduce& pending, Matrix& y) {
   // Always the blocking form: in overlap mode the engine routes gradient
   // assembly through begin_/finish_assemble_weight_gradient instead,
   // whose per-layer staging gives every nonblocking source a stable
   // lifetime (a workspace-backed nonblocking variant here would race a
   // lagging row peer against the next call's buffer resize).
-  {
+  const CompressMode gmode = gradient_compress_mode();
+  if (gmode != CompressMode::kOff) {
+    // Only the slice sum is lossy-coded; the row all-gather below moves
+    // already-reduced slices and stays exact, so every rank unpacks the
+    // same decoded values.
+    reduce_comm.allreduce_sum_compressed(
+        y_slice.flat(), gmode, pending.compress_slot(pending.ccount++),
+        &profiler);
+  } else {
     ScopedPhase scope(profiler, Phase::kDenseComm);
     reduce_comm.allreduce_sum(y_slice.flat(), CommCategory::kDense);
   }
@@ -683,6 +702,22 @@ void begin_allreduce_weight_gradient(Matrix& y_partial, Index f_in,
                                      Matrix& y_full) {
   CAGNET_CHECK(y_partial.rows() == f_in && y_partial.cols() == f_out,
                "reduce_gradients: unexpected partial shape");
+  const CompressMode gmode = gradient_compress_mode();
+  if (gmode != CompressMode::kOff) {
+    if (pending.count + pending.ccount == 0) {
+      ScopedPhase scope(profiler, Phase::kDenseComm);
+      comm.quiesce();  // release last epoch's encoded sends
+    }
+    // The encode IS the staging copy: peers read the stable buf.send of
+    // the layer's CompressBuf, so y_partial is free immediately and no
+    // pending.src slot is needed. The op times itself.
+    const std::size_t i = pending.ccount++;
+    y_full.resize(f_in, f_out);
+    pending_slot(pending.cops, i) = comm.iallreduce_sum_compressed(
+        std::span<const Real>(y_partial.flat()), y_full.flat(), gmode,
+        pending.compress_slot(i), &profiler);
+    return;
+  }
   ScopedPhase scope(profiler, Phase::kDenseComm);
   if (pending.count == 0) {
     // Release point for last epoch's staged partials (peers read them at
@@ -702,9 +737,19 @@ void begin_allreduce_weight_gradient(Matrix& y_partial, Index f_in,
 
 void finish_allreduce_weight_gradient(Profiler& profiler,
                                       PendingGradReduce& pending) {
-  ScopedPhase scope(profiler, Phase::kDenseComm);
-  for (std::size_t i = 0; i < pending.count; ++i) pending.ops[i].wait();
+  {
+    ScopedPhase scope(profiler, Phase::kDenseComm);
+    for (std::size_t i = 0; i < pending.count; ++i) pending.ops[i].wait();
+  }
+  // Compressed ops time themselves (wire wait under kDenseComm, decode
+  // under kCompressPack). The size guard covers blocking mode, where
+  // ccount counts residual slots but no op was stored.
+  for (std::size_t i = 0; i < pending.ccount && i < pending.cops.size();
+       ++i) {
+    pending.cops[i].wait();
+  }
   pending.count = 0;
+  pending.ccount = 0;
 }
 
 void begin_assemble_weight_gradient(Matrix& y_slice, Index f_in,
@@ -712,6 +757,26 @@ void begin_assemble_weight_gradient(Matrix& y_slice, Index f_in,
                                     Profiler& profiler,
                                     PendingGradReduce& pending,
                                     Matrix& y_full) {
+  const CompressMode gmode = gradient_compress_mode();
+  if (gmode != CompressMode::kOff) {
+    if (pending.count + pending.ccount == 0) {
+      ScopedPhase scope(profiler, Phase::kDenseComm);
+      reduce_comm.quiesce();  // release last epoch's encoded sends
+    }
+    // Lossy slice sum into the reduced slot; the exact row gather is
+    // posted at finish once the decode lands. The encode is the staging
+    // copy (peers read the layer buf's stable send bytes), so y_slice is
+    // free on return. The op times itself.
+    const std::size_t i = pending.ccount++;
+    Matrix& reduced = pending_slot(pending.reduced, i);
+    reduced.resize(y_slice.rows(), y_slice.cols());
+    pending_slot(pending.cops, i) = reduce_comm.iallreduce_sum_compressed(
+        std::span<const Real>(y_slice.flat()), reduced.flat(), gmode,
+        pending.compress_slot(i), &profiler);
+    pending_slot(pending.targets, i) = &y_full;
+    pending_slot(pending.dims, i) = {f_in, f_out};
+    return;
+  }
   ScopedPhase scope(profiler, Phase::kDenseComm);
   if (pending.count == 0) reduce_comm.quiesce();  // release last epoch's
   const std::size_t i = pending.count++;
@@ -745,7 +810,22 @@ void finish_assemble_weight_gradient(int parts, Comm& row_comm,
           CommCategory::kDense);
     }
   }
-  for (std::size_t i = 0; i < pending.count; ++i) {
+  // Compressed layers: complete each lossy slice sum (the op times its
+  // own wait/decode) and launch its exact row gather. The size guard
+  // covers blocking mode, where ccount counts residual slots but no op
+  // was stored. Modes never mix within an epoch, so slot indices of the
+  // two families both start at 0 and never collide.
+  const std::size_t cposted = std::min(pending.ccount, pending.cops.size());
+  for (std::size_t i = 0; i < cposted; ++i) {
+    pending.cops[i].wait();
+    ScopedPhase scope(profiler, Phase::kDenseComm);
+    auto& gathered = pending_slot(pending.gathered, i);
+    if (!gathered) gathered = std::make_unique<Gathered<Real>>();
+    pending_slot(pending.gather_ops, i) = row_comm.iallgatherv_into(
+        std::span<const Real>(pending.reduced[i].flat()), *gathered,
+        CommCategory::kDense);
+  }
+  for (std::size_t i = 0; i < pending.count + cposted; ++i) {
     {
       ScopedPhase scope(profiler, Phase::kDenseComm);
       pending.gather_ops[i].wait();
@@ -763,6 +843,7 @@ void finish_assemble_weight_gradient(int parts, Comm& row_comm,
     }
   }
   pending.count = 0;
+  pending.ccount = 0;
 }
 
 std::vector<Index> row_starts(const DistProblem& problem, int parts) {
@@ -839,29 +920,56 @@ namespace {
 /// size-checked against the plan; the overlap region is closed (pairing
 /// the drained charges with the compute that just ran) and reopened for
 /// the next stage. Blocking mode reads the already-exchanged chunk from
-/// plan.recv. Returns the peer's rows, or nullptr when nothing landed.
+/// plan.recv. Under a lossy row codec (`rmode` != off) the wire carries
+/// codec bytes — size-checked against encoded_size_bytes and decoded
+/// into `decode_dst` (Phase::kCompressPack); both modes decode the same
+/// bytes, so the sweeps stay bitwise identical across overlap modes.
+/// Returns the peer's rows, or nullptr when nothing landed.
 const Real* drain_halo_peer(PendingOp& op, const HaloPlan& plan, int peer,
                             std::size_t expected_elems, bool pipelined,
+                            CompressMode rmode, Real* decode_dst,
                             OverlapScope& region, Profiler& profiler) {
+  const std::uint8_t* bytes = nullptr;
   if (!pipelined) {
-    return plan.recv.data.data() +
-           plan.recv.offsets[static_cast<std::size_t>(peer)];
-  }
-  const Real* rows = nullptr;
-  {
-    ScopedPhase scope(profiler, Phase::kDenseComm);
-    if (expected_elems == 0) {
-      op.skip_source(peer);
-    } else {
-      const std::span<const Real> chunk = op.await_source<Real>(peer);
-      CAGNET_CHECK(chunk.size() == expected_elems,
-                   "halo drain: unexpected chunk size");
-      rows = chunk.data();
+    if (rmode == CompressMode::kOff) {
+      return plan.recv.data.data() +
+             plan.recv.offsets[static_cast<std::size_t>(peer)];
     }
+    const std::size_t b0 =
+        plan.recv_bytes.offsets[static_cast<std::size_t>(peer)];
+    const std::size_t b1 =
+        plan.recv_bytes.offsets[static_cast<std::size_t>(peer) + 1];
+    CAGNET_CHECK(b1 - b0 == encoded_size_bytes(rmode, expected_elems),
+                 "halo drain: unexpected compressed chunk size");
+    bytes = plan.recv_bytes.data.data() + b0;
+  } else {
+    const Real* exact_rows = nullptr;
+    {
+      ScopedPhase scope(profiler, Phase::kDenseComm);
+      if (expected_elems == 0) {
+        op.skip_source(peer);
+      } else if (rmode == CompressMode::kOff) {
+        const std::span<const Real> chunk = op.await_source<Real>(peer);
+        CAGNET_CHECK(chunk.size() == expected_elems,
+                     "halo drain: unexpected chunk size");
+        exact_rows = chunk.data();
+      } else {
+        const std::span<const std::uint8_t> chunk =
+            op.await_source<std::uint8_t>(peer);
+        CAGNET_CHECK(
+            chunk.size() == encoded_size_bytes(rmode, expected_elems),
+            "halo drain: unexpected compressed chunk size");
+        bytes = chunk.data();
+      }
+    }
+    region.close();
+    region.open();
+    if (rmode == CompressMode::kOff) return exact_rows;
   }
-  region.close();
-  region.open();
-  return rows;
+  if (expected_elems == 0 || bytes == nullptr) return nullptr;
+  ScopedPhase scope(profiler, Phase::kCompressPack);
+  compress_decode(rmode, bytes, expected_elems, decode_dst);
+  return decode_dst;
 }
 
 /// Threaded row gather: copy `rows` of `src` (f-wide) into `dst`
@@ -920,6 +1028,52 @@ PendingOp halo_exchange_begin(const Matrix& src, std::span<const Index> rows,
           row_offsets[j] * static_cast<std::size_t>(f);
     }
   }
+  const CompressMode rmode =
+      p > 1 ? row_compress_mode() : CompressMode::kOff;
+  if (rmode != CompressMode::kOff) {
+    // Lossy row payload: re-encode the exact pack per destination chunk
+    // (chunk boundaries must fall on codec-chunk starts, which per-
+    // destination encoding guarantees) and ship the byte buffer instead.
+    // No error feedback — halo rows are fresh activations each layer, not
+    // an accumulating signal, so a residual would mix unrelated rows.
+    {
+      ScopedPhase scope(profiler, Phase::kCompressPack);
+      buf.send_byte_offsets.resize(static_cast<std::size_t>(p) + 1);
+      buf.send_byte_offsets[0] = 0;
+      for (std::size_t j = 0; j < static_cast<std::size_t>(p); ++j) {
+        const std::size_t elems =
+            buf.send_elem_offsets[j + 1] - buf.send_elem_offsets[j];
+        buf.send_byte_offsets[j + 1] =
+            buf.send_byte_offsets[j] + encoded_size_bytes(rmode, elems);
+      }
+      buf.send_bytes.resize(
+          buf.send_byte_offsets[static_cast<std::size_t>(p)]);
+      for (std::size_t j = 0; j < static_cast<std::size_t>(p); ++j) {
+        const std::size_t e0 = buf.send_elem_offsets[j];
+        const std::size_t e1 = buf.send_elem_offsets[j + 1];
+        if (e0 == e1) continue;
+        compress_encode(
+            rmode,
+            std::span<const Real>(buf.send_buf.data() + e0, e1 - e0),
+            buf.send_bytes.data() + buf.send_byte_offsets[j],
+            /*residual=*/nullptr);
+      }
+    }
+    ScopedPhase scope(profiler, Phase::kDenseComm);
+    if (overlap_enabled()) {
+      PendingOp op = comm.ialltoallv_post(
+          std::span<const std::uint8_t>(buf.send_bytes),
+          std::span<const std::size_t>(buf.send_byte_offsets),
+          CommCategory::kCompressed);
+      buf.release_ticket = op.ticket();
+      buf.has_release = true;
+      return op;
+    }
+    comm.alltoallv_into(std::span<const std::uint8_t>(buf.send_bytes),
+                        std::span<const std::size_t>(buf.send_byte_offsets),
+                        plan.recv_bytes, CommCategory::kCompressed);
+    return PendingOp{};
+  }
   ScopedPhase scope(profiler, Phase::kDenseComm);
   if (overlap_enabled()) {
     // Post-only: the caller drains each peer's chunk exactly when the
@@ -950,6 +1104,16 @@ void halo_spmm_pipeline(const Matrix& h, const Csr* self_block, int self,
   const int p = comm.size();
   const Index f = h.cols();
   const bool pipelined = op.pending();
+  const CompressMode rmode =
+      p > 1 ? row_compress_mode() : CompressMode::kOff;
+  if (rmode != CompressMode::kOff) {
+    // Decode staging for every peer's landed rows, laid out at the
+    // plan's recv row offsets so each stage decodes into its own slice.
+    ScopedPhase scope(stats.profiler, Phase::kCompressPack);
+    plan.recv_decode.resize(
+        plan.recv_row_offsets[static_cast<std::size_t>(p)] *
+        static_cast<std::size_t>(f));
+  }
   // Ascending stage order is the broadcast loops' accumulation order;
   // keeping it makes every per-element sum an identical ordered sum of
   // identical products, so T stays bitwise the broadcast path's. Each
@@ -974,8 +1138,15 @@ void halo_spmm_pipeline(const Matrix& h, const Csr* self_block, int self,
         (plan.recv_row_offsets[static_cast<std::size_t>(j) + 1] -
          plan.recv_row_offsets[static_cast<std::size_t>(j)]) *
         static_cast<std::size_t>(f);
+    Real* decode_dst =
+        rmode == CompressMode::kOff
+            ? nullptr
+            : plan.recv_decode.data() +
+                  plan.recv_row_offsets[static_cast<std::size_t>(j)] *
+                      static_cast<std::size_t>(f);
     const Real* rows_j = drain_halo_peer(op, plan, j, expect, pipelined,
-                                         region, stats.profiler);
+                                         rmode, decode_dst, region,
+                                         stats.profiler);
     const Csr& a = plan.blocks[static_cast<std::size_t>(j)];
     if (a.nnz() == 0) continue;
     ScopedPhase scope(stats.profiler, Phase::kSpmm);
@@ -1004,6 +1175,8 @@ void halo_exchange_contributions(
   const int p = comm.size();
   const Index f = partial.cols();
   const bool pipelined = op.pending();
+  const CompressMode rmode =
+      p > 1 ? row_compress_mode() : CompressMode::kOff;
   // A rank that accumulates nothing (a 1.5D non-keeper: no self term and
   // every land chunk empty — its u arrives whole with the team broadcast)
   // only owes the drain bookkeeping: skip every source without touching u
@@ -1023,6 +1196,12 @@ void halo_exchange_contributions(
   {
     ScopedPhase scope(stats.profiler, Phase::kHaloPack);
     u.set_zero();
+  }
+  if (rmode != CompressMode::kOff) {
+    ScopedPhase scope(stats.profiler, Phase::kCompressPack);
+    plan.recv_decode.resize(
+        land_row_offsets[static_cast<std::size_t>(p)] *
+        static_cast<std::size_t>(f));
   }
   // Rank-ascending accumulation, the reduce-scatter's exact per-element
   // order (rows a peer did not send are exact +0.0 contributions), so U
@@ -1049,9 +1228,14 @@ void halo_exchange_contributions(
     }
     const std::size_t k0 = land_row_offsets[static_cast<std::size_t>(r)];
     const std::size_t k1 = land_row_offsets[static_cast<std::size_t>(r) + 1];
+    Real* decode_dst =
+        rmode == CompressMode::kOff
+            ? nullptr
+            : plan.recv_decode.data() + k0 * static_cast<std::size_t>(f);
     const Real* src =
         drain_halo_peer(op, plan, r, (k1 - k0) * static_cast<std::size_t>(f),
-                        pipelined, region, stats.profiler);
+                        pipelined, rmode, decode_dst, region,
+                        stats.profiler);
     if (k0 == k1) continue;
     // Scatter-add this peer's landed rows (distinct within a peer, so
     // row chunks write disjoint outputs and threading is deterministic).

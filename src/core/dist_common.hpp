@@ -129,6 +129,11 @@ class DistTrainer {
 
   /// Replicated weight matrices (identical on every rank by construction).
   virtual const std::vector<Matrix>& weights() const = 0;
+
+  /// Overwrite the replicated weights (checkpoint restore). Purely local,
+  /// but every rank must install identical matrices or the replication
+  /// invariant breaks; shapes must match the configured layers.
+  virtual void set_weights(const std::vector<Matrix>& weights) = 0;
 };
 
 /// Helpers shared by the trainer implementations.
@@ -270,12 +275,24 @@ struct HaloPlan {
   struct PackBuf {
     Matrix send_buf;
     std::vector<std::size_t> send_elem_offsets;  ///< P+1, rebuilt per use
+    /// Compressed-payload staging (CAGNET_COMPRESS=fp16/int8): the exact
+    /// pack above is re-encoded per destination chunk into send_bytes,
+    /// and the byte offsets replace the element offsets on the wire.
+    /// Same release discipline as send_buf (peers read it at their
+    /// drains).
+    std::vector<std::uint8_t> send_bytes;
+    std::vector<std::size_t> send_byte_offsets;  ///< P+1
     std::uint64_t release_ticket = 0;
     bool has_release = false;
   };
   std::array<PackBuf, 2> pack;
   int next_pack = 0;          ///< which PackBuf the next exchange claims
   Gathered<Real> recv;        ///< blocking-mode receive staging
+  Gathered<std::uint8_t> recv_bytes;  ///< compressed blocking staging
+  /// Decode target for compressed halo rows: the forward decodes each
+  /// peer's chunk at recv_row_offsets[j]*f; the backward at
+  /// land_row_offsets[r]*f. Sized by the caller before the sweep.
+  std::vector<Real> recv_decode;
 };
 
 /// The (parts+1) partition-aware block boundaries of `problem` for a
@@ -521,12 +538,18 @@ void summa_stage_loop(const Csr& my_sparse, SparseStageCache& cache,
                       int stages, Matrix& acc, const MachineModel& machine,
                       EpochStats& stats, DistWorkspace& ws);
 
+struct PendingGradReduce;
+
 /// Complete a rows-whole weight gradient: move the (f_in x f_out) local
 /// partial into `y_full` (buffer swap, no copy) and all-reduce it over
 /// `comm`, leaving Y replicated. Shared by the 1D and 1.5D algebras.
+/// Under CAGNET_COMPRESS != off the all-reduce runs through the lossy
+/// codec with error feedback; `pending` owns the per-layer residual
+/// stores (layer order is the call order within an epoch, so each
+/// layer's residual is continuous across epochs).
 void allreduce_weight_gradient(Matrix& y_partial, Index f_in, Index f_out,
                                Comm& comm, Profiler& profiler,
-                               Matrix& y_full);
+                               PendingGradReduce& pending, Matrix& y_full);
 
 /// Pairwise CSR exchange with `peer` (the distributed-transpose primitive:
 /// rank (i,j) swaps blocks with rank (j,i) and locally transposes).
@@ -553,7 +576,7 @@ void allgather_feature_rows(const Matrix& local, Index full_cols, int parts,
 void assemble_weight_gradient(Matrix& y_slice, Index f_in, Index f_out,
                               int parts, Comm& reduce_comm, Comm& row_comm,
                               Profiler& profiler, DistWorkspace& ws,
-                              Matrix& y);
+                              PendingGradReduce& pending, Matrix& y);
 
 /// Per-epoch state of the deferred (overlap-mode) gradient reductions:
 /// one entry per layer, all storage reused across epochs. The begin_/
@@ -571,6 +594,23 @@ struct PendingGradReduce {
   std::vector<Matrix*> targets;            ///< y_full per layer
   std::vector<std::pair<Index, Index>> dims;  ///< (f_in, f_out) per layer
   std::size_t count = 0;                   ///< layers posted this epoch
+  /// Compressed-path state (CAGNET_COMPRESS != off). One CompressBuf per
+  /// layer, error feedback on: the residual store is the codec's memory
+  /// across epochs, so slot i must always serve the same layer.
+  /// unique_ptr for address stability while in-flight ops hold the slot.
+  std::vector<std::unique_ptr<CompressBuf>> cbufs;
+  std::vector<PendingCompressedReduce> cops;  ///< in-flight compressed ops
+  std::size_t ccount = 0;                  ///< compressed layers posted
+
+  /// Grow-once residual slot for layer `i` (error feedback enabled).
+  CompressBuf& compress_slot(std::size_t i) {
+    if (cbufs.size() <= i) cbufs.resize(i + 1);
+    if (!cbufs[i]) {
+      cbufs[i] = std::make_unique<CompressBuf>();
+      cbufs[i]->error_feedback = true;
+    }
+    return *cbufs[i];
+  }
 };
 
 /// Rows-whole family (1D / 1.5D) deferred gradient reduction: stage a

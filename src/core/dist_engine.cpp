@@ -69,6 +69,18 @@ DistEngine::DistEngine(const DistProblem& problem, GnnConfig config,
                            f1 - f0);
 }
 
+void DistEngine::set_weights(const std::vector<Matrix>& weights) {
+  CAGNET_CHECK(weights.size() == weights_.size(),
+               "set_weights: layer count mismatch");
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    CAGNET_CHECK(weights[i].rows() == weights_[i].rows() &&
+                     weights[i].cols() == weights_[i].cols(),
+                 "set_weights: layer shape mismatch");
+    std::copy(weights[i].flat().begin(), weights[i].flat().end(),
+              weights_[i].flat().begin());
+  }
+}
+
 const Matrix& DistEngine::forward() {
   const Index layers = config_.num_layers();
 

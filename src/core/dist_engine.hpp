@@ -220,6 +220,12 @@ class DistEngine : public DistTrainer {
   /// construction). Purely local.
   const std::vector<Matrix>& weights() const override { return weights_; }
 
+  /// Replace the replicated weights (checkpoint restore). Purely local —
+  /// call with identical matrices on every rank (e.g. loaded from the
+  /// same checkpoint file) to keep the replication invariant; shapes must
+  /// match the configured model exactly.
+  void set_weights(const std::vector<Matrix>& weights) override;
+
   /// Training configuration (identical on every rank). Purely local.
   const GnnConfig& config() const { return config_; }
   /// The partitioning strategy driving this engine. Purely local access;

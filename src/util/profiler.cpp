@@ -19,6 +19,8 @@ const char* phase_name(Phase p) {
       return "spmm";
     case Phase::kHaloPack:
       return "hpack";
+    case Phase::kCompressPack:
+      return "cpack";
     case Phase::kCount:
       break;
   }

@@ -25,8 +25,9 @@ enum class Phase : std::size_t {
   kTranspose,   ///< distributed transpose of the adjacency ("trpose")
   kDenseComm,   ///< dense-matrix collectives ("dcomm")
   kSparseComm,  ///< sparse-matrix collectives ("scomm")
-  kSpmm,        ///< local sparse x dense multiplies
-  kHaloPack,    ///< halo-exchange row pack/unpack ("hpack")
+  kSpmm,          ///< local sparse x dense multiplies
+  kHaloPack,      ///< halo-exchange row pack/unpack ("hpack")
+  kCompressPack,  ///< lossy-codec encode/decode ("cpack")
   kCount
 };
 

@@ -639,6 +639,107 @@ TEST(InvalidComm, CollectivesFailWithDiagnostic) {
   }
 }
 
+TEST(InvalidComm, CompressedCollectivesFailWithDiagnostic) {
+  // Diagnostic parity: the lossy entry points must fail like the exact
+  // ones, not dereference null state (or worse, bind the CompressBuf to a
+  // dead communicator).
+  Comm comm;  // default-constructed: invalid
+  std::vector<Real> data(8, 1.0);
+  CompressBuf buf;
+  EXPECT_THROW(comm.allreduce_sum_compressed(std::span<Real>(data),
+                                             CompressMode::kInt8, buf),
+               Error);
+  EXPECT_THROW(comm.reduce_scatter_sum_compressed(
+                   std::span<const Real>(data), std::span<Real>(data),
+                   CompressMode::kInt8, buf),
+               Error);
+  EXPECT_THROW(comm.iallreduce_sum_compressed(std::span<const Real>(data),
+                                              std::span<Real>(data),
+                                              CompressMode::kInt8, buf),
+               Error);
+  EXPECT_THROW(comm.ireduce_scatter_sum_compressed(
+                   std::span<const Real>(data), std::span<Real>(data),
+                   CompressMode::kInt8, buf),
+               Error);
+  try {
+    comm.allreduce_sum_compressed(std::span<Real>(data), CompressMode::kInt8,
+                                  buf);
+    FAIL() << "compressed all-reduce on invalid Comm did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invalid Comm"), std::string::npos);
+  }
+  EXPECT_TRUE(buf.residual.empty());  // never bound, never touched
+}
+
+TEST(Compressed, ResidualCarriesWithinAStreamAndResetsOnRebind) {
+  // Error feedback must carry across rounds of one (communicator, length)
+  // stream, and must NOT leak when the same CompressBuf is reused with a
+  // different length or a different communicator — reuse after a rebind
+  // must be bitwise identical to starting from a fresh buf.
+  const std::size_t n = 300;  // straddles a codec chunk boundary
+  run_world(2, [&](Comm& world) {
+    std::vector<Real> base(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      base[i] = std::sin(0.1 * static_cast<double>(i + 1) *
+                         (world.rank() + 1));
+    }
+    const auto round = [](Comm& c, CompressBuf& buf,
+                          std::span<const Real> src, std::vector<Real>& out) {
+      out.assign(src.begin(), src.end());
+      buf.error_feedback = true;
+      c.allreduce_sum_compressed(std::span<Real>(out), CompressMode::kInt8,
+                                 buf);
+    };
+
+    std::vector<Real> fresh1;
+    std::vector<Real> fresh2;
+    {
+      CompressBuf fresh;
+      round(world, fresh, base, fresh1);
+    }
+    {
+      CompressBuf fresh;
+      round(world, fresh, base, fresh2);
+    }
+    ASSERT_EQ(fresh1, fresh2);  // determinism baseline
+
+    // Same buf, same stream: round 2 re-injects round 1's residual and
+    // must differ from a fresh round (the carry is observable).
+    CompressBuf buf;
+    std::vector<Real> r1;
+    std::vector<Real> r2;
+    round(world, buf, base, r1);
+    EXPECT_EQ(r1, fresh1);
+    ASSERT_EQ(buf.residual.size(), n);
+    round(world, buf, base, r2);
+    EXPECT_NE(r2, fresh1);
+
+    // Length change rebinds: the stale residual must not leak.
+    const std::vector<Real> shorter(base.begin(),
+                                    base.begin() + static_cast<long>(n - 7));
+    std::vector<Real> fresh_short;
+    {
+      CompressBuf fresh;
+      round(world, fresh, shorter, fresh_short);
+    }
+    std::vector<Real> reused_short;
+    round(world, buf, shorter, reused_short);
+    EXPECT_EQ(reused_short, fresh_short);
+
+    // Communicator change rebinds too (same membership, new identity).
+    Comm sub = world.split(/*color=*/0, /*key=*/world.rank());
+    std::vector<Real> fresh_sub;
+    {
+      CompressBuf fresh;
+      round(sub, fresh, shorter, fresh_sub);
+    }
+    round(world, buf, shorter, reused_short);  // repopulate buf's residual
+    std::vector<Real> reused_sub;
+    round(sub, buf, shorter, reused_sub);
+    EXPECT_EQ(reused_sub, fresh_sub);
+  });
+}
+
 // ---- Nonblocking collectives ----
 
 TEST(Nonblocking, BroadcastDeliversAndChargesLikeBlocking) {

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/comm/compress.hpp"
 #include "src/core/algebra_registry.hpp"
 #include "src/core/costmodel.hpp"
 #include "src/core/dist15d.hpp"
@@ -24,6 +25,19 @@ namespace cagnet {
 namespace {
 
 constexpr Real kParityTol = 1e-8;
+
+// Dist-vs-serial exactness is a statement about exact wire contents; an
+// ambient lossy codec (CAGNET_COMPRESS) reroutes the gradient and row
+// reductions through quantized payloads, so these comparisons only hold
+// in exact mode. Within-mode parity suites (OverlapParity) keep running.
+#define SKIP_IF_AMBIENT_LOSSY()                                           \
+  do {                                                                    \
+    if (compress_mode() != CompressMode::kOff) {                          \
+      GTEST_SKIP() << "dist-vs-serial exactness requires "                \
+                      "CAGNET_COMPRESS=off (ambient: "                    \
+                   << compress_mode_name(compress_mode()) << ")";         \
+    }                                                                     \
+  } while (false)
 
 Graph test_graph(Index n, Index f, Index classes, std::uint64_t seed) {
   Rng rng(seed);
@@ -114,6 +128,7 @@ std::string case_name(const ::testing::TestParamInfo<AlgebraWorld>& info) {
 class EngineParity : public ::testing::TestWithParam<AlgebraWorld> {};
 
 TEST_P(EngineParity, MatchesSerialLossesAndEmbeddings) {
+  SKIP_IF_AMBIENT_LOSSY();
   const auto [algebra, p] = GetParam();
   const Graph g = test_graph(90, 12, 5, 42);
   GnnConfig config = GnnConfig::three_layer(12, 5, 8);
@@ -155,6 +170,7 @@ TEST(EngineParity, UnknownAlgebraNameThrows) {
 }
 
 TEST(DistParity, UnevenBlockSizesStillMatch) {
+  SKIP_IF_AMBIENT_LOSSY();
   // n deliberately not divisible by P or the grid dimension.
   const Graph g = test_graph(101, 7, 3, 43);
   GnnConfig config = GnnConfig::three_layer(7, 3, 5);
@@ -166,6 +182,7 @@ TEST(DistParity, UnevenBlockSizesStillMatch) {
 }
 
 TEST(DistParity, DirectedGraphMatchesAcrossAllFamilies) {
+  SKIP_IF_AMBIENT_LOSSY();
   // A directed (asymmetric) adjacency exercises the A-vs-A^T handling: the
   // forward pass multiplies by A^T, the backward by A, and the 2D/3D
   // algebras materialize A through distributed transposes.
@@ -195,6 +212,7 @@ TEST(DistParity, DirectedGraphMatchesAcrossAllFamilies) {
 }
 
 TEST(DistParity, MaskedLabelsMatchSerial) {
+  SKIP_IF_AMBIENT_LOSSY();
   Graph g = test_graph(72, 8, 3, 52);
   for (std::size_t v = 0; v < g.labels.size(); v += 3) g.labels[v] = -1;
   GnnConfig config = GnnConfig::three_layer(8, 3, 5);
@@ -211,6 +229,7 @@ TEST(DistParity, MaskedLabelsMatchSerial) {
 }
 
 TEST(DistParity, DeepNetworkMatchesOn3D) {
+  SKIP_IF_AMBIENT_LOSSY();
   const Graph g = test_graph(100, 6, 3, 53);
   GnnConfig config;
   config.dims = {6, 10, 10, 10, 10, 3};  // 5 layers
@@ -283,6 +302,7 @@ TEST(DistMeter, FifteenDDenseTrafficFallsWithReplication) {
 }
 
 TEST(DistParity, FeatureDimNarrowerThanGridMatchesSerial) {
+  SKIP_IF_AMBIENT_LOSSY();
   // A feature dimension smaller than the grid dimension gives some process
   // columns the full slice and others an empty one — the engine's
   // rows-whole branching must stay uniform across ranks (a per-rank slice
@@ -303,6 +323,7 @@ TEST(DistParity, FeatureDimNarrowerThanGridMatchesSerial) {
 }
 
 TEST(DistParity, TwoLayerNetworkMatches) {
+  SKIP_IF_AMBIENT_LOSSY();
   const Graph g = test_graph(64, 10, 4, 44);
   GnnConfig config;
   config.dims = {10, 4};
@@ -316,6 +337,7 @@ TEST(DistParity, TwoLayerNetworkMatches) {
 class OptimizerParity : public ::testing::TestWithParam<OptimizerKind> {};
 
 TEST_P(OptimizerParity, DistributedMatchesSerial) {
+  SKIP_IF_AMBIENT_LOSSY();
   const Graph g = test_graph(80, 10, 4, 60);
   GnnConfig config = GnnConfig::three_layer(10, 4, 8);
   config.learning_rate = 0.05;
@@ -458,6 +480,7 @@ TEST(DistStats, WorkMeterSeesSpmmOnAllRanks) {
 class RandomizedDifferential : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomizedDifferential, AllFamiliesMatchSerial) {
+  SKIP_IF_AMBIENT_LOSSY();
   const int trial = GetParam();
   Rng rng(1000 + static_cast<std::uint64_t>(trial));
   const Index n = 48 + static_cast<Index>(rng.next_below(80));

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/comm/compress.hpp"
 #include "src/core/algebra_registry.hpp"
 #include "src/core/costmodel.hpp"
 #include "src/core/dist15d.hpp"
@@ -29,6 +30,21 @@ namespace cagnet {
 namespace {
 
 constexpr Real kParityTol = 1e-8;
+
+/// Cross-path exactness (halo vs broadcast, distributed vs serial) is a
+/// contract of exact traffic: an ambient lossy codec (CAGNET_COMPRESS)
+/// re-encodes the halo payload but not the broadcasts, so the paths
+/// legitimately diverge. Those tests skip themselves under a lossy mode;
+/// within-mode parity (overlap vs blocking under the same codec) still
+/// runs and must stay bitwise. Lossy-mode accuracy is compress_test's.
+#define SKIP_IF_AMBIENT_LOSSY()                                           \
+  do {                                                                    \
+    if (compress_mode() != CompressMode::kOff) {                          \
+      GTEST_SKIP() << "cross-path exactness holds only for exact "        \
+                      "traffic (CAGNET_COMPRESS="                         \
+                   << compress_mode_name(compress_mode()) << ")";         \
+    }                                                                     \
+  } while (false)
 
 /// Community-structured graph (no hubs): the regime where a locality
 /// partitioner shrinks the halo.
@@ -126,6 +142,7 @@ class HaloParity
     : public ::testing::TestWithParam<std::tuple<HaloCase, std::string>> {};
 
 TEST_P(HaloParity, BitwiseMatchesBroadcastPath) {
+  SKIP_IF_AMBIENT_LOSSY();
   const auto [c, partitioner] = GetParam();
   const Graph g = community_graph(252, 12, 10, 4, 91);
   GnnConfig config = GnnConfig::three_layer(10, 4, 8);
@@ -332,6 +349,7 @@ TEST(HaloBackward15D, EngagesUnderLocalityPartitionAndGatesUnderRandom) {
 }
 
 TEST(HaloBackward15D, BackwardExchangeShrinksDenseWordsVsReduceScatter) {
+  SKIP_IF_AMBIENT_LOSSY();
   // With the backward exchange engaged, halo-mode kDense words must drop
   // strictly below the broadcast path's (which reduce-scatters the full
   // stripe) — not merely match it.
@@ -358,6 +376,7 @@ TEST(HaloBackward15D, BackwardExchangeShrinksDenseWordsVsReduceScatter) {
 // ---- The acceptance claim: exact edgecut volume and the >= 3x win ----
 
 TEST(HaloWords, ExactEdgecutVolumeAndReductionAtP16) {
+  SKIP_IF_AMBIENT_LOSSY();
   // Planted-partition graph at P=16 under the greedy-BFS partitioner: the
   // 1D halo path's metered kHalo words must equal
   // max_remote_rows_per_part * (sum of layer input widths) *exactly*, and
@@ -403,6 +422,7 @@ TEST(HaloWords, ExactEdgecutVolumeAndReductionAtP16) {
 // output, serial parity for every family ----
 
 TEST(PartitionedTraining, AllFamiliesMatchSerialUnderEveryPartitioner) {
+  SKIP_IF_AMBIENT_LOSSY();
   const Graph g = community_graph(180, 9, 8, 3, 93);
   GnnConfig config = GnnConfig::three_layer(8, 3, 6);
   const int epochs = 3;

@@ -22,21 +22,33 @@ TRACKED = Path(__file__).resolve().parent.parent / "BENCH_EPOCH_THROUGHPUT.json"
 # bench/bench_epoch_throughput.cpp and bench/bench_partitioning_edgecut.cpp.
 SCHEMAS = {
     "epoch_throughput": {
-        "bench", "algebra", "world", "threads", "n", "degree", "f",
-        "hidden", "epochs", "seconds", "warmup_seconds", "epochs_per_sec",
-        "dense_words", "sparse_words", "transpose_words", "halo_words",
-        "partition", "halo", "max_remote_rows", "latency_units", "overlap",
-        "overlap_regions", "overlap_saved_modeled_s", "phase_misc",
-        "phase_trpose", "phase_dcomm", "phase_scomm", "phase_spmm",
-        "phase_hpack",
+        "schema_version", "bench", "algebra", "world", "threads", "n",
+        "degree", "f", "hidden", "epochs", "seconds", "warmup_seconds",
+        "epochs_per_sec", "dense_words", "sparse_words", "transpose_words",
+        "halo_words", "compress", "compressed_words", "partition", "halo",
+        "max_remote_rows", "latency_units", "overlap", "overlap_regions",
+        "overlap_saved_modeled_s", "phase_misc", "phase_trpose",
+        "phase_dcomm", "phase_scomm", "phase_spmm", "phase_hpack",
+        "phase_cpack",
     },
     "partition_edgecut_epoch": {
-        "bench", "partitioner", "world", "n", "f", "max_remote_rows",
-        "predicted_halo_words", "halo_words", "broadcast_total_words",
-        "halo_total_words", "words_reduction", "overlap",
-        "overlap_regions", "phase_hpack", "bcast_eps", "halo_eps",
+        "schema_version", "bench", "partitioner", "world", "n", "f",
+        "max_remote_rows", "predicted_halo_words", "halo_words",
+        "broadcast_total_words", "halo_total_words", "words_reduction",
+        "overlap", "overlap_regions", "phase_hpack", "bcast_eps",
+        "halo_eps",
     },
 }
+
+# The schema_version each bench emits today. A record carrying a stale
+# version means the tracked file was not regenerated after a schema bump.
+SCHEMA_VERSIONS = {
+    "epoch_throughput": 2,
+    "partition_edgecut_epoch": 2,
+}
+
+# Values the "compress" field may take (the CAGNET_COMPRESS codec names).
+COMPRESS_MODES = {"off", "fp16", "int8", "1bit"}
 
 
 def main() -> int:
@@ -70,6 +82,28 @@ def main() -> int:
                 f"line {lineno} ({bench}): unknown fields {sorted(extra)} "
                 f"— update SCHEMAS in tools/check_bench_schema.py alongside "
                 f"the bench emitter")
+        version = record.get("schema_version")
+        want = SCHEMA_VERSIONS[bench]
+        if version != want:
+            errors.append(
+                f"line {lineno} ({bench}): schema_version {version!r} != "
+                f"{want} — regenerate the record with the current bench "
+                f"binary")
+        if "compress" in record and record["compress"] not in COMPRESS_MODES:
+            errors.append(
+                f"line {lineno} ({bench}): compress "
+                f"{record['compress']!r} is not one of "
+                f"{sorted(COMPRESS_MODES)}")
+        if "compressed_words" in record:
+            words = record["compressed_words"]
+            if not isinstance(words, (int, float)) or words < 0:
+                errors.append(
+                    f"line {lineno} ({bench}): compressed_words "
+                    f"{words!r} must be a non-negative number")
+            if record.get("compress") == "off" and words != 0:
+                errors.append(
+                    f"line {lineno} ({bench}): compress=off must meter "
+                    f"zero compressed_words, got {words!r}")
     if errors:
         print(f"{TRACKED.name}: schema drift detected", file=sys.stderr)
         for e in errors:
