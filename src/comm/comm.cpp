@@ -41,15 +41,58 @@ double ceil_log2(int p) {
 
 namespace detail {
 
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kNone:
+      return "none";
+    case OpKind::kBcast:
+      return "ibroadcast_from";
+    case OpKind::kReduceScatter:
+      return "ireduce_scatter_sum";
+    case OpKind::kAllgatherv:
+      return "iallgatherv_into";
+    case OpKind::kAllreduce:
+      return "iallreduce_sum";
+    case OpKind::kAlltoallv:
+      return "ialltoallv";
+  }
+  return "?";
+}
+
+void throw_peer_aborted(const OpContext& ctx, FaultSite site) {
+  throw CommAborted(ctx.rank, ctx.op, ctx.cat, site, "a peer rank failed");
+}
+
+std::string order_mismatch(const OpContext& ctx, OpKind want, int peer,
+                           OpKind got) {
+  std::string msg = "nonblocking collective: ranks disagree on op order: "
+                    "rank ";
+  msg += std::to_string(ctx.rank);
+  msg += " waiting on ";
+  msg += op_kind_name(want);
+  msg += " [";
+  msg += comm_category_name(ctx.cat);
+  msg += "], rank ";
+  msg += std::to_string(peer);
+  msg += " posted ";
+  msg += op_kind_name(got);
+  return msg;
+}
+
 void AbortHub::poison() {
   aborted.store(true);
   std::lock_guard<std::mutex> lock(mutex);
   for (const auto& weak : states) {
     const auto state = weak.lock();
     if (!state) continue;
+    // Any value change wakes parked waiters; they observe the flag and
+    // unwind. The counters are meaningless once the world is dead. The
+    // phase gate bump is what releases peers parked in a *blocking*
+    // collective's rendezvous — including on split sub-communicators,
+    // which std::barrier could never unblock from outside.
+    state->gate.released.fetch_add(1, std::memory_order_release);
+    state->gate.released.notify_all();
     for (const auto& channel : state->channels) {
-      // Any value change wakes parked waiters; they observe the flag and
-      // unwind. The counters are meaningless once the world is dead.
       channel->posted.fetch_add(1, std::memory_order_release);
       channel->posted.notify_all();
       channel->finished.fetch_add(1, std::memory_order_release);
@@ -64,7 +107,7 @@ void AbortHub::poison() {
 
 void await_counter(const std::atomic<std::uint64_t>& counter,
                    std::atomic<int>& waiters, std::uint64_t target,
-                   const std::atomic<bool>& aborted) {
+                   const std::atomic<bool>& aborted, const OpContext& ctx) {
   // Fast path: the double-buffered loops post a whole compute stage before
   // they wait, so the counter usually already covers the target. When it
   // does not, park on the counter's futex — on an oversubscribed host the
@@ -74,7 +117,7 @@ void await_counter(const std::atomic<std::uint64_t>& counter,
   int spins = 0;
   while (cur < target) {
     if (aborted.load(std::memory_order_relaxed)) {
-      throw Error("communicator aborted: a peer rank failed");
+      throw_peer_aborted(ctx, FaultSite::kWait);
     }
     if (++spins <= 4) {
       std::this_thread::yield();  // let the posting rank run first
@@ -86,7 +129,7 @@ void await_counter(const std::atomic<std::uint64_t>& counter,
     cur = counter.load(std::memory_order_acquire);
   }
   if (aborted.load(std::memory_order_relaxed)) {
-    throw Error("communicator aborted: a peer rank failed");
+    throw_peer_aborted(ctx, FaultSite::kWait);
   }
 }
 
@@ -94,11 +137,12 @@ void await_counter(const std::atomic<std::uint64_t>& counter,
 
 void Comm::barrier() {
   check_valid("barrier");
-  phase();
+  phase({rank_, CommCategory::kControl, "barrier"});
 }
 
 void Comm::quiesce() const {
   check_valid("quiesce");
+  const detail::OpContext ctx{rank_, CommCategory::kControl, "quiesce"};
   auto& st = *state_;
   // All ranks post in the same program order, so this rank's ticket count
   // is the communicator-wide count of posted ops. Channel C carried the
@@ -111,12 +155,13 @@ void Comm::quiesce() const {
     detail::await_counter(
         st.channels[c]->finished, st.channels[c]->waiters,
         static_cast<std::uint64_t>(st.size) * ops_on_channel,
-        st.hub->aborted);
+        st.hub->aborted, ctx);
   }
 }
 
 void Comm::quiesce_op(std::uint64_t ticket) const {
   check_valid("quiesce_op");
+  const detail::OpContext ctx{rank_, CommCategory::kControl, "quiesce_op"};
   auto& st = *state_;
   // Generations on a channel complete strictly in order (the recycle gate
   // serializes them), so finishing this op's generation implies the op —
@@ -127,25 +172,51 @@ void Comm::quiesce_op(std::uint64_t ticket) const {
       ticket / static_cast<std::uint64_t>(detail::kAsyncChannels);
   detail::await_counter(ch.finished, ch.waiters,
                         static_cast<std::uint64_t>(st.size) * (gen + 1),
-                        st.hub->aborted);
+                        st.hub->aborted, ctx);
 }
 
-void Comm::phase() const {
-  state_->gate.arrive_and_wait();
-  if (state_->hub->aborted.load(std::memory_order_relaxed)) {
-    throw Error("communicator aborted: a peer rank failed");
+void Comm::phase(const detail::OpContext& ctx) const {
+  // One rendezvous on the poison-wakeable PhaseGate. Arrivals count
+  // cumulatively; arrival a belongs to phase (a-1)/P and the P-th arrival
+  // of a phase releases the rest. The acq_rel arrival RMW chains with the
+  // release on `released`, so slot writes before the barrier
+  // happen-before slot reads after it on every rank, exactly like the
+  // std::barrier it replaces — but a dead rank's absence no longer parks
+  // peers forever: AbortHub::poison bumps `released` and everyone
+  // unwinds through the abort checks in await_counter.
+  auto& st = *state_;
+  const std::atomic<bool>& aborted = st.hub->aborted;
+  if (aborted.load(std::memory_order_relaxed)) {
+    detail::throw_peer_aborted(ctx, FaultSite::kWait);
+  }
+  const std::uint64_t a =
+      st.gate.arrived.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (a % st.gate.size == 0) {
+    detail::bump_counter(st.gate.released, st.gate.waiters);
+    if (aborted.load(std::memory_order_relaxed)) {
+      detail::throw_peer_aborted(ctx, FaultSite::kWait);
+    }
+  } else {
+    detail::await_counter(st.gate.released, st.gate.waiters,
+                          (a - 1) / st.gate.size + 1, aborted, ctx);
   }
 }
 
-void Comm::sync_sizes(std::size_t n, const char* what) const {
+void Comm::sync_sizes(std::size_t n, const detail::OpContext& ctx) const {
   auto& st = *state_;
   st.slot_len[static_cast<std::size_t>(rank_)] = n;
-  phase();
+  phase(ctx);
   for (int r = 0; r < st.size; ++r) {
     CAGNET_CHECK(st.slot_len[static_cast<std::size_t>(r)] == n,
-                 std::string(what) + ": ranks disagree on element count");
+                 std::string(ctx.op) + " [" + comm_category_name(ctx.cat) +
+                     "]: ranks disagree on element count (rank " +
+                     std::to_string(rank_) + " passed " + std::to_string(n) +
+                     ", rank " + std::to_string(r) + " passed " +
+                     std::to_string(
+                         st.slot_len[static_cast<std::size_t>(r)]) +
+                     ")");
   }
-  phase();
+  phase(ctx);
 }
 
 PendingOp Comm::post_async(detail::OpKind kind, const void* publish_ptr,
@@ -156,10 +227,12 @@ PendingOp Comm::post_async(detail::OpKind kind, const void* publish_ptr,
                            void* gathered, const void* publish_ptr2) {
   auto& st = *state_;
   const auto rank = static_cast<std::size_t>(rank_);
+  const detail::OpContext ctx{rank_, cat, detail::op_kind_name(kind)};
   CAGNET_CHECK(
       st.outstanding[rank] < detail::kAsyncChannels,
       "too many posted-but-unwaited nonblocking collectives on one "
       "communicator (max 16 in flight per rank); wait() some first");
+  detail::seam_event(st, ctx, FaultSite::kPost);
   const std::uint64_t ticket = st.next_ticket[rank]++;
   auto& ch = *st.channels[ticket % static_cast<std::uint64_t>(
                                        detail::kAsyncChannels)];
@@ -169,7 +242,7 @@ PendingOp Comm::post_async(detail::OpKind kind, const void* publish_ptr,
   // generation before its slots may be overwritten.
   detail::await_counter(ch.finished, ch.waiters,
                         static_cast<std::uint64_t>(st.size) * gen,
-                        st.hub->aborted);
+                        st.hub->aborted, ctx);
   ch.ptr[rank] = publish_ptr;
   ch.ptr2[rank] = publish_ptr2;
   ch.len[rank] = publish_len;
@@ -218,10 +291,12 @@ void PendingOp::wait() {
       kind_ == detail::OpKind::kBcast && rank_ == root_;
   const bool per_source_drain =
       kind_ == detail::OpKind::kAlltoallv && gathered_ == nullptr;
+  const detail::OpContext ctx{rank_, cat_, detail::op_kind_name(kind_)};
+  detail::seam_event(st, ctx, FaultSite::kWait);
   if (!passive_root && !per_source_drain) {
     detail::await_counter(ch.posted, ch.waiters,
                           static_cast<std::uint64_t>(st.size) * (gen + 1),
-                          st.hub->aborted);
+                          st.hub->aborted, ctx);
   }
   complete_(*this);
   detail::bump_counter(ch.finished, ch.waiters);
@@ -243,16 +318,17 @@ struct SplitContext {
 
 Comm Comm::split(int color, int key) const {
   CAGNET_CHECK(valid(), "split on an invalid communicator");
+  const detail::OpContext op_ctx{rank_, CommCategory::kControl, "split"};
   auto& st = *state_;
 
   if (rank_ == 0) st.split_ctx = std::make_shared<SplitContext>();
-  phase();
+  phase(op_ctx);
   auto* ctx = static_cast<SplitContext*>(st.split_ctx.get());
   {
     std::lock_guard<std::mutex> lock(ctx->mutex);
     ctx->groups[color].push_back({key, rank_});
   }
-  phase();
+  phase(op_ctx);
 
   // Membership is frozen now; reads below need no lock.
   std::vector<std::pair<int, int>> group = ctx->groups.at(color);
@@ -270,14 +346,14 @@ Comm Comm::split(int color, int key) const {
     std::lock_guard<std::mutex> lock(ctx->mutex);
     ctx->states[color] = new_state;
   }
-  phase();
+  phase(op_ctx);
 
   std::shared_ptr<detail::CommState> new_state;
   {
     std::lock_guard<std::mutex> lock(ctx->mutex);
     new_state = ctx->states.at(color);
   }
-  phase();
+  phase(op_ctx);
   if (rank_ == 0) st.split_ctx.reset();
   return Comm(std::move(new_state), new_rank, meter_);
 }
@@ -461,6 +537,11 @@ void run_world(int p, const std::function<void(Comm&)>& fn,
                std::vector<CostMeter>* meters_out) {
   CAGNET_CHECK(p >= 1, "world size must be at least 1");
   auto hub = std::make_shared<detail::AbortHub>();
+  // Capture the process-global fault schedule for this world's lifetime
+  // (null keeps the transport seam inert). The lazy CAGNET_FAULT parse
+  // happens here, on the launching thread, so a malformed spec is a
+  // catchable Error at the run_world call site.
+  hub->fault = fault_plan();
   auto state = std::make_shared<detail::CommState>(p, hub);
   hub->register_state(state);
   std::vector<CostMeter> meters(static_cast<std::size_t>(p));
@@ -483,13 +564,13 @@ void run_world(int p, const std::function<void(Comm&)>& fn,
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
-        // Release peers parked at the barrier, permanently removing this
-        // rank so current and future phases complete, and poison every
-        // registered communicator state so nonblocking waiters (including
-        // those parked on split sub-communicators) wake, observe the
-        // flag, and unwind.
+        // Poison every registered communicator state: the abort flag goes
+        // up, then every channel counter and phase gate is bumped and
+        // notified, so peers parked anywhere — nonblocking waits,
+        // per-source drains, or blocking collectives' rendezvous, on the
+        // world or any split sub-communicator — wake, observe the flag,
+        // and unwind with a typed CommAborted.
         hub->poison();
-        state->gate.arrive_and_drop();
       }
     });
   }

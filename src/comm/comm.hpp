@@ -24,7 +24,6 @@
 #pragma once
 
 #include <atomic>
-#include <barrier>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -35,6 +34,7 @@
 
 #include "src/comm/compress.hpp"
 #include "src/comm/costmeter.hpp"
+#include "src/comm/fault.hpp"
 #include "src/util/error.hpp"
 #include "src/util/types.hpp"
 
@@ -64,6 +64,24 @@ enum class OpKind : std::uint8_t {
   kAllreduce,
   kAlltoallv,
 };
+
+/// Display name of a nonblocking op kind (diagnostics and CommAborted).
+const char* op_kind_name(OpKind kind);
+
+/// Identity of the operation a seam event or abort belongs to: the
+/// observing rank, the traffic category, and the op's display name. Built
+/// once per collective call and threaded through the publish/await/charge
+/// hooks and every abort throw, so a CommAborted always names rank, phase,
+/// and op kind no matter where the unwind started.
+struct OpContext {
+  int rank;
+  CommCategory cat;
+  const char* op;
+};
+
+/// Throw the peer-failure form of CommAborted: the world died under this
+/// rank while it was inside `ctx`'s operation.
+[[noreturn]] void throw_peer_aborted(const OpContext& ctx, FaultSite site);
 
 /// Rendezvous state of one nonblocking-collective channel. Channels are
 /// recycled in generations: the op with ticket T uses channel T % K at
@@ -107,18 +125,40 @@ struct CommState;
 
 /// World-wide abort fan-out shared by a world and every communicator split
 /// off it. A failing rank sets the flag and poisons every registered
-/// state's channels (bump + notify), so waiters parked on channel futexes
-/// anywhere in the communicator tree wake, observe the flag, and unwind.
+/// state's channels and phase gates (bump + notify), so waiters parked on
+/// futexes anywhere in the communicator tree — nonblocking waits AND
+/// blocking-collective rendezvous, including on split sub-communicators —
+/// wake, observe the flag, and unwind.
 struct AbortHub {
   std::atomic<bool> aborted{false};
   std::mutex mutex;
   std::vector<std::weak_ptr<CommState>> states;
+  /// World-lifetime fault schedule captured from the process-global plan
+  /// at run_world entry; null is the everything-disabled fast path.
+  std::shared_ptr<FaultPlan> fault;
 
   void register_state(const std::shared_ptr<CommState>& state) {
     std::lock_guard<std::mutex> lock(mutex);
     states.push_back(state);
   }
   void poison();  // comm.cpp
+};
+
+/// Abortable phase barrier (replaces std::barrier, which only a
+/// participant can drop: a rank that died elsewhere would leave peers
+/// parked in a blocking collective forever). Arrivals are a cumulative
+/// counter; the last arrival of a phase bumps `released` and wakes the
+/// rest, who park on it futex-style. AbortHub::poison bumps `released`
+/// too, so every parked arrival wakes, observes the flag, and unwinds —
+/// the unwind guarantee now covers blocking collectives on split
+/// sub-communicators as well.
+struct PhaseGate {
+  explicit PhaseGate(int n) : size(static_cast<std::uint64_t>(n)) {}
+
+  const std::uint64_t size;
+  std::atomic<std::uint64_t> arrived{0};
+  std::atomic<std::uint64_t> released{0};  ///< completed phases
+  std::atomic<int> waiters{0};
 };
 
 /// Shared state of one communicator: a phase barrier plus per-rank
@@ -128,7 +168,8 @@ struct AbortHub {
 /// edges; the channels carry their own ordering (see AsyncChannel).
 struct CommState {
   CommState(int n, std::shared_ptr<AbortHub> abort_hub)
-      : size(n), gate(n), slot_ptr(static_cast<std::size_t>(n), nullptr),
+      : size(n), gate(n),
+        slot_ptr(static_cast<std::size_t>(n), nullptr),
         slot_ptr2(static_cast<std::size_t>(n), nullptr),
         slot_len(static_cast<std::size_t>(n), 0),
         slot_dest(static_cast<std::size_t>(n), -1),
@@ -142,7 +183,14 @@ struct CommState {
   }
 
   const int size;
-  std::barrier<> gate;
+  /// Process-unique identity. A raw CommState pointer is NOT a safe
+  /// identity across worlds: a rebuilt world's allocation can land on a
+  /// freed predecessor's address, and anything keyed on the pointer (the
+  /// compress-buffer binding) would silently adopt stale state from the
+  /// dead world. The uid is never recycled, so a binding check against it
+  /// always detects a new communicator.
+  const std::uint64_t uid = next_uid();
+  PhaseGate gate;
   std::vector<const void*> slot_ptr;
   std::vector<const void*> slot_ptr2; // alltoallv per-destination offsets
   std::vector<std::size_t> slot_len;  // element counts, payload-defined units
@@ -161,18 +209,25 @@ struct CommState {
   /// anywhere in the world also unblocks nonblocking waits on
   /// sub-communicators.
   std::shared_ptr<AbortHub> hub;
+
+ private:
+  static std::uint64_t next_uid() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 };
 
 /// Block until `counter` (cumulative across channel generations) reaches
 /// `target`: a few yields for the near-miss case, then a futex park
 /// (atomic wait) that burns no cycles — on an oversubscribed host the
-/// rank being waited on needs them. Throws as soon as the world aborts
-/// (AbortHub::poison bumps and notifies every channel counter, so parked
-/// waiters wake). Posts precede waits by a whole compute stage in the
-/// double-buffered loops, so the fast path is a single load.
+/// rank being waited on needs them. Throws CommAborted (naming `ctx`'s
+/// rank/op/category) as soon as the world aborts: AbortHub::poison bumps
+/// and notifies every counter, so parked waiters wake. Posts precede
+/// waits by a whole compute stage in the double-buffered loops, so the
+/// fast path is a single load.
 void await_counter(const std::atomic<std::uint64_t>& counter,
                    std::atomic<int>& waiters, std::uint64_t target,
-                   const std::atomic<bool>& aborted);
+                   const std::atomic<bool>& aborted, const OpContext& ctx);
 
 /// Counter bump + conditional wake, the posting half of await_counter's
 /// protocol.
@@ -181,6 +236,36 @@ inline void bump_counter(std::atomic<std::uint64_t>& counter,
   counter.fetch_add(1, std::memory_order_seq_cst);
   if (waiters.load(std::memory_order_seq_cst) != 0) counter.notify_all();
 }
+
+/// The transport seam: every payload publication, completion await, and
+/// meter charge in the runtime reports itself here. With no fault plan
+/// installed this is a null-pointer test (no lock, no allocation, no
+/// charge perturbation); with one armed it is where kills, delays, and
+/// poisoned payloads are injected (src/comm/fault.hpp).
+inline void seam_event(const CommState& st, const OpContext& ctx,
+                       FaultSite site) {
+  FaultPlan* plan = st.hub->fault.get();
+  if (plan != nullptr) [[unlikely]] {
+    try {
+      plan->on_event(ctx.rank, ctx.cat, site, ctx.op);
+    } catch (...) {
+      // Poison at throw time, not at run_world's catch: the dying rank's
+      // own stack unwind completes in-flight ops, and those completions
+      // block on peers who in turn block on this rank — a mutual wait
+      // that only resolves if the abort flag is already up world-wide
+      // when the unwind's awaits run.
+      st.hub->poison();
+      throw;
+    }
+  }
+}
+
+/// Program-order mismatch diagnostic naming this rank, the op it is
+/// waiting on (kind + category), the offending peer, and what that peer
+/// posted instead. Out-of-line (comm.cpp) — built only on the failure
+/// path.
+std::string order_mismatch(const OpContext& ctx, OpKind want, int peer,
+                           OpKind got);
 
 }  // namespace detail
 
@@ -212,8 +297,8 @@ struct CompressBuf {
   std::vector<Real> residual;        ///< error-feedback carry
   std::vector<Real> scratch;         ///< decode workspace
   bool error_feedback = false;       ///< apply residual feedback on encode
-  const void* bound_comm = nullptr;  ///< identity of the bound communicator
-  std::size_t bound_n = 0;           ///< bound element count
+  std::uint64_t bound_comm = 0;  ///< uid of the bound communicator (0 = none)
+  std::size_t bound_n = 0;       ///< bound element count
 };
 
 namespace detail {
@@ -336,6 +421,8 @@ class PendingOp {
     CAGNET_CHECK(src < 64, "await_source: drain supports at most 64 ranks");
     CAGNET_CHECK((drained_mask_ & (std::uint64_t{1} << src)) == 0,
                  "await_source: source already drained");
+    const detail::OpContext ctx{rank_, cat_, "ialltoallv_post drain"};
+    detail::seam_event(*state_, ctx, FaultSite::kWait);
     auto& ch = *state_->channels[ticket_ %
                                  static_cast<std::uint64_t>(
                                      detail::kAsyncChannels)];
@@ -343,11 +430,12 @@ class PendingOp {
         ticket_ / static_cast<std::uint64_t>(detail::kAsyncChannels);
     if (src != rank_) {
       detail::await_counter(ch.posted_by[static_cast<std::size_t>(src)],
-                            ch.waiters, gen + 1, state_->hub->aborted);
+                            ch.waiters, gen + 1, state_->hub->aborted, ctx);
     }
     CAGNET_CHECK(ch.kind[static_cast<std::size_t>(src)] == kind_ &&
                      ch.root[static_cast<std::size_t>(src)] == root_,
-                 "nonblocking collective: ranks disagree on op order");
+                 detail::order_mismatch(
+                     ctx, kind_, src, ch.kind[static_cast<std::size_t>(src)]));
     const auto* offs = static_cast<const std::size_t*>(
         ch.ptr2[static_cast<std::size_t>(src)]);
     const auto me = static_cast<std::size_t>(rank_);
@@ -396,6 +484,9 @@ class PendingOp {
 
   void charge(double latency_units, std::size_t bytes) {
     if (!charged_) return;
+    detail::seam_event(
+        *state_, {rank_, cat_, detail::op_kind_name(kind_)},
+        FaultSite::kCharge);
     meter_->add(cat_, latency_units,
                 static_cast<double>(bytes) / sizeof(Real));
   }
@@ -409,6 +500,7 @@ class PendingOp {
   /// Makes wait()/destruction equivalent to a full drain charge-wise.
   template <typename T>
   static void complete_drain_impl(PendingOp& op) {
+    const detail::OpContext ctx{op.rank_, op.cat_, "ialltoallv_post drain"};
     auto& ch = *op.state_->channels[op.ticket_ %
                                     static_cast<std::uint64_t>(
                                         detail::kAsyncChannels)];
@@ -421,10 +513,13 @@ class PendingOp {
         continue;
       }
       detail::await_counter(ch.posted_by[static_cast<std::size_t>(r)],
-                            ch.waiters, gen + 1, op.state_->hub->aborted);
+                            ch.waiters, gen + 1, op.state_->hub->aborted,
+                            ctx);
       CAGNET_CHECK(ch.kind[static_cast<std::size_t>(r)] == op.kind_ &&
                        ch.root[static_cast<std::size_t>(r)] == op.root_,
-                   "nonblocking collective: ranks disagree on op order");
+                   detail::order_mismatch(
+                       ctx, op.kind_, r,
+                       ch.kind[static_cast<std::size_t>(r)]));
       const auto* offs = static_cast<const std::size_t*>(
           ch.ptr2[static_cast<std::size_t>(r)]);
       const auto me = static_cast<std::size_t>(op.rank_);
@@ -584,16 +679,19 @@ class Comm {
   void broadcast(std::span<T> data, int root, CommCategory cat) {
     check_valid("broadcast");
     check_member(root);
-    sync_sizes(data.size(), "broadcast");
+    const detail::OpContext ctx{rank_, cat, "broadcast"};
+    sync_sizes(data.size(), ctx);
+    detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = data.data();
-    phase();
+    phase(ctx);
+    detail::seam_event(*state_, ctx, FaultSite::kWait);
     if (rank_ != root && !data.empty()) {
       std::memcpy(data.data(),
                   state_->slot_ptr[static_cast<std::size_t>(root)],
                   data.size() * sizeof(T));
     }
-    phase();
-    if (size() > 1) charge(cat, ceil_log2(size()), data.size() * sizeof(T));
+    phase(ctx);
+    if (size() > 1) charge(ctx, ceil_log2(size()), data.size() * sizeof(T));
   }
 
   /// Broadcast that reads directly from the root's existing buffer: the
@@ -607,18 +705,21 @@ class Comm {
                       CommCategory cat) {
     check_valid("broadcast_from");
     check_member(root);
+    const detail::OpContext ctx{rank_, cat, "broadcast_from"};
     const std::size_t n = rank_ == root ? src.size() : dst.size();
-    sync_sizes(n, "broadcast_from");
+    sync_sizes(n, ctx);
+    detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] =
         rank_ == root ? static_cast<const void*>(src.data()) : nullptr;
-    phase();
+    phase(ctx);
+    detail::seam_event(*state_, ctx, FaultSite::kWait);
     if (rank_ != root && n > 0) {
       std::memcpy(dst.data(),
                   state_->slot_ptr[static_cast<std::size_t>(root)],
                   n * sizeof(T));
     }
-    phase();
-    if (size() > 1) charge(cat, ceil_log2(size()), n * sizeof(T));
+    phase(ctx);
+    if (size() > 1) charge(ctx, ceil_log2(size()), n * sizeof(T));
   }
 
   /// In-place elementwise sum over all members; every rank ends with the
@@ -627,7 +728,7 @@ class Comm {
   template <typename T>
   void allreduce_sum(std::span<T> data, CommCategory cat) {
     check_valid("allreduce_sum");
-    reduce_impl(data, cat, /*is_max=*/false);
+    reduce_impl(data, cat, /*is_max=*/false, "allreduce_sum");
   }
 
   /// In-place elementwise max over all members. Charged like
@@ -635,7 +736,7 @@ class Comm {
   template <typename T>
   void allreduce_max(std::span<T> data, CommCategory cat) {
     check_valid("allreduce_max");
-    reduce_impl(data, cat, /*is_max=*/true);
+    reduce_impl(data, cat, /*is_max=*/true, "allreduce_max");
   }
 
   /// Reduce-scatter with sum: `contrib` (same length on every rank) is the
@@ -647,10 +748,13 @@ class Comm {
   void reduce_scatter_sum(std::span<const T> contrib, std::span<T> out,
                           CommCategory cat) {
     check_valid("reduce_scatter_sum");
+    const detail::OpContext ctx{rank_, cat, "reduce_scatter_sum"};
     const int p = size();
+    detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = contrib.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = out.size();
-    phase();
+    phase(ctx);
+    detail::seam_event(*state_, ctx, FaultSite::kWait);
     std::size_t offset = 0;
     std::size_t total = 0;
     for (int r = 0; r < p; ++r) {
@@ -670,8 +774,8 @@ class Comm {
                      offset;
       for (std::size_t i = 0; i < out.size(); ++i) out[i] += src[i];
     }
-    phase();
-    charge(cat, ceil_log2(p),
+    phase(ctx);
+    charge(ctx, ceil_log2(p),
            total * sizeof(T) * (p - 1) / std::max(p, 1));
   }
 
@@ -680,7 +784,7 @@ class Comm {
   template <typename T>
   std::vector<T> allgather(std::span<const T> mine, CommCategory cat) {
     check_valid("allgather");
-    sync_sizes(mine.size(), "allgather");
+    sync_sizes(mine.size(), {rank_, cat, "allgather"});
     return allgatherv(mine, cat).data;
   }
 
@@ -700,10 +804,13 @@ class Comm {
   void allgatherv_into(std::span<const T> mine, Gathered<T>& out,
                        CommCategory cat) {
     check_valid("allgatherv_into");
+    const detail::OpContext ctx{rank_, cat, "allgatherv_into"};
     const int p = size();
+    detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = mine.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = mine.size();
-    phase();
+    phase(ctx);
+    detail::seam_event(*state_, ctx, FaultSite::kWait);
     out.offsets.resize(static_cast<std::size_t>(p) + 1);
     out.offsets[0] = 0;
     for (int r = 0; r < p; ++r) {
@@ -719,8 +826,8 @@ class Comm {
                   state_->slot_ptr[static_cast<std::size_t>(r)],
                   len * sizeof(T));
     }
-    phase();
-    charge(cat, ceil_log2(p), (out.data.size() - mine.size()) * sizeof(T));
+    phase(ctx);
+    charge(ctx, ceil_log2(p), (out.data.size() - mine.size()) * sizeof(T));
   }
 
   /// Pairwise exchange: send `send` to `peer` and receive its message.
@@ -731,9 +838,12 @@ class Comm {
                           CommCategory cat) {
     check_valid("exchange");
     check_member(peer);
+    const detail::OpContext ctx{rank_, cat, "exchange"};
+    detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = send.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = send.size();
-    phase();
+    phase(ctx);
+    detail::seam_event(*state_, ctx, FaultSite::kWait);
     const auto len = state_->slot_len[static_cast<std::size_t>(peer)];
     std::vector<T> recv(len);
     if (len > 0) {
@@ -741,8 +851,8 @@ class Comm {
                   state_->slot_ptr[static_cast<std::size_t>(peer)],
                   len * sizeof(T));
     }
-    phase();
-    if (peer != rank_) charge(cat, 1.0, len * sizeof(T));
+    phase(ctx);
+    if (peer != rank_) charge(ctx, 1.0, len * sizeof(T));
     return recv;
   }
 
@@ -755,10 +865,13 @@ class Comm {
   std::vector<T> route(std::span<const T> send, int dest, CommCategory cat) {
     check_valid("route");
     check_member(dest);
+    const detail::OpContext ctx{rank_, cat, "route"};
+    detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = send.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = send.size();
     state_->slot_dest[static_cast<std::size_t>(rank_)] = dest;
-    phase();
+    phase(ctx);
+    detail::seam_event(*state_, ctx, FaultSite::kWait);
     int src = -1;
     for (int r = 0; r < size(); ++r) {
       if (state_->slot_dest[static_cast<std::size_t>(r)] == rank_) {
@@ -774,8 +887,8 @@ class Comm {
                   state_->slot_ptr[static_cast<std::size_t>(src)],
                   len * sizeof(T));
     }
-    phase();
-    if (src != rank_) charge(cat, 1.0, len * sizeof(T));
+    phase(ctx);
+    if (src != rank_) charge(ctx, 1.0, len * sizeof(T));
     return recv;
   }
 
@@ -793,14 +906,17 @@ class Comm {
                       Gathered<T>& out, CommCategory cat) {
     check_valid("alltoallv_into");
     check_offsets(send.size(), send_offsets, "alltoallv_into");
+    const detail::OpContext ctx{rank_, cat, "alltoallv_into"};
     const int p = size();
+    detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = send.data();
     state_->slot_ptr2[static_cast<std::size_t>(rank_)] = send_offsets.data();
-    phase();
+    phase(ctx);
+    detail::seam_event(*state_, ctx, FaultSite::kWait);
     const std::size_t self_chunk = detail::alltoallv_unpack<T>(
         p, rank_, state_->slot_ptr, state_->slot_ptr2, out);
-    phase();
-    charge(cat, p > 1 ? static_cast<double>(p - 1) : 0.0,
+    phase(ctx);
+    charge(ctx, p > 1 ? static_cast<double>(p - 1) : 0.0,
            (out.data.size() - self_chunk) * sizeof(T));
   }
 
@@ -811,10 +927,13 @@ class Comm {
   Gathered<T> gather(std::span<const T> mine, int root, CommCategory cat) {
     check_valid("gather");
     check_member(root);
+    const detail::OpContext ctx{rank_, cat, "gather"};
     const int p = size();
+    detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = mine.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = mine.size();
-    phase();
+    phase(ctx);
+    detail::seam_event(*state_, ctx, FaultSite::kWait);
     Gathered<T> result;
     if (rank_ == root) {
       result.offsets.resize(static_cast<std::size_t>(p) + 1, 0);
@@ -832,8 +951,8 @@ class Comm {
             state_->slot_ptr[static_cast<std::size_t>(r)], len * sizeof(T));
       }
     }
-    phase();
-    charge(cat, ceil_log2(p),
+    phase(ctx);
+    charge(ctx, ceil_log2(p),
            rank_ == root ? (result.data.size() - mine.size()) * sizeof(T)
                          : mine.size() * sizeof(T));
     return result;
@@ -1010,13 +1129,15 @@ class Comm {
                      "from run_world or split)");
   }
 
-  /// One barrier phase with abort propagation. Const because it only
-  /// touches the shared state, never this rank's identity.
-  void phase() const;
+  /// One barrier phase with abort propagation: unwinds with a CommAborted
+  /// naming `ctx` as soon as the world dies, even while parked (the
+  /// PhaseGate is poison-wakeable). Const because it only touches the
+  /// shared state, never this rank's identity.
+  void phase(const detail::OpContext& ctx) const;
 
   /// Debug-style guard: all ranks must pass matching sizes to size-uniform
   /// collectives (cheap, and catches the classic SUMMA off-by-one).
-  void sync_sizes(std::size_t n, const char* what) const;
+  void sync_sizes(std::size_t n, const detail::OpContext& ctx) const;
 
   /// Purely local alltoallv offsets validation: size()+1 monotone entries
   /// spanning exactly the send buffer.
@@ -1033,8 +1154,10 @@ class Comm {
     }
   }
 
-  void charge(CommCategory cat, double latency_units, std::size_t bytes) {
-    meter_->add(cat, latency_units,
+  void charge(const detail::OpContext& ctx, double latency_units,
+              std::size_t bytes) {
+    detail::seam_event(*state_, ctx, FaultSite::kCharge);
+    meter_->add(ctx.cat, latency_units,
                 static_cast<double>(bytes) / sizeof(Real));
   }
 
@@ -1042,9 +1165,9 @@ class Comm {
   /// either resets the error-feedback residual (feedback accumulated on
   /// another communicator or buffer shape must not leak into this one).
   void rebind_compress_buf(CompressBuf& buf, std::size_t n) const {
-    if (buf.bound_comm != state_.get() || buf.bound_n != n) {
+    if (buf.bound_comm != state_->uid || buf.bound_n != n) {
       buf.residual.clear();
-      buf.bound_comm = state_.get();
+      buf.bound_comm = state_->uid;
       buf.bound_n = n;
     }
   }
@@ -1058,12 +1181,16 @@ class Comm {
                        void* gathered, const void* publish_ptr2 = nullptr);
 
   template <typename T>
-  void reduce_impl(std::span<T> data, CommCategory cat, bool is_max) {
+  void reduce_impl(std::span<T> data, CommCategory cat, bool is_max,
+                   const char* op) {
+    const detail::OpContext ctx{rank_, cat, op};
     const int p = size();
+    detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = data.data();
-    phase();
+    phase(ctx);
+    detail::seam_event(*state_, ctx, FaultSite::kWait);
     if (rank_ == 0) state_->scratch.resize(data.size() * sizeof(T));
-    phase();
+    phase(ctx);
     T* scratch = reinterpret_cast<T*>(state_->scratch.data());
     // Rank r reduces its chunk across all publishers (reduce-scatter step).
     const std::size_t lo = data.size() * static_cast<std::size_t>(rank_) /
@@ -1084,13 +1211,13 @@ class Comm {
       }
       scratch[i] = acc;
     }
-    phase();
+    phase(ctx);
     // All-gather step: everyone copies the full reduced vector.
     if (!data.empty()) {
       std::memcpy(data.data(), scratch, data.size() * sizeof(T));
     }
-    phase();
-    charge(cat, 2.0 * ceil_log2(p),
+    phase(ctx);
+    charge(ctx, 2.0 * ceil_log2(p),
            2 * data.size() * sizeof(T) * (p - 1) / std::max(p, 1));
   }
 
@@ -1115,7 +1242,9 @@ void PendingOp::complete_impl(PendingOp& op) {
   for (int r = 0; r < p; ++r) {
     CAGNET_CHECK(ch.kind[static_cast<std::size_t>(r)] == op.kind_ &&
                      ch.root[static_cast<std::size_t>(r)] == op.root_,
-                 "nonblocking collective: ranks disagree on op order");
+                 detail::order_mismatch(
+                     {op.rank_, op.cat_, detail::op_kind_name(op.kind_)},
+                     op.kind_, r, ch.kind[static_cast<std::size_t>(r)]));
   }
   switch (op.kind_) {
     case detail::OpKind::kBcast: {
@@ -1207,13 +1336,17 @@ void PendingOp::complete_impl(PendingOp& op) {
 
 /// Launch a world of `p` ranks, each running `fn(comm)` on its own thread.
 /// Rethrows the first rank exception after joining all threads. Peers
-/// blocked in *nonblocking* waits (on any communicator in the split tree)
-/// or in the *world's* barrier phases are released by the abort machinery
-/// and unwind; a peer parked in a blocking collective's barrier phase on
-/// a split sub-communicator is not reachable (std::barrier can only be
-/// dropped by a participant) — a pre-existing limitation of the blocking
-/// layer. If `meters_out` is non-null it receives each rank's final
-/// CostMeter.
+/// blocked anywhere — nonblocking waits, per-source drains, or blocking
+/// collectives' barrier phases, on the world or any split
+/// sub-communicator — are released by the abort machinery (the PhaseGate
+/// and channel counters are poison-wakeable) and unwind with a typed
+/// CommAborted naming their rank, op, and category. The thread pool and
+/// the process-wide knobs are untouched by an abort, so the caller may
+/// immediately launch a fresh world (the recovery driver in
+/// src/core/recovery.hpp does). The world consults the process-global
+/// fault plan (src/comm/fault.hpp) at entry; with none installed the
+/// transport seam is inert. If `meters_out` is non-null it receives each
+/// rank's final CostMeter.
 void run_world(int p, const std::function<void(Comm&)>& fn,
                std::vector<CostMeter>* meters_out = nullptr);
 

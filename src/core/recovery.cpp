@@ -1,0 +1,139 @@
+#include "src/core/recovery.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+
+#include "src/gnn/checkpoint.hpp"
+
+namespace cagnet {
+
+namespace {
+
+struct CkptKnob {
+  std::mutex mutex;
+  bool initialized = false;
+  int every = 0;
+};
+
+CkptKnob& ckpt_knob() {
+  static CkptKnob k;
+  return k;
+}
+
+}  // namespace
+
+int ckpt_every() {
+  CkptKnob& k = ckpt_knob();
+  std::lock_guard<std::mutex> lock(k.mutex);
+  if (!k.initialized) {
+    const char* env = std::getenv("CAGNET_CKPT_EVERY");
+    if (env != nullptr && env[0] != '\0') {
+      const std::string s(env);
+      CAGNET_CHECK(s.find_first_not_of("0123456789") == std::string::npos,
+                   "CAGNET_CKPT_EVERY: \"" + s +
+                       "\" is not a non-negative integer");
+      k.every = std::atoi(env);
+    }
+    k.initialized = true;
+  }
+  return k.every;
+}
+
+void set_ckpt_every(int every) {
+  CAGNET_CHECK(every >= 0, "set_ckpt_every: interval must be non-negative");
+  CkptKnob& k = ckpt_knob();
+  std::lock_guard<std::mutex> lock(k.mutex);
+  k.every = every;
+  k.initialized = true;
+}
+
+RecoveryReport train_with_recovery(const std::string& algebra,
+                                   const DistProblem& problem,
+                                   const GnnConfig& config, int p, int epochs,
+                                   const RecoveryOptions& options) {
+  CAGNET_CHECK(!options.ckpt_path.empty(),
+               "train_with_recovery: options.ckpt_path is required");
+  CAGNET_CHECK(epochs >= 0, "train_with_recovery: epochs must be >= 0");
+  const int every = options.ckpt_every >= 0 ? options.ckpt_every : ckpt_every();
+  const std::string& path = options.ckpt_path;
+  if (!options.resume_existing) {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+
+  RecoveryReport report;
+  report.epochs = epochs;
+  report.losses.assign(static_cast<std::size_t>(epochs), Real{0});
+
+  // Rank 0's completed-epoch count for the current attempt, read after an
+  // abort to account the epochs the next attempt must re-train.
+  std::atomic<int> completed{0};
+  std::mutex report_mutex;
+
+  for (;;) {
+    // Resume point: the latest durable checkpoint, or a fresh model. The
+    // deterministic weight init means attempt zero is reproducible too.
+    int start = 0;
+    bool have_ckpt = false;
+    Checkpoint ckpt;
+    if (std::filesystem::exists(path)) {
+      ckpt = load_checkpoint(path);  // CRC-verified; throws if corrupt
+      start = static_cast<int>(ckpt.epoch);
+      CAGNET_CHECK(start <= epochs,
+                   "checkpoint " + path + " is ahead of the requested run (" +
+                       std::to_string(start) + " > " +
+                       std::to_string(epochs) + " epochs)");
+      have_ckpt = true;
+    }
+    completed.store(start, std::memory_order_relaxed);
+
+    try {
+      run_world(p, [&](Comm& world) {
+        auto trainer = make_dist_trainer(algebra, problem, config, world);
+        if (have_ckpt) trainer->set_weights(ckpt.weights);
+        for (int e = start; e < epochs; ++e) {
+          const Real loss = trainer->train_epoch().loss;
+          if (world.rank() == 0) {
+            {
+              std::lock_guard<std::mutex> lock(report_mutex);
+              report.losses[static_cast<std::size_t>(e)] = loss;
+            }
+            completed.store(e + 1, std::memory_order_relaxed);
+            if (every > 0 && (e + 1) % every == 0 && e + 1 < epochs) {
+              const auto t0 = std::chrono::steady_clock::now();
+              save_checkpoint(path, trainer->weights(),
+                              static_cast<std::uint64_t>(e + 1));
+              const auto t1 = std::chrono::steady_clock::now();
+              std::lock_guard<std::mutex> lock(report_mutex);
+              report.checkpoint_write_seconds +=
+                  std::chrono::duration<double>(t1 - t0).count();
+              ++report.checkpoints_written;
+            }
+          }
+        }
+        if (world.rank() == 0) {
+          std::lock_guard<std::mutex> lock(report_mutex);
+          report.weights = trainer->weights();
+        }
+      });
+      return report;
+    } catch (const CommAborted& abort) {
+      report.last_abort = abort;
+      ++report.restarts;
+      // Epochs finished this attempt but not yet durable: the next
+      // attempt resumes from the latest checkpoint and re-trains them.
+      int durable = 0;
+      if (std::filesystem::exists(path)) {
+        durable = static_cast<int>(load_checkpoint(path).epoch);
+      }
+      const int reached = completed.load(std::memory_order_relaxed);
+      if (reached > durable) report.retrained_epochs += reached - durable;
+      if (report.restarts > options.max_restarts) throw;
+    }
+  }
+}
+
+}  // namespace cagnet

@@ -1,20 +1,61 @@
-// Model checkpointing: save/restore the replicated weight matrices.
+// Crash-consistent model checkpointing: save/restore the replicated
+// weight matrices plus the epoch they correspond to.
 //
-// Binary format: magic "CAGW", layer count, then per-layer (rows, cols,
-// row-major doubles). Weights are replicated in every distribution scheme,
-// so one rank saving is a complete checkpoint for any trainer.
+// Binary format (version 2):
+//   magic "CAGW" | u32 version | u64 epoch | u64 layer count |
+//   per-layer (i64 rows, i64 cols, row-major doubles) | u32 CRC32
+// The trailing CRC32 covers every byte after the magic; load rejects
+// truncated, bit-flipped, or foreign files with a typed CheckpointError.
+//
+// Writes are atomic: the image is serialized to memory, written to
+// `path + ".tmp"`, flushed, and renamed over `path`. A crash mid-write
+// leaves either the previous checkpoint or a stray .tmp — never a
+// half-written file that load could mistake for a checkpoint. This is
+// what lets the recovery driver (src/core/recovery.hpp) trust the latest
+// on-disk checkpoint unconditionally.
+//
+// Weights are replicated in every distribution scheme, so one rank
+// saving is a complete checkpoint for any trainer.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/dense/matrix.hpp"
+#include "src/util/error.hpp"
 
 namespace cagnet {
 
-void save_weights(const std::string& path,
-                  const std::vector<Matrix>& weights);
+/// Typed error for every checkpoint failure mode: missing file, bad
+/// magic, unsupported version, truncation, CRC mismatch, write failure.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& message) : Error(message) {}
+};
 
+/// A loaded checkpoint: the epoch it was taken after plus the weights.
+struct Checkpoint {
+  std::uint64_t epoch = 0;
+  std::vector<Matrix> weights;
+};
+
+/// CRC32 (IEEE 802.3, reflected) of `len` bytes — the integrity check
+/// sealed into every checkpoint. Exposed so tests can forge/verify.
+std::uint32_t crc32(const void* data, std::size_t len);
+
+/// Atomically write a version-2 checkpoint (tmp-file + rename).
+/// Throws CheckpointError on any I/O failure.
+void save_checkpoint(const std::string& path,
+                     const std::vector<Matrix>& weights, std::uint64_t epoch);
+
+/// Load and verify a checkpoint. Throws CheckpointError if the file is
+/// missing, has the wrong magic or an unsupported version, is truncated,
+/// or fails the CRC32 check.
+Checkpoint load_checkpoint(const std::string& path);
+
+/// Back-compat wrappers: epoch-0 checkpoints of just the weights.
+void save_weights(const std::string& path, const std::vector<Matrix>& weights);
 std::vector<Matrix> load_weights(const std::string& path);
 
 }  // namespace cagnet

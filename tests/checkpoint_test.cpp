@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -146,6 +147,116 @@ TEST(CheckpointRoundTrip, SetWeightsRejectsShapeMismatch) {
     wrong_shape[0] = Matrix(1, 1);
     EXPECT_THROW(trainer->set_weights(wrong_shape), Error);
   });
+}
+
+// ---- Format hardening: version, CRC32, atomic writes ----
+
+namespace {
+
+std::vector<Matrix> sample_weights() {
+  Rng rng(5);
+  std::vector<Matrix> weights;
+  weights.emplace_back(7, 5);
+  weights.back().fill_uniform(rng, -1, 1);
+  weights.emplace_back(5, 3);
+  weights.back().fill_uniform(rng, -1, 1);
+  return weights;
+}
+
+std::string ckpt_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(CheckpointFormat, EpochAndWeightsRoundTripAndNoTmpLeftBehind) {
+  const std::string path = ckpt_path("cagnet_fmt_roundtrip.bin");
+  const std::vector<Matrix> weights = sample_weights();
+  save_checkpoint(path, weights, 42);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const Checkpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.epoch, 42u);
+  ASSERT_EQ(loaded.weights.size(), weights.size());
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    EXPECT_LE(Matrix::max_abs_diff(loaded.weights[l], weights[l]), Real{0});
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFormat, BitFlipAnywhereFailsTheCrc) {
+  const std::string path = ckpt_path("cagnet_fmt_bitflip.bin");
+  save_checkpoint(path, sample_weights(), 7);
+  const std::string good = slurp(path);
+  // Flip one bit in each region: header field, payload, and the stored
+  // CRC itself — every corruption must be rejected with the typed error.
+  for (const std::size_t pos :
+       {std::size_t{6}, good.size() / 2, good.size() - 2}) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+    spit(path, bad);
+    EXPECT_THROW(load_checkpoint(path), CheckpointError) << "byte " << pos;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFormat, TruncationIsRejected) {
+  const std::string path = ckpt_path("cagnet_fmt_trunc.bin");
+  save_checkpoint(path, sample_weights(), 3);
+  const std::string good = slurp(path);
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{2}, std::size_t{6}, good.size() / 2,
+        good.size() - 1}) {
+    spit(path, good.substr(0, keep));
+    EXPECT_THROW(load_checkpoint(path), CheckpointError) << "kept " << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFormat, ForeignAndMissingFilesAreTypedErrors) {
+  const std::string path = ckpt_path("cagnet_fmt_foreign.bin");
+  spit(path, "PNG\x89 definitely not a checkpoint");
+  EXPECT_THROW(load_checkpoint(path), CheckpointError);
+  try {
+    load_checkpoint(path);
+    FAIL() << "bad magic not diagnosed";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(load_checkpoint(path), CheckpointError);  // missing file
+  // CheckpointError derives from Error: existing catch sites still work.
+  EXPECT_THROW(load_weights(path), Error);
+}
+
+TEST(CheckpointFormat, Crc32MatchesKnownVector) {
+  // IEEE 802.3 check value for "123456789" — pins the polynomial and
+  // reflection so checkpoints stay portable across platforms.
+  EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(CheckpointFormat, SaveOverwritesAtomically) {
+  const std::string path = ckpt_path("cagnet_fmt_overwrite.bin");
+  save_checkpoint(path, sample_weights(), 1);
+  std::vector<Matrix> second = sample_weights();
+  second[0].data()[0] = Real{123.5};
+  save_checkpoint(path, second, 2);
+  const Checkpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.epoch, 2u);
+  EXPECT_EQ(loaded.weights[0].data()[0], Real{123.5});
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // metering, and failure propagation.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <numeric>
@@ -1430,6 +1431,163 @@ TEST(Alltoallv, InvalidCommDiagnosed) {
                                     std::span<const std::size_t>(offsets),
                                     out, CommCategory::kDense),
                Error);
+}
+
+// ---- Abort coverage: compressed collectives and per-source drains ----
+
+TEST(Abort, CompressedCollectiveAbortAndResidualRebindOnRebuiltWorld) {
+  // Kill a rank mid compressed all-reduce, then rebuild a fresh world and
+  // rerun the same reduction with the SAME CompressBuf objects: the
+  // error-feedback residuals were bound to the dead communicator, so the
+  // rebind must reset them — the recovered round is bitwise identical to
+  // one using factory-fresh buffers.
+  const std::size_t n = 300;
+  const auto contrib = [](int rank) {
+    std::vector<Real> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = std::sin(0.1 * static_cast<double>(i + 1) * (rank + 1));
+    }
+    return v;
+  };
+  const auto round = [&](Comm& world, CompressBuf& buf,
+                         std::vector<Real>& out) {
+    out = contrib(world.rank());
+    buf.error_feedback = true;
+    world.allreduce_sum_compressed(std::span<Real>(out), CompressMode::kInt8,
+                                   buf);
+  };
+
+  std::vector<Real> fresh_result;
+  run_world(2, [&](Comm& world) {
+    CompressBuf fresh;
+    std::vector<Real> out;
+    round(world, fresh, out);
+    if (world.rank() == 0) fresh_result = out;
+  });
+
+  std::array<CompressBuf, 2> bufs;  // survive across worlds, like a trainer's
+  set_fault_plan(std::make_shared<FaultPlan>(FaultPlan().kill(
+      1, CommCategory::kCompressed, FaultSite::kWait, 1)));
+  try {
+    EXPECT_THROW(
+        run_world(2,
+                  [&](Comm& world) {
+                    std::vector<Real> out;
+                    round(world,
+                          bufs[static_cast<std::size_t>(world.rank())], out);
+                    round(world,
+                          bufs[static_cast<std::size_t>(world.rank())], out);
+                  }),
+        CommAborted);
+  } catch (...) {
+    clear_fault_plan();
+    throw;
+  }
+  clear_fault_plan();
+
+  std::vector<Real> recovered;
+  run_world(2, [&](Comm& world) {
+    std::vector<Real> out;
+    round(world, bufs[static_cast<std::size_t>(world.rank())], out);
+    if (world.rank() == 0) recovered = out;
+  });
+  EXPECT_EQ(recovered, fresh_result);
+}
+
+TEST(Abort, PeerFailureMidSourceDrainUnwinds) {
+  // A rank throwing between two await_source calls must not strand the
+  // peers parked in their own drains: everyone posted before anyone
+  // drained, so the partially-drained ops complete during unwind and the
+  // caller sees the original error.
+  try {
+    run_world(3, [](Comm& comm) {
+      const int p = comm.size();
+      std::vector<Real> send;
+      std::vector<std::size_t> offsets{0};
+      for (int d = 0; d < p; ++d) {
+        send.push_back(static_cast<Real>(comm.rank() * 10 + d));
+        offsets.push_back(send.size());
+      }
+      PendingOp op = comm.ialltoallv_post(
+          std::span<const Real>(send), std::span<const std::size_t>(offsets),
+          CommCategory::kHalo);
+      for (int src = 0; src < p; ++src) {
+        if (comm.rank() == 2 && src == 1) {
+          throw Error("simulated failure mid-drain");
+        }
+        op.await_source<Real>(src);
+      }
+      op.wait();
+      comm.quiesce();
+    });
+    FAIL() << "rank failure did not propagate";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("simulated failure mid-drain"),
+              std::string::npos);
+  }
+}
+
+// ---- Diagnostics: message shapes name rank, op kind, and category ----
+
+TEST(Diagnostics, OrderMismatchNamesRanksOpsAndCategory) {
+  try {
+    run_world(2, [](Comm& comm) {
+      std::vector<Real> a(4, Real{1});
+      std::vector<Real> out(4, Real{0});
+      if (comm.rank() == 0) {
+        comm.iallreduce_sum(std::span<const Real>(a), std::span<Real>(out),
+                            CommCategory::kDense)
+            .wait();
+      } else {
+        Gathered<Real> g;
+        comm.iallgatherv_into(std::span<const Real>(a), g,
+                              CommCategory::kDense)
+            .wait();
+      }
+      comm.quiesce();
+    });
+    FAIL() << "program-order mismatch was not diagnosed";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("disagree on op order"), std::string::npos) << what;
+    // Whichever rank reports first, the message names the waiting rank,
+    // both op kinds, and the traffic category.
+    EXPECT_NE(what.find("rank"), std::string::npos) << what;
+    EXPECT_NE(what.find("waiting on"), std::string::npos) << what;
+    EXPECT_NE(what.find("[dense]"), std::string::npos) << what;
+    EXPECT_NE(what.find("posted"), std::string::npos) << what;
+  }
+}
+
+TEST(Diagnostics, SizeMismatchNamesOpCategoryAndBothRanks) {
+  try {
+    run_world(2, [](Comm& comm) {
+      std::vector<Real> data(comm.rank() == 0 ? 4 : 5, Real{1});
+      comm.broadcast(std::span<Real>(data), 0, CommCategory::kDense);
+    });
+    FAIL() << "size mismatch was not diagnosed";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("broadcast"), std::string::npos) << what;
+    EXPECT_NE(what.find("[dense]"), std::string::npos) << what;
+    EXPECT_NE(what.find("disagree on element count"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Diagnostics, InvalidCommNamesTheOperation) {
+  Comm comm;
+  std::vector<Real> data(4, Real{1});
+  try {
+    comm.allreduce_sum(std::span<Real>(data), CommCategory::kDense);
+    FAIL() << "invalid Comm was not diagnosed";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("allreduce_sum"), std::string::npos) << what;
+    EXPECT_NE(what.find("invalid Comm"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Schema check for the tracked bench JSON trajectory files.
 
-BENCH_EPOCH_THROUGHPUT.json accumulates one JSON object per line across
-PRs. Schema drift — a bench gaining a field without the tracked records
-being regenerated — makes the file lie by omission (e.g. older
-epoch_throughput records silently lacking halo_words/partition/halo, so a
-halo regression hides in rows that cannot express it). This check pins
-the full per-bench field set: every tracked record must carry every
-field its bench emits today.
+BENCH_EPOCH_THROUGHPUT.json and BENCH_RECOVERY.json accumulate one JSON
+object per line across PRs. Schema drift — a bench gaining a field
+without the tracked records being regenerated — makes a file lie by
+omission (e.g. older epoch_throughput records silently lacking
+halo_words/partition/halo, so a halo regression hides in rows that
+cannot express it). This check pins the full per-bench field set: every
+tracked record must carry every field its bench emits today. For the
+recovery drills it additionally pins the semantic contract: an
+exact-mode run that recovered must be bitwise identical to its
+uninterrupted baseline.
 
 Run from the repo root (CI does):  python3 tools/check_bench_schema.py
 """
@@ -16,7 +19,9 @@ import json
 import sys
 from pathlib import Path
 
-TRACKED = Path(__file__).resolve().parent.parent / "BENCH_EPOCH_THROUGHPUT.json"
+REPO = Path(__file__).resolve().parent.parent
+TRACKED_FILES = [REPO / "BENCH_EPOCH_THROUGHPUT.json",
+                 REPO / "BENCH_RECOVERY.json"]
 
 # Full field set per bench type, matching the printf emitters in
 # bench/bench_epoch_throughput.cpp and bench/bench_partitioning_edgecut.cpp.
@@ -38,6 +43,15 @@ SCHEMAS = {
         "overlap", "overlap_regions", "phase_hpack", "bcast_eps",
         "halo_eps",
     },
+    # bench/bench_recovery.cpp — the chaos/recovery drill harness.
+    "recovery_drill": {
+        "schema_version", "bench", "algebra", "world", "overlap",
+        "compress", "action", "site", "category", "nth", "epochs",
+        "ckpt_every", "restarts", "retrained_epochs",
+        "checkpoints_written", "checkpoint_write_seconds", "recovered",
+        "bitwise_identical", "seconds", "baseline_seconds",
+        "recovery_overhead_s",
+    },
 }
 
 # The schema_version each bench emits today. A record carrying a stale
@@ -45,18 +59,16 @@ SCHEMAS = {
 SCHEMA_VERSIONS = {
     "epoch_throughput": 2,
     "partition_edgecut_epoch": 2,
+    "recovery_drill": 1,
 }
 
 # Values the "compress" field may take (the CAGNET_COMPRESS codec names).
 COMPRESS_MODES = {"off", "fp16", "int8", "1bit"}
 
 
-def main() -> int:
-    if not TRACKED.exists():
-        print(f"missing tracked file: {TRACKED}", file=sys.stderr)
-        return 1
+def check_file(tracked: Path) -> list:
     errors = []
-    for lineno, line in enumerate(TRACKED.read_text().splitlines(), 1):
+    for lineno, line in enumerate(tracked.read_text().splitlines(), 1):
         line = line.strip()
         if not line:
             continue
@@ -104,13 +116,41 @@ def main() -> int:
                 errors.append(
                     f"line {lineno} ({bench}): compress=off must meter "
                     f"zero compressed_words, got {words!r}")
-    if errors:
-        print(f"{TRACKED.name}: schema drift detected", file=sys.stderr)
-        for e in errors:
-            print(f"  {e}", file=sys.stderr)
-        return 1
-    print(f"{TRACKED.name}: all records carry the full schema")
-    return 0
+        if bench == "recovery_drill":
+            # The recovery contract, as recorded: an exact-mode drill
+            # that recovered must be bitwise identical to its baseline.
+            if record.get("compress") == "off" and record.get("recovered") \
+                    and not record.get("bitwise_identical"):
+                errors.append(
+                    f"line {lineno} ({bench}): compress=off and "
+                    f"recovered=true require bitwise_identical=true — "
+                    f"exact-mode recovery lost determinism")
+            for field in ("restarts", "retrained_epochs",
+                          "checkpoints_written"):
+                value = record.get(field)
+                if not isinstance(value, int) or value < 0:
+                    errors.append(
+                        f"line {lineno} ({bench}): {field} {value!r} "
+                        f"must be a non-negative integer")
+    return errors
+
+
+def main() -> int:
+    failed = False
+    for tracked in TRACKED_FILES:
+        if not tracked.exists():
+            print(f"missing tracked file: {tracked}", file=sys.stderr)
+            failed = True
+            continue
+        errors = check_file(tracked)
+        if errors:
+            print(f"{tracked.name}: schema drift detected", file=sys.stderr)
+            for e in errors:
+                print(f"  {e}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"{tracked.name}: all records carry the full schema")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
