@@ -39,6 +39,14 @@
 //                      JSON is the metered post-compression volume in
 //                      Real-sized words — the words-on-wire actually paid
 //                      — and phase_cpack the codec pack/unpack seconds
+//   --sample           sampled minibatch epochs (1D only: non-1d configs
+//                      are skipped with a note). fanouts/batch_size land
+//                      in the JSON and sampled_words records the metered
+//                      per-epoch kHalo volume of the sampled row
+//                      exchange; full-batch rows carry ""/0/0
+//   --fanouts 15,10,5  per-hop fan-out caps, outermost hop first (must
+//                      match the model's layer count)
+//   --batch-size B     seed vertices per rank per minibatch (default 64)
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -164,6 +172,22 @@ int run(int argc, char** argv) {
   }
   if (compress_modes.empty()) compress_modes.push_back(CompressMode::kOff);
 
+  const bool sample = args.has("sample");
+  const std::vector<long> fanout_args =
+      args.get_int_list("fanouts", {15, 10, 5});
+  const Index batch_size = args.get_int("batch-size", 64);
+  std::string fanouts_str;
+  if (sample) {
+    std::vector<Index> fanouts(fanout_args.begin(), fanout_args.end());
+    dist::set_sample_fanouts(fanouts);
+    dist::set_sample_batch_size(batch_size);
+    for (std::size_t i = 0; i < fanouts.size(); ++i) {
+      if (i > 0) fanouts_str += ',';
+      fanouts_str += std::to_string(fanouts[i]);
+    }
+  }
+  dist::set_sample_enabled(sample);
+
   const std::string topology = args.get("graph", "rmat");
   const Index communities =
       args.get_int("communities", std::max<Index>(n / 48, 2));
@@ -175,6 +199,13 @@ int run(int argc, char** argv) {
   GnnConfig gnn = GnnConfig::three_layer(f, classes, hidden);
 
   for (const BenchConfig& config : configs) {
+    if (sample && config.algebra != "1d") {
+      std::fprintf(stderr,
+                   "skipping %s @ p=%d: sampled training rides the 1D "
+                   "row-stripe halo machinery\n",
+                   config.algebra.c_str(), config.world);
+      continue;
+    }
     // Partition-aware runs relabel the problem per world size so the row
     // blocks follow the partitioner's (possibly uneven) parts. Halo runs
     // prepare even the block layout (bitwise identical training) so the
@@ -277,7 +308,7 @@ int run(int argc, char** argv) {
           measured_seconds > 0 ? static_cast<double>(epochs) / measured_seconds
                                : 0.0;
       std::printf(
-          "{\"schema_version\":2,"
+          "{\"schema_version\":3,"
           "\"bench\":\"epoch_throughput\",\"algebra\":\"%s\","
           "\"world\":%d,\"threads\":%ld,\"n\":%lld,\"degree\":%lld,"
           "\"f\":%lld,\"hidden\":%lld,\"epochs\":%ld,\"seconds\":%.4f,"
@@ -286,6 +317,8 @@ int run(int argc, char** argv) {
           "\"transpose_words\":%.1f,\"halo_words\":%.1f,"
           "\"compress\":\"%s\",\"compressed_words\":%.1f,"
           "\"partition\":\"%s\",\"halo\":%d,\"max_remote_rows\":%lld,"
+          "\"fanouts\":\"%s\",\"batch_size\":%lld,"
+          "\"sampled_words\":%.1f,"
           "\"latency_units\":%.1f,"
           "\"overlap\":%d,\"overlap_regions\":%.0f,"
           "\"overlap_saved_modeled_s\":%.6f,"
@@ -299,10 +332,13 @@ int run(int argc, char** argv) {
           trpose_words, halo_words, compress_mode_name(cmode),
           compressed_words, partition.c_str(), halo ? 1 : 0,
           static_cast<long long>(active.edgecut.max_remote_rows_per_part),
-          latency_units, dist::overlap_enabled() ? 1 : 0,
-          overlap_regions, overlap_saved, phase_seconds[0],
-          phase_seconds[1], phase_seconds[2], phase_seconds[3],
-          phase_seconds[4], phase_seconds[5], phase_seconds[6]);
+          fanouts_str.c_str(),
+          static_cast<long long>(sample ? batch_size : 0),
+          sample ? halo_words : 0.0, latency_units,
+          dist::overlap_enabled() ? 1 : 0, overlap_regions, overlap_saved,
+          phase_seconds[0], phase_seconds[1], phase_seconds[2],
+          phase_seconds[3], phase_seconds[4], phase_seconds[5],
+          phase_seconds[6]);
       std::fflush(stdout);
     }
     }

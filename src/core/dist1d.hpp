@@ -49,6 +49,9 @@ class Algebra1D final : public DistSpmmAlgebra {
 
   const char* name() const override { return "1d"; }
   Comm& world() override { return world_; }
+  /// The 1D layout is the pure row stripe sampled training needs: whole
+  /// rows, whole features, no replicas — the world is the sample comm.
+  Comm* sample_comm() override { return &world_; }
   Index row_lo() const override { return row_lo_; }
   Index row_hi() const override { return row_hi_; }
 

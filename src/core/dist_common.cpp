@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -153,6 +154,60 @@ bool halo_default_from_env() {
 /// Preset once from CAGNET_HALO (default off — Algorithm 1's broadcasts
 /// remain the reference semantics; see DESIGN.md).
 bool g_halo_enabled = halo_default_from_env();
+
+bool sample_default_from_env() {
+  const char* v = std::getenv("CAGNET_SAMPLE");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "on" || s == "ON" || s == "true" || s == "TRUE";
+}
+
+std::vector<Index> sample_fanouts_from_env() {
+  const char* v = std::getenv("CAGNET_SAMPLE_FANOUT");
+  if (v == nullptr || v[0] == '\0') return {15, 10, 5};
+  std::vector<Index> fanouts;
+  std::string s(v);
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string tok = s.substr(start, comma - start);
+    if (tok == "inf" || tok == "all") {
+      fanouts.push_back(std::numeric_limits<Index>::max());
+    } else {
+      CAGNET_CHECK(!tok.empty() &&
+                       tok.find_first_not_of("0123456789") ==
+                           std::string::npos,
+                   "CAGNET_SAMPLE_FANOUT: \"" + tok +
+                       "\" is not a positive integer, \"inf\", or \"all\"");
+      const long value = std::atol(tok.c_str());
+      CAGNET_CHECK(value > 0, "CAGNET_SAMPLE_FANOUT: fanouts must be "
+                              "positive");
+      fanouts.push_back(static_cast<Index>(value));
+    }
+    start = comma + 1;
+  }
+  return fanouts;
+}
+
+Index sample_batch_from_env() {
+  const char* v = std::getenv("CAGNET_SAMPLE_BATCH");
+  if (v == nullptr || v[0] == '\0') return 64;
+  const std::string s(v);
+  CAGNET_CHECK(s.find_first_not_of("0123456789") == std::string::npos,
+               "CAGNET_SAMPLE_BATCH: \"" + s +
+                   "\" is not a positive integer");
+  const long value = std::atol(s.c_str());
+  CAGNET_CHECK(value > 0, "CAGNET_SAMPLE_BATCH must be positive");
+  return static_cast<Index>(value);
+}
+
+/// Same discipline again: flip only between run_world invocations.
+/// Preset once from CAGNET_SAMPLE / CAGNET_SAMPLE_FANOUT /
+/// CAGNET_SAMPLE_BATCH.
+bool g_sample_enabled = sample_default_from_env();
+std::vector<Index> g_sample_fanouts = sample_fanouts_from_env();
+Index g_sample_batch = sample_batch_from_env();
 }  // namespace
 
 bool epoch_cache_enabled() { return g_epoch_cache_enabled; }
@@ -163,6 +218,24 @@ void set_overlap_enabled(bool on) { g_overlap_enabled = on; }
 
 bool halo_enabled() { return g_halo_enabled; }
 void set_halo_enabled(bool on) { g_halo_enabled = on; }
+
+bool sample_enabled() { return g_sample_enabled; }
+void set_sample_enabled(bool on) { g_sample_enabled = on; }
+
+const std::vector<Index>& sample_fanouts() { return g_sample_fanouts; }
+void set_sample_fanouts(std::vector<Index> fanouts) {
+  CAGNET_CHECK(!fanouts.empty(), "set_sample_fanouts: empty fanout list");
+  for (Index fanout : fanouts) {
+    CAGNET_CHECK(fanout > 0, "set_sample_fanouts: fanouts must be positive");
+  }
+  g_sample_fanouts = std::move(fanouts);
+}
+
+Index sample_batch_size() { return g_sample_batch; }
+void set_sample_batch_size(Index batch) {
+  CAGNET_CHECK(batch > 0, "set_sample_batch_size: batch must be positive");
+  g_sample_batch = batch;
+}
 
 void drain_comm(const Comm& comm) noexcept {
   if (!comm.valid()) return;
@@ -704,9 +777,13 @@ void begin_allreduce_weight_gradient(Matrix& y_partial, Index f_in,
                "reduce_gradients: unexpected partial shape");
   const CompressMode gmode = gradient_compress_mode();
   if (gmode != CompressMode::kOff) {
-    if (pending.count + pending.ccount == 0) {
+    if (pending.count + pending.ccount == 0 && pending.has_release) {
       ScopedPhase scope(profiler, Phase::kDenseComm);
-      comm.quiesce();  // release last epoch's encoded sends
+      // Release last cycle's encoded sends. Targeted (not a full
+      // quiesce): unrelated ops may legitimately still be in flight
+      // here — see PendingGradReduce::release_ticket.
+      comm.quiesce_op(pending.release_ticket);
+      pending.has_release = false;
     }
     // The encode IS the staging copy: peers read the stable buf.send of
     // the layer's CompressBuf, so y_partial is free immediately and no
@@ -719,10 +796,12 @@ void begin_allreduce_weight_gradient(Matrix& y_partial, Index f_in,
     return;
   }
   ScopedPhase scope(profiler, Phase::kDenseComm);
-  if (pending.count == 0) {
-    // Release point for last epoch's staged partials (peers read them at
-    // their finish waits); long drained by now.
-    comm.quiesce();
+  if (pending.count + pending.ccount == 0 && pending.has_release) {
+    // Release point for last cycle's staged partials (peers read them at
+    // their finish waits); long drained by now. Targeted, so ops posted
+    // after that cycle's waits stay untouched.
+    comm.quiesce_op(pending.release_ticket);
+    pending.has_release = false;
   }
   const std::size_t i = pending.count++;
   Matrix& src = pending_slot(pending.src, i);
@@ -739,13 +818,23 @@ void finish_allreduce_weight_gradient(Profiler& profiler,
                                       PendingGradReduce& pending) {
   {
     ScopedPhase scope(profiler, Phase::kDenseComm);
-    for (std::size_t i = 0; i < pending.count; ++i) pending.ops[i].wait();
+    for (std::size_t i = 0; i < pending.count; ++i) {
+      if (pending.ops[i].pending()) {
+        pending.release_ticket = pending.ops[i].ticket();
+        pending.has_release = true;
+      }
+      pending.ops[i].wait();
+    }
   }
   // Compressed ops time themselves (wire wait under kDenseComm, decode
   // under kCompressPack). The size guard covers blocking mode, where
   // ccount counts residual slots but no op was stored.
   for (std::size_t i = 0; i < pending.ccount && i < pending.cops.size();
        ++i) {
+    if (pending.cops[i].pending()) {
+      pending.release_ticket = pending.cops[i].ticket();
+      pending.has_release = true;
+    }
     pending.cops[i].wait();
   }
   pending.count = 0;
@@ -1101,6 +1190,13 @@ void halo_spmm_pipeline(const Matrix& h, const Csr* self_block, int self,
       h, std::span<const Index>(plan.send_rows),
       std::span<const std::size_t>(plan.send_row_offsets), comm, plan, cat,
       stats.profiler);
+  halo_spmm_sweep(op, h, self_block, self, comm, plan, machine, stats, t);
+}
+
+void halo_spmm_sweep(PendingOp& op, const Matrix& h, const Csr* self_block,
+                     int self, Comm& comm, HaloPlan& plan,
+                     const MachineModel& machine, EpochStats& stats,
+                     Matrix& t) {
   const int p = comm.size();
   const Index f = h.cols();
   const bool pipelined = op.pending();

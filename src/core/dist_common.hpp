@@ -134,6 +134,14 @@ class DistTrainer {
   /// but every rank must install identical matrices or the replication
   /// invariant breaks; shapes must match the configured layers.
   virtual void set_weights(const std::vector<Matrix>& weights) = 0;
+
+  /// Align the trainer's absolute-epoch counter after a checkpoint
+  /// restore. Full-batch training is epoch-stateless (weights are the
+  /// whole state), so the default is a no-op; the sampled trainer keys
+  /// its shuffle and sampling RNG streams by absolute epoch, and restart
+  /// bitwise-determinism requires resuming those streams at the restored
+  /// epoch rather than zero. Purely local.
+  virtual void set_start_epoch(int epoch) { (void)epoch; }
 };
 
 /// Helpers shared by the trainer implementations.
@@ -175,6 +183,32 @@ void set_overlap_enabled(bool on);
 /// flip it only between run_world invocations.
 bool halo_enabled();
 void set_halo_enabled(bool on);
+
+/// Process-global switch for sampled mini-batch training (default off;
+/// the CAGNET_SAMPLE env var, read once at startup, can preset it — "1",
+/// "on", or "true" enable). When on, DistEngine::train_epoch runs the
+/// GraphSAGE-style sampled epoch (per-epoch shuffler, per-hop fanout
+/// sampling from the local A^T stripe, minibatch halo exchanges of only
+/// the sampled rows) instead of the full-batch epoch. Requires a
+/// row-partitioned algebra exposing sample_comm(); others raise a typed
+/// Error. Not per-trainer state: flip it only between run_world
+/// invocations.
+bool sample_enabled();
+void set_sample_enabled(bool on);
+
+/// Per-hop sampling fanouts, outermost hop first (default 15/10/5; the
+/// CAGNET_SAMPLE_FANOUT env var can preset a comma list, with "inf" or
+/// "all" for an uncapped hop). The sampled trainer validates the length
+/// against the model's layer count. Flip only between run_world
+/// invocations.
+const std::vector<Index>& sample_fanouts();
+void set_sample_fanouts(std::vector<Index> fanouts);
+
+/// Sampled minibatch size over the labeled training vertices (default
+/// 64; the CAGNET_SAMPLE_BATCH env var can preset it). Must be positive.
+/// Flip only between run_world invocations.
+Index sample_batch_size();
+void set_sample_batch_size(Index batch);
 
 /// Reusable dense/staging buffers for the shared SUMMA helpers. One per
 /// algebra instance; after the first epoch the hot path stops allocating.
@@ -353,6 +387,19 @@ void halo_spmm_pipeline(const Matrix& h, const Csr* self_block, int self,
                         Comm& comm, HaloPlan& plan, CommCategory cat,
                         const MachineModel& machine, EpochStats& stats,
                         Matrix& t);
+
+/// The stage sweep of halo_spmm_pipeline alone, against an exchange the
+/// caller already began (`op` from halo_exchange_begin on the same plan;
+/// empty in blocking mode, where the rows sit in plan.recv). Splitting
+/// the begin from the sweep lets the sampled minibatch trainer post the
+/// next batch's feature exchange a whole compute phase early while
+/// keeping the drain/accumulation discipline — ascending peer order,
+/// per-source zero-copy drains, one overlap region per stage — in one
+/// place. halo_spmm_pipeline is exactly begin + this sweep.
+void halo_spmm_sweep(PendingOp& op, const Matrix& h, const Csr* self_block,
+                     int self, Comm& comm, HaloPlan& plan,
+                     const MachineModel& machine, EpochStats& stats,
+                     Matrix& t);
 
 /// The mirrored backward contribution exchange: pack `pack_rows` of
 /// `partial` (the structurally nonzero remote contribution rows), ship
@@ -601,6 +648,16 @@ struct PendingGradReduce {
   std::vector<std::unique_ptr<CompressBuf>> cbufs;
   std::vector<PendingCompressedReduce> cops;  ///< in-flight compressed ops
   std::size_t ccount = 0;                  ///< compressed layers posted
+  /// Targeted release of the previous cycle's staged sends: the ticket of
+  /// the last op waited at finish. Every rank waits its cycle's ops in
+  /// posting order, so that op being globally finished implies every
+  /// rank's reads of every staged src / encoded send of the cycle are
+  /// done. quiesce_op on it at the next cycle's first begin releases the
+  /// slots without waiting unrelated in-flight ops (the sampled trainer
+  /// deliberately keeps the next minibatch's feature exchange pending
+  /// across this point; a global quiesce would deadlock on it).
+  std::uint64_t release_ticket = 0;
+  bool has_release = false;
 
   /// Grow-once residual slot for layer `i` (error feedback enabled).
   CompressBuf& compress_slot(std::size_t i) {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
+#include "src/core/dist_sampler.hpp"
 #include "src/dense/gemm.hpp"
 #include "src/dense/ops.hpp"
 #include "src/util/error.hpp"
@@ -213,7 +215,34 @@ void DistEngine::step() {
   optimizer_->step(weights_, gradients_);
 }
 
+void DistEngine::set_start_epoch(int epoch) { epoch_ = epoch; }
+
+EpochResult DistEngine::train_epoch_sampled() {
+  Comm* sample = algebra_->sample_comm();
+  CAGNET_CHECK(sample != nullptr,
+               std::string("sampled training requires a row-partitioned "
+                           "algebra exposing sample_comm(); '") +
+                   algebra_->name() + "' does not support CAGNET_SAMPLE");
+  if (sampler_ == nullptr) {
+    MiniBatchOptions options;
+    options.fanouts = dist::sample_fanouts();
+    options.batch_size = dist::sample_batch_size();
+    sampler_ = std::make_unique<dist::SampledRunner>(
+        problem_, config_, *algebra_, *sample, std::move(options));
+  }
+  Comm& world = algebra_->world();
+  const CostMeter before = world.meter();
+  stats_ = EpochStats{};
+  stats_.result = sampler_->run_epoch(epoch_, h_[0], weights_, gradients_,
+                                      *optimizer_, stats_);
+  ++epoch_;
+  stats_.comm = world.meter();
+  stats_.comm.subtract(before);
+  return stats_.result;
+}
+
 EpochResult DistEngine::train_epoch() {
+  if (dist::sample_enabled()) return train_epoch_sampled();
   Comm& world = algebra_->world();
   const CostMeter before = world.meter();
   stats_ = EpochStats{};
@@ -239,6 +268,7 @@ EpochResult DistEngine::train_epoch() {
 
   stats_.comm = world.meter();
   stats_.comm.subtract(before);
+  ++epoch_;
   return stats_.result;
 }
 
@@ -247,6 +277,11 @@ EpochStats DistEngine::reduce_epoch_stats() const {
 }
 
 Matrix DistEngine::gather_output() {
+  if (dist::sample_enabled()) {
+    // Sampled epochs never materialize the full-graph output; inference
+    // runs one full-batch forward with the current weights first.
+    forward();
+  }
   Matrix full =
       algebra_->gather_output(output_rows_, problem_.graph->num_vertices());
   if (problem_.perm.empty()) return full;

@@ -23,6 +23,10 @@
 
 namespace cagnet {
 
+namespace dist {
+class SampledRunner;
+}  // namespace dist
+
 /// Distributed linear algebra of one partitioning scheme. All methods are
 /// collective over world(); every rank must call them in lockstep (the same
 /// contract as Comm). An algebra is stateful only in its partitioned
@@ -77,6 +81,14 @@ class DistSpmmAlgebra {
   /// accuracy terms (replicas — 1.5D team members t > 0, 2D/3D process
   /// columns j > 0 — contribute nothing to the global reduction).
   virtual bool owns_loss_rows() const { return true; }
+
+  /// Communicator of the sampled minibatch path, or nullptr when this
+  /// algebra cannot host it. Sampled training needs a pure row-stripe
+  /// layout — every rank owning whole rows [row_lo, row_hi) of H and the
+  /// matching A^T stripe to sample in-neighbors from — so only the 1D
+  /// family qualifies today; feature-sliced (2D/3D) and team-replicated
+  /// (1.5D) layouts return nullptr and DistEngine raises a typed Error.
+  virtual Comm* sample_comm() { return nullptr; }
 
   // ---- The distributed operations of one GCN layer ----
   //
@@ -237,10 +249,18 @@ class DistEngine : public DistTrainer {
   /// Purely local.
   const Matrix& local_output() const { return output_rows_; }
 
+  /// Align the absolute-epoch counter (checkpoint resume). The sampled
+  /// path keys its shuffle/sampling RNG streams by absolute epoch, so
+  /// restarting from a checkpoint must resume the streams where the
+  /// uninterrupted run would be — the recovery drills assert bitwise
+  /// parity through this hook. Purely local.
+  void set_start_epoch(int epoch) override;
+
  private:
   const Matrix& forward();
   void backward();
   void step();
+  EpochResult train_epoch_sampled();
 
   const DistProblem& problem_;
   GnnConfig config_;
@@ -268,6 +288,14 @@ class DistEngine : public DistTrainer {
   /// Persistent (src, dst) pairs of the overlap-mode nonblocking loss
   /// reduction; released by the quiesce at the next epoch's start.
   std::array<double, 4> loss_scratch_ = {};
+
+  /// Sampled minibatch state (dist::SampledRunner), constructed lazily on
+  /// the first sampled epoch. Declared after algebra_ so its pending
+  /// exchanges are quiesced (engine destructor drains the world) before
+  /// its pack buffers die.
+  std::unique_ptr<dist::SampledRunner> sampler_;
+  /// Absolute epoch counter (sampled RNG stream key; see set_start_epoch).
+  int epoch_ = 0;
 
   EpochStats stats_;
 };

@@ -94,6 +94,9 @@ RecoveryReport train_with_recovery(const std::string& algebra,
       run_world(p, [&](Comm& world) {
         auto trainer = make_dist_trainer(algebra, problem, config, world);
         if (have_ckpt) trainer->set_weights(ckpt.weights);
+        // Resume epoch-keyed RNG streams (sampled training) where the
+        // uninterrupted run would be; a no-op for full-batch trainers.
+        trainer->set_start_epoch(start);
         for (int e = start; e < epochs; ++e) {
           const Real loss = trainer->train_epoch().loss;
           if (world.rank() == 0) {

@@ -117,6 +117,15 @@ MiniBatchTrainer::MiniBatchTrainer(const Graph& graph, GnnConfig config,
   CAGNET_CHECK(config_.dims.front() == graph.feature_dim(),
                "input dim must match graph features");
   CAGNET_CHECK(options_.batch_size > 0, "batch size must be positive");
+  CAGNET_CHECK(static_cast<Index>(options_.fanouts.size()) ==
+                   config_.num_layers(),
+               "fanouts length (" + std::to_string(options_.fanouts.size()) +
+                   ") must equal the model's layer count (" +
+                   std::to_string(config_.num_layers()) + ")");
+  for (Index fanout : options_.fanouts) {
+    CAGNET_CHECK(fanout > 0, "fanouts must be positive (use kSampleAll for "
+                             "an uncapped hop)");
+  }
   for (Index v = 0; v < graph.num_vertices(); ++v) {
     if (graph.labels[static_cast<std::size_t>(v)] >= 0) {
       labeled_vertices_.push_back(v);

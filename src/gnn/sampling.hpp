@@ -11,6 +11,7 @@
 // trainers remain the exact reference as fanouts grow.
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "src/gnn/model.hpp"
@@ -36,11 +37,19 @@ SampledSubgraph sample_subgraph(const Graph& graph, const Csr& at,
                                 std::span<const Index> seeds,
                                 std::span<const Index> fanouts, Rng& rng);
 
+/// Fanout value meaning "take the whole in-neighborhood" (no cap). An
+/// all-infinite fanout vector makes every sampled batch an exact induced
+/// receptive field, which is how the distributed sampled trainer proves
+/// bitwise parity against the full-batch engine.
+inline constexpr Index kSampleAll = std::numeric_limits<Index>::max();
+
 struct MiniBatchOptions {
   Index batch_size = 64;
-  /// Per-hop fanouts, outermost hop first; length should equal the number
-  /// of GNN layers (the paper's neighborhood-explosion depth).
-  std::vector<Index> fanouts = {10, 10, 10};
+  /// Per-hop fanouts, outermost hop first; length must equal the number
+  /// of GNN layers (the paper's neighborhood-explosion depth). Validated
+  /// by the trainers — a mismatched length would silently truncate or
+  /// over-run the hop recursion.
+  std::vector<Index> fanouts = {15, 10, 5};
   std::uint64_t seed = 99;
 };
 

@@ -127,6 +127,32 @@ Csr Csr::transposed() const {
   return out;
 }
 
+void Csr::transposed_into(Csr& out, std::vector<Index>& scratch) const {
+  CAGNET_CHECK(&out != this, "transposed_into: output must not alias input");
+  out.resize_parts(cols_, rows_, nnz());
+  const std::span<Index> out_row_ptr = out.row_ptr_mut();
+  const std::span<Index> out_col_idx = out.col_idx_mut();
+  const std::span<Real> out_vals = out.values();
+
+  // Counting sort by column index (same pass structure as transposed()).
+  std::fill(out_row_ptr.begin(), out_row_ptr.end(), Index{0});
+  for (Index c : col_idx_) ++out_row_ptr[static_cast<std::size_t>(c) + 1];
+  for (Index i = 0; i < cols_; ++i) {
+    out_row_ptr[static_cast<std::size_t>(i) + 1] +=
+        out_row_ptr[static_cast<std::size_t>(i)];
+  }
+  scratch.assign(out_row_ptr.begin(), out_row_ptr.end() - 1);
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const Index c = col_idx_[p];
+      const Index q = scratch[static_cast<std::size_t>(c)]++;
+      out_col_idx[static_cast<std::size_t>(q)] = r;
+      out_vals[static_cast<std::size_t>(q)] = vals_[p];
+    }
+  }
+  // Rows were visited in increasing order, so columns are already sorted.
+}
+
 Csr Csr::permuted(std::span<const Index> perm) const {
   CAGNET_CHECK(rows_ == cols_, "permuted expects a square matrix");
   CAGNET_CHECK(static_cast<Index>(perm.size()) == rows_,

@@ -62,6 +62,13 @@ class Csr {
   /// Structural + numerical transpose (counting sort; O(nnz + n)).
   Csr transposed() const;
 
+  /// Transpose into an existing matrix, reusing `out`'s buffers (and
+  /// `scratch` as the counting-sort cursor) so steady-state callers — the
+  /// sampled minibatch trainer rebuilds per-batch block transposes every
+  /// iteration — stop allocating once capacities have grown. `out` must
+  /// not alias this.
+  void transposed_into(Csr& out, std::vector<Index>& scratch) const;
+
   /// Symmetric relabeling of a square matrix: new(r, c) = old(perm[r],
   /// perm[c]), where perm[r] is the old index at new position r (a
   /// bijection). This is the partition-induced vertex permutation applied

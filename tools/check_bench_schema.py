@@ -31,7 +31,8 @@ SCHEMAS = {
         "degree", "f", "hidden", "epochs", "seconds", "warmup_seconds",
         "epochs_per_sec", "dense_words", "sparse_words", "transpose_words",
         "halo_words", "compress", "compressed_words", "partition", "halo",
-        "max_remote_rows", "latency_units", "overlap", "overlap_regions",
+        "max_remote_rows", "fanouts", "batch_size", "sampled_words",
+        "latency_units", "overlap", "overlap_regions",
         "overlap_saved_modeled_s", "phase_misc", "phase_trpose",
         "phase_dcomm", "phase_scomm", "phase_spmm", "phase_hpack",
         "phase_cpack",
@@ -57,7 +58,7 @@ SCHEMAS = {
 # The schema_version each bench emits today. A record carrying a stale
 # version means the tracked file was not regenerated after a schema bump.
 SCHEMA_VERSIONS = {
-    "epoch_throughput": 2,
+    "epoch_throughput": 3,
     "partition_edgecut_epoch": 2,
     "recovery_drill": 1,
 }
@@ -116,6 +117,21 @@ def check_file(tracked: Path) -> list:
                 errors.append(
                     f"line {lineno} ({bench}): compress=off must meter "
                     f"zero compressed_words, got {words!r}")
+        if bench == "epoch_throughput":
+            # Sampled-mode fields travel together: full-batch rows carry
+            # fanouts="" / batch_size=0 / sampled_words=0, sampled rows a
+            # non-empty fanout list, a positive batch and the metered
+            # kHalo volume of the sampled row exchange.
+            sampled = record.get("batch_size", 0) != 0
+            if sampled and not record.get("fanouts"):
+                errors.append(
+                    f"line {lineno} ({bench}): batch_size > 0 requires a "
+                    f"non-empty fanouts list")
+            if not sampled and record.get("sampled_words", 0) != 0:
+                errors.append(
+                    f"line {lineno} ({bench}): full-batch rows "
+                    f"(batch_size=0) must meter zero sampled_words, got "
+                    f"{record.get('sampled_words')!r}")
         if bench == "recovery_drill":
             # The recovery contract, as recorded: an exact-mode drill
             # that recovered must be bitwise identical to its baseline.
