@@ -39,6 +39,15 @@
 //                      JSON is the metered post-compression volume in
 //                      Real-sized words — the words-on-wire actually paid
 //                      — and phase_cpack the codec pack/unpack seconds
+//   --stale M[,M]      bounded-staleness refresh rates to sweep for the
+//                      1D/1.5D halo exchange (off/<k>/adaptive; default
+//                      CAGNET_STALE). stale_k echoes the mode per row and
+//                      stale_words_saved the metered halo words the
+//                      cache-replay epochs elided (exact words minus
+//                      metered words, CostMeter::stale_saved_words)
+//   --preagg 0|1|0,1   aggregation-before-communication on the forward
+//                      halo exchange (default CAGNET_PREAGG); like
+//                      --halo, a list runs the modes back-to-back
 //   --sample           sampled minibatch epochs (1D only: non-1d configs
 //                      are skipped with a note). fanouts/batch_size land
 //                      in the JSON and sampled_words records the metered
@@ -81,6 +90,20 @@ std::vector<std::string> split_csv(const std::string& list) {
     start = comma + 1;
   }
   return names;
+}
+
+/// CAGNET_STALE-style mode names for --stale: "off", "adaptive", or a
+/// positive refresh interval.
+int parse_stale_mode(const std::string& name) {
+  if (name == "off") return 0;
+  if (name == "adaptive") return dist::kStaleAdaptive;
+  return static_cast<int>(std::stol(name));
+}
+
+std::string stale_mode_label(int k) {
+  if (k == 0) return "off";
+  if (k == dist::kStaleAdaptive) return "adaptive";
+  return std::to_string(k);
 }
 
 Graph make_graph(const std::string& topology, Index n, Index degree, Index f,
@@ -171,6 +194,14 @@ int run(int argc, char** argv) {
     compress_modes.push_back(parse_compress_mode(name));
   }
   if (compress_modes.empty()) compress_modes.push_back(CompressMode::kOff);
+  std::vector<int> stale_modes;
+  for (const std::string& name :
+       split_csv(args.get("stale", stale_mode_label(dist::stale_k())))) {
+    stale_modes.push_back(parse_stale_mode(name));
+  }
+  if (stale_modes.empty()) stale_modes.push_back(0);
+  const std::vector<long> preagg_modes = args.get_int_list(
+      "preagg", {dist::preagg_enabled() ? 1L : 0L});
 
   const bool sample = args.has("sample");
   const std::vector<long> fanout_args =
@@ -222,18 +253,31 @@ int run(int argc, char** argv) {
     const std::vector<long> single_mode = {halo_modes.front()};
     const std::vector<long>& swept_modes =
         halo_toggleable ? halo_modes : single_mode;
+    // Staleness and pre-aggregation ride the halo exchange, so only the
+    // rows-whole families sweep them (same de-duplication as --halo).
+    const std::vector<int> single_stale = {stale_modes.front()};
+    const std::vector<int>& swept_stales =
+        halo_toggleable ? stale_modes : single_stale;
+    const std::vector<long> single_preagg = {preagg_modes.front()};
+    const std::vector<long>& swept_preaggs =
+        halo_toggleable ? preagg_modes : single_preagg;
     for (long threads : thread_counts) {
     for (long halo_mode : swept_modes) {
     for (CompressMode cmode : compress_modes) {
+    for (int stale_mode : swept_stales) {
+    for (long preagg_mode : swept_preaggs) {
       const bool halo = halo_mode != 0;
       dist::set_halo_enabled(halo);
       set_compress_mode(cmode);
+      dist::set_stale_k(stale_mode);
+      dist::set_preagg_enabled(preagg_mode != 0);
       override_thread_budget(static_cast<int>(threads));
       double warm_seconds = 0;
       double measured_seconds = 0;
       long epochs = 0;
       double dense_words = 0, sparse_words = 0, trpose_words = 0;
       double halo_words = 0, compressed_words = 0;
+      double stale_saved = 0;
       double latency_units = 0;
       double overlap_regions = 0, overlap_saved = 0;
       double phase_seconds[Profiler::kNumPhases] = {};
@@ -295,6 +339,7 @@ int run(int argc, char** argv) {
           trpose_words = stats.comm.words(CommCategory::kTranspose);
           halo_words = stats.comm.words(CommCategory::kHalo);
           compressed_words = stats.comm.words(CommCategory::kCompressed);
+          stale_saved = stats.comm.stale_saved_words();
           latency_units = stats.comm.total_latency_units();
           overlap_regions = stats.comm.overlap_regions();
           overlap_saved = stats.comm.overlap_saved_seconds();
@@ -308,7 +353,7 @@ int run(int argc, char** argv) {
           measured_seconds > 0 ? static_cast<double>(epochs) / measured_seconds
                                : 0.0;
       std::printf(
-          "{\"schema_version\":3,"
+          "{\"schema_version\":4,"
           "\"bench\":\"epoch_throughput\",\"algebra\":\"%s\","
           "\"world\":%d,\"threads\":%ld,\"n\":%lld,\"degree\":%lld,"
           "\"f\":%lld,\"hidden\":%lld,\"epochs\":%ld,\"seconds\":%.4f,"
@@ -316,6 +361,7 @@ int run(int argc, char** argv) {
           "\"dense_words\":%.1f,\"sparse_words\":%.1f,"
           "\"transpose_words\":%.1f,\"halo_words\":%.1f,"
           "\"compress\":\"%s\",\"compressed_words\":%.1f,"
+          "\"stale_k\":\"%s\",\"stale_words_saved\":%.1f,\"preagg\":%d,"
           "\"partition\":\"%s\",\"halo\":%d,\"max_remote_rows\":%lld,"
           "\"fanouts\":\"%s\",\"batch_size\":%lld,"
           "\"sampled_words\":%.1f,"
@@ -330,7 +376,9 @@ int run(int argc, char** argv) {
           static_cast<long long>(f), static_cast<long long>(hidden), epochs,
           measured_seconds, warm_seconds, eps, dense_words, sparse_words,
           trpose_words, halo_words, compress_mode_name(cmode),
-          compressed_words, partition.c_str(), halo ? 1 : 0,
+          compressed_words, stale_mode_label(stale_mode).c_str(),
+          stale_saved, preagg_mode != 0 ? 1 : 0, partition.c_str(),
+          halo ? 1 : 0,
           static_cast<long long>(active.edgecut.max_remote_rows_per_part),
           fanouts_str.c_str(),
           static_cast<long long>(sample ? batch_size : 0),
@@ -340,6 +388,8 @@ int run(int argc, char** argv) {
           phase_seconds[3], phase_seconds[4], phase_seconds[5],
           phase_seconds[6]);
       std::fflush(stdout);
+    }
+    }
     }
     }
     }

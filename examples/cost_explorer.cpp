@@ -125,6 +125,32 @@ int main(int argc, char** argv) {
                 "(CAGNET_PARTITION=greedy-bfs,\nCAGNET_HALO=1) realizes the "
                 "measured column; Algorithm 1's broadcasts pay\nthe bound "
                 "regardless of partition quality (Section IV-A.8).\n");
+
+    // ---- Bounded staleness: amortized forward-halo words per epoch ----
+    // cost_1d_halo_stale amortizes the exact forward exchange over a
+    // CAGNET_STALE=k refresh interval; k=1 is the exact per-epoch
+    // exchange, and an adaptive run's effective (possibly fractional)
+    // rate can be read back off the same curve.
+    std::printf("\nforward-halo words per epoch under bounded staleness "
+                "(CAGNET_STALE=k,\nmeasured greedy-BFS edgecut; k=1 is the "
+                "exact exchange)\n");
+    std::printf("%6s %14s %14s %14s %14s\n", "P", "k=1", "k=2", "k=4",
+                "k=8");
+    for (int p : {4, 16, 64}) {
+      const Partition part = greedy_bfs_partition(a, p);
+      const EdgeCutStats cut = edge_cut(a, part);
+      const CostInputs measured = CostInputs::from_partition(
+          cut, static_cast<double>(a.rows()), static_cast<double>(a.nnz()),
+          f, p, layers);
+      std::printf("%6d %14.3e %14.3e %14.3e %14.3e\n", p,
+                  cost_1d_halo_stale(measured, 1).words,
+                  cost_1d_halo_stale(measured, 2).words,
+                  cost_1d_halo_stale(measured, 4).words,
+                  cost_1d_halo_stale(measured, 8).words);
+    }
+    std::printf("\nThe metered counterpart is the kHalo words drop plus "
+                "CostMeter::stale_saved_words\n(predicted saving at rate k "
+                "= exact words minus the k column).\n");
   }
   return 0;
 }

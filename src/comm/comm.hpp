@@ -647,6 +647,18 @@ class Comm {
   /// Synchronize all members (one barrier phase; charges nothing).
   void barrier();
 
+  /// Report a named zero-cost protocol event at the transport seam
+  /// (FaultSite::kCharge) without moving data or charging the meter. This
+  /// gives fault plans a deterministic, nameable injection point for
+  /// decisions that suppress communication — e.g. the bounded-staleness
+  /// halo path reports "halo stale skip" when it replays cached rows
+  /// instead of exchanging, so chaos drills can kill or delay a rank at
+  /// exactly that seam. Purely local: no rendezvous, no ordering effect.
+  void notify_event(CommCategory cat, const char* op) {
+    check_valid("notify_event");
+    detail::seam_event(*state_, {rank_, cat, op}, FaultSite::kCharge);
+  }
+
   /// Block until every member has completed (waited) every nonblocking op
   /// posted so far on this communicator — the release point after which
   /// the source buffers of those ops may be modified or freed. Unlike

@@ -105,6 +105,8 @@ void CostMeter::merge_max(const CostMeter& other) {
   overlap_overlapped_ = std::max(overlap_overlapped_,
                                  other.overlap_overlapped_);
   overlap_regions_ = std::max(overlap_regions_, other.overlap_regions_);
+  stale_saved_words_ = std::max(stale_saved_words_,
+                                other.stale_saved_words_);
 }
 
 void CostMeter::merge_sum(const CostMeter& other) {
@@ -115,6 +117,7 @@ void CostMeter::merge_sum(const CostMeter& other) {
   overlap_serialized_ += other.overlap_serialized_;
   overlap_overlapped_ += other.overlap_overlapped_;
   overlap_regions_ += other.overlap_regions_;
+  stale_saved_words_ += other.stale_saved_words_;
 }
 
 void CostMeter::subtract(const CostMeter& other) {
@@ -125,6 +128,7 @@ void CostMeter::subtract(const CostMeter& other) {
   overlap_serialized_ -= other.overlap_serialized_;
   overlap_overlapped_ -= other.overlap_overlapped_;
   overlap_regions_ -= other.overlap_regions_;
+  stale_saved_words_ -= other.stale_saved_words_;
 }
 
 std::string CostMeter::to_string() const {

@@ -6,6 +6,7 @@
 // trpose decomposition can be regenerated.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <string>
@@ -74,9 +75,12 @@ class CostMeter {
   double overlap_serialized_seconds() const { return overlap_serialized_; }
   /// Sum over regions of max(comm, compute) (the overlapped reading).
   double overlap_overlapped_seconds() const { return overlap_overlapped_; }
-  /// Modeled seconds hidden by overlap: serialized - overlapped (>= 0).
+  /// Modeled seconds hidden by overlap: serialized - overlapped. Clamped
+  /// at zero: per region max(c, w) <= c + w exactly, but cross-rank
+  /// reductions max the two totals independently, which can leave the
+  /// difference one ulp negative when every region's saving is ~0.
   double overlap_saved_seconds() const {
-    return overlap_serialized_ - overlap_overlapped_;
+    return std::max(0.0, overlap_serialized_ - overlap_overlapped_);
   }
   /// Number of regions recorded (a double so cross-rank reductions can
   /// serialize it alongside the other totals).
@@ -89,6 +93,23 @@ class CostMeter {
     overlap_serialized_ = serialized;
     overlap_overlapped_ = overlapped;
     overlap_regions_ = regions;
+  }
+
+  // ---- Staleness accounting (bounded-staleness halo refresh) ----
+  //
+  // A stale-skipped halo exchange charges zero kHalo words; the meter
+  // separately records the words the exact exchange *would* have moved so
+  // the bench can report the saving without re-deriving it from plan
+  // geometry. Not part of total_words()/modeled time — nothing moved.
+
+  /// Credit `words` halo words avoided by replaying a stale cache.
+  void add_stale_saved(double words) { stale_saved_words_ += words; }
+  /// Halo words avoided by stale replays since the last clear.
+  double stale_saved_words() const { return stale_saved_words_; }
+  /// Rebuild the stale counter from a serialized value (cross-rank
+  /// reductions; see EpochStats::reduce_max).
+  void restore_stale_saved_words(double words) {
+    stale_saved_words_ = words;
   }
 
   void clear() { *this = CostMeter{}; }
@@ -115,6 +136,7 @@ class CostMeter {
   double overlap_serialized_ = 0;
   double overlap_overlapped_ = 0;
   double overlap_regions_ = 0;
+  double stale_saved_words_ = 0;
   bool region_open_ = false;
   std::array<double, kNumCategories> region_lat_mark_ = {};
   std::array<double, kNumCategories> region_words_mark_ = {};

@@ -53,6 +53,16 @@ CommCost cost_1d(const CostInputs& in);
 /// 1D symmetric case (Eq. 2): words = L (2*edgecut*f + f^2).
 CommCost cost_1d_symmetric(const CostInputs& in);
 
+/// Forward-halo traffic alone under a bounded-staleness refresh every
+/// `stale_k` epochs (CAGNET_STALE; stale_k = 1 is the exact per-epoch
+/// exchange). Amortized per epoch: the exact forward halo moves
+/// L * edgecut * f words and L (P-1) messages, and a refresh interval of
+/// k ships 1/k of both — the predicted counterpart of the metered kHalo
+/// drop and of CostMeter::stale_saved_words (predicted savings = exact
+/// minus this). `stale_k` may be fractional: pass the *effective* rate
+/// (refresh epochs / total epochs)^-1 measured from an adaptive run.
+CommCost cost_1d_halo_stale(const CostInputs& in, double stale_k);
+
 /// 1D transposing variant (Section IV-A.7): symmetric cost plus
 /// 2 alpha p^2 + 2 beta nnz/P per epoch for the two transposes.
 CommCost cost_1d_transposing(const CostInputs& in);

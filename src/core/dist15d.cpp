@@ -79,7 +79,26 @@ Algebra15D::Algebra15D(const DistProblem& problem, Comm world,
         static_cast<double>(stripe_rows) *
             static_cast<double>(groups_ - 1) / static_cast<double>(groups_),
         slice_);
+    if (dist::preagg_enabled()) {
+      // Aggregation-before-communication over the slice: a destination
+      // group d only requests rows from g when (g, d)'s coupling block
+      // sits on d's stripe, and both endpoints see the same block of the
+      // global A^T, so the structural agree-without-traffic argument of
+      // the 1D build carries over unchanged.
+      dist::build_preagg_plan(
+          problem.at,
+          [&](int j) {
+            return std::pair<Index, Index>(
+                row_starts_[static_cast<std::size_t>(j)],
+                row_starts_[static_cast<std::size_t>(j) + 1]);
+          },
+          row_lo_, row_hi_, g_, halo_);
+    }
   }
+}
+
+void Algebra15D::begin_epoch(int epoch) {
+  dist::halo_begin_epoch(epoch, use_halo_, slice_, halo_);
 }
 
 void Algebra15D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {

@@ -46,6 +46,10 @@ class Algebra15D final : public DistSpmmAlgebra {
 
   void spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) override;
   void spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) override;
+  /// Arm the slice halo plan's bounded-staleness state for this epoch
+  /// (dist::halo_begin_epoch); collective over the slice in adaptive
+  /// mode, a no-op when CAGNET_STALE is off or halo mode is inactive.
+  void begin_epoch(int epoch) override;
 
   /// With overlap enabled, spmm_at defers the team (replica) all-reduce of
   /// T as row-chunked nonblocking ops, and this override interleaves their

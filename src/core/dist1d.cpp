@@ -45,7 +45,24 @@ Algebra1D::Algebra1D(const DistProblem& problem, Comm world,
         static_cast<double>(n_) * static_cast<double>(p - 1) /
             static_cast<double>(p),
         world_);
+    if (dist::preagg_enabled()) {
+      // Aggregation-before-communication side tables: purely local (both
+      // endpoints of a pair inspect the same A^T coupling block), built
+      // once next to the halo plan.
+      dist::build_preagg_plan(
+          problem.at,
+          [&](int j) {
+            return std::pair<Index, Index>(
+                row_starts_[static_cast<std::size_t>(j)],
+                row_starts_[static_cast<std::size_t>(j) + 1]);
+          },
+          row_lo_, row_hi_, world_.rank(), halo_);
+    }
   }
+}
+
+void Algebra1D::begin_epoch(int epoch) {
+  dist::halo_begin_epoch(epoch, use_halo_, world_, halo_);
 }
 
 void Algebra1D::spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) {

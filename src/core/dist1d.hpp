@@ -57,6 +57,10 @@ class Algebra1D final : public DistSpmmAlgebra {
 
   void spmm_at(const Matrix& h, Matrix& t, EpochStats& stats) override;
   void spmm_a(const Matrix& g, Matrix& u, EpochStats& stats) override;
+  /// Arm the halo plan's bounded-staleness state for this epoch
+  /// (dist::halo_begin_epoch); collective in adaptive mode, a no-op when
+  /// CAGNET_STALE is off or halo mode is inactive.
+  void begin_epoch(int epoch) override;
   /// True when the sparsity-aware halo exchange replaces the broadcasts
   /// (dist::halo_enabled() at construction and P > 1). Purely local.
   bool halo_active() const { return use_halo_; }

@@ -83,7 +83,7 @@ EpochStats EpochStats::reduce_max(const EpochStats& mine, Comm& comm) {
   constexpr std::size_t kPhases = Profiler::kNumPhases;
   constexpr std::size_t kCats = CostMeter::kNumCategories;
   std::vector<double> payload;
-  payload.reserve(2 + kPhases + 2 * kCats + 3 + 4);
+  payload.reserve(2 + kPhases + 2 * kCats + 3 + 1 + 4);
   payload.push_back(mine.result.loss);
   payload.push_back(mine.result.accuracy);
   for (std::size_t i = 0; i < kPhases; ++i) {
@@ -97,6 +97,7 @@ EpochStats EpochStats::reduce_max(const EpochStats& mine, Comm& comm) {
   payload.push_back(mine.comm.overlap_serialized_seconds());
   payload.push_back(mine.comm.overlap_overlapped_seconds());
   payload.push_back(mine.comm.overlap_regions());
+  payload.push_back(mine.comm.stale_saved_words());
   payload.push_back(mine.work.spmm_seconds());
   payload.push_back(mine.work.gemm_seconds());
   payload.push_back(mine.work.spmm_flops());
@@ -120,6 +121,8 @@ EpochStats EpochStats::reduce_max(const EpochStats& mine, Comm& comm) {
   out.comm.restore_overlap_totals(payload[k], payload[k + 1],
                                   payload[k + 2]);
   k += 3;
+  out.comm.restore_stale_saved_words(payload[k]);
+  k += 1;
   out.work = WorkMeter::from_values(payload[k], payload[k + 1],
                                     payload[k + 2], payload[k + 3]);
   return out;
@@ -208,6 +211,49 @@ Index sample_batch_from_env() {
 bool g_sample_enabled = sample_default_from_env();
 std::vector<Index> g_sample_fanouts = sample_fanouts_from_env();
 Index g_sample_batch = sample_batch_from_env();
+
+int stale_k_from_env() {
+  const char* v = std::getenv("CAGNET_STALE");
+  if (v == nullptr || v[0] == '\0') return 0;
+  const std::string s(v);
+  if (s == "off" || s == "OFF" || s == "0") return 0;
+  if (s == "adaptive" || s == "ADAPTIVE") return kStaleAdaptive;
+  CAGNET_CHECK(s.find_first_not_of("0123456789") == std::string::npos,
+               "CAGNET_STALE: \"" + s +
+                   "\" is not \"off\", \"adaptive\", or a positive integer");
+  const long value = std::atol(s.c_str());
+  CAGNET_CHECK(value > 0, "CAGNET_STALE refresh interval must be positive");
+  return static_cast<int>(value);
+}
+
+int stale_bound_from_env(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  const std::string s(v);
+  CAGNET_CHECK(s.find_first_not_of("0123456789") == std::string::npos,
+               std::string(name) + ": \"" + s +
+                   "\" is not a positive integer");
+  const long value = std::atol(s.c_str());
+  CAGNET_CHECK(value > 0,
+               std::string(name) + " refresh interval must be positive");
+  return static_cast<int>(value);
+}
+
+bool preagg_default_from_env() {
+  const char* v = std::getenv("CAGNET_PREAGG");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "on" || s == "ON" || s == "true" || s == "TRUE";
+}
+
+/// Same discipline again: flip only between run_world invocations.
+/// Preset once from CAGNET_STALE / CAGNET_STALE_MIN / CAGNET_STALE_MAX /
+/// CAGNET_PREAGG (all default off/exact; see DESIGN.md "Adaptive
+/// communication rates contract").
+int g_stale_k = stale_k_from_env();
+int g_stale_min = stale_bound_from_env("CAGNET_STALE_MIN", 1);
+int g_stale_max = stale_bound_from_env("CAGNET_STALE_MAX", 8);
+bool g_preagg_enabled = preagg_default_from_env();
 }  // namespace
 
 bool epoch_cache_enabled() { return g_epoch_cache_enabled; }
@@ -236,6 +282,26 @@ void set_sample_batch_size(Index batch) {
   CAGNET_CHECK(batch > 0, "set_sample_batch_size: batch must be positive");
   g_sample_batch = batch;
 }
+
+int stale_k() { return g_stale_k; }
+void set_stale_k(int k) {
+  CAGNET_CHECK(k >= 0 || k == kStaleAdaptive,
+               "set_stale_k: interval must be >= 0 or kStaleAdaptive");
+  g_stale_k = k;
+}
+
+int stale_min_k() { return g_stale_min; }
+int stale_max_k() { return g_stale_max; }
+void set_stale_bounds(int min_k, int max_k) {
+  CAGNET_CHECK(min_k >= 1, "set_stale_bounds: floor must be >= 1");
+  CAGNET_CHECK(max_k >= min_k,
+               "set_stale_bounds: ceiling must be >= floor");
+  g_stale_min = min_k;
+  g_stale_max = max_k;
+}
+
+bool preagg_enabled() { return g_preagg_enabled; }
+void set_preagg_enabled(bool on) { g_preagg_enabled = on; }
 
 void drain_comm(const Comm& comm) noexcept {
   if (!comm.valid()) return;
@@ -1079,6 +1145,186 @@ void pack_rows_threaded(const Matrix& src, std::span<const Index> rows,
                });
 }
 
+/// Adaptive staleness target: a peer whose rows changed by relative L2
+/// delta `rel` since its last refresh gets interval ~ kStaleTau / rel
+/// (clamped to [stale_min_k, stale_max_k]) — 5% drift per refresh keeps
+/// a peer at the floor; converged peers drift toward the ceiling.
+constexpr double kStaleTau = 0.05;
+
+/// The forward exchange's landed-row offsets: the preagg plan's effective
+/// layout when aggregation is armed, the raw plan's otherwise.
+const std::vector<std::size_t>& fwd_recv_offsets(const HaloPlan& plan) {
+  return plan.preagg.active ? plan.preagg.eff_recv_row_offsets
+                            : plan.recv_row_offsets;
+}
+
+/// Drop the empty rows of `m` (row order preserved): col_idx/values are
+/// untouched, only row_ptr compacts, so the result's row k is the k-th
+/// nonzero row of `m` — exactly the order the receiver's agg_land_rows
+/// were recorded in.
+Csr compact_nonzero_rows(const Csr& m) {
+  std::vector<Index> row_ptr;
+  row_ptr.reserve(static_cast<std::size_t>(m.rows()) + 1);
+  row_ptr.push_back(0);
+  for (Index r = 0; r < m.rows(); ++r) {
+    if (m.row_degree(r) > 0) row_ptr.push_back(m.row_ptr()[r + 1]);
+  }
+  std::vector<Index> cols(m.col_idx().begin(), m.col_idx().end());
+  std::vector<Real> vals(m.values().begin(), m.values().end());
+  // Hoisted: argument evaluation order is unspecified, so reading
+  // row_ptr.size() inline could observe the vector already moved-from.
+  const Index nzr = static_cast<Index>(row_ptr.size()) - 1;
+  return Csr::from_parts(nzr, m.cols(), std::move(row_ptr), std::move(cols),
+                         std::move(vals));
+}
+
+/// Accumulate one peer's landed forward rows into T: the compacted-block
+/// SpMM on the raw path (bitwise the pre-stale/pre-preagg sweep), or a
+/// scatter-add of the pre-reduced rows onto their distinct local T rows
+/// when the pair aggregates (disjoint chunked writes, deterministic).
+void halo_accumulate_peer(HaloPlan& plan, int j, const Real* rows_j, Index f,
+                          const MachineModel& machine, EpochStats& stats,
+                          Matrix& t) {
+  const HaloPlan::PreAggPlan& pa = plan.preagg;
+  if (pa.active && pa.agg_recv[static_cast<std::size_t>(j)] != 0) {
+    const std::size_t k0 = pa.agg_land_offsets[static_cast<std::size_t>(j)];
+    const std::size_t k1 =
+        pa.agg_land_offsets[static_cast<std::size_t>(j) + 1];
+    if (k0 == k1) return;
+    ScopedPhase scope(stats.profiler, Phase::kHaloPack);
+    const auto rows_n = static_cast<Index>(k1 - k0);
+    parallel_for(
+        rows_n,
+        plan_chunks(static_cast<double>(rows_n) * static_cast<double>(f),
+                    kMinElemsPerChunk, rows_n),
+        [&](Index lo, Index hi) {
+          for (Index k = lo; k < hi; ++k) {
+            const Real* s = rows_j + k * f;
+            Real* d = t.data() +
+                      pa.agg_land_rows[k0 + static_cast<std::size_t>(k)] * f;
+            for (Index c = 0; c < f; ++c) d[c] += s[c];
+          }
+        });
+    return;
+  }
+  const Csr& a = plan.blocks[static_cast<std::size_t>(j)];
+  if (a.nnz() == 0) return;
+  ScopedPhase scope(stats.profiler, Phase::kSpmm);
+  spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
+                        a.values().data(), rows_j, f, t.data(),
+                        /*accumulate=*/true);
+  stats.work.add_spmm(machine, static_cast<double>(a.nnz()),
+                      static_cast<double>(f), block_degree(a));
+}
+
+/// The fixed-interval skip epoch: no exchange at all — no pack-buffer
+/// claim, no quiesce, zero kHalo latency and words. Every remote stage
+/// replays the cached landed rows through the identical accumulation,
+/// crediting the avoided exact words to the meter; the self stage runs
+/// as usual. Allocation-free (the cache slots were sized by the last
+/// refresh epoch).
+void halo_stale_replay(const Matrix& h, const Csr* self_block, int self,
+                       Comm& comm, HaloPlan& plan,
+                       const MachineModel& machine, EpochStats& stats,
+                       Matrix& t) {
+  HaloPlan::StaleState& st = plan.stale;
+  const int p = comm.size();
+  const Index f = h.cols();
+  const auto slot = static_cast<std::size_t>(st.cur_slot);
+  const std::vector<std::size_t>& roff = fwd_recv_offsets(plan);
+  CAGNET_CHECK(slot < st.cache.size() && st.cache_f[slot] == f,
+               "halo stale replay: cache slot not filled");
+  comm.notify_event(CommCategory::kHalo, "halo stale skip");
+  for (int j = 0; j < p; ++j) {
+    if (j == self) {
+      if (self_block != nullptr) {
+        ScopedPhase scope(stats.profiler, Phase::kSpmm);
+        self_block->spmm(h, t, /*accumulate=*/true);
+        stats.work.add_spmm(machine, static_cast<double>(self_block->nnz()),
+                            static_cast<double>(f),
+                            block_degree(*self_block));
+      }
+      continue;
+    }
+    const std::size_t rows_n = roff[static_cast<std::size_t>(j) + 1] -
+                               roff[static_cast<std::size_t>(j)];
+    if (rows_n == 0) continue;
+    comm.meter().add_stale_saved(static_cast<double>(rows_n) *
+                                 static_cast<double>(f));
+    halo_accumulate_peer(plan, j,
+                         st.cache[slot].data() +
+                             roff[static_cast<std::size_t>(j)] *
+                                 static_cast<std::size_t>(f),
+                         f, machine, stats, t);
+  }
+}
+
+/// Sender side of aggregation-before-communication: stage this epoch's
+/// outgoing rows — per aggregating destination a partial SpMM of the
+/// dest's compacted coupling segment against the whole local H (one
+/// pre-reduced row per distinct dest T row, Phase::kSpmm, metered as
+/// local work), per raw destination the plain row gather. Skipped
+/// adaptive destinations stage nothing (zero-length chunks keep the
+/// collective in lockstep). The staged matrix then rides the ordinary
+/// halo_exchange_begin — iota pack rows — so double-buffering,
+/// compression, overlap, and charging stay in one place.
+void build_preagg_stage(const Matrix& h, int self, HaloPlan& plan,
+                        const MachineModel& machine, EpochStats& stats) {
+  HaloPlan::PreAggPlan& pa = plan.preagg;
+  const HaloPlan::StaleState& st = plan.stale;
+  const bool thin = st.active && st.use_eff;
+  const Index f = h.cols();
+  const int p = static_cast<int>(plan.blocks.size());
+  const auto np = static_cast<std::size_t>(p);
+  pa.epoch_stage_offsets.resize(np + 1);
+  pa.epoch_stage_offsets[0] = 0;
+  for (std::size_t d = 0; d < np; ++d) {
+    std::size_t rows_d = 0;
+    if (static_cast<int>(d) != self && (!thin || st.send_fresh[d] != 0)) {
+      rows_d = pa.agg_send[d] != 0
+                   ? static_cast<std::size_t>(pa.seg[d].rows())
+                   : plan.send_row_offsets[d + 1] - plan.send_row_offsets[d];
+    }
+    pa.epoch_stage_offsets[d + 1] = pa.epoch_stage_offsets[d] + rows_d;
+  }
+  const std::size_t total = pa.epoch_stage_offsets[np];
+  {
+    ScopedPhase scope(stats.profiler, Phase::kHaloPack);
+    pa.stage.resize(static_cast<Index>(total), f);
+    if (pa.stage_rows.size() < total) {
+      const std::size_t old = pa.stage_rows.size();
+      pa.stage_rows.resize(total);
+      for (std::size_t k = old; k < total; ++k) {
+        pa.stage_rows[k] = static_cast<Index>(k);
+      }
+    }
+  }
+  for (std::size_t d = 0; d < np; ++d) {
+    const std::size_t off = pa.epoch_stage_offsets[d];
+    const std::size_t rows_d = pa.epoch_stage_offsets[d + 1] - off;
+    if (rows_d == 0) continue;
+    if (pa.agg_send[d] != 0) {
+      const Csr& seg = pa.seg[d];
+      ScopedPhase scope(stats.profiler, Phase::kSpmm);
+      spmm_csr_kernel<Real>(seg.rows(), seg.row_ptr().data(),
+                            seg.col_idx().data(), seg.values().data(),
+                            h.data(), f,
+                            pa.stage.data() + off * static_cast<std::size_t>(f),
+                            /*accumulate=*/false);
+      stats.work.add_spmm(machine, static_cast<double>(seg.nnz()),
+                          static_cast<double>(f), block_degree(seg));
+    } else {
+      ScopedPhase scope(stats.profiler, Phase::kHaloPack);
+      pack_rows_threaded(
+          h,
+          std::span<const Index>(plan.send_rows.data() +
+                                     plan.send_row_offsets[d],
+                                 rows_d),
+          f, pa.stage.data() + off * static_cast<std::size_t>(f));
+    }
+  }
+}
+
 }  // namespace
 
 bool halo_backward_profitable(std::size_t landed_rows, double rs_rows,
@@ -1086,6 +1332,216 @@ bool halo_backward_profitable(std::size_t landed_rows, double rs_rows,
   std::array<double, 1> landed = {static_cast<double>(landed_rows)};
   comm.allreduce_max(std::span<double>(landed), CommCategory::kControl);
   return landed[0] <= 0.5 * rs_rows;
+}
+
+void halo_begin_epoch(int epoch, bool halo_active, Comm& comm,
+                      HaloPlan& plan) {
+  HaloPlan::StaleState& st = plan.stale;
+  st.layer = 0;
+  st.cur_slot = 0;
+  const int mode = stale_k();
+  const int p = comm.size();
+  if (epoch < 0 || !halo_active || !plan.ready || p <= 1 || mode == 0 ||
+      mode == 1) {
+    // k = 1 refreshes every exchange — that IS the exact path — so the
+    // cache machinery stays disarmed entirely (bitwise parity, incl.
+    // per-category meters; tests/stale_test.cpp pins it).
+    st.active = false;
+    st.epoch_skip = false;
+    st.use_eff = false;
+    return;
+  }
+  st.active = true;
+  const int self = comm.rank();
+  const auto np = static_cast<std::size_t>(p);
+  if (st.recv_fresh.size() != np) {
+    st.valid.assign(np, 0);
+    st.recv_fresh.assign(np, 1);
+    st.send_fresh.assign(np, 1);
+    st.delta_sq.assign(np, -1.0);
+    st.norm_sq.assign(np, 0.0);
+    st.next_refresh.assign(np, epoch);
+    st.filled_epoch = -1;
+    st.prev_epoch = -1;
+    st.cache.clear();
+    st.cache_f.clear();
+  }
+  if (mode != kStaleAdaptive) {
+    // Fixed interval. filled_epoch evolves identically on every rank
+    // (same knob, same epoch sequence, first arm always refreshes), so
+    // the skip decision is rank-uniform and skip epochs can elide the
+    // collective entirely.
+    const bool refresh =
+        st.filled_epoch < 0 || epoch - st.filled_epoch >= mode;
+    st.epoch_skip = !refresh;
+    st.use_eff = false;
+    const char fill = refresh ? 1 : 0;
+    std::fill(st.recv_fresh.begin(), st.recv_fresh.end(), fill);
+    std::fill(st.send_fresh.begin(), st.send_fresh.end(), fill);
+    if (refresh) st.filled_epoch = epoch;
+    st.prev_epoch = epoch;
+    return;
+  }
+  // Adaptive: fold the deltas accumulated over the previous epoch's
+  // refreshes into per-peer intervals. A first fill (delta_sq < 0) has
+  // no baseline and stays at the floor; otherwise the relative L2 drift
+  // maps to ~ kStaleTau / drift epochs, clamped to the knob bounds.
+  if (st.prev_epoch >= 0) {
+    for (int j = 0; j < p; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      if (j == self || st.recv_fresh[js] == 0) continue;
+      if (plan.recv_row_offsets[js + 1] == plan.recv_row_offsets[js]) {
+        continue;
+      }
+      int kj = stale_min_k();
+      if (st.delta_sq[js] >= 0.0) {
+        const double rel =
+            std::sqrt(st.delta_sq[js] / (st.norm_sq[js] + 1e-30));
+        kj = rel > 0.0 ? static_cast<int>(kStaleTau / rel) : stale_max_k();
+        kj = std::clamp(kj, stale_min_k(), stale_max_k());
+      }
+      st.next_refresh[js] = st.prev_epoch + kj;
+    }
+  }
+  // This epoch's receiver-side wants, and the accumulator reset for the
+  // refreshes about to run.
+  st.want_flags.assign(np, 0);
+  if (st.flag_offsets.size() != np + 1) {
+    st.flag_offsets.resize(np + 1);
+    for (std::size_t j = 0; j <= np; ++j) st.flag_offsets[j] = j;
+  }
+  for (int j = 0; j < p; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    bool want = false;
+    if (j != self &&
+        plan.recv_row_offsets[js + 1] > plan.recv_row_offsets[js]) {
+      want = st.valid[js] == 0 || epoch >= st.next_refresh[js];
+    }
+    st.recv_fresh[js] = want ? 1 : 0;
+    st.want_flags[js] = want ? 1 : 0;
+    if (want && st.valid[js] != 0) {
+      st.delta_sq[js] = 0.0;
+      st.norm_sq[js] = 0.0;
+    }
+  }
+  // One want-flag per peer, the only adaptive control traffic: collective
+  // and in lockstep every epoch, so each sender learns exactly which
+  // destinations to thin without any schedule agreement.
+  comm.alltoallv_into(std::span<const Index>(st.want_flags),
+                      std::span<const std::size_t>(st.flag_offsets),
+                      st.peer_wants, CommCategory::kControl);
+  bool any_skip = false;
+  for (int d = 0; d < p; ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    const bool fresh = d != self && st.peer_wants.data[ds] != 0;
+    st.send_fresh[ds] = fresh ? 1 : 0;
+    if (d != self && !fresh &&
+        plan.send_row_offsets[ds + 1] > plan.send_row_offsets[ds]) {
+      any_skip = true;
+    }
+  }
+  st.epoch_skip = false;
+  st.use_eff = any_skip;
+  if (any_skip) {
+    // Thinned send set: refreshing destinations' send_rows chunks
+    // concatenated, zero-length chunks for the rest. The exchange stays
+    // in lockstep; only the words drop.
+    st.eff_send_rows.clear();
+    st.eff_send_row_offsets.assign(np + 1, 0);
+    for (std::size_t d = 0; d < np; ++d) {
+      if (st.send_fresh[d] != 0) {
+        const std::size_t s0 = plan.send_row_offsets[d];
+        const std::size_t s1 = plan.send_row_offsets[d + 1];
+        st.eff_send_rows.insert(
+            st.eff_send_rows.end(),
+            plan.send_rows.begin() + static_cast<std::ptrdiff_t>(s0),
+            plan.send_rows.begin() + static_cast<std::ptrdiff_t>(s1));
+      }
+      st.eff_send_row_offsets[d + 1] = st.eff_send_rows.size();
+    }
+  }
+  st.prev_epoch = epoch;
+}
+
+void build_preagg_plan(const Csr& at,
+                       const std::function<std::pair<Index, Index>(int)>&
+                           peer_rows,
+                       Index my_row_lo, Index my_row_hi, int self,
+                       HaloPlan& plan) {
+  CAGNET_CHECK(plan.ready, "build_preagg_plan: halo plan not built");
+  HaloPlan::PreAggPlan& pa = plan.preagg;
+  const int p = static_cast<int>(plan.blocks.size());
+  const auto np = static_cast<std::size_t>(p);
+  pa.active = false;
+  pa.agg_send.assign(np, 0);
+  pa.agg_recv.assign(np, 0);
+  pa.seg.assign(np, Csr{});
+  pa.stage_row_offsets.assign(np + 1, 0);
+  pa.agg_land_offsets.assign(np + 1, 0);
+  pa.agg_land_rows.clear();
+  pa.eff_recv_row_offsets.assign(np + 1, 0);
+  bool any = false;
+  // Receiver side: a source whose compacted coupling block touches fewer
+  // distinct output rows than it ships source rows profits from landing
+  // one pre-reduced row per output row instead.
+  for (int s = 0; s < p; ++s) {
+    const auto ss = static_cast<std::size_t>(s);
+    pa.eff_recv_row_offsets[ss + 1] = pa.eff_recv_row_offsets[ss];
+    pa.agg_land_offsets[ss + 1] = pa.agg_land_offsets[ss];
+    if (s == self) continue;
+    const std::size_t need =
+        plan.recv_row_offsets[ss + 1] - plan.recv_row_offsets[ss];
+    if (need == 0) continue;
+    const Csr& blk = plan.blocks[ss];
+    Index nzr = 0;
+    for (Index r = 0; r < blk.rows(); ++r) {
+      if (blk.row_degree(r) > 0) ++nzr;
+    }
+    if (static_cast<std::size_t>(nzr) < need) {
+      pa.agg_recv[ss] = 1;
+      for (Index r = 0; r < blk.rows(); ++r) {
+        if (blk.row_degree(r) > 0) pa.agg_land_rows.push_back(r);
+      }
+      pa.agg_land_offsets[ss + 1] = pa.agg_land_rows.size();
+      pa.eff_recv_row_offsets[ss + 1] += static_cast<std::size_t>(nzr);
+      any = true;
+    } else {
+      pa.eff_recv_row_offsets[ss + 1] += need;
+    }
+  }
+  // Sender side: the same verdict from the destination's segment of the
+  // global A^T — identical nnz structure to the block the destination
+  // inspected, so both endpoints agree without control traffic.
+  for (int d = 0; d < p; ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    pa.stage_row_offsets[ds + 1] = pa.stage_row_offsets[ds];
+    if (d == self) continue;
+    const std::size_t sent =
+        plan.send_row_offsets[ds + 1] - plan.send_row_offsets[ds];
+    if (sent == 0) continue;
+    const auto [d_lo, d_hi] = peer_rows(d);
+    const Csr segd = at.block(d_lo, d_hi, my_row_lo, my_row_hi);
+    Index nzr = 0;
+    for (Index r = 0; r < segd.rows(); ++r) {
+      if (segd.row_degree(r) > 0) ++nzr;
+    }
+    if (static_cast<std::size_t>(nzr) < sent) {
+      pa.agg_send[ds] = 1;
+      pa.seg[ds] = compact_nonzero_rows(segd);
+      pa.stage_row_offsets[ds + 1] += static_cast<std::size_t>(nzr);
+      any = true;
+    } else {
+      pa.stage_row_offsets[ds + 1] += sent;
+    }
+  }
+  pa.active = any;
+  if (!any) return;
+  const std::size_t total = pa.stage_row_offsets[np];
+  pa.stage_rows.resize(total);
+  for (std::size_t k = 0; k < total; ++k) {
+    pa.stage_rows[k] = static_cast<Index>(k);
+  }
+  pa.epoch_stage_offsets = pa.stage_row_offsets;
 }
 
 PendingOp halo_exchange_begin(const Matrix& src, std::span<const Index> rows,
@@ -1186,10 +1642,39 @@ void halo_spmm_pipeline(const Matrix& h, const Csr* self_block, int self,
                         Comm& comm, HaloPlan& plan, CommCategory cat,
                         const MachineModel& machine, EpochStats& stats,
                         Matrix& t) {
-  PendingOp op = halo_exchange_begin(
-      h, std::span<const Index>(plan.send_rows),
-      std::span<const std::size_t>(plan.send_row_offsets), comm, plan, cat,
-      stats.profiler);
+  HaloPlan::StaleState& st = plan.stale;
+  if (st.active) {
+    // One cache slot per forward exchange of the epoch (each layer has
+    // its own width); the counter restarts at halo_begin_epoch.
+    st.cur_slot = st.layer++;
+    if (st.epoch_skip) {
+      halo_stale_replay(h, self_block, self, comm, plan, machine, stats, t);
+      return;
+    }
+  } else {
+    st.cur_slot = 0;
+  }
+  PendingOp op;
+  if (plan.preagg.active) {
+    build_preagg_stage(h, self, plan, machine, stats);
+    op = halo_exchange_begin(
+        plan.preagg.stage,
+        std::span<const Index>(plan.preagg.stage_rows.data(),
+                               static_cast<std::size_t>(
+                                   plan.preagg.stage.rows())),
+        std::span<const std::size_t>(plan.preagg.epoch_stage_offsets), comm,
+        plan, cat, stats.profiler);
+  } else if (st.active && st.use_eff) {
+    op = halo_exchange_begin(
+        h, std::span<const Index>(st.eff_send_rows),
+        std::span<const std::size_t>(st.eff_send_row_offsets), comm, plan,
+        cat, stats.profiler);
+  } else {
+    op = halo_exchange_begin(
+        h, std::span<const Index>(plan.send_rows),
+        std::span<const std::size_t>(plan.send_row_offsets), comm, plan, cat,
+        stats.profiler);
+  }
   halo_spmm_sweep(op, h, self_block, self, comm, plan, machine, stats, t);
 }
 
@@ -1200,15 +1685,33 @@ void halo_spmm_sweep(PendingOp& op, const Matrix& h, const Csr* self_block,
   const int p = comm.size();
   const Index f = h.cols();
   const bool pipelined = op.pending();
+  HaloPlan::StaleState& st = plan.stale;
+  const bool stale_on = st.active;
+  const bool adaptive = stale_on && stale_k() == kStaleAdaptive;
+  const auto slot = static_cast<std::size_t>(st.cur_slot);
+  // Landed-row offsets of this exchange: the preagg plan's effective
+  // layout when aggregation is armed, the raw plan's otherwise.
+  const std::vector<std::size_t>& roff = fwd_recv_offsets(plan);
   const CompressMode rmode =
       p > 1 ? row_compress_mode() : CompressMode::kOff;
   if (rmode != CompressMode::kOff) {
     // Decode staging for every peer's landed rows, laid out at the
-    // plan's recv row offsets so each stage decodes into its own slice.
+    // exchange's recv row offsets so each stage decodes into its own
+    // slice.
     ScopedPhase scope(stats.profiler, Phase::kCompressPack);
-    plan.recv_decode.resize(
-        plan.recv_row_offsets[static_cast<std::size_t>(p)] *
-        static_cast<std::size_t>(f));
+    plan.recv_decode.resize(roff[static_cast<std::size_t>(p)] *
+                            static_cast<std::size_t>(f));
+  }
+  if (stale_on) {
+    // Size this layer's cache slot. Only refresh epochs reach the sweep,
+    // and only their first visit allocates; replays never get here.
+    if (st.cache.size() <= slot) {
+      st.cache.resize(slot + 1);
+      st.cache_f.resize(slot + 1, 0);
+    }
+    st.cache[slot].resize(roff[static_cast<std::size_t>(p)] *
+                          static_cast<std::size_t>(f));
+    st.cache_f[slot] = f;
   }
   // Ascending stage order is the broadcast loops' accumulation order;
   // keeping it makes every per-element sum an identical ordered sum of
@@ -1220,6 +1723,7 @@ void halo_spmm_sweep(PendingOp& op, const Matrix& h, const Csr* self_block,
   OverlapScope region(comm.meter(), stats.work, machine);
   if (pipelined) region.open();
   for (int j = 0; j < p; ++j) {
+    const auto js = static_cast<std::size_t>(j);
     if (j == self) {
       if (self_block != nullptr) {
         ScopedPhase scope(stats.profiler, Phase::kSpmm);
@@ -1230,27 +1734,67 @@ void halo_spmm_sweep(PendingOp& op, const Matrix& h, const Csr* self_block,
       }
       continue;
     }
-    const std::size_t expect =
-        (plan.recv_row_offsets[static_cast<std::size_t>(j) + 1] -
-         plan.recv_row_offsets[static_cast<std::size_t>(j)]) *
-        static_cast<std::size_t>(f);
+    const std::size_t base_rows = roff[js + 1] - roff[js];
+    if (stale_on && st.recv_fresh[js] == 0) {
+      // Stale peer: certify its empty chunk (adaptive exchanges stay in
+      // lockstep; the peer shipped a zero-length chunk by the same
+      // want-flag) and replay the cached landed rows through the
+      // identical accumulation, crediting the avoided exact words.
+      if (pipelined) {
+        {
+          ScopedPhase scope(stats.profiler, Phase::kDenseComm);
+          op.skip_source(j);
+        }
+        region.close();
+        region.open();
+      }
+      if (base_rows == 0) continue;
+      comm.notify_event(CommCategory::kHalo, "halo stale skip");
+      comm.meter().add_stale_saved(static_cast<double>(base_rows) *
+                                   static_cast<double>(f));
+      halo_accumulate_peer(
+          plan, j,
+          st.cache[slot].data() + roff[js] * static_cast<std::size_t>(f), f,
+          machine, stats, t);
+      continue;
+    }
+    const std::size_t expect = base_rows * static_cast<std::size_t>(f);
     Real* decode_dst =
         rmode == CompressMode::kOff
             ? nullptr
             : plan.recv_decode.data() +
-                  plan.recv_row_offsets[static_cast<std::size_t>(j)] *
-                      static_cast<std::size_t>(f);
+                  roff[js] * static_cast<std::size_t>(f);
     const Real* rows_j = drain_halo_peer(op, plan, j, expect, pipelined,
                                          rmode, decode_dst, region,
                                          stats.profiler);
-    const Csr& a = plan.blocks[static_cast<std::size_t>(j)];
-    if (a.nnz() == 0) continue;
-    ScopedPhase scope(stats.profiler, Phase::kSpmm);
-    spmm_csr_kernel<Real>(a.rows(), a.row_ptr().data(), a.col_idx().data(),
-                          a.values().data(), rows_j, f, t.data(),
-                          /*accumulate=*/true);
-    stats.work.add_spmm(machine, static_cast<double>(a.nnz()),
-                        static_cast<double>(f), block_degree(a));
+    if (stale_on && expect > 0 && rows_j != nullptr) {
+      // Refresh this peer's cache slice (and, in adaptive mode, fold the
+      // serial L2 delta against the old slice before overwriting it —
+      // deterministic double accumulation).
+      ScopedPhase scope(stats.profiler, Phase::kHaloPack);
+      Real* dst =
+          st.cache[slot].data() + roff[js] * static_cast<std::size_t>(f);
+      if (adaptive) {
+        if (st.valid[js] == 0) {
+          st.delta_sq[js] = -1.0;  // first fill: no baseline for a delta
+        } else if (st.delta_sq[js] >= 0.0) {
+          double d2 = 0.0;
+          double n2 = 0.0;
+          for (std::size_t k = 0; k < expect; ++k) {
+            const double diff = static_cast<double>(rows_j[k]) -
+                                static_cast<double>(dst[k]);
+            d2 += diff * diff;
+            n2 += static_cast<double>(rows_j[k]) *
+                  static_cast<double>(rows_j[k]);
+          }
+          st.delta_sq[js] += d2;
+          st.norm_sq[js] += n2;
+        }
+      }
+      std::copy(rows_j, rows_j + expect, dst);
+      st.valid[js] = 1;
+    }
+    halo_accumulate_peer(plan, j, rows_j, f, machine, stats, t);
   }
   region.close();
   if (pipelined) {

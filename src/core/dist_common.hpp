@@ -210,6 +210,50 @@ void set_sample_fanouts(std::vector<Index> fanouts);
 Index sample_batch_size();
 void set_sample_batch_size(Index batch);
 
+/// stale_k() value selecting the adaptive per-peer refresh policy.
+inline constexpr int kStaleAdaptive = -1;
+
+/// Process-global bounded-staleness refresh interval of the halo forward
+/// (default 0 = off; the CAGNET_STALE env var, read once at startup, can
+/// preset it — a positive integer k, "adaptive", or "off"). k >= 2 keeps
+/// each peer's received halo rows in a per-plan cache and re-exchanges
+/// them every k epochs; skipped epochs replay the cached rows
+/// allocation-free, charging zero kHalo latency/words (the avoided words
+/// are credited to CostMeter::stale_saved_words). kStaleAdaptive tracks
+/// the L2 delta of each peer's row block between refreshes and refreshes
+/// fast-changing peers more often, inside [stale_min_k, stale_max_k].
+/// 0 and 1 are the exact path verbatim — bitwise identical losses,
+/// weights, and per-category meters (tests/stale_test.cpp asserts it).
+/// Lossy for k >= 2: forward activations use rows up to k-1 epochs old
+/// (the backward stays the exact gradient of that stale forward). The
+/// cache is per-run transient state — never checkpointed; a restart
+/// refreshes every peer on its first epoch (DESIGN.md "Adaptive
+/// communication rates contract"). Requires CAGNET_HALO. Not per-trainer
+/// state: flip it only between run_world invocations.
+int stale_k();
+void set_stale_k(int k);
+
+/// Floor / ceiling of the adaptive per-peer refresh interval (defaults
+/// 1 / 8; the CAGNET_STALE_MIN / CAGNET_STALE_MAX env vars can preset
+/// them). Flip only between run_world invocations.
+int stale_min_k();
+int stale_max_k();
+void set_stale_bounds(int min_k, int max_k);
+
+/// Process-global switch for aggregation-before-communication on the halo
+/// forward (default off; the CAGNET_PREAGG env var can preset it — "1",
+/// "on", or "true" enable). When on, each (source, dest) pair whose A^T
+/// coupling block has fewer distinct nonzero output rows than requested
+/// source rows pre-reduces the requested rows through that block on the
+/// sender, so one aggregated contribution row per (dest, out-row) crosses
+/// the wire instead of every raw source row (the ABC pattern). Lossy only
+/// in floating-point association order — deterministic for a fixed world,
+/// but not bitwise the exact path. Composes with CAGNET_COMPRESS and
+/// CAGNET_STALE. Requires CAGNET_HALO. Flip only between run_world
+/// invocations.
+bool preagg_enabled();
+void set_preagg_enabled(bool on);
+
 /// Reusable dense/staging buffers for the shared SUMMA helpers. One per
 /// algebra instance; after the first epoch the hot path stops allocating.
 /// The helpers never nest, so sharing the buffers between them is safe.
@@ -327,6 +371,71 @@ struct HaloPlan {
   /// peer's chunk at recv_row_offsets[j]*f; the backward at
   /// land_row_offsets[r]*f. Sized by the caller before the sweep.
   std::vector<Real> recv_decode;
+
+  /// Bounded-staleness refresh state (CAGNET_STALE; armed per epoch by
+  /// halo_begin_epoch, consumed by halo_spmm_pipeline). The cache holds
+  /// the *landed* rows of each forward exchange — one slot per forward
+  /// layer, laid out at the exchange's effective receive offsets — so a
+  /// skipped epoch replays them through the identical accumulation
+  /// without touching the wire. Per-run transient: never checkpointed,
+  /// and a rebuilt world starts invalid (uniform refresh on the first
+  /// epoch).
+  struct StaleState {
+    bool active = false;      ///< cache machinery armed for this epoch
+    bool epoch_skip = false;  ///< fixed mode: replay every peer, no exchange
+    bool use_eff = false;     ///< adaptive: ship the thinned send set
+    int cur_slot = 0;         ///< forward-exchange slot of the current call
+    int layer = 0;            ///< forward exchanges begun this epoch
+    int filled_epoch = -1;    ///< fixed mode: epoch of the last refresh
+    int prev_epoch = -1;      ///< adaptive: epoch of the previous arm
+    std::vector<char> valid;       ///< per source: cache slice filled
+    std::vector<char> recv_fresh;  ///< per source: refresh this epoch
+    std::vector<char> send_fresh;  ///< per dest: dest wants fresh rows
+    /// Thinned send set of the current adaptive epoch (refreshing dests'
+    /// send_rows chunks concatenated; zero-length chunks for skipped
+    /// dests keep the collective in lockstep while the words drop).
+    std::vector<Index> eff_send_rows;
+    std::vector<std::size_t> eff_send_row_offsets;  ///< P+1
+    std::vector<std::vector<Real>> cache;  ///< landed rows per slot
+    std::vector<Index> cache_f;            ///< feature width per slot
+    /// Adaptive accumulators: sum ||new-old||^2 and ||new||^2 over a
+    /// refresh epoch's layers (delta_sq < 0 flags a first fill with no
+    /// baseline), folded into per-peer next_refresh at the next arm.
+    std::vector<double> delta_sq;
+    std::vector<double> norm_sq;
+    std::vector<int> next_refresh;  ///< absolute epoch of the next refresh
+    std::vector<Index> want_flags;  ///< adaptive flag-exchange send staging
+    std::vector<std::size_t> flag_offsets;  ///< P+1, one flag per dest
+    Gathered<Index> peer_wants;     ///< adaptive flag-exchange receives
+  };
+  StaleState stale;
+
+  /// Aggregation-before-communication plan (CAGNET_PREAGG; built once by
+  /// build_preagg_plan next to the halo plan). Both endpoints of a
+  /// (source, dest) pair derive the same structural decision from the
+  /// same A^T coupling block — aggregate exactly when the block has
+  /// fewer distinct nonzero output rows than requested source rows — so
+  /// no control traffic is needed and the effective wire layout is
+  /// rank-consistent by construction.
+  struct PreAggPlan {
+    bool active = false;         ///< any pair aggregates
+    std::vector<char> agg_send;  ///< per dest: this rank pre-reduces
+    std::vector<char> agg_recv;  ///< per source: rows land pre-reduced
+    /// Per aggregating dest: the dest's A^T coupling segment compacted to
+    /// its nonzero output rows (columns stay rank-local H indices), the
+    /// operator of the sender-side partial SpMM.
+    std::vector<Csr> seg;
+    std::vector<std::size_t> stage_row_offsets;    ///< P+1, full refresh
+    std::vector<std::size_t> epoch_stage_offsets;  ///< P+1, this epoch
+    std::vector<Index> stage_rows;  ///< iota pack indices into stage
+    Matrix stage;                   ///< staged outgoing rows (agg + raw)
+    /// Per aggregating source: the local T rows its pre-reduced rows
+    /// scatter-add onto (ascending; chunked by agg_land_offsets).
+    std::vector<Index> agg_land_rows;
+    std::vector<std::size_t> agg_land_offsets;      ///< P+1
+    std::vector<std::size_t> eff_recv_row_offsets;  ///< P+1 landed rows
+  };
+  PreAggPlan preagg;
 };
 
 /// The (parts+1) partition-aware block boundaries of `problem` for a
@@ -345,6 +454,34 @@ std::vector<Index> row_starts(const DistProblem& problem, int parts);
 void build_halo_plan(const std::function<const Csr*(int)>& block_of,
                      int self, const std::function<Index(int)>& peer_row_lo,
                      Comm& comm, HaloPlan& plan);
+
+/// Arm (or disarm) the plan's bounded-staleness state for one epoch,
+/// called by the algebra's begin_epoch hook before the first forward
+/// exchange. Fixed mode (stale_k() >= 2) decides refresh-vs-replay from
+/// the absolute epoch and the plan's last refresh epoch — both evolve
+/// identically on every rank, so skip epochs can elide the collective
+/// entirely. Adaptive mode folds the previous refresh's L2 deltas into
+/// per-peer intervals, exchanges one want-flag per peer (kControl, the
+/// only adaptive control traffic), and thins the send set to the
+/// refreshing destinations; the exchange itself stays in lockstep with
+/// zero-length chunks for skipped pairs. epoch < 0 disarms (exact path;
+/// used by out-of-band forwards like gather_output). No-op state when
+/// stale is off, k == 1, the plan is not ready, or p == 1.
+void halo_begin_epoch(int epoch, bool halo_active, Comm& comm,
+                      HaloPlan& plan);
+
+/// Build the plan's aggregation-before-communication side tables from the
+/// global A^T (`at`): `peer_rows(j)` returns peer j's [row_lo, row_hi)
+/// global output-row range, [my_row_lo, my_row_hi) is this rank's H-row
+/// range, `self` its index in the plan's communicator. Purely local —
+/// sender and receiver of each pair inspect the same coupling block and
+/// reach the same decision. Leaves preagg.active false when no pair
+/// profits. Call after build_halo_plan, once, at construction.
+void build_preagg_plan(const Csr& at,
+                       const std::function<std::pair<Index, Index>(int)>&
+                           peer_rows,
+                       Index my_row_lo, Index my_row_hi, int self,
+                       HaloPlan& plan);
 
 /// Collective profitability gate of the mirrored backward contribution
 /// exchange: the exchange lands per-peer contribution rows (the plan's

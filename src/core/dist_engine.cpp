@@ -255,6 +255,11 @@ EpochResult DistEngine::train_epoch() {
     world.quiesce();
   }
 
+  // Arm the algebra's adaptive-rate state (bounded-staleness halo
+  // refresh) for this epoch. No-op unless CAGNET_STALE selects a lossy
+  // mode; collective in adaptive mode, so it runs in lockstep here.
+  algebra_->begin_epoch(epoch_);
+
   forward();
   // Replicas hold identical output rows; only the primary copies
   // contribute loss terms to the global reduction.
@@ -279,7 +284,10 @@ EpochStats DistEngine::reduce_epoch_stats() const {
 Matrix DistEngine::gather_output() {
   if (dist::sample_enabled()) {
     // Sampled epochs never materialize the full-graph output; inference
-    // runs one full-batch forward with the current weights first.
+    // runs one full-batch forward with the current weights first — with
+    // the staleness machinery disarmed (inference is exact; the cache
+    // slots belong to the training epochs' layer sequence).
+    algebra_->begin_epoch(-1);
     forward();
   }
   Matrix full =

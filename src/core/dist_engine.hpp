@@ -166,6 +166,15 @@ class DistSpmmAlgebra {
 
   // ---- Epoch hooks ----
 
+  /// Called at the start of each full-batch epoch with the absolute epoch
+  /// number, or with -1 to disarm before an out-of-band forward (sampled
+  /// inference). The 1D/1.5D families arm their halo plan's adaptive-rate
+  /// state here (dist::halo_begin_epoch); collective in adaptive stale
+  /// mode (the per-epoch want-flag exchange runs inside), a purely local
+  /// decision otherwise. A no-op by default and whenever CAGNET_STALE is
+  /// off.
+  virtual void begin_epoch(int epoch) { (void)epoch; }
+
   /// Called before the backward recurrence; the 2D/3D families run their
   /// distributed transpose A^T -> A here (the paper's "trpose" phase,
   /// charged as kTranspose; replayed from the transpose cache after

@@ -29,6 +29,20 @@ SampledSubgraph sample_subgraph(const Graph& graph, const Csr& at,
 
   const auto row_ptr = at.row_ptr();
   const auto col_idx = at.col_idx();
+  const auto& at_vals = at.values();
+  std::unordered_map<Index, Index> local_of;
+  local_of.reserve(seeds.size() * 8);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    local_of.emplace(order[i], static_cast<Index>(i));
+  }
+  // The traversed edges, recorded as entries of A over local indices
+  // (A^T(v, u) = A(u, v)), with the Horvitz-Thompson deg/fanout scale
+  // already applied on capped rows — the same unbiasedness correction the
+  // distributed SampledRunner bakes into its sampled stripe rows. Each
+  // frontier vertex's row is sampled exactly once, so entries are unique.
+  std::vector<Index> edge_rows;
+  std::vector<Index> edge_cols;
+  std::vector<Real> edge_vals;
   std::vector<Index> frontier(order);
   std::vector<Index> scratch;
   for (Index fanout : fanouts) {
@@ -36,14 +50,20 @@ SampledSubgraph sample_subgraph(const Graph& graph, const Csr& at,
     for (Index v : frontier) {
       const Index deg = row_ptr[v + 1] - row_ptr[v];
       if (deg == 0) continue;
+      const Index lv = local_of.find(v)->second;
       if (deg <= fanout) {
-        // Take the whole in-neighborhood.
+        // Take the whole in-neighborhood, verbatim (scale one — what
+        // keeps uncapped runs exact against the full-batch reference).
         for (Index p = row_ptr[v]; p < row_ptr[v + 1]; ++p) {
           const Index u = col_idx[p];
           if (seen.insert(u).second) {
+            local_of.emplace(u, static_cast<Index>(order.size()));
             order.push_back(u);
             next.push_back(u);
           }
+          edge_rows.push_back(local_of.find(u)->second);
+          edge_cols.push_back(lv);
+          edge_vals.push_back(at_vals[static_cast<std::size_t>(p)]);
         }
       } else {
         // Floyd's sampling of `fanout` distinct positions in [0, deg).
@@ -58,12 +78,21 @@ SampledSubgraph sample_subgraph(const Graph& graph, const Csr& at,
           }
           scratch.push_back(candidate);
         }
+        // Each kept edge stood a fanout/deg chance of inclusion, so
+        // dividing by it keeps the sampled row aggregate an unbiased
+        // estimate of the full one.
+        const Real scale = static_cast<Real>(deg) / static_cast<Real>(fanout);
         for (Index offset : scratch) {
-          const Index u = col_idx[row_ptr[v] + offset];
+          const Index q = row_ptr[v] + offset;
+          const Index u = col_idx[q];
           if (seen.insert(u).second) {
+            local_of.emplace(u, static_cast<Index>(order.size()));
             order.push_back(u);
             next.push_back(u);
           }
+          edge_rows.push_back(local_of.find(u)->second);
+          edge_cols.push_back(lv);
+          edge_vals.push_back(at_vals[static_cast<std::size_t>(q)] * scale);
         }
       }
     }
@@ -71,25 +100,10 @@ SampledSubgraph sample_subgraph(const Graph& graph, const Csr& at,
     if (frontier.empty()) break;
   }
 
-  // Induced submatrix of the normalized adjacency over `order`.
-  std::unordered_map<Index, Index> local_of;
-  local_of.reserve(order.size());
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    local_of.emplace(order[i], static_cast<Index>(i));
-  }
-  const Csr& a = graph.adjacency;
-  const auto a_row_ptr = a.row_ptr();
-  const auto a_col_idx = a.col_idx();
-  const auto a_vals = a.values();
+  // Assemble A over the sampled vertices from exactly the traversed edges.
   Coo coo(static_cast<Index>(order.size()), static_cast<Index>(order.size()));
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const Index v = order[i];
-    for (Index p = a_row_ptr[v]; p < a_row_ptr[v + 1]; ++p) {
-      const auto it = local_of.find(a_col_idx[p]);
-      if (it != local_of.end()) {
-        coo.add(static_cast<Index>(i), it->second, a_vals[p]);
-      }
-    }
+  for (std::size_t k = 0; k < edge_rows.size(); ++k) {
+    coo.add(edge_rows[k], edge_cols[k], edge_vals[k]);
   }
   sub.adjacency = Csr::from_coo(coo);
 

@@ -7,8 +7,11 @@
 // a GraphSAGE-style k-hop uniform neighbor sampler that bounds the
 // neighborhood explosion (Section I), and a mini-batch trainer that runs
 // the same GCN mathematics on the sampled subgraphs. The subgraph operator
-// is the induced restriction of the normalized adjacency, so the full-batch
-// trainers remain the exact reference as fanouts grow.
+// keeps exactly the edges the sampler traversed, with each capped row's
+// surviving entries scaled by deg/fanout (the Horvitz-Thompson correction
+// the distributed SampledRunner applies), so sampled row aggregates stay
+// unbiased estimates of the full ones; uncapped hops scale by exactly one,
+// and the full-batch trainers remain the exact reference as fanouts grow.
 #pragma once
 
 #include <limits>
@@ -22,7 +25,8 @@ namespace cagnet {
 
 /// A sampled k-hop training subgraph.
 struct SampledSubgraph {
-  Csr adjacency;               ///< induced block of the normalized A
+  Csr adjacency;               ///< sampled edges of the normalized A, with
+                               ///< capped rows Horvitz-Thompson rescaled
   Matrix features;             ///< H0 rows of the sampled vertices
   std::vector<Index> labels;   ///< seed rows keep labels; others are -1
   std::vector<Index> vertices; ///< global ids; the first num_seeds are seeds
@@ -31,8 +35,9 @@ struct SampledSubgraph {
 
 /// Uniform k-hop neighbor sampling: starting from `seeds`, each hop h
 /// samples up to fanouts[h] distinct in-neighbors (rows of A^T) of every
-/// frontier vertex without replacement. Returns the induced subgraph over
-/// the union, seeds first, hop order preserved.
+/// frontier vertex without replacement. Returns the subgraph of exactly
+/// the traversed edges — capped rows carry the deg/fanout scale, take-all
+/// rows are verbatim — over the union, seeds first, hop order preserved.
 SampledSubgraph sample_subgraph(const Graph& graph, const Csr& at,
                                 std::span<const Index> seeds,
                                 std::span<const Index> fanouts, Rng& rng);

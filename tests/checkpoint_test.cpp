@@ -23,18 +23,34 @@ namespace {
 
 /// Weights-only checkpoints capture the complete training state only on
 /// an exact wire: under a lossy codec the error-feedback residual is
-/// deliberately per-run transient state (never serialized), so the
-/// resume-bitwise contract is pinned in exact mode regardless of the
-/// ambient CAGNET_COMPRESS the suite was launched with.
+/// deliberately per-run transient state (never serialized), and under
+/// bounded staleness (CAGNET_STALE) the halo cache is equally transient —
+/// a rebuilt world starts invalid and refreshes on its first epoch, so a
+/// resumed lossy run legitimately diverges from the uninterrupted one
+/// (the StaleRestart drill pins that contract). The resume-bitwise
+/// contract here is therefore pinned in exact mode regardless of the
+/// ambient CAGNET_COMPRESS / CAGNET_STALE / CAGNET_PREAGG the suite was
+/// launched with.
 class ExactModeGuard {
  public:
-  ExactModeGuard() : mode_(compress_mode()) {
+  ExactModeGuard()
+      : mode_(compress_mode()),
+        stale_(dist::stale_k()),
+        preagg_(dist::preagg_enabled()) {
     set_compress_mode(CompressMode::kOff);
+    dist::set_stale_k(0);
+    dist::set_preagg_enabled(false);
   }
-  ~ExactModeGuard() { set_compress_mode(mode_); }
+  ~ExactModeGuard() {
+    set_compress_mode(mode_);
+    dist::set_stale_k(stale_);
+    dist::set_preagg_enabled(preagg_);
+  }
 
  private:
   CompressMode mode_;
+  int stale_;
+  bool preagg_;
 };
 
 Graph small_graph(Index n, Index communities, Index f, Index classes,

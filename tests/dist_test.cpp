@@ -28,14 +28,26 @@ constexpr Real kParityTol = 1e-8;
 
 // Dist-vs-serial exactness is a statement about exact wire contents; an
 // ambient lossy codec (CAGNET_COMPRESS) reroutes the gradient and row
-// reductions through quantized payloads, so these comparisons only hold
-// in exact mode. Within-mode parity suites (OverlapParity) keep running.
+// reductions through quantized payloads, ambient bounded staleness
+// (CAGNET_STALE >= 2 or adaptive) replays cached halo rows, and ambient
+// pre-aggregation (CAGNET_PREAGG) reassociates the halo sums — so these
+// comparisons only hold in exact mode. Within-mode parity suites
+// (OverlapParity) keep running.
 #define SKIP_IF_AMBIENT_LOSSY()                                           \
   do {                                                                    \
     if (compress_mode() != CompressMode::kOff) {                          \
       GTEST_SKIP() << "dist-vs-serial exactness requires "                \
                       "CAGNET_COMPRESS=off (ambient: "                    \
                    << compress_mode_name(compress_mode()) << ")";         \
+    }                                                                     \
+    if (dist::stale_k() != 0 && dist::stale_k() != 1) {                   \
+      GTEST_SKIP() << "dist-vs-serial exactness requires "                \
+                      "CAGNET_STALE=off (ambient: " << dist::stale_k()    \
+                   << ")";                                                \
+    }                                                                     \
+    if (dist::preagg_enabled()) {                                         \
+      GTEST_SKIP() << "dist-vs-serial exactness requires "                \
+                      "CAGNET_PREAGG=off";                                \
     }                                                                     \
   } while (false)
 

@@ -3,6 +3,7 @@
 // Matrix Market I/O, and model checkpointing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -234,20 +235,39 @@ TEST(Sampling, FanoutBoundsNeighborhoodExplosion) {
   EXPECT_LE(static_cast<Index>(sub.vertices.size()), 2 * (1 + 3 + 9));
 }
 
-TEST(Sampling, SubgraphValuesMatchGlobalAdjacency) {
+TEST(Sampling, SubgraphKeepsTraversedEdgesWithHorvitzThompsonScale) {
+  // The sampled operator is the traversed edges only: each sampled column
+  // carries exactly min(deg, fanout) entries, take-all columns verbatim
+  // and capped columns rescaled by deg/fanout (the same unbiasedness
+  // correction the distributed SampledRunner applies), so the sampled row
+  // aggregate stays an unbiased estimate of the full one.
   const Graph g = community_graph(120, 3, 8);
   const Csr at = g.adjacency.transposed();
   Rng rng(9);
   const std::vector<Index> seeds = {11, 57};
-  const std::vector<Index> fanouts = {4};
+  const Index fanout = 4;
+  const std::vector<Index> fanouts = {fanout};
   const SampledSubgraph sub = sample_subgraph(g, at, seeds, fanouts, rng);
   const Matrix global = g.adjacency.to_dense();
   const Matrix local = sub.adjacency.to_dense();
-  for (std::size_t i = 0; i < sub.vertices.size(); ++i) {
-    for (std::size_t j = 0; j < sub.vertices.size(); ++j) {
-      EXPECT_NEAR(local(static_cast<Index>(i), static_cast<Index>(j)),
-                  global(sub.vertices[i], sub.vertices[j]), 1e-14);
+  const auto rp = at.row_ptr();
+  for (std::size_t j = 0; j < sub.vertices.size(); ++j) {
+    const Index vj = sub.vertices[j];
+    const Index deg = rp[vj + 1] - rp[vj];
+    // One hop from two seeds: only the seed columns are ever sampled.
+    const bool sampled_column = j < seeds.size();
+    const Real scale = deg <= fanout
+                           ? Real{1}
+                           : static_cast<Real>(deg) / static_cast<Real>(fanout);
+    Index nonzeros = 0;
+    for (std::size_t i = 0; i < sub.vertices.size(); ++i) {
+      const Real value = local(static_cast<Index>(i), static_cast<Index>(j));
+      if (value == Real{0}) continue;
+      ++nonzeros;
+      ASSERT_TRUE(sampled_column) << "edge into unsampled column " << j;
+      EXPECT_NEAR(value, global(sub.vertices[i], vj) * scale, 1e-14);
     }
+    if (sampled_column) EXPECT_EQ(nonzeros, std::min(deg, fanout));
   }
 }
 

@@ -33,15 +33,31 @@ class FaultPlanGuard {
   ~FaultPlanGuard() { clear_fault_plan(); }
 };
 
+/// Pin the exact wire for resume-bitwise drills: the error-feedback
+/// residual (CAGNET_COMPRESS) and the stale halo cache (CAGNET_STALE /
+/// CAGNET_PREAGG) are per-run transient state never captured by a
+/// checkpoint, so a restarted lossy run legitimately diverges from the
+/// uninterrupted oracle.
 class ExactModeGuard {
  public:
-  ExactModeGuard() : mode_(compress_mode()) {
+  ExactModeGuard()
+      : mode_(compress_mode()),
+        stale_(dist::stale_k()),
+        preagg_(dist::preagg_enabled()) {
     set_compress_mode(CompressMode::kOff);
+    dist::set_stale_k(0);
+    dist::set_preagg_enabled(false);
   }
-  ~ExactModeGuard() { set_compress_mode(mode_); }
+  ~ExactModeGuard() {
+    set_compress_mode(mode_);
+    dist::set_stale_k(stale_);
+    dist::set_preagg_enabled(preagg_);
+  }
 
  private:
   CompressMode mode_;
+  int stale_;
+  bool preagg_;
 };
 
 class CompressModeGuard {

@@ -44,6 +44,14 @@ constexpr Real kParityTol = 1e-8;
                       "traffic (CAGNET_COMPRESS="                         \
                    << compress_mode_name(compress_mode()) << ")";         \
     }                                                                     \
+    if (dist::stale_k() != 0 && dist::stale_k() != 1) {                   \
+      GTEST_SKIP() << "cross-path exactness holds only for exact "        \
+                      "traffic (CAGNET_STALE=" << dist::stale_k() << ")"; \
+    }                                                                     \
+    if (dist::preagg_enabled()) {                                         \
+      GTEST_SKIP() << "cross-path exactness holds only for exact "       \
+                      "traffic (CAGNET_PREAGG=on)";                       \
+    }                                                                     \
   } while (false)
 
 /// Community-structured graph (no hubs): the regime where a locality
@@ -274,8 +282,14 @@ TEST_P(HaloOverlapParity, PipelinedPathBitwiseMatchesBlocking) {
     }
     // The regression this PR fixes: the pipelined halo path must engage
     // the overlap machinery (one region per drained peer stage), where it
-    // used to collapse to zero.
-    EXPECT_GT(pipelined.stats.comm.overlap_regions(), 0.0) << label;
+    // used to collapse to zero. Under ambient bounded staleness the
+    // metered epoch may be a cache-replay epoch that elides the exchange
+    // entirely (in both modes — the bitwise comparisons above still
+    // bite), so the engagement assertion only applies on an exact
+    // refresh schedule.
+    if (dist::stale_k() == 0 || dist::stale_k() == 1) {
+      EXPECT_GT(pipelined.stats.comm.overlap_regions(), 0.0) << label;
+    }
     EXPECT_GE(pipelined.stats.comm.overlap_saved_seconds(), 0.0) << label;
     EXPECT_DOUBLE_EQ(blocking.stats.comm.overlap_regions(), 0.0) << label;
   }
@@ -309,7 +323,9 @@ TEST(HaloOverlap, ThreadedPackParityOnLargePipelinedExchange) {
     EXPECT_EQ(pipelined.losses[e], blocking.losses[e]) << "epoch " << e;
   }
   EXPECT_LE(Matrix::max_abs_diff(pipelined.output, blocking.output), Real{0});
-  EXPECT_GT(pipelined.stats.comm.overlap_regions(), 0.0);
+  if (dist::stale_k() == 0 || dist::stale_k() == 1) {
+    EXPECT_GT(pipelined.stats.comm.overlap_regions(), 0.0);
+  }
 }
 
 // ---- The 1.5D backward contribution exchange ----

@@ -36,7 +36,15 @@ class SampleModeGuard {
   SampleModeGuard()
       : mode_(compress_mode()), overlap_(dist::overlap_enabled()),
         halo_(dist::halo_enabled()), sample_(dist::sample_enabled()),
-        fanouts_(dist::sample_fanouts()), batch_(dist::sample_batch_size()) {}
+        fanouts_(dist::sample_fanouts()), batch_(dist::sample_batch_size()),
+        stale_(dist::stale_k()), preagg_(dist::preagg_enabled()) {
+    // The sampled-vs-full-batch oracles need an exact full-batch side:
+    // ambient bounded staleness / pre-aggregation would make the
+    // full-batch run lossy while sampled epochs never arm them (they
+    // route through per-batch subgraphs, not the halo plan).
+    dist::set_stale_k(0);
+    dist::set_preagg_enabled(false);
+  }
   ~SampleModeGuard() {
     set_compress_mode(mode_);
     dist::set_overlap_enabled(overlap_);
@@ -44,6 +52,8 @@ class SampleModeGuard {
     dist::set_sample_enabled(sample_);
     dist::set_sample_fanouts(fanouts_);
     dist::set_sample_batch_size(batch_);
+    dist::set_stale_k(stale_);
+    dist::set_preagg_enabled(preagg_);
   }
 
  private:
@@ -53,6 +63,8 @@ class SampleModeGuard {
   bool sample_;
   std::vector<Index> fanouts_;
   Index batch_;
+  int stale_;
+  bool preagg_;
 };
 
 class FaultPlanGuard {

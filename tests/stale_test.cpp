@@ -1,0 +1,461 @@
+// Adaptive communication rates: bounded-staleness halo refresh
+// (CAGNET_STALE) and aggregation-before-communication (CAGNET_PREAGG).
+//
+// The contract under test (DESIGN.md "Adaptive communication rates
+// contract"):
+//   - CAGNET_STALE=off and CAGNET_STALE=1 are bitwise the exact halo
+//     path — losses, weights, output, and every per-category meter,
+//     including stale_saved_words == 0.
+//   - A fixed refresh interval k >= 2 cuts metered kHalo traffic by ~k
+//     while the skipped words are credited exactly: for every rank,
+//     exact kHalo words minus stale kHalo words equals stale_saved_words
+//     (compression off). Accuracy on a learnable graph stays within a
+//     small floor of the exact run's.
+//   - Within a stale mode, overlap and blocking runs stay bitwise equal
+//     (losses, weights, meters) — the skip charges telescope the same
+//     way the drain charges do.
+//   - Adaptive mode (CAGNET_STALE=adaptive) respects the
+//     CAGNET_STALE_MIN/MAX interval bounds, skips at least some
+//     exchanges on a slowly-changing graph, and converges.
+//   - Pre-aggregation ships pre-reduced rows for pairs where that is
+//     structurally smaller, so metered kHalo words drop below the exact
+//     exchange on a hub-heavy graph; it is deterministic across overlap
+//     modes.
+//   - The stale cache is per-run transient state (like the compression
+//     error-feedback residual): a restart rebuilds it, refreshes on the
+//     first resumed epoch, and keeps converging — but is NOT bitwise the
+//     uninterrupted run, which is why the checkpoint drills pin exact
+//     mode.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/comm/compress.hpp"
+#include "src/core/algebra_registry.hpp"
+#include "src/gnn/checkpoint.hpp"
+#include "src/graph/graph.hpp"
+#include "src/sparse/generate.hpp"
+#include "src/util/parallel.hpp"
+
+namespace cagnet {
+namespace {
+
+/// Save and restore every knob this suite flips, and pin the ones whose
+/// ambient values would change what is being measured (codec off: the
+/// exact-saving identity is stated in uncompressed words).
+class StaleGuard {
+ public:
+  StaleGuard()
+      : mode_(compress_mode()), overlap_(dist::overlap_enabled()),
+        halo_(dist::halo_enabled()), stale_(dist::stale_k()),
+        stale_min_(dist::stale_min_k()), stale_max_(dist::stale_max_k()),
+        preagg_(dist::preagg_enabled()) {
+    set_compress_mode(CompressMode::kOff);
+    dist::set_stale_k(0);
+    dist::set_preagg_enabled(false);
+    dist::set_halo_enabled(true);
+  }
+  ~StaleGuard() {
+    set_compress_mode(mode_);
+    dist::set_overlap_enabled(overlap_);
+    dist::set_halo_enabled(halo_);
+    dist::set_stale_k(stale_);
+    dist::set_stale_bounds(stale_min_, stale_max_);
+    dist::set_preagg_enabled(preagg_);
+  }
+
+ private:
+  CompressMode mode_;
+  bool overlap_;
+  bool halo_;
+  int stale_;
+  int stale_min_;
+  int stale_max_;
+  bool preagg_;
+};
+
+/// Community-structured graph whose labels follow the communities and
+/// whose features carry a per-community offset, so training accuracy is
+/// a meaningful signal (same construction the compression suite uses).
+Graph learnable_graph(Index n, Index communities, Index f, Index classes,
+                      std::uint64_t seed, double hub_fraction = 0.0,
+                      double hub_degree = 0.0) {
+  Rng rng(seed);
+  Graph g;
+  g.name = "stale-test";
+  Coo coo = planted_partition(n, communities, 10.0, 1.0, rng, hub_fraction,
+                              hub_degree);
+  g.adjacency = gcn_normalize(std::move(coo), /*symmetrize=*/true);
+  g.features = Matrix(n, f);
+  g.features.fill_uniform(rng, -1, 1);
+  g.num_classes = classes;
+  g.labels.resize(static_cast<std::size_t>(n));
+  for (Index v = 0; v < n; ++v) {
+    const Index community = v * communities / n;
+    g.labels[static_cast<std::size_t>(v)] = community % classes;
+    g.features(v, community % f) += Real{2};
+  }
+  return g;
+}
+
+struct StaleRun {
+  std::vector<Real> losses;
+  std::vector<Real> accuracies;
+  std::vector<Matrix> weights;
+  Matrix output;
+  EpochStats final_stats;  ///< max-reduced, final epoch
+  // Rank 0's per-run totals, summed over its per-epoch meters.
+  double halo_words = 0;
+  double halo_latency = 0;
+  double stale_saved = 0;
+  // Rank 0's final-epoch per-category meters, for bitwise comparisons.
+  std::vector<double> meter_row;
+};
+
+StaleRun run_trainer(const std::string& algebra, const DistProblem& problem,
+                     const GnnConfig& config, int p, int epochs) {
+  StaleRun run;
+  std::mutex mutex;
+  run_world(p, [&](Comm& world) {
+    auto trainer = make_dist_trainer(algebra, problem, config, world);
+    std::vector<Real> losses;
+    std::vector<Real> accuracies;
+    double halo_words = 0;
+    double halo_latency = 0;
+    double stale_saved = 0;
+    std::vector<double> meter_row;
+    for (int e = 0; e < epochs; ++e) {
+      const EpochResult r = trainer->train_epoch();
+      losses.push_back(r.loss);
+      accuracies.push_back(r.accuracy);
+      const CostMeter& m = trainer->last_epoch_stats().comm;
+      halo_words += m.words(CommCategory::kHalo);
+      halo_latency += m.latency_units(CommCategory::kHalo);
+      stale_saved += m.stale_saved_words();
+      meter_row.clear();
+      for (std::size_t c = 0; c < CostMeter::kNumCategories; ++c) {
+        const auto cat = static_cast<CommCategory>(c);
+        meter_row.push_back(m.latency_units(cat));
+        meter_row.push_back(m.words(cat));
+      }
+    }
+    const EpochStats reduced = trainer->reduce_epoch_stats();
+    Matrix out = trainer->gather_output();
+    if (world.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      run.losses = std::move(losses);
+      run.accuracies = std::move(accuracies);
+      run.weights = trainer->weights();
+      run.output = std::move(out);
+      run.final_stats = reduced;
+      run.halo_words = halo_words;
+      run.halo_latency = halo_latency;
+      run.stale_saved = stale_saved;
+      run.meter_row = std::move(meter_row);
+    }
+  });
+  return run;
+}
+
+void expect_bitwise_equal(const StaleRun& a, const StaleRun& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.losses.size(), b.losses.size()) << label;
+  for (std::size_t e = 0; e < a.losses.size(); ++e) {
+    EXPECT_EQ(a.losses[e], b.losses[e]) << label << " loss, epoch " << e;
+    EXPECT_EQ(a.accuracies[e], b.accuracies[e])
+        << label << " accuracy, epoch " << e;
+  }
+  ASSERT_EQ(a.weights.size(), b.weights.size()) << label;
+  for (std::size_t l = 0; l < a.weights.size(); ++l) {
+    EXPECT_LE(Matrix::max_abs_diff(a.weights[l], b.weights[l]), Real{0})
+        << label << " weights, layer " << l;
+  }
+  EXPECT_LE(Matrix::max_abs_diff(a.output, b.output), Real{0})
+      << label << " output";
+  ASSERT_EQ(a.meter_row.size(), b.meter_row.size()) << label;
+  for (std::size_t i = 0; i < a.meter_row.size(); ++i) {
+    EXPECT_EQ(a.meter_row[i], b.meter_row[i]) << label << " meter " << i;
+  }
+}
+
+struct StaleCase {
+  std::string algebra;
+  int p = 0;
+  int partition_parts = 0;
+};
+
+std::vector<StaleCase> stale_cases() {
+  return {{"1d", 4, 4}, {"1d", 7, 7}, {"1.5d-c2", 8, 4}, {"1.5d-c2", 4, 4}};
+}
+
+// ---- CAGNET_STALE=off and =1 are bitwise the exact halo path ----
+
+TEST(StaleParity, OffAndKOneBitwiseMatchExactPath) {
+  StaleGuard guard;
+  const Graph g = learnable_graph(252, 12, 10, 4, 91);
+  GnnConfig config = GnnConfig::three_layer(10, 4, 8);
+  config.learning_rate = 0.1;
+  const int epochs = 3;
+
+  for (const auto& c : stale_cases()) {
+    for (const char* partitioner : {"block", "greedy-bfs"}) {
+      const DistProblem problem =
+          DistProblem::prepare(g, c.partition_parts, partitioner);
+      for (const bool overlap : {false, true}) {
+        dist::set_overlap_enabled(overlap);
+        const std::string label = c.algebra + "/" + partitioner +
+                                  (overlap ? "/overlap" : "/sync");
+
+        dist::set_stale_k(0);
+        const StaleRun exact =
+            run_trainer(c.algebra, problem, config, c.p, epochs);
+        dist::set_stale_k(1);
+        const StaleRun k1 =
+            run_trainer(c.algebra, problem, config, c.p, epochs);
+        dist::set_stale_k(0);
+
+        expect_bitwise_equal(exact, k1, label);
+        EXPECT_DOUBLE_EQ(exact.stale_saved, 0.0) << label;
+        EXPECT_DOUBLE_EQ(k1.stale_saved, 0.0) << label;
+        EXPECT_DOUBLE_EQ(exact.final_stats.comm.stale_saved_words(), 0.0)
+            << label;
+        EXPECT_DOUBLE_EQ(k1.final_stats.comm.stale_saved_words(), 0.0)
+            << label;
+      }
+    }
+  }
+}
+
+// ---- Fixed k >= 2: traffic drops ~k-fold, savings credited exactly ----
+
+TEST(StaleTraffic, FixedKCutsHaloWordsAndCreditsSavingsExactly) {
+  StaleGuard guard;
+  const Graph g = learnable_graph(240, 12, 10, 4, 93);
+  GnnConfig config = GnnConfig::three_layer(10, 4, 8);
+  config.learning_rate = 0.1;
+  const int epochs = 12;
+  const DistProblem problem = DistProblem::prepare(g, 4, "greedy-bfs");
+
+  for (const bool overlap : {false, true}) {
+    dist::set_overlap_enabled(overlap);
+    const std::string label = overlap ? "overlap" : "sync";
+
+    dist::set_stale_k(0);
+    const StaleRun exact = run_trainer("1d", problem, config, 4, epochs);
+    dist::set_stale_k(4);
+    const StaleRun stale = run_trainer("1d", problem, config, 4, epochs);
+    dist::set_stale_k(0);
+
+    ASSERT_GT(exact.halo_words, 0.0) << label;
+    // 12 epochs at k=4 refresh on epochs 0, 4, 8: a 4x word cut (the
+    // acceptance floor is 2x).
+    EXPECT_GE(exact.halo_words, 2.0 * stale.halo_words) << label;
+    EXPECT_GT(exact.halo_latency, stale.halo_latency) << label;
+    // The skipped words are credited exactly: rank 0's exact halo words
+    // minus its stale halo words is its stale_saved_words (uncompressed
+    // wire, so words are element counts on both sides).
+    EXPECT_DOUBLE_EQ(exact.halo_words - stale.halo_words, stale.stale_saved)
+        << label;
+    EXPECT_DOUBLE_EQ(exact.stale_saved, 0.0) << label;
+
+    // Bounded staleness is lossy but bounded: the run still converges to
+    // within a small floor of the exact run's training accuracy.
+    EXPECT_LT(stale.losses.back(), stale.losses.front()) << label;
+    EXPECT_GE(stale.accuracies.back(), exact.accuracies.back() - 0.1)
+        << label;
+  }
+}
+
+TEST(StaleTraffic, OverlapAndBlockingStayBitwiseWithinStaleMode) {
+  StaleGuard guard;
+  const Graph g = learnable_graph(240, 12, 10, 4, 93);
+  GnnConfig config = GnnConfig::three_layer(10, 4, 8);
+  config.learning_rate = 0.1;
+  const int epochs = 6;
+
+  for (const auto& c : stale_cases()) {
+    const DistProblem problem =
+        DistProblem::prepare(g, c.partition_parts, "greedy-bfs");
+    dist::set_stale_k(3);
+    dist::set_overlap_enabled(true);
+    const StaleRun pipelined =
+        run_trainer(c.algebra, problem, config, c.p, epochs);
+    dist::set_overlap_enabled(false);
+    const StaleRun blocking =
+        run_trainer(c.algebra, problem, config, c.p, epochs);
+    dist::set_stale_k(0);
+    expect_bitwise_equal(pipelined, blocking, c.algebra + "/k=3");
+    EXPECT_EQ(pipelined.stale_saved, blocking.stale_saved) << c.algebra;
+  }
+}
+
+// ---- Adaptive mode: per-peer intervals inside the configured bounds ----
+
+TEST(StaleAdaptive, RespectsBoundsSkipsExchangesAndConverges) {
+  StaleGuard guard;
+  const Graph g = learnable_graph(240, 12, 10, 4, 95);
+  GnnConfig config = GnnConfig::three_layer(10, 4, 8);
+  config.learning_rate = 0.1;
+  const int epochs = 12;
+  const DistProblem problem = DistProblem::prepare(g, 4, "greedy-bfs");
+
+  dist::set_stale_k(0);
+  const StaleRun exact = run_trainer("1d", problem, config, 4, epochs);
+
+  dist::set_stale_k(dist::kStaleAdaptive);
+  dist::set_stale_bounds(2, 6);
+  const StaleRun adaptive = run_trainer("1d", problem, config, 4, epochs);
+  dist::set_stale_k(0);
+
+  // A floor of 2 forces at least every other exchange to be skipped once
+  // the caches are primed, so savings must be strictly positive and the
+  // metered halo words strictly below the exact run's.
+  EXPECT_GT(adaptive.stale_saved, 0.0);
+  EXPECT_LT(adaptive.halo_words, exact.halo_words);
+  // ...but the ceiling of 6 bounds the staleness: over 12 epochs at most
+  // ~5/6 of rank 0's receives can be skipped.
+  EXPECT_GT(adaptive.halo_words, 0.0);
+  // Still converges to within the accuracy floor.
+  EXPECT_LT(adaptive.losses.back(), adaptive.losses.front());
+  EXPECT_GE(adaptive.accuracies.back(), exact.accuracies.back() - 0.1);
+}
+
+TEST(StaleAdaptive, BoundSettersValidate) {
+  StaleGuard guard;
+  EXPECT_THROW(dist::set_stale_bounds(0, 4), Error);
+  EXPECT_THROW(dist::set_stale_bounds(4, 2), Error);
+  dist::set_stale_bounds(3, 3);
+  EXPECT_EQ(dist::stale_min_k(), 3);
+  EXPECT_EQ(dist::stale_max_k(), 3);
+  EXPECT_THROW(dist::set_stale_k(-7), Error);
+  dist::set_stale_k(dist::kStaleAdaptive);
+  EXPECT_EQ(dist::stale_k(), dist::kStaleAdaptive);
+}
+
+// ---- Pre-aggregation: fewer words on hub-heavy coupling, deterministic --
+
+TEST(PreAgg, CutsHaloWordsOnHubGraphAndStaysDeterministic) {
+  StaleGuard guard;
+  // Hubs concentrate many remote reads onto few local output rows —
+  // exactly the structure where shipping one pre-reduced row per output
+  // row beats shipping every requested source row.
+  const Graph g = learnable_graph(240, 12, 10, 4, 97, /*hub_fraction=*/0.05,
+                                  /*hub_degree=*/60.0);
+  GnnConfig config = GnnConfig::three_layer(10, 4, 8);
+  config.learning_rate = 0.1;
+  const int epochs = 6;
+  const DistProblem problem = DistProblem::prepare(g, 4, "greedy-bfs");
+
+  dist::set_preagg_enabled(false);
+  const StaleRun exact = run_trainer("1d", problem, config, 4, epochs);
+
+  dist::set_preagg_enabled(true);
+  dist::set_overlap_enabled(true);
+  const StaleRun agg = run_trainer("1d", problem, config, 4, epochs);
+  dist::set_overlap_enabled(false);
+  const StaleRun agg_blocking = run_trainer("1d", problem, config, 4, epochs);
+  dist::set_preagg_enabled(false);
+
+  ASSERT_GT(exact.halo_words, 0.0);
+  EXPECT_LT(agg.halo_words, exact.halo_words);
+  // Lossy only in floating-point association order: same convergence.
+  EXPECT_LT(agg.losses.back(), agg.losses.front());
+  EXPECT_GE(agg.accuracies.back(), exact.accuracies.back() - 0.1);
+  // Deterministic within the mode: overlap and blocking bitwise agree.
+  expect_bitwise_equal(agg, agg_blocking, "preagg overlap-vs-blocking");
+}
+
+TEST(PreAgg, ComposesWithStale) {
+  StaleGuard guard;
+  const Graph g = learnable_graph(240, 12, 10, 4, 97, /*hub_fraction=*/0.05,
+                                  /*hub_degree=*/60.0);
+  GnnConfig config = GnnConfig::three_layer(10, 4, 8);
+  config.learning_rate = 0.1;
+  const int epochs = 12;
+  const DistProblem problem = DistProblem::prepare(g, 4, "greedy-bfs");
+
+  dist::set_preagg_enabled(true);
+  const StaleRun agg = run_trainer("1d", problem, config, 4, epochs);
+  dist::set_stale_k(4);
+  const StaleRun both = run_trainer("1d", problem, config, 4, epochs);
+  dist::set_stale_k(0);
+  dist::set_preagg_enabled(false);
+
+  // Staleness stacks on top of aggregation: skipped epochs move nothing,
+  // and the credited savings reflect the *aggregated* exchange words.
+  EXPECT_GE(agg.halo_words, 2.0 * both.halo_words);
+  EXPECT_DOUBLE_EQ(agg.halo_words - both.halo_words, both.stale_saved);
+  EXPECT_LT(both.losses.back(), both.losses.front());
+}
+
+// ---- Restart drill: the stale cache is per-run transient state ----
+
+TEST(StaleRestart, ResumedRunRefreshesCacheAndKeepsConverging) {
+  StaleGuard guard;
+  const Graph g = learnable_graph(240, 12, 10, 4, 99);
+  GnnConfig config = GnnConfig::three_layer(10, 4, 8);
+  config.learning_rate = 0.1;
+  const DistProblem problem = DistProblem::prepare(g, 4, "greedy-bfs");
+  const int pre = 5;
+  const int post = 5;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cagnet_stale_drill.bin")
+          .string();
+
+  dist::set_stale_k(4);
+
+  // Uninterrupted stale run, the reference trajectory.
+  const StaleRun oracle =
+      run_trainer("1d", problem, config, 4, pre + post);
+
+  // Interrupted: train, checkpoint weights, resume in a fresh world. The
+  // stale cache is deliberately NOT serialized — the resumed trainer's
+  // plan starts invalid and re-exchanges on its first epoch (the same
+  // per-run-transient contract as the compression error-feedback
+  // residual), so the continuation converges but is not bitwise the
+  // oracle; the bitwise-resume drills in checkpoint_test/fault_test pin
+  // exact mode for exactly this reason.
+  std::mutex mutex;
+  run_world(4, [&](Comm& world) {
+    auto trainer = make_dist_trainer("1d", problem, config, world);
+    for (int e = 0; e < pre; ++e) trainer->train_epoch();
+    if (world.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      save_weights(path, trainer->weights());
+    }
+  });
+  StaleRun resumed;
+  run_world(4, [&](Comm& world) {
+    auto trainer = make_dist_trainer("1d", problem, config, world);
+    trainer->set_weights(load_weights(path));
+    trainer->set_start_epoch(pre);
+    std::vector<Real> losses;
+    std::vector<Real> accuracies;
+    for (int e = 0; e < post; ++e) {
+      const EpochResult r = trainer->train_epoch();
+      losses.push_back(r.loss);
+      accuracies.push_back(r.accuracy);
+    }
+    if (world.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      resumed.losses = std::move(losses);
+      resumed.accuracies = std::move(accuracies);
+      resumed.weights = trainer->weights();
+    }
+  });
+  std::remove(path.c_str());
+  dist::set_stale_k(0);
+
+  ASSERT_EQ(resumed.losses.size(), static_cast<std::size_t>(post));
+  // The resumed trajectory keeps descending from where the checkpoint
+  // left off and lands within the same accuracy floor as the oracle.
+  EXPECT_LT(resumed.losses.back(), oracle.losses[pre - 1]);
+  EXPECT_GE(resumed.accuracies.back(), oracle.accuracies.back() - 0.1);
+}
+
+}  // namespace
+}  // namespace cagnet

@@ -30,7 +30,8 @@ SCHEMAS = {
         "schema_version", "bench", "algebra", "world", "threads", "n",
         "degree", "f", "hidden", "epochs", "seconds", "warmup_seconds",
         "epochs_per_sec", "dense_words", "sparse_words", "transpose_words",
-        "halo_words", "compress", "compressed_words", "partition", "halo",
+        "halo_words", "compress", "compressed_words", "stale_k",
+        "stale_words_saved", "preagg", "partition", "halo",
         "max_remote_rows", "fanouts", "batch_size", "sampled_words",
         "latency_units", "overlap", "overlap_regions",
         "overlap_saved_modeled_s", "phase_misc", "phase_trpose",
@@ -58,7 +59,7 @@ SCHEMAS = {
 # The schema_version each bench emits today. A record carrying a stale
 # version means the tracked file was not regenerated after a schema bump.
 SCHEMA_VERSIONS = {
-    "epoch_throughput": 3,
+    "epoch_throughput": 4,
     "partition_edgecut_epoch": 2,
     "recovery_drill": 1,
 }
@@ -118,6 +119,31 @@ def check_file(tracked: Path) -> list:
                     f"line {lineno} ({bench}): compress=off must meter "
                     f"zero compressed_words, got {words!r}")
         if bench == "epoch_throughput":
+            # Bounded-staleness fields (CAGNET_STALE): stale_k is the
+            # refresh-rate mode and stale_words_saved the metered halo
+            # words the cache-replay epochs elided. With staleness off
+            # nothing is ever skipped, so a non-zero saving in an "off"
+            # row means the meter (or the record) is lying.
+            stale_k = record.get("stale_k")
+            if not (stale_k in ("off", "adaptive")
+                    or (isinstance(stale_k, str) and stale_k.isdigit()
+                        and int(stale_k) >= 1)):
+                errors.append(
+                    f"line {lineno} ({bench}): stale_k {stale_k!r} must "
+                    f"be 'off', 'adaptive', or a positive integer string")
+            saved = record.get("stale_words_saved")
+            if not isinstance(saved, (int, float)) or saved < 0:
+                errors.append(
+                    f"line {lineno} ({bench}): stale_words_saved "
+                    f"{saved!r} must be a non-negative number")
+            elif stale_k == "off" and saved != 0:
+                errors.append(
+                    f"line {lineno} ({bench}): stale_k=off must meter "
+                    f"zero stale_words_saved, got {saved!r}")
+            if record.get("preagg") not in (0, 1):
+                errors.append(
+                    f"line {lineno} ({bench}): preagg "
+                    f"{record.get('preagg')!r} must be 0 or 1")
             # Sampled-mode fields travel together: full-batch rows carry
             # fanouts="" / batch_size=0 / sampled_words=0, sampled rows a
             # non-empty fanout list, a positive batch and the metered
