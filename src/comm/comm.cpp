@@ -79,6 +79,15 @@ std::string order_mismatch(const OpContext& ctx, OpKind want, int peer,
   return msg;
 }
 
+void AbortHub::register_state(const std::shared_ptr<CommState>& state) {
+  std::lock_guard<std::mutex> lock(mutex);
+  states.push_back(state);
+  // A checked state is also retained strongly: run_world audits every
+  // communicator (world and splits) after the rank threads joined, by
+  // which time the ranks' own refs to split states are gone.
+  if (state->checker != nullptr) checked_states.push_back(state);
+}
+
 void AbortHub::poison() {
   aborted.store(true);
   std::lock_guard<std::mutex> lock(mutex);
@@ -105,6 +114,7 @@ void AbortHub::poison() {
   }
 }
 
+// [[hot-path]]
 void await_counter(const std::atomic<std::uint64_t>& counter,
                    std::atomic<int>& waiters, std::uint64_t target,
                    const std::atomic<bool>& aborted, const OpContext& ctx) {
@@ -130,6 +140,53 @@ void await_counter(const std::atomic<std::uint64_t>& counter,
   }
   if (aborted.load(std::memory_order_relaxed)) {
     throw_peer_aborted(ctx, FaultSite::kWait);
+  }
+}
+
+namespace {
+
+/// Block until every rank but `rank` has left its slot-reading regions.
+/// Abort-path only; must not throw (it runs inside unwinds). Terminates
+/// because every open region exits in bounded time once the world is
+/// poisoned: parked readers are woken by the poison bumps and throw at
+/// their abort checks, active readers throw at their next await, and each
+/// region exit under an aborted world notifies this waiter.
+void await_window_drain(CommState& st, int rank) noexcept {
+  for (int r = 0; r < st.size; ++r) {
+    if (r == rank) continue;
+    auto& depth = st.in_collective[static_cast<std::size_t>(r)];
+    // The acquire load pairs with the region exit's release decrement:
+    // everything the reader did inside the region happens-before this
+    // rank's subsequent buffer frees.
+    int cur = depth.load(std::memory_order_acquire);
+    while (cur > 0) {
+      depth.wait(cur, std::memory_order_acquire);
+      cur = depth.load(std::memory_order_acquire);
+    }
+  }
+}
+
+}  // namespace
+
+CollectiveWindow::~CollectiveWindow() {
+  const bool unwinding = std::uncaught_exceptions() > entry_exceptions_;
+  if (unwinding) {
+    // Poison before closing the region: once the flag is up (seq_cst, as
+    // is the region entry), no peer can pass an abort check and start a
+    // new read of this rank's published buffers — any later region entry
+    // is ordered after the poison in the seq_cst total order, so its
+    // first await observes the flag and throws before touching a slot.
+    st_.hub->poison();
+  }
+  auto& me = st_.in_collective[static_cast<std::size_t>(rank_)];
+  me.fetch_sub(1, std::memory_order_release);
+  if (st_.hub->aborted.load(std::memory_order_seq_cst)) {
+    me.notify_all();  // a dying peer may be draining our region
+    // Close-own-then-wait: this rank's region is already closed, so two
+    // ranks dying at once drain each other without a cycle. Only after
+    // every straggling reader left may the unwind free this rank's
+    // published sources.
+    await_window_drain(st_, rank_);
   }
 }
 
@@ -163,6 +220,7 @@ void Comm::quiesce_op(std::uint64_t ticket) const {
   check_valid("quiesce_op");
   const detail::OpContext ctx{rank_, CommCategory::kControl, "quiesce_op"};
   auto& st = *state_;
+  if (auto* ck = st.checker.get()) ck->on_release(rank_, ticket, ctx.op);
   // Generations on a channel complete strictly in order (the recycle gate
   // serializes them), so finishing this op's generation implies the op —
   // and nothing on any other channel — is globally finished.
@@ -243,6 +301,13 @@ PendingOp Comm::post_async(detail::OpKind kind, const void* publish_ptr,
   detail::await_counter(ch.finished, ch.waiters,
                         static_cast<std::uint64_t>(st.size) * gen,
                         st.hub->aborted, ctx);
+  if (auto* ck = st.checker.get()) {
+    // Re-assert the gate with the value this rank just observed, and audit
+    // ticket issuance, before any slot is overwritten.
+    ck->on_post(rank_, ticket, ctx.op, cat,
+                ch.finished.load(std::memory_order_acquire),
+                static_cast<std::uint64_t>(st.size) * gen);
+  }
   ch.ptr[rank] = publish_ptr;
   ch.ptr2[rank] = publish_ptr2;
   ch.len[rank] = publish_len;
@@ -272,8 +337,24 @@ PendingOp Comm::post_async(detail::OpKind kind, const void* publish_ptr,
 }
 
 void PendingOp::wait() {
-  if (!pending()) return;
-  auto& st = *state_;
+  if (!pending()) {
+    // The no-op is the documented idempotent behaviour; under the
+    // contract checker a repeated wait on a completed handle is a
+    // diagnosed misuse (it usually means two owners think they complete
+    // the same op).
+    if (waited_) {
+      contract::diagnose_double_wait(rank_, detail::op_kind_name(kind_),
+                                     cat_);
+    }
+    return;
+  }
+  // A handle can legally outlive its Comm (the teardown audit diagnoses
+  // it, but diagnosing requires surviving it): hold the state so the
+  // window and channel stay valid past the state_.reset() below even when
+  // this handle carried the last reference.
+  const std::shared_ptr<detail::CommState> keep = state_;
+  auto& st = *keep;
+  detail::CollectiveWindow window(st, rank_);
   auto& ch = *st.channels[ticket_ % static_cast<std::uint64_t>(
                                         detail::kAsyncChannels)];
   const std::uint64_t gen =
@@ -301,6 +382,8 @@ void PendingOp::wait() {
   complete_(*this);
   detail::bump_counter(ch.finished, ch.waiters);
   st.outstanding[static_cast<std::size_t>(rank_)]--;
+  if (auto* ck = st.checker.get()) ck->on_complete(rank_);
+  waited_ = true;
   state_.reset();
   complete_ = nullptr;
 }
@@ -360,6 +443,16 @@ Comm Comm::split(int color, int key) const {
 
 void PendingCompressedReduce::wait() {
   if (!pending()) return;
+  // Take the communicator state locally: op_.wait() drops the inner op's
+  // own reference, and the decode epilogue below still needs the checker
+  // for charge attribution. Declared before the blocking scope so the
+  // checker outlives the scope's exit hook.
+  const std::shared_ptr<detail::CommState> st = std::move(state_);
+  contract::Checker* ck = st ? st->checker.get() : nullptr;
+  const char* op_name = scatter_ ? "ireduce_scatter_sum_compressed"
+                                 : "iallreduce_sum_compressed";
+  contract::BlockingScope contract_scope(ck, rank_, op_name,
+                                         CommCategory::kCompressed);
   CompressBuf& buf = *buf_;
   buf_ = nullptr;
   {
@@ -386,6 +479,9 @@ void PendingCompressedReduce::wait() {
         compress_decode(mode_, bytes, n_, buf.scratch.data());
         for (std::size_t i = 0; i < n_; ++i) out_[i] += buf.scratch[i];
       }
+    }
+    if (ck != nullptr) {
+      ck->on_charge(rank_, op_name, CommCategory::kCompressed);
     }
     meter_->add(CommCategory::kCompressed, 2.0 * ceil_log2(p),
                 2.0 * static_cast<double>(enc) * (p - 1) / p / sizeof(Real));
@@ -418,6 +514,7 @@ void PendingCompressedReduce::wait() {
                           n_, my_lo, my_lo + out_len_, buf.scratch.data());
     for (std::size_t i = 0; i < out_len_; ++i) out_[i] += buf.scratch[i];
   }
+  if (ck != nullptr) ck->on_charge(rank_, op_name, CommCategory::kCompressed);
   meter_->add(CommCategory::kCompressed, ceil_log2(p),
               static_cast<double>(buf.recv.data.size()) * (p - 1) / p /
                   sizeof(Real));
@@ -457,6 +554,7 @@ PendingCompressedReduce Comm::iallreduce_sum_compressed(
   op.op_ = iallgatherv_into(std::span<const std::uint8_t>(buf.send),
                             buf.recv, CommCategory::kCompressed,
                             /*charged=*/false);
+  op.state_ = state_;
   op.buf_ = &buf;
   return op;
 }
@@ -499,6 +597,7 @@ PendingCompressedReduce Comm::ireduce_scatter_sum_compressed(
   op.op_ = iallgatherv_into(std::span<const std::uint8_t>(buf.send),
                             buf.recv, CommCategory::kCompressed,
                             /*charged=*/false);
+  op.state_ = state_;
   op.buf_ = &buf;
   return op;
 }
@@ -533,6 +632,26 @@ void Comm::reduce_scatter_sum_compressed(std::span<const Real> contrib,
   quiesce_op(ticket);
 }
 
+namespace {
+
+/// True for the "a peer rank failed" form of CommAborted: a casualty of
+/// someone else's failure, not a root cause. Which rank wins the race to
+/// run_world's error slot is timing-dependent (under TSan's scheduling a
+/// casualty regularly beats the rank that actually died), so run_world
+/// keeps the first *root-cause* error it sees and only reports a casualty
+/// when nothing better ever arrives.
+bool is_secondary_abort(const std::exception_ptr& error) noexcept {
+  try {
+    std::rethrow_exception(error);
+  } catch (const CommAborted& e) {
+    return e.cause() == "a peer rank failed";
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
 void run_world(int p, const std::function<void(Comm&)>& fn,
                std::vector<CostMeter>* meters_out) {
   CAGNET_CHECK(p >= 1, "world size must be at least 1");
@@ -550,8 +669,11 @@ void run_world(int p, const std::function<void(Comm&)>& fn,
   ScopedThreadBudgetShare budget_share(p);
 
   std::exception_ptr first_error = nullptr;
+  bool first_error_secondary = false;
   std::mutex error_mutex;
 
+  // The rank threads ARE the simulated machine, not pool work — the one
+  // sanctioned raw-thread site. lint:allow(naked-thread)
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
@@ -560,9 +682,19 @@ void run_world(int p, const std::function<void(Comm&)>& fn,
       try {
         fn(comm);
       } catch (...) {
+        // Classify the exception on its OWN thread, before publishing:
+        // each rank owns its in-flight exception object, so reading it
+        // here is race-free, whereas rethrowing the stored first_error
+        // would read another rank's exception object while that rank's
+        // unwind may be freeing it. The flag travels with the pointer.
+        const bool mine_secondary =
+            is_secondary_abort(std::current_exception());
         {
           std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          if (!first_error || (first_error_secondary && !mine_secondary)) {
+            first_error = std::current_exception();
+            first_error_secondary = mine_secondary;
+          }
         }
         // Poison every registered communicator state: the abort flag goes
         // up, then every channel counter and phase gate is bumped and
@@ -576,6 +708,15 @@ void run_world(int p, const std::function<void(Comm&)>& fn,
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  // Teardown audit (contract checker armed, non-abort path only — a
+  // poisoned world tears down mid-op by design): every communicator this
+  // world created, splits included, must have retired all its posted ops.
+  {
+    std::lock_guard<std::mutex> lock(hub->mutex);
+    for (const auto& checked : hub->checked_states) {
+      checked->checker->verify_teardown();
+    }
+  }
   if (meters_out) *meters_out = std::move(meters);
 }
 

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "src/comm/compress.hpp"
+#include "src/comm/contract_check.hpp"
 #include "src/comm/costmeter.hpp"
 #include "src/comm/fault.hpp"
 #include "src/util/error.hpp"
@@ -136,11 +138,12 @@ struct AbortHub {
   /// World-lifetime fault schedule captured from the process-global plan
   /// at run_world entry; null is the everything-disabled fast path.
   std::shared_ptr<FaultPlan> fault;
+  /// Strong refs to every state carrying a contract checker, so run_world
+  /// can audit split sub-communicators at teardown even after the rank
+  /// threads dropped theirs. Empty when the checker is disabled.
+  std::vector<std::shared_ptr<CommState>> checked_states;
 
-  void register_state(const std::shared_ptr<CommState>& state) {
-    std::lock_guard<std::mutex> lock(mutex);
-    states.push_back(state);
-  }
+  void register_state(const std::shared_ptr<CommState>& state);  // comm.cpp
   void poison();  // comm.cpp
 };
 
@@ -175,10 +178,14 @@ struct CommState {
         slot_dest(static_cast<std::size_t>(n), -1),
         next_ticket(static_cast<std::size_t>(n), 0),
         outstanding(static_cast<std::size_t>(n), 0),
+        in_collective(static_cast<std::size_t>(n)),
         hub(std::move(abort_hub)) {
     channels.reserve(kAsyncChannels);
     for (int c = 0; c < kAsyncChannels; ++c) {
       channels.push_back(std::make_unique<AsyncChannel>(n));
+    }
+    if (contract::enabled()) {
+      checker = std::make_unique<contract::Checker>(n);
     }
   }
 
@@ -199,6 +206,14 @@ struct CommState {
   std::vector<std::unique_ptr<AsyncChannel>> channels;
   std::vector<std::uint64_t> next_ticket;  // per rank; owner-written only
   std::vector<int> outstanding;            // per-rank posted-unwaited count
+  /// Per-rank count of open slot-reading regions (blocking collective
+  /// bodies, nonblocking waits, per-source drains). On the abort path a
+  /// dying rank drains these before its unwind frees the buffers it
+  /// published — see CollectiveWindow.
+  std::vector<std::atomic<int>> in_collective;
+  /// Lifecycle auditor (null unless contract::enabled() held at
+  /// construction); split sub-communicators build their own.
+  std::unique_ptr<contract::Checker> checker;
   std::mutex mutex;
   /// Transient rendezvous of an in-flight split(). Owned here (not by the
   /// splitting ranks) so a rank failure mid-split cannot leak it: it is
@@ -231,6 +246,7 @@ void await_counter(const std::atomic<std::uint64_t>& counter,
 
 /// Counter bump + conditional wake, the posting half of await_counter's
 /// protocol.
+// [[hot-path]]
 inline void bump_counter(std::atomic<std::uint64_t>& counter,
                          const std::atomic<int>& waiters) {
   counter.fetch_add(1, std::memory_order_seq_cst);
@@ -242,6 +258,7 @@ inline void bump_counter(std::atomic<std::uint64_t>& counter,
 /// installed this is a null-pointer test (no lock, no allocation, no
 /// charge perturbation); with one armed it is where kills, delays, and
 /// poisoned payloads are injected (src/comm/fault.hpp).
+// [[hot-path]]
 inline void seam_event(const CommState& st, const OpContext& ctx,
                        FaultSite site) {
   FaultPlan* plan = st.hub->fault.get();
@@ -266,6 +283,41 @@ inline void seam_event(const CommState& st, const OpContext& ctx,
 /// path.
 std::string order_mismatch(const OpContext& ctx, OpKind want, int peer,
                            OpKind got);
+
+/// RAII bracket around one slot-reading region (a blocking collective
+/// body, a nonblocking wait, a per-source drain). Healthy worlds pay two
+/// uncontended atomic RMWs. Its real job is the abort path: a rank whose
+/// exception escapes the region poisons the world immediately (so no peer
+/// starts a new read of this rank's published buffers) and then blocks
+/// until every other rank's open regions drain, because a peer that
+/// passed its await before the poison landed may still be mid-read of a
+/// buffer this rank's unwind is about to free. Peers exit their regions
+/// in bounded time — parked ones are poison-woken and throw, active ones
+/// throw at their next await — and each dying rank closes its own region
+/// before waiting on the others', so mutual aborts cannot cycle.
+/// ThreadSanitizer found the use-after-free window this closes (a killed
+/// rank's teardown racing a straggling reader); the acquire/release pair
+/// on the region counter is also the happens-before edge that orders the
+/// reader's last load before the dying rank's free.
+class CollectiveWindow {
+ public:
+  CollectiveWindow(CommState& st, int rank)
+      : st_(st),
+        rank_(rank),
+        entry_exceptions_(std::uncaught_exceptions()) {
+    st_.in_collective[static_cast<std::size_t>(rank)].fetch_add(
+        1, std::memory_order_seq_cst);
+  }
+  ~CollectiveWindow();  // comm.cpp
+
+  CollectiveWindow(const CollectiveWindow&) = delete;
+  CollectiveWindow& operator=(const CollectiveWindow&) = delete;
+
+ private:
+  CommState& st_;
+  int rank_;
+  int entry_exceptions_;  ///< uncaught count at entry; more at exit = unwind
+};
 
 }  // namespace detail
 
@@ -344,7 +396,9 @@ std::size_t alltoallv_unpack(int p, int rank,
 /// Handle to a posted-but-possibly-incomplete nonblocking collective.
 /// Move-only. wait() blocks until every member has posted the matching op,
 /// performs this rank's data movement, charges the meter exactly as the
-/// blocking form would, and releases the channel; it is idempotent. A
+/// blocking form would, and releases the channel; a second wait() is a
+/// no-op, diagnosed as a ContractViolation when the contract checker is
+/// armed (gate repeat waits on pending()). A
 /// PendingOp that is destroyed while still pending completes itself first
 /// (like a blocking wait), swallowing abort errors so unwinding a failed
 /// world never terminates.
@@ -374,9 +428,11 @@ class PendingOp {
       src_len_ = other.src_len_;
       gathered_ = other.gathered_;
       drained_mask_ = other.drained_mask_;
+      waited_ = other.waited_;
       complete_ = other.complete_;
       other.state_.reset();
       other.complete_ = nullptr;
+      other.waited_ = false;  // moved-from behaves like an empty handle
     }
     return *this;
   }
@@ -395,7 +451,10 @@ class PendingOp {
   std::uint64_t ticket() const { return ticket_; }
 
   /// Complete the op: block for all posts, move this rank's data, charge
-  /// the meter, release the channel. No-op when not pending.
+  /// the meter, release the channel. No-op when not pending — but a
+  /// second wait() on an already-completed handle is diagnosed as a
+  /// ContractViolation when the contract checker is armed (gate a
+  /// maybe-completed wait on pending() instead of relying on the no-op).
   void wait();
 
   // ---- Per-source drain (alltoallv-post ops only; see
@@ -422,6 +481,7 @@ class PendingOp {
     CAGNET_CHECK((drained_mask_ & (std::uint64_t{1} << src)) == 0,
                  "await_source: source already drained");
     const detail::OpContext ctx{rank_, cat_, "ialltoallv_post drain"};
+    detail::CollectiveWindow window(*state_, rank_);
     detail::seam_event(*state_, ctx, FaultSite::kWait);
     auto& ch = *state_->channels[ticket_ %
                                  static_cast<std::uint64_t>(
@@ -482,11 +542,15 @@ class PendingOp {
     }
   }
 
+  // [[hot-path]]
   void charge(double latency_units, std::size_t bytes) {
     if (!charged_) return;
     detail::seam_event(
         *state_, {rank_, cat_, detail::op_kind_name(kind_)},
         FaultSite::kCharge);
+    if (auto* ck = state_->checker.get()) {
+      ck->on_charge(rank_, detail::op_kind_name(kind_), cat_);
+    }
     meter_->add(cat_, latency_units,
                 static_cast<double>(bytes) / sizeof(Real));
   }
@@ -540,6 +604,7 @@ class PendingOp {
   std::size_t src_len_ = 0;      ///< this rank's contribution element count
   void* gathered_ = nullptr;     ///< Gathered<T>* for iallgatherv_into
   std::uint64_t drained_mask_ = 0;  ///< await_source ledger (bit per rank)
+  bool waited_ = false;  ///< completed by an explicit wait (double-wait check)
   void (*complete_)(PendingOp&) = nullptr;  ///< typed movement + charge
 };
 
@@ -565,6 +630,7 @@ class PendingCompressedReduce {
     if (this != &other) {
       complete_for_destroy();
       op_ = std::move(other.op_);
+      state_ = std::move(other.state_);
       buf_ = other.buf_;
       meter_ = other.meter_;
       profiler_ = other.profiler_;
@@ -606,10 +672,14 @@ class PendingCompressedReduce {
       wait();
     } catch (...) {
       buf_ = nullptr;  // unwinding a failed world; nothing left to finish
+      state_.reset();
     }
   }
 
   PendingOp op_;
+  /// Kept alongside op_ (which drops its own ref at wait) so the decode
+  /// epilogue can reach the contract checker for charge attribution.
+  std::shared_ptr<detail::CommState> state_;
   CompressBuf* buf_ = nullptr;
   CostMeter* meter_ = nullptr;
   Profiler* profiler_ = nullptr;
@@ -692,6 +762,9 @@ class Comm {
     check_valid("broadcast");
     check_member(root);
     const detail::OpContext ctx{rank_, cat, "broadcast"};
+    detail::CollectiveWindow window(*state_, rank_);
+    contract::BlockingScope contract_scope(state_->checker.get(),
+                                           rank_, ctx.op, cat);
     sync_sizes(data.size(), ctx);
     detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = data.data();
@@ -718,6 +791,9 @@ class Comm {
     check_valid("broadcast_from");
     check_member(root);
     const detail::OpContext ctx{rank_, cat, "broadcast_from"};
+    detail::CollectiveWindow window(*state_, rank_);
+    contract::BlockingScope contract_scope(state_->checker.get(),
+                                           rank_, ctx.op, cat);
     const std::size_t n = rank_ == root ? src.size() : dst.size();
     sync_sizes(n, ctx);
     detail::seam_event(*state_, ctx, FaultSite::kPost);
@@ -761,6 +837,9 @@ class Comm {
                           CommCategory cat) {
     check_valid("reduce_scatter_sum");
     const detail::OpContext ctx{rank_, cat, "reduce_scatter_sum"};
+    detail::CollectiveWindow window(*state_, rank_);
+    contract::BlockingScope contract_scope(state_->checker.get(),
+                                           rank_, ctx.op, cat);
     const int p = size();
     detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = contrib.data();
@@ -817,6 +896,9 @@ class Comm {
                        CommCategory cat) {
     check_valid("allgatherv_into");
     const detail::OpContext ctx{rank_, cat, "allgatherv_into"};
+    detail::CollectiveWindow window(*state_, rank_);
+    contract::BlockingScope contract_scope(state_->checker.get(),
+                                           rank_, ctx.op, cat);
     const int p = size();
     detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = mine.data();
@@ -851,6 +933,9 @@ class Comm {
     check_valid("exchange");
     check_member(peer);
     const detail::OpContext ctx{rank_, cat, "exchange"};
+    detail::CollectiveWindow window(*state_, rank_);
+    contract::BlockingScope contract_scope(state_->checker.get(),
+                                           rank_, ctx.op, cat);
     detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = send.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = send.size();
@@ -878,6 +963,9 @@ class Comm {
     check_valid("route");
     check_member(dest);
     const detail::OpContext ctx{rank_, cat, "route"};
+    detail::CollectiveWindow window(*state_, rank_);
+    contract::BlockingScope contract_scope(state_->checker.get(),
+                                           rank_, ctx.op, cat);
     detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = send.data();
     state_->slot_len[static_cast<std::size_t>(rank_)] = send.size();
@@ -919,6 +1007,9 @@ class Comm {
     check_valid("alltoallv_into");
     check_offsets(send.size(), send_offsets, "alltoallv_into");
     const detail::OpContext ctx{rank_, cat, "alltoallv_into"};
+    detail::CollectiveWindow window(*state_, rank_);
+    contract::BlockingScope contract_scope(state_->checker.get(),
+                                           rank_, ctx.op, cat);
     const int p = size();
     detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = send.data();
@@ -940,6 +1031,9 @@ class Comm {
     check_valid("gather");
     check_member(root);
     const detail::OpContext ctx{rank_, cat, "gather"};
+    detail::CollectiveWindow window(*state_, rank_);
+    contract::BlockingScope contract_scope(state_->checker.get(),
+                                           rank_, ctx.op, cat);
     const int p = size();
     detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = mine.data();
@@ -1169,6 +1263,9 @@ class Comm {
   void charge(const detail::OpContext& ctx, double latency_units,
               std::size_t bytes) {
     detail::seam_event(*state_, ctx, FaultSite::kCharge);
+    if (auto* ck = state_->checker.get()) {
+      ck->on_charge(ctx.rank, ctx.op, ctx.cat);
+    }
     meter_->add(ctx.cat, latency_units,
                 static_cast<double>(bytes) / sizeof(Real));
   }
@@ -1196,6 +1293,9 @@ class Comm {
   void reduce_impl(std::span<T> data, CommCategory cat, bool is_max,
                    const char* op) {
     const detail::OpContext ctx{rank_, cat, op};
+    detail::CollectiveWindow window(*state_, rank_);
+    contract::BlockingScope contract_scope(state_->checker.get(),
+                                           rank_, ctx.op, cat);
     const int p = size();
     detail::seam_event(*state_, ctx, FaultSite::kPost);
     state_->slot_ptr[static_cast<std::size_t>(rank_)] = data.data();

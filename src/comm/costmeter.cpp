@@ -27,6 +27,7 @@ const char* comm_category_name(CommCategory c) {
   return "?";
 }
 
+// [[hot-path]]
 void CostMeter::add(CommCategory cat, double latency_units, double words) {
   latency_[static_cast<std::size_t>(cat)] += latency_units;
   words_[static_cast<std::size_t>(cat)] += words;

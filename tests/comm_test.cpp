@@ -764,7 +764,11 @@ TEST(Nonblocking, BroadcastDeliversAndChargesLikeBlocking) {
         EXPECT_TRUE(op.pending());
         op.wait();
         EXPECT_FALSE(op.pending());
-        op.wait();  // idempotent
+        // A second wait() is the legacy no-op only while the contract
+        // checker is off; armed (the default in assertion-keeping
+        // builds) it is diagnosed as a double-wait —
+        // tests/contract_test.cpp pins the diagnostic text.
+        if (!contract::enabled()) op.wait();
         if (comm.rank() != root) {
           for (std::size_t i = 0; i < dst.size(); ++i) {
             ASSERT_DOUBLE_EQ(dst[i], static_cast<Real>(i) * 0.25);
